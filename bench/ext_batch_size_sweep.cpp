@@ -1,0 +1,43 @@
+// Extension: query batch size sensitivity. Harmonia's pipeline has two
+// fixed costs per batch — the kernel launch and the PSA sort passes — so
+// throughput climbs with batch size until DRAM bandwidth saturates. This
+// locates the knee (the paper uses 100M-query batches, far past it).
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "20")
+      .flag("fanout", "tree fanout", "64")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 20));
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("Query batch size sweep",
+                   "extension: fixed-cost amortization (launch + PSA sort)");
+
+  const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+  gpusim::Device dev(hb::bench_spec());
+  auto index = HarmoniaIndex::build(dev, hb::entries_for(keys), {.fanout = fanout});
+
+  Table table({"log2(batch)", "throughput (Gq/s)", "kernel us", "sort us",
+               "sort share (%)"});
+
+  for (unsigned blg : {12u, 14u, 16u, 18u, 20u}) {
+    const std::uint64_t n = 1ULL << blg;
+    const auto qs =
+        queries::make_queries(keys, n, queries::Distribution::kUniform, seed + blg);
+    dev.flush_caches();
+    const auto r = index.search(qs);
+    table.add(blg, r.throughput() / 1e9, r.kernel_seconds * 1e6,
+              r.sort_seconds * 1e6,
+              100.0 * r.sort_seconds / r.total_seconds());
+  }
+  hb::emit(cli, table);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation of §3.1's constant-memory placement: the same Harmonia tree
+// with the prefix-sum child region's top levels (a) in constant memory
+// (the paper's design), (b) entirely in global memory, and (c) with
+// varying constant budgets. Shows where the "store the top level in
+// constant memory" decision pays.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "20")
+      .flag("queries", "log2 query batch", "17")
+      .flag("fanout", "tree fanout", "64")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 20));
+  const std::uint64_t n = 1ULL << cli.get_uint("queries", 17);
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("Constant-memory placement ablation",
+                   "§3.1 design choice (top prefix-sum levels -> constant memory)");
+
+  const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+  const auto entries = hb::entries_for(keys);
+  const auto qs =
+      queries::make_queries(keys, n, queries::Distribution::kUniform, seed + 1);
+
+  Table table({"RO cache/SM", "const budget", "ps entries in const", "const hits",
+               "global txns", "throughput (Gq/s)"});
+
+  // The constant placement matters exactly when the read-only cache is
+  // under pressure from the streaming key region: sweep both dimensions.
+  for (std::uint64_t ro_bytes : {std::uint64_t{128} << 10, std::uint64_t{8} << 10}) {
+    for (std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{1} << 10,
+                                 std::uint64_t{8} << 10, std::uint64_t{60} << 10}) {
+      auto spec = hb::bench_spec();
+      spec.readonly_cache_bytes_per_sm = ro_bytes;
+      gpusim::Device dev(spec);
+      HarmoniaIndex::Options opts;
+      opts.fanout = fanout;
+      opts.const_budget_bytes = budget;
+      auto index = HarmoniaIndex::build(dev, entries, opts);
+      QueryOptions qopts;  // full pipeline
+      const auto r = index.search(qs, qopts);
+      table.add(bytes_human(ro_bytes), bytes_human(budget),
+                index.image().ps_const_count, r.search.metrics.const_hits,
+                r.search.metrics.global_transactions(), r.throughput() / 1e9);
+    }
+  }
+  hb::emit(cli, table);
+  std::cout
+      << "\nfinding: throughput is insensitive to the placement — the prefix-sum\n"
+         "array is so small (~4 B/node vs HB+'s ~256 B of child refs/node) that\n"
+         "it stays cache-resident wherever it lives. The §3.1 win comes from the\n"
+         "*compression* (compare Figure 12's global-transaction drop vs HB+);\n"
+         "constant memory is a guarantee against pathological eviction, not a\n"
+         "steady-state speedup in this model.\n";
+  return 0;
+}

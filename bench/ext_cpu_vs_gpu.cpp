@@ -1,0 +1,58 @@
+// Extension: the introduction's motivation quantified — batched lookups
+// on the host CPU (real wall-clock, pointer-based B+tree) vs the
+// simulated GPU running Harmonia. Apples-to-oranges by construction (one
+// is measured silicon, the other a model), so the point is the order of
+// magnitude, not the exact ratio.
+#include "bench_common.hpp"
+
+#include <thread>
+
+#include "btree/parallel_search.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "20")
+      .flag("queries", "log2 query batch", "17")
+      .flag("fanout", "tree fanout", "64")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 20));
+  const std::uint64_t n = 1ULL << cli.get_uint("queries", 17);
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("CPU B+tree vs simulated-GPU Harmonia",
+                   "the Introduction's motivation (throughput gap)");
+
+  const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+  const auto entries = hb::entries_for(keys);
+  const auto qs =
+      queries::make_queries(keys, n, queries::Distribution::kUniform, seed + 1);
+
+  btree::BTree cpu_tree(fanout);
+  cpu_tree.bulk_load(entries);
+
+  Table table({"engine", "threads", "throughput (Mq/s)", "note"});
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned threads : {1u, hw}) {
+    const auto r = btree::search_batch_cpu(cpu_tree, qs, threads);
+    table.add("CPU B+tree (measured)", threads, r.throughput() / 1e6, "wall clock");
+    if (hw == 1) break;
+  }
+
+  gpusim::Device dev(hb::bench_spec());
+  auto index = HarmoniaIndex::build(dev, entries, {.fanout = fanout});
+  const auto r = index.search(qs);
+  table.add("Harmonia on TITAN V (simulated)", dev.spec().num_sms * 64,
+            r.throughput() / 1e6, "cycle model");
+
+  hb::emit(cli, table);
+  std::cout << "\npaper context: single CPU cores search a few Mq/s; the GPU's"
+            << " thousands of resident lanes reach Gq/s\n";
+  return 0;
+}

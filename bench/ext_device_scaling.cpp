@@ -1,0 +1,60 @@
+// Extension: architecture sensitivity. The paper evaluates on a TITAN V
+// and validates NTG on a Tesla K80; this harness sweeps the simulated
+// SM count (does Harmonia keep scaling?) and compares the two presets
+// end-to-end, separating the compute-bound from the DRAM-bound regime.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "20")
+      .flag("queries", "log2 query batch", "17")
+      .flag("fanout", "tree fanout", "64")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 20));
+  const std::uint64_t n = 1ULL << cli.get_uint("queries", 17);
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("Device scaling: SM count sweep + presets",
+                   "extension (architecture sensitivity of Figure 11)");
+
+  const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+  const auto entries = hb::entries_for(keys);
+  const auto qs =
+      queries::make_queries(keys, n, queries::Distribution::kUniform, seed + 1);
+
+  Table table({"device", "SMs", "Harmonia (Gq/s)", "dram txns", "bound by"});
+
+  auto run = [&](gpusim::DeviceSpec spec) {
+    spec.global_mem_bytes = 4ULL << 30;
+    gpusim::Device dev(spec);
+    auto index = HarmoniaIndex::build(dev, entries, {.fanout = fanout});
+    const auto r = index.search(qs);
+    // Which roofline term dominated? Compare DRAM time to the worst SM.
+    const double dram_cycles =
+        static_cast<double>(r.search.metrics.dram_transactions) *
+        spec.dram_cycles_per_txn;
+    const double total = r.search.metrics.elapsed_cycles(spec);
+    const char* bound = dram_cycles >= total * 0.5 ? "DRAM bandwidth" : "SM time";
+    table.add(spec.name, spec.num_sms, r.throughput() / 1e9,
+              r.search.metrics.dram_transactions, bound);
+  };
+
+  for (unsigned sms : {10u, 20u, 40u, 80u}) {
+    auto spec = gpusim::titan_v();
+    spec.num_sms = sms;
+    spec.name = "TITAN V @" + std::to_string(sms) + "SM";
+    run(spec);
+  }
+  run(gpusim::tesla_k80());
+
+  hb::emit(cli, table);
+  std::cout << "\nexpected: throughput grows with SMs until DRAM bandwidth"
+            << " becomes the roofline; the K80 preset lands far below Volta\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension: fanout sensitivity. The paper fixes fanout per experiment
+// ("the tree fanout is typically a large number such as 64 or 128",
+// footnote 2); this sweep shows how Harmonia's advantage over HB+Tree and
+// the NTG choice vary with fanout.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "19")
+      .flag("queries", "log2 query batch", "16")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 19));
+  const std::uint64_t n = 1ULL << cli.get_uint("queries", 16);
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("Fanout sweep: Harmonia vs HB+Tree",
+                   "extension of Figures 11/13 across fanouts 8..128");
+
+  Table table({"fanout", "height", "HB+ (Gq/s)", "Harmonia (Gq/s)", "speedup",
+               "NTG group size"});
+
+  for (unsigned fanout : {8u, 16u, 32u, 64u, 128u}) {
+    const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+    const auto entries = hb::entries_for(keys);
+    const auto qs =
+        queries::make_queries(keys, n, queries::Distribution::kUniform, seed + 1);
+
+    gpusim::Device dev_b(hb::bench_spec());
+    auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, fanout);
+    const double hb_tp = hb_idx.search(qs).throughput();
+
+    gpusim::Device dev_h(hb::bench_spec());
+    auto h_idx = HarmoniaIndex::build(dev_h, entries, {.fanout = fanout});
+    const auto r = h_idx.search(qs);
+
+    table.add(fanout, h_idx.tree().height(), hb_tp / 1e9, r.throughput() / 1e9,
+              r.throughput() / hb_tp, r.group_size_used);
+  }
+  hb::emit(cli, table);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Extension: the implicit B+tree as a third comparator — the organization
+// §2.2 rejects. Queries need no child loads at all, but every update
+// batch restructures the whole tree. This harness quantifies both sides:
+// query throughput (implicit vs Harmonia vs HB+) and the cost of an
+// update batch (full rebuild vs Algorithm 1's in-place + deferred
+// movement).
+#include "bench_common.hpp"
+
+#include "common/timer.hpp"
+#include "implicit/search.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "20")
+      .flag("queries", "log2 query batch", "16")
+      .flag("batch", "log2 update batch", "14")
+      .flag("fanout", "tree fanout", "64")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 20));
+  const std::uint64_t nq = 1ULL << cli.get_uint("queries", 16);
+  const std::uint64_t batch = 1ULL << cli.get_uint("batch", 14);
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("Implicit B+tree baseline",
+                   "§2.2 (regular vs implicit organization trade-off)");
+
+  const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+  const auto entries = hb::entries_for(keys);
+  const auto qs =
+      queries::make_queries(keys, nq, queries::Distribution::kUniform, seed + 1);
+
+  // --- Query side ---
+  Table qtable({"structure", "throughput (Gq/s)", "global txns", "loads/warp"});
+
+  gpusim::Device dev_b(hb::bench_spec());
+  auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, fanout);
+  {
+    const auto r = hb_idx.search(qs);
+    qtable.add("HB+tree", r.throughput() / 1e9, r.search.metrics.global_transactions(),
+               static_cast<double>(r.search.metrics.loads) /
+                   static_cast<double>(r.search.warps));
+  }
+
+  gpusim::Device dev_h(hb::bench_spec());
+  auto h_idx = HarmoniaIndex::build(dev_h, entries, {.fanout = fanout});
+  {
+    // Structure-only row: no PSA (the implicit run below is also unsorted)
+    // so the comparison isolates the *organization*.
+    QueryOptions tree_only;
+    tree_only.psa = PsaMode::kNone;
+    tree_only.auto_ntg = false;
+    const auto r0 = h_idx.search(qs, tree_only);
+    qtable.add("Harmonia tree (no PSA/NTG)", r0.throughput() / 1e9,
+               r0.search.metrics.global_transactions(),
+               static_cast<double>(r0.search.metrics.loads) /
+                   static_cast<double>(r0.search.warps));
+    dev_h.flush_caches();
+    const auto r = h_idx.search(qs);
+    qtable.add("Harmonia (full, incl. sort)", r.throughput() / 1e9,
+               r.search.metrics.global_transactions(),
+               static_cast<double>(r.search.metrics.loads) /
+                   static_cast<double>(r.search.warps));
+  }
+
+  gpusim::Device dev_i(hb::bench_spec());
+  auto imp = implicit::ImplicitTree::build(entries, fanout);
+  const auto imp_img = implicit::ImplicitDeviceImage::upload(dev_i, imp);
+  {
+    auto d_q = dev_i.memory().malloc<Key>(nq);
+    dev_i.memory().copy_to_device(d_q, std::span<const Key>(qs));
+    auto d_out = dev_i.memory().malloc<Value>(nq);
+    const auto stats = implicit::implicit_search_batch(dev_i, imp_img, d_q, nq, d_out);
+    qtable.add("Implicit B+tree (no PSA)", stats.metrics.throughput(dev_i.spec(), nq) / 1e9,
+               stats.metrics.global_transactions(),
+               static_cast<double>(stats.metrics.loads) /
+                   static_cast<double>(stats.warps));
+  }
+  std::cout << "query side:\n";
+  hb::emit(cli, qtable);
+
+  // --- Update side ---
+  queries::BatchSpec spec;
+  spec.size = batch;
+  spec.insert_fraction = 0.05;
+  spec.seed = seed + 2;
+  const auto ops = queries::make_update_batch(keys, spec);
+
+  Table utable({"structure", "update throughput (Mops/s)", "note"});
+
+  {
+    const auto stats = h_idx.update_batch(ops, 4);
+    const double tp = static_cast<double>(stats.total_ops()) /
+                      (stats.apply_seconds + stats.rebuild_seconds +
+                       h_idx.last_sync_seconds());
+    utable.add("Harmonia (Algorithm 1)", tp / 1e6, "in-place + deferred movement");
+  }
+  {
+    // Implicit: apply the batch by rebuilding the entire tree (§2.2:
+    // "it has to restructure the entire tree ... very time consuming").
+    std::vector<btree::Entry> upserts;
+    for (const auto& op : ops) {
+      if (op.kind != queries::OpKind::kDelete) upserts.push_back({op.key, op.value});
+    }
+    WallTimer timer;
+    auto rebuilt = imp.rebuild_with(upserts, {});
+    dev_i.memory().free_all();
+    implicit::ImplicitDeviceImage::upload(dev_i, rebuilt);
+    const double secs = timer.elapsed_seconds();
+    utable.add("Implicit (full rebuild)",
+               static_cast<double>(ops.size()) / secs / 1e6,
+               "whole tree restructured per batch");
+  }
+  std::cout << "\nupdate side:\n";
+  utable.print(std::cout);
+  std::cout << "\nexpected: implicit queries are competitive (no child loads),"
+            << " but updates pay a full-tree rebuild\n";
+  return 0;
+}

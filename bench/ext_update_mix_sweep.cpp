@@ -1,0 +1,67 @@
+// Extension of Figure 14: sweep the batch's insert (and delete) fraction.
+// Pure updates never touch the tree structure (all fine-path, no
+// movement); more inserts mean more auxiliary nodes and a bigger deferred
+// movement — Harmonia's cost relative to HB+Tree should grow with the
+// structural-change fraction.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "19")
+      .flag("batch", "log2 batch size", "18")
+      .flag("fanout", "tree fanout", "64")
+      .flag("fill", "bulk-load fill factor", "0.9")
+      .flag("threads", "Harmonia updater threads", "4")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 19));
+  const std::uint64_t batch = 1ULL << cli.get_uint("batch", 18);
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  const double fill = cli.get_double("fill", 0.9);
+  const auto threads = static_cast<unsigned>(cli.get_uint("threads", 4));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+
+  hb::print_header("Update mix sweep",
+                   "extension of Figure 14 (insert/delete fraction)");
+
+  Table table({"inserts (%)", "deletes (%)", "HB+ (Mops/s)", "Harmonia (Mops/s)",
+               "Harmonia/HB+ (%)", "coarse-path ops", "moved slots"});
+
+  struct Mix {
+    double inserts;
+    double deletes;
+  };
+  for (const Mix mix : {Mix{0.0, 0.0}, Mix{0.05, 0.0}, Mix{0.2, 0.0},
+                        Mix{0.2, 0.1}, Mix{0.4, 0.1}}) {
+    const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+    const auto entries = hb::entries_for(keys);
+
+    queries::BatchSpec spec;
+    spec.size = batch;
+    spec.insert_fraction = mix.inserts;
+    spec.delete_fraction = mix.deletes;
+    spec.seed = seed + 3;
+    const auto ops = queries::make_update_batch(keys, spec);
+
+    gpusim::Device dev_b(hb::bench_spec());
+    auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, fanout, fill);
+    const double hb_tp = hb_idx.update_batch(ops).ops_per_second();
+
+    gpusim::Device dev_h(hb::bench_spec());
+    auto h_idx =
+        HarmoniaIndex::build(dev_h, entries, {.fanout = fanout, .fill_factor = fill});
+    const auto stats = h_idx.update_batch(ops, threads);
+    const double h_tp =
+        static_cast<double>(stats.total_ops()) /
+        (stats.apply_seconds + stats.rebuild_seconds + h_idx.last_sync_seconds());
+
+    table.add(mix.inserts * 100.0, mix.deletes * 100.0, hb_tp / 1e6, h_tp / 1e6,
+              100.0 * h_tp / hb_tp, stats.coarse_path_ops, stats.moved_slots);
+  }
+  hb::emit(cli, table);
+  return 0;
+}

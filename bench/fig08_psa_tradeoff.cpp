@@ -1,0 +1,56 @@
+// Figure 8: sorted (full sort) and partially-sorted (PS) query time,
+// normalized to the unsorted original, split into sort time + search
+// time, across tree sizes.
+//
+// Paper shape: full sorting cuts kernel time ~22% but the sort overhead
+// (~25%+) makes the total ~7% *slower*; PSA keeps the kernel win at ~35%
+// of the sort cost, for ~10% total improvement.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  hb::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto cfg = hb::read_common(cli);
+
+  hb::print_header("PSA trade-off: sort time vs search time",
+                   "Figure 8 (normalized to unsorted search time)");
+
+  Table table({"log(tree size)", "variant", "sort time", "search time", "total",
+               "normalized total"});
+
+  for (unsigned lg : cfg.size_logs) {
+    const std::uint64_t size = 1ULL << lg;
+    const auto keys = queries::make_tree_keys(size, cfg.seed);
+    gpusim::Device dev(hb::bench_spec());
+    auto index = HarmoniaIndex::build(dev, hb::entries_for(keys),
+                                      {.fanout = cfg.fanout, .fill_factor = cfg.fill});
+    const auto qs = queries::make_queries(keys, cfg.num_queries, cfg.dist, cfg.seed + 1);
+
+    struct Variant {
+      const char* name;
+      PsaMode mode;
+    };
+    double base_total = 0.0;
+    for (const Variant v : {Variant{"Original", PsaMode::kNone},
+                            Variant{"Sorted", PsaMode::kFull},
+                            Variant{"PS", PsaMode::kPartial}}) {
+      QueryOptions qopts;
+      qopts.psa = v.mode;
+      qopts.auto_ntg = false;  // isolate PSA, as the figure does
+      dev.flush_caches();
+      const auto r = index.search(qs, qopts);
+      const double total = r.total_seconds();
+      if (v.mode == PsaMode::kNone) base_total = total;
+      table.add(lg, v.name, r.sort_seconds, r.kernel_seconds, total,
+                total / base_total);
+    }
+  }
+  hb::emit(cli, table);
+  std::cout << "\npaper: Sorted ~1.07x of Original total (kernel -22%, sort +25%);"
+            << " PS ~0.9x of Original total\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 11: overall query throughput (billion queries/second), Harmonia
+// (full pipeline: tree + PSA + NTG) vs HB+Tree, across tree sizes.
+//
+// Paper: Harmonia reaches up to 3.6 Gq/s on a TITAN V, ~3.4x HB+Tree.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  hb::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto cfg = hb::read_common(cli);
+
+  hb::print_header("Overall query throughput: Harmonia vs HB+Tree",
+                   "Figure 11 (uniform queries, billion queries/second)");
+
+  Table table({"log(tree size)", "HB+ (Gq/s)", "Harmonia (Gq/s)", "speedup"});
+  double best = 0.0;
+
+  for (unsigned lg : cfg.size_logs) {
+    const std::uint64_t size = 1ULL << lg;
+    const auto keys = queries::make_tree_keys(size, cfg.seed);
+    const auto entries = hb::entries_for(keys);
+    const auto qs = queries::make_queries(keys, cfg.num_queries, cfg.dist, cfg.seed + 1);
+
+    gpusim::Device dev_b(hb::bench_spec());
+    auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, cfg.fanout, cfg.fill);
+    const double hb_tp = hb_idx.search(qs).throughput();
+
+    gpusim::Device dev_h(hb::bench_spec());
+    auto h_idx = HarmoniaIndex::build(dev_h, entries,
+                                      {.fanout = cfg.fanout, .fill_factor = cfg.fill});
+    const double h_tp = h_idx.search(qs).throughput();
+
+    best = std::max(best, h_tp);
+    table.add(lg, hb_tp / 1e9, h_tp / 1e9, h_tp / hb_tp);
+  }
+  hb::emit(cli, table);
+  std::cout << "\npeak Harmonia throughput: " << throughput_human(best)
+            << "  (paper: up to 3.6 Gq/s, ~3.4x HB+Tree)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 13: impact of each design choice — HB+Tree baseline, Harmonia
+// tree structure alone (~1.4x), +PSA (~2x), +PSA+NTG (~3.4x) — across
+// tree sizes.
+#include "bench_common.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  hb::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto cfg = hb::read_common(cli);
+
+  hb::print_header("Impact of different design choices",
+                   "Figure 13 (throughput in Gq/s; speedup vs HB+Tree)");
+
+  Table table({"log(tree size)", "variant", "throughput (Gq/s)", "speedup vs HB+"});
+
+  for (unsigned lg : cfg.size_logs) {
+    const std::uint64_t size = 1ULL << lg;
+    const auto keys = queries::make_tree_keys(size, cfg.seed);
+    const auto entries = hb::entries_for(keys);
+    const auto qs = queries::make_queries(keys, cfg.num_queries, cfg.dist, cfg.seed + 1);
+
+    gpusim::Device dev_b(hb::bench_spec());
+    auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, cfg.fanout, cfg.fill);
+    const double hb_tp = hb_idx.search(qs).throughput();
+    table.add(lg, "HB+tree", hb_tp / 1e9, 1.0);
+
+    gpusim::Device dev_h(hb::bench_spec());
+    auto h_idx = HarmoniaIndex::build(dev_h, entries,
+                                      {.fanout = cfg.fanout, .fill_factor = cfg.fill});
+
+    struct Variant {
+      const char* name;
+      PsaMode psa;
+      bool ntg;
+    };
+    for (const Variant v :
+         {Variant{"Harmonia tree", PsaMode::kNone, false},
+          Variant{"Harmonia tree + PSA", PsaMode::kPartial, false},
+          Variant{"Harmonia tree + PSA + NTG", PsaMode::kPartial, true}}) {
+      QueryOptions qopts;
+      qopts.psa = v.psa;
+      qopts.auto_ntg = v.ntg;
+      dev_h.flush_caches();
+      const double tp = h_idx.search(qs, qopts).throughput();
+      table.add(lg, v.name, tp / 1e9, tp / hb_tp);
+    }
+  }
+  hb::emit(cli, table);
+  std::cout << "\npaper: Harmonia tree ~1.4x, +PSA ~2x, +PSA+NTG ~3.4x vs HB+\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Microbenchmarks of the radix sort used by PSA: cost scales with the
+// number of sorted bits (the property Equation 2 exploits).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sort/radix_sort.hpp"
+
+namespace {
+
+using namespace harmonia;
+
+std::vector<std::uint64_t> random_keys(std::size_t n) {
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+void BM_RadixSortBits(benchmark::State& state) {
+  const auto base = random_keys(1 << 16);
+  const auto bits = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto keys = base;
+    sort::radix_sort_bits(keys, 64 - bits, bits);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_RadixSortBits)->Arg(8)->Arg(19)->Arg(32)->Arg(64);
+
+void BM_RadixSortPairs(benchmark::State& state) {
+  const auto base = random_keys(1 << 16);
+  std::vector<std::uint64_t> payload_base(base.size());
+  std::iota(payload_base.begin(), payload_base.end(), 0);
+  for (auto _ : state) {
+    auto keys = base;
+    auto payload = payload_base;
+    sort::radix_sort_pairs_bits(keys, payload, 45, 19);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_RadixSortPairs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

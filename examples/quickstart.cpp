@@ -1,0 +1,82 @@
+// Quickstart: build a Harmonia index on a simulated GPU, run a query
+// batch, apply a batch of updates, query again.
+//
+//   $ ./quickstart
+//
+// The public API used here is the whole story: gpusim::Device is the
+// simulated TITAN V, HarmoniaIndex wires the paper's tree layout, PSA,
+// NTG, and batch updates together.
+#include <cstdio>
+#include <iostream>
+
+#include "harmonia/index.hpp"
+#include "queries/workload.hpp"
+
+using namespace harmonia;
+
+int main() {
+  // 1. A simulated TITAN V (the paper's evaluation device).
+  gpusim::Device device(gpusim::titan_v());
+
+  // 2. One million key-value pairs, bulk-loaded into a fanout-64 tree.
+  const auto keys = queries::make_tree_keys(1 << 20, /*seed=*/42);
+  std::vector<btree::Entry> entries;
+  entries.reserve(keys.size());
+  for (Key k : keys) entries.push_back({k, btree::value_for_key(k)});
+  auto index = HarmoniaIndex::build(device, entries, {.fanout = 64});
+
+  std::cout << "built index: " << index.tree().num_keys() << " keys, height "
+            << index.tree().height() << ", " << index.tree().num_nodes()
+            << " nodes\n"
+            << "prefix-sum child region: "
+            << index.tree().prefix_sum().size() * sizeof(std::uint32_t)
+            << " bytes (" << index.image().ps_const_count
+            << " entries in constant memory)\n\n";
+
+  // 3. Query phase: a batch of uniform lookups. PSA + NTG are on by
+  //    default; the result reports what they chose.
+  const auto batch =
+      queries::make_queries(keys, 1 << 16, queries::Distribution::kUniform, 7);
+  auto result = index.search(batch);
+
+  std::size_t hits = 0;
+  for (Value v : result.values) hits += (v != kNotFound);
+  std::printf("query phase : %zu/%zu hits\n", hits, result.values.size());
+  std::printf("  PSA sorted %u bits, NTG chose %u-lane groups\n",
+              result.sorted_bits, result.group_size_used);
+  std::printf("  simulated throughput: %.2f Gq/s (kernel %.2f us + sort %.2f us)\n\n",
+              result.throughput() / 1e9, result.kernel_seconds * 1e6,
+              result.sort_seconds * 1e6);
+
+  // 4. Update phase: 5%% inserts / 95%% updates on the CPU (Algorithm 1),
+  //    then the device image re-syncs automatically.
+  queries::BatchSpec spec;
+  spec.size = 1 << 14;
+  spec.insert_fraction = 0.05;
+  spec.seed = 11;
+  const auto ops = queries::make_update_batch(keys, spec);
+  const auto stats = index.update_batch(ops, /*threads=*/4);
+  std::printf("update phase: %llu ops (%llu fine-path, %llu coarse-path), "
+              "%.1f Mops/s, %llu aux nodes\n",
+              static_cast<unsigned long long>(stats.total_ops()),
+              static_cast<unsigned long long>(stats.fine_path_ops),
+              static_cast<unsigned long long>(stats.coarse_path_ops),
+              stats.ops_per_second() / 1e6,
+              static_cast<unsigned long long>(stats.aux_nodes));
+
+  // 5. Query the updated keys — the device image reflects the batch.
+  std::vector<Key> updated;
+  for (const auto& op : ops) updated.push_back(op.key);
+  result = index.search(updated);
+  hits = 0;
+  for (Value v : result.values) hits += (v != kNotFound);
+  std::printf("re-query    : %zu/%zu of the batch's keys found\n\n", hits,
+              updated.size());
+
+  // 6. Range query over the consecutive leaf level (host-side).
+  const auto span = index.range_host(keys[1000], keys[1050]);
+  std::printf("range query : [%llu, %llu] -> %zu entries\n",
+              static_cast<unsigned long long>(keys[1000]),
+              static_cast<unsigned long long>(keys[1050]), span.size());
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "btree/parallel_search.hpp"
+
+#include <thread>
+
+#include "common/expect.hpp"
+#include "common/timer.hpp"
+
+namespace harmonia::btree {
+
+CpuSearchResult search_batch_cpu(const BTree& tree, std::span<const Key> batch,
+                                 unsigned threads) {
+  HARMONIA_CHECK(threads >= 1);
+  CpuSearchResult result;
+  result.values.resize(batch.size());
+  WallTimer timer;
+
+  auto worker = [&](unsigned t) {
+    for (std::size_t i = t; i < batch.size(); i += threads) {
+      const auto v = tree.search(batch[i]);
+      result.values[i] = v ? *v : kNotFound;
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace harmonia::btree

@@ -1,0 +1,29 @@
+// CPU batch search over the regular B+tree — the host-side baseline the
+// paper's introduction motivates against ("GPUs provide a potential
+// opportunity to accelerate query throughput").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "btree/btree.hpp"
+
+namespace harmonia::btree {
+
+inline constexpr Value kNotFound = ~Value{0};
+
+struct CpuSearchResult {
+  std::vector<Value> values;  // kNotFound for misses
+  double seconds = 0.0;
+  double throughput() const {
+    return seconds > 0.0 ? static_cast<double>(values.size()) / seconds : 0.0;
+  }
+};
+
+/// Searches the batch with `threads` workers (striped). Wall-clock timed:
+/// this is real host execution, not simulation.
+CpuSearchResult search_batch_cpu(const BTree& tree, std::span<const Key> batch,
+                                 unsigned threads = 1);
+
+}  // namespace harmonia::btree

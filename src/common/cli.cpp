@@ -1,0 +1,92 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+
+Cli& Cli::flag(const std::string& name, const std::string& help,
+               const std::string& default_repr) {
+  decls_[name] = Decl{help, default_repr};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  const std::string prog = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(prog);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage(prog);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // bare boolean switch
+    }
+    if (!decls_.count(arg)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", arg.c_str());
+      print_usage(prog);
+      return false;
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("bad boolean for --" + name + ": " + v);
+}
+
+void Cli::print_usage(const std::string& prog) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", prog.c_str());
+  for (const auto& [name, decl] : decls_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(), decl.help.c_str(),
+                 decl.default_repr.c_str());
+  }
+}
+
+}  // namespace harmonia

@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the bench/example executables.
+//
+// Accepts `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace harmonia {
+
+class Cli {
+ public:
+  /// Declares a flag with a help string and a printable default.
+  Cli& flag(const std::string& name, const std::string& help, const std::string& default_repr);
+
+  /// Parses argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  void print_usage(const std::string& prog) const;
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string default_repr;
+  };
+  std::map<std::string, Decl> decls_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace harmonia

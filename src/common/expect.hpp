@@ -1,0 +1,49 @@
+// Runtime contract checks used across the Harmonia codebase.
+//
+// HARMONIA_CHECK is always on (cheap preconditions on public APIs);
+// HARMONIA_DCHECK compiles out in NDEBUG builds (hot inner loops).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace harmonia {
+
+/// Thrown when a HARMONIA_CHECK/DCHECK contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failed(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace harmonia
+
+#define HARMONIA_CHECK(expr)                                                       \
+  do {                                                                             \
+    if (!(expr)) ::harmonia::detail::contract_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define HARMONIA_CHECK_MSG(expr, msg)                                                \
+  do {                                                                               \
+    if (!(expr)) {                                                                   \
+      std::ostringstream harmonia_os_;                                               \
+      harmonia_os_ << msg;                                                           \
+      ::harmonia::detail::contract_failed(#expr, __FILE__, __LINE__, harmonia_os_.str()); \
+    }                                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define HARMONIA_DCHECK(expr) ((void)0)
+#else
+#define HARMONIA_DCHECK(expr) HARMONIA_CHECK(expr)
+#endif

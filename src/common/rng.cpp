@@ -1,0 +1,22 @@
+#include "common/rng.hpp"
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  HARMONIA_CHECK(bound > 0);
+  // Lemire's unbiased bounded generation (rejection on the low word).
+  unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace harmonia

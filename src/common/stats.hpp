@@ -1,0 +1,57 @@
+// Small statistics helpers used by the benchmark harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace harmonia {
+
+/// One-pass summary of a sample: count / min / max / mean / stddev.
+/// Percentiles are computed from a retained copy of the sample.
+class Summary {
+ public:
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket. Used for divergence distributions (Fig. 3, Fig. 10).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  /// Fraction of samples in bucket i (0 if empty histogram).
+  double fraction(std::size_t i) const;
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace harmonia

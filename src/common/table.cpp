@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HARMONIA_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HARMONIA_CHECK_MSG(cells.size() == headers_.size(),
+                     "row arity " << cells.size() << " != header arity " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) {
+  char buf[64];
+  if (v != 0.0 && (std::abs(v) >= 1e6 || std::abs(v) < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+std::string Table::format_cell(std::uint64_t v) { return std::to_string(v); }
+std::string Table::format_cell(std::int64_t v) { return std::to_string(v); }
+
+namespace {
+void csv_cell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  auto row_out = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      csv_cell(os, row[c]);
+    }
+    os << '\n';
+  };
+  row_out(headers_);
+  for (const auto& row : rows_) row_out(row);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << std::right << row[c] << " |";
+    }
+    os << '\n';
+  };
+
+  hline();
+  print_row(headers_);
+  hline();
+  for (const auto& row : rows_) print_row(row);
+  hline();
+}
+
+}  // namespace harmonia

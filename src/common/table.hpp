@@ -1,0 +1,48 @@
+// ASCII table printer: the figure/table harnesses in bench/ use this to
+// print the same rows/series the paper reports.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace harmonia {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-like rules.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines):
+  /// the figure harnesses emit this behind --csv so plots can be
+  /// regenerated programmatically.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(std::uint64_t v);
+  static std::string format_cell(std::int64_t v);
+  static std::string format_cell(int v) { return format_cell(static_cast<std::int64_t>(v)); }
+  static std::string format_cell(unsigned v) { return format_cell(static_cast<std::uint64_t>(v)); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harmonia

@@ -1,0 +1,23 @@
+// Wall-clock timer for host-side measurements (sort cost, update batches).
+#pragma once
+
+#include <chrono>
+
+namespace harmonia {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace harmonia

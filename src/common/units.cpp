@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace harmonia {
+
+std::string si_prefix(double v, int precision) {
+  static constexpr const char* kPrefixes[] = {"", "K", "M", "G", "T", "P"};
+  int idx = 0;
+  double scaled = std::abs(v);
+  while (scaled >= 1000.0 && idx < 5) {
+    scaled /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", precision, v < 0 ? -scaled : scaled,
+                kPrefixes[idx]);
+  return buf;
+}
+
+std::string bytes_human(std::uint64_t bytes, int precision) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int idx = 0;
+  auto scaled = static_cast<double>(bytes);
+  while (scaled >= 1024.0 && idx < 4) {
+    scaled /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", idx == 0 ? 0 : precision, scaled, kUnits[idx]);
+  return buf;
+}
+
+std::string throughput_human(double queries_per_sec) {
+  return si_prefix(queries_per_sec) + "q/s";
+}
+
+}  // namespace harmonia

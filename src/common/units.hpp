@@ -1,0 +1,18 @@
+// Human-readable unit formatting for bench output ("3.60 Gq/s", "16.0 KiB").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace harmonia {
+
+/// 3600000000 -> "3.60 G"; appends no unit suffix of its own.
+std::string si_prefix(double v, int precision = 2);
+
+/// 16384 -> "16.0 KiB".
+std::string bytes_human(std::uint64_t bytes, int precision = 1);
+
+/// Queries/sec formatted like the paper's axes ("billion/s").
+std::string throughput_human(double queries_per_sec);
+
+}  // namespace harmonia

@@ -1,0 +1,54 @@
+#include "gpusim/cache.hpp"
+
+#include "common/expect.hpp"
+
+namespace harmonia::gpusim {
+
+Cache::Cache(std::uint64_t bytes, unsigned line_bytes, unsigned ways)
+    : line_bytes_(line_bytes), ways_(ways), capacity_bytes_(bytes) {
+  HARMONIA_CHECK(line_bytes > 0 && ways > 0);
+  HARMONIA_CHECK_MSG(bytes % (static_cast<std::uint64_t>(line_bytes) * ways) == 0,
+                     "cache capacity must be a multiple of line_bytes*ways");
+  num_sets_ = bytes / line_bytes / ways;
+  HARMONIA_CHECK(num_sets_ > 0);
+  slots_.resize(num_sets_ * ways_);
+}
+
+std::size_t Cache::set_index(std::uint64_t line_addr) const {
+  // line_addr is already line-granular (addr / line_bytes from the coalescer),
+  // so a simple modulo distributes consecutive lines across sets.
+  return static_cast<std::size_t>(line_addr % num_sets_);
+}
+
+bool Cache::access(std::uint64_t line_addr) {
+  Way* set = &slots_[set_index(line_addr) * ways_];
+  ++tick_;
+  Way* lru = set;
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) {
+      set[w].lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (set[w].lru < lru->lru) lru = &set[w];
+  }
+  ++misses_;
+  lru->tag = line_addr;
+  lru->lru = tick_;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t line_addr) const {
+  const Way* set = &slots_[set_index(line_addr) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (set[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& way : slots_) way = Way{};
+  tick_ = 0;
+}
+
+}  // namespace harmonia::gpusim

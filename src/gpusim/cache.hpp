@@ -1,0 +1,51 @@
+// Set-associative LRU cache model, keyed by line address.
+//
+// Used for the L2 (device-wide), the per-SM read-only data cache, and the
+// per-SM constant cache. Only tags are tracked — data always lives in
+// Memory — so a Cache is cheap enough to instantiate per SM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace harmonia::gpusim {
+
+class Cache {
+ public:
+  /// `bytes` is the capacity; `line_bytes` the fill granularity;
+  /// `ways` the associativity. bytes must be a multiple of line_bytes*ways.
+  Cache(std::uint64_t bytes, unsigned line_bytes, unsigned ways);
+
+  /// Probes and fills: returns true on hit. A miss evicts LRU and inserts.
+  bool access(std::uint64_t line_addr);
+
+  /// Probe without fill (used by tests).
+  bool contains(std::uint64_t line_addr) const;
+
+  void flush();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  void reset_stats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = kInvalid;
+    std::uint64_t lru = 0;
+  };
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+  std::size_t set_index(std::uint64_t line_addr) const;
+
+  unsigned line_bytes_;
+  unsigned ways_;
+  std::size_t num_sets_;
+  std::uint64_t capacity_bytes_;
+  std::vector<Way> slots_;  // num_sets_ * ways_, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace harmonia::gpusim

@@ -1,0 +1,26 @@
+#include "gpusim/coalescer.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace harmonia::gpusim {
+
+std::vector<std::uint64_t> coalesce(std::span<const std::uint64_t> addrs, LaneMask active,
+                                    unsigned bytes_per_lane, unsigned line_bytes) {
+  HARMONIA_CHECK(bytes_per_lane > 0);
+  HARMONIA_CHECK(line_bytes > 0);
+  std::vector<std::uint64_t> lines;
+  lines.reserve(active_count(active));
+  for (unsigned lane = 0; lane < addrs.size(); ++lane) {
+    if (!lane_active(active, lane)) continue;
+    const std::uint64_t first = addrs[lane] / line_bytes;
+    const std::uint64_t last = (addrs[lane] + bytes_per_lane - 1) / line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  return lines;
+}
+
+}  // namespace harmonia::gpusim

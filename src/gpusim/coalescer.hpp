@@ -1,0 +1,23 @@
+// Per-warp memory coalescing: groups the active lanes' byte ranges into
+// the minimal set of cache-line transactions, exactly as the hardware
+// memory controller does for a warp-wide load (CUDA programming guide,
+// "coalesced access": addresses falling in one line are served by a
+// single transaction).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/lane_mask.hpp"
+
+namespace harmonia::gpusim {
+
+/// Computes the distinct line addresses (addr / line_bytes) touched by the
+/// active lanes. Each lane reads `bytes_per_lane` starting at addrs[lane];
+/// an access straddling a line boundary contributes both lines.
+/// The result is sorted and deduplicated; its size is the transaction count.
+std::vector<std::uint64_t> coalesce(std::span<const std::uint64_t> addrs, LaneMask active,
+                                    unsigned bytes_per_lane, unsigned line_bytes);
+
+}  // namespace harmonia::gpusim

@@ -1,0 +1,71 @@
+#include "gpusim/device_spec.hpp"
+
+#include <bit>
+
+#include "common/expect.hpp"
+
+namespace harmonia::gpusim {
+
+DeviceSpec titan_v() {
+  DeviceSpec spec;
+  spec.name = "TITAN V";
+  spec.warp_size = 32;
+  spec.num_sms = 80;
+  spec.max_resident_warps_per_sm = 64;
+  spec.global_mem_bytes = 12ULL << 30;
+  spec.const_mem_bytes = 64 << 10;
+  spec.l2_bytes = 4608 << 10;
+  spec.readonly_cache_bytes_per_sm = 128 << 10;
+  spec.line_bytes = 128;
+  spec.cache_ways = 8;
+  spec.lat_dram = 400;
+  spec.lat_l2 = 200;
+  spec.lat_readonly = 30;
+  spec.lat_const = 8;
+  spec.txn_issue_cycles = 4;
+  spec.cycles_per_compute_step = 4;
+  spec.clock_ghz = 1.455;
+  spec.dram_cycles_per_txn = 0.285;
+  spec.launch_overhead_cycles = 8000.0;
+  return spec;
+}
+
+DeviceSpec tesla_k80() {
+  DeviceSpec spec;
+  spec.name = "Tesla K80";
+  spec.warp_size = 32;
+  spec.num_sms = 13;
+  spec.max_resident_warps_per_sm = 64;
+  spec.global_mem_bytes = 12ULL << 30;
+  spec.const_mem_bytes = 64 << 10;
+  spec.l2_bytes = 1536 << 10;
+  spec.readonly_cache_bytes_per_sm = 48 << 10;
+  spec.line_bytes = 128;
+  spec.cache_ways = 8;
+  spec.lat_dram = 500;
+  spec.lat_l2 = 220;
+  spec.lat_readonly = 40;
+  spec.lat_const = 10;
+  spec.txn_issue_cycles = 6;
+  // Kepler single-issue cores are relatively slower per comparison step.
+  spec.cycles_per_compute_step = 6;
+  spec.clock_ghz = 0.875;
+  // 240 GB/s at 0.875 GHz -> 274 B/cycle -> 0.467 cyc per 128 B line.
+  spec.dram_cycles_per_txn = 0.467;
+  spec.launch_overhead_cycles = 10000.0;
+  return spec;
+}
+
+void DeviceSpec::validate() const {
+  HARMONIA_CHECK_MSG(warp_size >= 1 && warp_size <= 32, "warp_size must be in [1, 32]");
+  HARMONIA_CHECK_MSG(num_sms >= 1, "need at least one SM");
+  HARMONIA_CHECK_MSG(max_resident_warps_per_sm >= 1, "need resident warps");
+  HARMONIA_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(line_bytes)),
+                     "line_bytes must be a power of two");
+  HARMONIA_CHECK_MSG(global_mem_bytes > 0 && const_mem_bytes > 0, "memory sizes");
+  HARMONIA_CHECK_MSG(clock_ghz > 0.0, "clock must be positive");
+  HARMONIA_CHECK_MSG(dram_cycles_per_txn > 0.0, "DRAM bandwidth must be positive");
+  HARMONIA_CHECK_MSG(cycles_per_compute_step >= 1, "compute step cost");
+}
+
+}  // namespace harmonia::gpusim

@@ -1,0 +1,98 @@
+// Simulated device memory: a global segment and a constant segment.
+//
+// Addresses are plain 64-bit integers in a single simulated address space;
+// the constant segment lives at kConstBase so the warp-load path can route
+// accesses to the constant cache by address alone, the way real hardware
+// routes `__constant__` accesses through the constant cache.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace harmonia::gpusim {
+
+/// Constant-memory addresses are offset by this base. Global allocations
+/// can never reach it (checked at malloc time).
+inline constexpr std::uint64_t kConstBase = 1ULL << 48;
+
+inline bool is_const_address(std::uint64_t addr) { return addr >= kConstBase; }
+
+/// Typed device pointer: an address plus element arithmetic. Host code
+/// cannot dereference it directly — go through Memory, as with real CUDA.
+template <typename T>
+struct DevPtr {
+  std::uint64_t addr = 0;
+
+  bool is_null() const { return addr == 0; }
+  std::uint64_t element_addr(std::uint64_t i) const { return addr + i * sizeof(T); }
+  DevPtr<T> offset(std::uint64_t i) const { return DevPtr<T>{element_addr(i)}; }
+};
+
+class Memory {
+ public:
+  Memory(std::uint64_t global_bytes, std::uint64_t const_bytes);
+
+  /// Bump-allocates `count` elements in global memory, 256 B aligned.
+  template <typename T>
+  DevPtr<T> malloc(std::uint64_t count) {
+    return DevPtr<T>{alloc_bytes(count * sizeof(T), /*constant=*/false)};
+  }
+
+  /// Allocates in the (small) constant segment; throws if it does not fit.
+  template <typename T>
+  DevPtr<T> const_malloc(std::uint64_t count) {
+    return DevPtr<T>{alloc_bytes(count * sizeof(T), /*constant=*/true)};
+  }
+
+  /// Releases everything allocated so far (both segments).
+  void free_all();
+
+  template <typename T>
+  void copy_to_device(DevPtr<T> dst, std::span<const T> src) {
+    write_bytes(dst.addr, src.data(), src.size_bytes());
+  }
+
+  template <typename T>
+  void copy_to_host(std::span<T> dst, DevPtr<T> src) {
+    read_bytes(src.addr, dst.data(), dst.size_bytes());
+  }
+
+  /// Simulator-side typed load (used by warp gather after accounting).
+  template <typename T>
+  T read(std::uint64_t addr) const {
+    T out;
+    read_bytes(addr, &out, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  void write(std::uint64_t addr, const T& value) {
+    write_bytes(addr, &value, sizeof(T));
+  }
+
+  std::uint64_t global_used() const { return global_used_; }
+  std::uint64_t const_used() const { return const_used_; }
+  std::uint64_t global_capacity() const { return global_capacity_; }
+  std::uint64_t const_capacity() const { return const_.size(); }
+
+  void read_bytes(std::uint64_t addr, void* out, std::size_t n) const;
+  void write_bytes(std::uint64_t addr, const void* in, std::size_t n);
+
+ private:
+  std::uint64_t alloc_bytes(std::uint64_t bytes, bool constant);
+
+  /// Host backing store for the global segment grows on demand (the
+  /// simulated device "has" global_capacity_ bytes, but the host only
+  /// commits what allocations actually touch).
+  std::vector<std::uint8_t> global_;
+  std::vector<std::uint8_t> const_;
+  std::uint64_t global_capacity_ = 0;
+  std::uint64_t global_used_ = 0;
+  std::uint64_t const_used_ = 0;
+};
+
+}  // namespace harmonia::gpusim

@@ -1,0 +1,75 @@
+#include "gpusim/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace harmonia::gpusim {
+
+double KernelMetrics::warp_coherence() const {
+  if (steps == 0) return 1.0;
+  return static_cast<double>(coherent_steps) / static_cast<double>(steps);
+}
+
+double KernelMetrics::memory_divergence() const {
+  if (loads == 0) return 0.0;
+  return static_cast<double>(divergent_loads) / static_cast<double>(loads);
+}
+
+double KernelMetrics::avg_transactions_per_warp() const {
+  if (warps == 0) return 0.0;
+  return static_cast<double>(transactions) / static_cast<double>(warps);
+}
+
+double KernelMetrics::elapsed_cycles(const DeviceSpec& spec) const {
+  // Per-SM: the warp scheduler overlaps memory latency with other warps'
+  // compute, so an SM is bound by the larger of its compute work and its
+  // latency-hidden memory work.
+  double worst_sm = 0.0;
+  for (std::size_t sm = 0; sm < sm_compute_cycles.size(); ++sm) {
+    const double hiding = std::max<double>(
+        1.0, std::min<double>(static_cast<double>(sm_resident_warps[sm]),
+                              static_cast<double>(spec.max_resident_warps_per_sm)));
+    const double compute = static_cast<double>(sm_compute_cycles[sm]);
+    const double mem = static_cast<double>(sm_mem_cycles[sm]) / hiding;
+    worst_sm = std::max(worst_sm, std::max(compute, mem));
+  }
+  // Device-wide: DRAM bandwidth is shared by all SMs.
+  const double dram = static_cast<double>(dram_transactions) * spec.dram_cycles_per_txn;
+  return std::max(worst_sm, dram) + spec.launch_overhead_cycles;
+}
+
+double KernelMetrics::elapsed_seconds(const DeviceSpec& spec) const {
+  return elapsed_cycles(spec) / (spec.clock_ghz * 1e9);
+}
+
+double KernelMetrics::throughput(const DeviceSpec& spec, std::uint64_t queries) const {
+  const double secs = elapsed_seconds(spec);
+  HARMONIA_CHECK(secs > 0.0);
+  return static_cast<double>(queries) / secs;
+}
+
+void KernelMetrics::merge(const KernelMetrics& other) {
+  warps += other.warps;
+  steps += other.steps;
+  coherent_steps += other.coherent_steps;
+  loads += other.loads;
+  divergent_loads += other.divergent_loads;
+  transactions += other.transactions;
+  dram_transactions += other.dram_transactions;
+  l2_hits += other.l2_hits;
+  readonly_hits += other.readonly_hits;
+  const_hits += other.const_hits;
+  if (sm_compute_cycles.size() < other.sm_compute_cycles.size()) {
+    sm_compute_cycles.resize(other.sm_compute_cycles.size(), 0);
+    sm_mem_cycles.resize(other.sm_mem_cycles.size(), 0);
+    sm_resident_warps.resize(other.sm_resident_warps.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.sm_compute_cycles.size(); ++i) {
+    sm_compute_cycles[i] += other.sm_compute_cycles[i];
+    sm_mem_cycles[i] += other.sm_mem_cycles[i];
+    sm_resident_warps[i] += other.sm_resident_warps[i];
+  }
+}
+
+}  // namespace harmonia::gpusim

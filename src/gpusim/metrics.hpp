@@ -1,0 +1,67 @@
+// Kernel execution counters and the cycle/throughput model.
+//
+// These counters are the simulator's equivalent of the nvprof metrics the
+// paper reports in Figure 12: global memory transactions, memory
+// divergence, and warp coherence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+
+namespace harmonia::gpusim {
+
+struct KernelMetrics {
+  std::uint64_t warps = 0;
+
+  // SIMT step accounting (per-warp instruction issues).
+  std::uint64_t steps = 0;
+  /// Steps whose active mask covered the whole warp.
+  std::uint64_t coherent_steps = 0;
+
+  // Warp-wide load accounting.
+  std::uint64_t loads = 0;
+  /// Loads that needed more than one line transaction (memory divergence).
+  std::uint64_t divergent_loads = 0;
+  /// All line transactions issued, regardless of the serving level.
+  std::uint64_t transactions = 0;
+  /// Transactions that missed every cache and went to DRAM. Together with
+  /// l2_hits these are the "global memory transactions" nvprof counts
+  /// (gld_transactions reaching the L2/DRAM path).
+  std::uint64_t dram_transactions = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t readonly_hits = 0;
+  std::uint64_t const_hits = 0;
+
+  // Cycle accumulation, per SM (index = sm id).
+  std::vector<std::uint64_t> sm_compute_cycles;
+  std::vector<std::uint64_t> sm_mem_cycles;
+  std::vector<std::uint64_t> sm_resident_warps;
+
+  // ---- Derived metrics ----
+
+  /// Fraction of issue steps executed with a full warp (Fig. 12 metric;
+  /// higher is better — "anti-correlated with warp divergence").
+  double warp_coherence() const;
+
+  /// Fraction of warp loads that split into multiple transactions.
+  double memory_divergence() const;
+
+  /// Transactions that reached the L2/DRAM interface (i.e. missed the
+  /// per-SM caches): the analogue of nvprof global memory transactions.
+  std::uint64_t global_transactions() const { return l2_hits + dram_transactions; }
+
+  double avg_transactions_per_warp() const;
+
+  /// Total kernel time under the roofline model of DESIGN.md §5.
+  double elapsed_cycles(const DeviceSpec& spec) const;
+  double elapsed_seconds(const DeviceSpec& spec) const;
+  /// queries / elapsed time, for a caller-supplied query count.
+  double throughput(const DeviceSpec& spec, std::uint64_t queries) const;
+
+  /// Merges another kernel's counters into this one (multi-launch runs).
+  void merge(const KernelMetrics& other);
+};
+
+}  // namespace harmonia::gpusim

@@ -1,0 +1,64 @@
+#include "gpusim/trace.hpp"
+
+#include <iomanip>
+
+namespace harmonia::gpusim {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kCompute: return "compute";
+    case TraceEventKind::kLoad: return "load";
+    case TraceEventKind::kStore: return "store";
+  }
+  return "?";
+}
+
+const char* to_string(ServedBy level) {
+  switch (level) {
+    case ServedBy::kNone: return "-";
+    case ServedBy::kConst: return "const";
+    case ServedBy::kReadOnly: return "ro";
+    case ServedBy::kL2: return "l2";
+    case ServedBy::kDram: return "dram";
+  }
+  return "?";
+}
+
+void Trace::enable(std::size_t capacity) {
+  enabled_ = true;
+  capacity_ = capacity;
+  events_.clear();
+  events_.reserve(std::min<std::size_t>(capacity, 1 << 16));
+  dropped_ = 0;
+}
+
+void Trace::disable() { enabled_ = false; }
+
+void Trace::record(const TraceEvent& event) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void Trace::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Trace::dump(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << "warp=" << e.warp << " sm=" << e.sm << ' ' << to_string(e.kind) << " mask=0x"
+       << std::hex << std::setw(8) << std::setfill('0') << e.mask << std::dec
+       << std::setfill(' ');
+    if (e.kind != TraceEventKind::kCompute) {
+      os << " txns=" << e.transactions << ' ' << to_string(e.served_by);
+    }
+    os << ' ' << e.cycles << "cy\n";
+  }
+  if (dropped_ > 0) os << "(" << dropped_ << " events dropped)\n";
+}
+
+}  // namespace harmonia::gpusim

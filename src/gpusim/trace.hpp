@@ -1,0 +1,67 @@
+// Optional per-warp execution tracing — the simulator's analogue of a
+// kernel timeline capture. When enabled on a Device, every SIMT step and
+// warp-wide memory access is recorded; kernels need no changes.
+//
+// Used for debugging kernels (why is this warp divergent?) and in tests
+// that assert on exact access sequences. Off by default: recording costs
+// one vector push per event.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "gpusim/lane_mask.hpp"
+
+namespace harmonia::gpusim {
+
+enum class TraceEventKind : std::uint8_t {
+  kCompute,  ///< a masked SIMT instruction step
+  kLoad,     ///< a warp-wide load (gather/touch)
+  kStore,    ///< a warp-wide store (scatter)
+};
+
+/// Which level of the hierarchy served the slowest line of an access.
+enum class ServedBy : std::uint8_t { kNone, kConst, kReadOnly, kL2, kDram };
+
+struct TraceEvent {
+  std::uint64_t warp = 0;
+  unsigned sm = 0;
+  TraceEventKind kind = TraceEventKind::kCompute;
+  LaneMask mask = 0;
+  /// Line transactions of a load/store (0 for compute).
+  std::uint32_t transactions = 0;
+  ServedBy served_by = ServedBy::kNone;
+  /// Cycles this event charged to its warp.
+  std::uint64_t cycles = 0;
+};
+
+const char* to_string(TraceEventKind kind);
+const char* to_string(ServedBy level);
+
+/// Bounded event log. Device owns one; WarpCtx appends when enabled.
+class Trace {
+ public:
+  /// Starts recording, keeping at most `capacity` events (later events
+  /// are dropped and counted).
+  void enable(std::size_t capacity = 1 << 20);
+  void disable();
+  bool enabled() const { return enabled_; }
+
+  void record(const TraceEvent& event);
+  void clear();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// One line per event: "warp=3 sm=1 load mask=ffffffff txns=2 dram 400cy".
+  void dump(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace harmonia::gpusim

@@ -1,0 +1,55 @@
+// Placement of a HarmoniaTree in simulated GPU memory (§3.1):
+//  - key region and value region -> global memory (read through the
+//    per-SM read-only cache during traversal),
+//  - prefix-sum child region -> the top levels go to constant memory
+//    (64 KB budget), the rest stays in global memory and streams through
+//    the read-only cache.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "harmonia/tree.hpp"
+
+namespace harmonia {
+
+struct HarmoniaDeviceImage {
+  unsigned fanout = 0;
+  unsigned height = 0;
+  std::uint32_t num_nodes = 0;
+  std::uint32_t first_leaf = 0;
+
+  gpusim::DevPtr<Key> key_region;
+  gpusim::DevPtr<Value> value_region;
+  /// prefix_sum[0 .. ps_const_count) — complete top levels — in constant
+  /// memory; the full array is mirrored in global memory for the rest.
+  gpusim::DevPtr<std::uint32_t> ps_const;
+  gpusim::DevPtr<std::uint32_t> ps_global;
+  std::uint32_t ps_const_count = 0;
+
+  unsigned keys_per_node() const { return fanout - 1; }
+
+  /// Address of prefix_sum[node], routed to the right memory space.
+  std::uint64_t ps_addr(std::uint32_t node) const {
+    return node < ps_const_count ? ps_const.element_addr(node)
+                                 : ps_global.element_addr(node);
+  }
+
+  std::uint64_t node_key_addr(std::uint32_t node, unsigned slot) const {
+    return key_region.element_addr(
+        static_cast<std::uint64_t>(node) * keys_per_node() + slot);
+  }
+
+  std::uint64_t value_addr(std::uint32_t leaf_node, unsigned slot) const {
+    return value_region.element_addr(
+        static_cast<std::uint64_t>(leaf_node - first_leaf) * keys_per_node() + slot);
+  }
+
+  /// Uploads `tree` into `device` memory. `const_budget_bytes` caps how
+  /// much of the prefix-sum array goes to constant memory (whole levels
+  /// only); the default leaves headroom in the 64 KB segment.
+  static HarmoniaDeviceImage upload(gpusim::Device& device, const HarmoniaTree& tree,
+                                    std::uint64_t const_budget_bytes = 60 << 10);
+};
+
+}  // namespace harmonia

@@ -1,0 +1,120 @@
+#include "harmonia/index.hpp"
+
+#include "common/expect.hpp"
+#include "common/timer.hpp"
+#include "harmonia/ntg.hpp"
+#include "harmonia/range.hpp"
+
+namespace harmonia {
+
+HarmoniaIndex::HarmoniaIndex(gpusim::Device& device, HarmoniaTree tree,
+                             const Options& options)
+    : device_(device),
+      options_(options),
+      updater_(std::move(tree)),
+      image_(HarmoniaDeviceImage::upload(device, updater_.tree(),
+                                         options.const_budget_bytes)) {}
+
+HarmoniaIndex HarmoniaIndex::build(gpusim::Device& device,
+                                   std::span<const btree::Entry> entries,
+                                   const Options& options) {
+  btree::BTree builder(options.fanout);
+  builder.bulk_load(entries, options.fill_factor);
+  return HarmoniaIndex(device, HarmoniaTree::from_btree(builder), options);
+}
+
+HarmoniaIndex::QueryResult HarmoniaIndex::search(std::span<const Key> batch,
+                                                 const QueryOptions& qopts) {
+  HARMONIA_CHECK(!batch.empty());
+  QueryResult result;
+
+  // PSA: decide issue order and the simulated sort cost (§4.1).
+  PsaPlan plan = psa_prepare(batch, tree().num_keys(), device_.spec(), qopts.psa,
+                             qopts.psa_override_bits);
+  result.sorted_bits = plan.sorted_bits;
+  result.sort_cycles = plan.sort_cycles;
+  result.sort_seconds = plan.sort_seconds(device_.spec());
+
+  // NTG: group size from the static-profiling model (§4.2).
+  SearchConfig config;
+  config.early_exit = qopts.early_exit;
+  config.group_size = qopts.group_size;
+  if (qopts.auto_ntg && qopts.group_size == 0) {
+    const std::size_t sample =
+        std::min<std::size_t>(qopts.ntg_profile_sample, plan.queries.size());
+    const NtgChoice choice = choose_group_size(
+        tree(), std::span<const Key>(plan.queries.data(), sample), device_.spec());
+    config.group_size = choice.group_size;
+  }
+  result.group_size_used =
+      resolve_group_size(device_.spec(), tree().fanout(), config.group_size);
+
+  // Upload the batch, run the kernel, fetch results.
+  auto& mem = device_.memory();
+  auto d_queries = mem.malloc<Key>(plan.queries.size());
+  mem.copy_to_device(d_queries, std::span<const Key>(plan.queries));
+  auto d_out = mem.malloc<Value>(plan.queries.size());
+
+  result.search = search_batch(device_, image_, d_queries, plan.queries.size(), d_out,
+                               config);
+  result.kernel_seconds = result.search.metrics.elapsed_seconds(device_.spec());
+
+  std::vector<Value> issue_order(plan.queries.size());
+  mem.copy_to_host(std::span<Value>(issue_order), d_out);
+  result.values.resize(batch.size());
+  psa_restore(plan, issue_order, result.values);
+  return result;
+}
+
+HarmoniaIndex::RangeResult HarmoniaIndex::range_device(std::span<const Key> los,
+                                                       std::span<const Key> his,
+                                                       unsigned max_results) {
+  HARMONIA_CHECK(!los.empty());
+  HARMONIA_CHECK(los.size() == his.size());
+  auto& mem = device_.memory();
+  auto d_lo = mem.malloc<Key>(los.size());
+  auto d_hi = mem.malloc<Key>(his.size());
+  mem.copy_to_device(d_lo, los);
+  mem.copy_to_device(d_hi, his);
+  auto d_vals = mem.malloc<Value>(los.size() * max_results);
+  auto d_counts = mem.malloc<std::uint32_t>(los.size());
+
+  RangeConfig config;
+  config.max_results = max_results;
+  const auto stats =
+      range_batch(device_, image_, d_lo, d_hi, los.size(), d_vals, d_counts, config);
+
+  RangeResult result;
+  result.metrics = stats.metrics;
+  result.kernel_seconds = stats.metrics.elapsed_seconds(device_.spec());
+  result.total_results = stats.results;
+
+  std::vector<std::uint32_t> counts(los.size());
+  mem.copy_to_host(std::span<std::uint32_t>(counts), d_counts);
+  std::vector<Value> flat(los.size() * max_results);
+  mem.copy_to_host(std::span<Value>(flat), d_vals);
+  result.values.resize(los.size());
+  for (std::size_t q = 0; q < los.size(); ++q) {
+    result.values[q].assign(flat.begin() + static_cast<std::ptrdiff_t>(q * max_results),
+                            flat.begin() + static_cast<std::ptrdiff_t>(q * max_results +
+                                                                       counts[q]));
+  }
+  return result;
+}
+
+UpdateStats HarmoniaIndex::update_batch(std::span<const queries::UpdateOp> ops,
+                                        unsigned threads) {
+  UpdateStats stats = updater_.apply(ops, threads);
+  sync_device();
+  return stats;
+}
+
+void HarmoniaIndex::sync_device() {
+  WallTimer timer;
+  device_.memory().free_all();
+  device_.flush_caches();
+  image_ = HarmoniaDeviceImage::upload(device_, updater_.tree(), options_.const_budget_bytes);
+  last_sync_seconds_ = timer.elapsed_seconds();
+}
+
+}  // namespace harmonia

@@ -1,0 +1,124 @@
+// HarmoniaIndex — the library's public facade.
+//
+// Owns the host-side HarmoniaTree (the source of truth), its device image
+// on a simulated GPU, and the batch-update machinery; wires together PSA,
+// NTG selection, and the search kernel into the paper's phase-based
+// usage model:
+//
+//   query phase  : index.search(batch)        — GPU-accelerated lookups
+//   update phase : index.update_batch(ops)    — CPU, Algorithm 1 locking
+//                  (the device image re-syncs automatically afterwards)
+//
+// The index assumes it owns its Device's memory: update_batch frees and
+// re-uploads the whole image. Use one Device per index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "harmonia/device_image.hpp"
+#include "harmonia/psa.hpp"
+#include "harmonia/search.hpp"
+#include "harmonia/tree.hpp"
+#include "harmonia/update.hpp"
+#include "queries/batch.hpp"
+
+namespace harmonia {
+
+struct IndexOptions {
+  unsigned fanout = 64;
+  double fill_factor = 0.69;
+  /// Cap on constant-memory use for the prefix-sum top levels.
+  std::uint64_t const_budget_bytes = 60 << 10;
+};
+
+struct QueryOptions {
+  PsaMode psa = PsaMode::kPartial;
+  /// Pick the thread-group size with the NTG model (§4.2). When false,
+  /// group_size (or the fanout-based default) is used as-is.
+  bool auto_ntg = true;
+  /// Explicit group size (power of two <= warp); 0 = fanout-based.
+  unsigned group_size = 0;
+  bool early_exit = true;
+  /// Sample size for NTG static profiling (paper: "for example, 1000").
+  unsigned ntg_profile_sample = 1000;
+  /// Force a PSA bit count (0 = Equation 2).
+  unsigned psa_override_bits = 0;
+};
+
+class HarmoniaIndex {
+ public:
+  using Options = IndexOptions;
+
+  struct QueryResult {
+    /// Values in arrival order; kNotFound for absent keys.
+    std::vector<Value> values;
+    SearchStats search;
+    unsigned group_size_used = 0;
+    unsigned sorted_bits = 0;
+    double sort_cycles = 0.0;
+
+    double kernel_seconds = 0.0;
+    double sort_seconds = 0.0;
+    double total_seconds() const { return kernel_seconds + sort_seconds; }
+    double throughput() const {
+      return total_seconds() > 0.0
+                 ? static_cast<double>(values.size()) / total_seconds()
+                 : 0.0;
+    }
+  };
+
+  /// Builds from sorted, distinct entries (bulk load).
+  static HarmoniaIndex build(gpusim::Device& device, std::span<const btree::Entry> entries,
+                             const Options& options = Options{});
+
+  /// Wraps an existing host tree.
+  HarmoniaIndex(gpusim::Device& device, HarmoniaTree tree, const Options& options = Options{});
+
+  const HarmoniaTree& tree() const { return updater_.tree(); }
+  const HarmoniaDeviceImage& image() const { return image_; }
+  gpusim::Device& device() { return device_; }
+  const Options& options() const { return options_; }
+
+  /// Query phase: batched point lookups on the (simulated) GPU.
+  QueryResult search(std::span<const Key> batch, const QueryOptions& qopts = QueryOptions{});
+
+  /// Host-side point lookup / range scan (used by tests and examples).
+  std::optional<Value> search_host(Key key) const { return tree().search(key); }
+  std::vector<btree::Entry> range_host(Key lo, Key hi, std::size_t limit = 0) const {
+    return tree().range(lo, hi, limit);
+  }
+
+  struct RangeResult {
+    /// values[i] holds up to max_results entries for query i, in order.
+    std::vector<std::vector<Value>> values;
+    gpusim::KernelMetrics metrics;
+    double kernel_seconds = 0.0;
+    std::uint64_t total_results = 0;
+  };
+
+  /// Batched range queries on the device kernel (§3.2.1): one warp per
+  /// [los[i], his[i]] interval, up to max_results values each.
+  RangeResult range_device(std::span<const Key> los, std::span<const Key> his,
+                           unsigned max_results = 64);
+
+  /// Update phase: applies the batch on the CPU (Algorithm 1), then
+  /// re-synchronizes the device image.
+  UpdateStats update_batch(std::span<const queries::UpdateOp> ops, unsigned threads = 1);
+
+  /// Wall seconds spent in the last device re-synchronization.
+  double last_sync_seconds() const { return last_sync_seconds_; }
+
+ private:
+  void sync_device();
+
+  gpusim::Device& device_;
+  Options options_;
+  BatchUpdater updater_;
+  HarmoniaDeviceImage image_;
+  double last_sync_seconds_ = 0.0;
+};
+
+}  // namespace harmonia

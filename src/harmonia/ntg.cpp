@@ -1,0 +1,99 @@
+#include "harmonia/ntg.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/expect.hpp"
+#include "harmonia/search.hpp"
+
+namespace harmonia {
+
+namespace {
+
+/// Chunk-scan steps a group of `gs` lanes needs on `node` for `key`: the
+/// boundary (first slot whose key > target, or the slot count) determines
+/// how many gs-wide chunks the early-exit scan touches.
+unsigned steps_for_node(const HarmoniaTree& tree, std::uint32_t node, Key key, unsigned gs) {
+  const auto keys = tree.node_keys(node);
+  const auto it = std::upper_bound(keys.begin(), keys.end(), key);
+  const auto boundary = static_cast<unsigned>(it - keys.begin());
+  const unsigned kpn = static_cast<unsigned>(keys.size());
+  const unsigned max_chunks = (kpn + gs - 1) / gs;
+  return std::min(boundary / gs + 1, max_chunks);
+}
+
+}  // namespace
+
+double profile_avg_max_steps(const HarmoniaTree& tree, std::span<const Key> sample,
+                             const gpusim::DeviceSpec& spec, unsigned group_size) {
+  HARMONIA_CHECK(!sample.empty());
+  HARMONIA_CHECK(std::has_single_bit(group_size) && group_size <= spec.warp_size);
+  const unsigned qpw = spec.warp_size / group_size;
+  const unsigned height = tree.height();
+
+  std::uint64_t total_steps = 0;
+  std::uint64_t warp_levels = 0;
+  std::vector<std::uint32_t> node(qpw);
+  for (std::size_t base = 0; base < sample.size(); base += qpw) {
+    const auto nq =
+        static_cast<unsigned>(std::min<std::size_t>(qpw, sample.size() - base));
+    std::fill(node.begin(), node.end(), 0);
+    for (unsigned level = 0; level < height; ++level) {
+      unsigned warp_max = 0;
+      for (unsigned g = 0; g < nq; ++g) {
+        warp_max = std::max(warp_max,
+                            steps_for_node(tree, node[g], sample[base + g], group_size));
+        if (level + 1 < height) {
+          const auto keys = tree.node_keys(node[g]);
+          const auto it = std::upper_bound(keys.begin(), keys.end(), sample[base + g]);
+          node[g] = tree.prefix_sum()[node[g]] +
+                    static_cast<std::uint32_t>(it - keys.begin());
+        }
+      }
+      total_steps += warp_max;
+      ++warp_levels;
+    }
+  }
+  return static_cast<double>(total_steps) / static_cast<double>(warp_levels);
+}
+
+NtgChoice choose_group_size(const HarmoniaTree& tree, std::span<const Key> sample,
+                            const gpusim::DeviceSpec& spec) {
+  NtgChoice choice;
+  const unsigned widest = resolve_group_size(spec, tree.fanout(), 0);
+
+  for (unsigned gs = widest; gs >= 1; gs /= 2) {
+    NtgCandidate cand;
+    cand.group_size = gs;
+    cand.avg_max_steps = profile_avg_max_steps(tree, sample, spec, gs);
+    choice.candidates.push_back(cand);
+    if (gs == 1) break;
+  }
+
+  // predicted_speedup of candidate i relative to the widest group:
+  // TP ∝ 1 / (S * GS)  (Equation 3 with T ∝ S).
+  const double base_cost = choice.candidates.front().avg_max_steps *
+                           static_cast<double>(choice.candidates.front().group_size);
+  for (auto& cand : choice.candidates) {
+    cand.predicted_speedup =
+        base_cost / (cand.avg_max_steps * static_cast<double>(cand.group_size));
+  }
+
+  // Equation 4 narrowing rule: accept each halving while it still predicts
+  // a gain ((Sb/Sa) * G > 1); stop at the first loss.
+  choice.group_size = widest;
+  for (std::size_t i = 1; i < choice.candidates.size(); ++i) {
+    const double sb = choice.candidates[i - 1].avg_max_steps;
+    const double sa = choice.candidates[i].avg_max_steps;
+    const double g = static_cast<double>(choice.candidates[i - 1].group_size) /
+                     static_cast<double>(choice.candidates[i].group_size);
+    if ((sb / sa) * g > 1.0) {
+      choice.group_size = choice.candidates[i].group_size;
+    } else {
+      break;
+    }
+  }
+  return choice;
+}
+
+}  // namespace harmonia

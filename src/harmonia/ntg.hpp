@@ -1,0 +1,48 @@
+// Narrowed Thread-Group traversal sizing (§4.2, Equations 3/4).
+//
+// Narrowing the per-query thread group from GSb to GSa = GSb/G packs G×
+// more queries into a warp but raises the warp's per-level step count from
+// Sb to Sa (query divergence: a level costs the max steps over the warp's
+// groups). Equation 4: TPa/TPb ∝ (Sb/Sa)·G — keep narrowing while that
+// ratio exceeds 1.
+//
+// S is measured by the paper's *static profiling* method: a small sample
+// of queries (default 1000) is walked through the tree on the CPU, and per
+// level the chunk-scan step count of each group — and the max per warp —
+// is computed directly from the key layout. No device run is needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "harmonia/tree.hpp"
+
+namespace harmonia {
+
+struct NtgCandidate {
+  unsigned group_size = 0;
+  /// Average over warps and levels of the warp-max chunk-scan steps (S).
+  double avg_max_steps = 0.0;
+  /// Relative throughput ∝ 1 / (S * GS), normalized to the widest group.
+  double predicted_speedup = 1.0;
+};
+
+struct NtgChoice {
+  unsigned group_size = 0;
+  std::vector<NtgCandidate> candidates;  // widest group first
+};
+
+/// Profiles S for `sample` (use queries in the order the kernel will see
+/// them — i.e. after PSA) and applies the Equation 4 narrowing rule.
+/// Candidates run from the fanout-based group down to 1 lane, halving.
+NtgChoice choose_group_size(const HarmoniaTree& tree, std::span<const Key> sample,
+                            const gpusim::DeviceSpec& spec);
+
+/// The S-profiling primitive: average warp-max steps per level for one
+/// group size (exposed for the §4.2 model-validation bench).
+double profile_avg_max_steps(const HarmoniaTree& tree, std::span<const Key> sample,
+                             const gpusim::DeviceSpec& spec, unsigned group_size);
+
+}  // namespace harmonia

@@ -1,0 +1,77 @@
+#include "harmonia/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+
+PipelineResult pipelined_search(HarmoniaIndex& index, std::span<const Key> batch,
+                                const TransferModel& link,
+                                const PipelineOptions& options) {
+  HARMONIA_CHECK(!batch.empty());
+  HARMONIA_CHECK(options.chunk_size > 0);
+
+  PipelineResult result;
+  result.values.resize(batch.size());
+
+  // Per-chunk stage times; the schedule is computed afterwards.
+  std::vector<double> up, proc, down;
+
+  for (std::uint64_t base = 0; base < batch.size(); base += options.chunk_size) {
+    const std::uint64_t n = std::min<std::uint64_t>(options.chunk_size,
+                                                    batch.size() - base);
+    const auto chunk = batch.subspan(base, n);
+    const auto r = index.search(chunk, options.query_options);
+    std::copy(r.values.begin(), r.values.end(),
+              result.values.begin() + static_cast<std::ptrdiff_t>(base));
+
+    const double u = link.seconds(n * sizeof(Key));
+    const double d = link.seconds(n * sizeof(Value));
+    // Sorting happens on-device after upload: it belongs to the compute
+    // stage of the pipeline.
+    const double p = r.sort_seconds + r.kernel_seconds;
+    up.push_back(u);
+    proc.push_back(p);
+    down.push_back(d);
+    result.upload_seconds += u;
+    result.sort_seconds += r.sort_seconds;
+    result.kernel_seconds += r.kernel_seconds;
+    result.download_seconds += d;
+    ++result.chunks;
+  }
+
+  if (!options.overlap || result.chunks == 1) {
+    result.total_seconds =
+        result.upload_seconds + result.sort_seconds + result.kernel_seconds +
+        result.download_seconds;
+    result.bottleneck = "serial";
+  } else {
+    // Three-stage pipeline with double buffering: each stage processes
+    // chunk i only after the previous stage finished it and after its own
+    // previous chunk. Classic dependency recurrence:
+    std::vector<double> up_done(result.chunks), proc_done(result.chunks),
+        down_done(result.chunks);
+    for (std::size_t i = 0; i < result.chunks; ++i) {
+      const double up_ready = i == 0 ? 0.0 : up_done[i - 1];
+      up_done[i] = up_ready + up[i];
+      const double proc_ready = std::max(up_done[i], i == 0 ? 0.0 : proc_done[i - 1]);
+      proc_done[i] = proc_ready + proc[i];
+      const double down_ready = std::max(proc_done[i], i == 0 ? 0.0 : down_done[i - 1]);
+      down_done[i] = down_ready + down[i];
+    }
+    result.total_seconds = down_done.back();
+
+    const double stages[3] = {result.upload_seconds,
+                              result.sort_seconds + result.kernel_seconds,
+                              result.download_seconds};
+    const char* names[3] = {"upload", "compute", "download"};
+    result.bottleneck =
+        names[static_cast<std::size_t>(std::max_element(stages, stages + 3) - stages)];
+  }
+
+  result.throughput = static_cast<double>(batch.size()) / result.total_seconds;
+  return result;
+}
+
+}  // namespace harmonia

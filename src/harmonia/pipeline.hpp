@@ -1,0 +1,64 @@
+// End-to-end query pipeline with host<->device transfers.
+//
+// The paper reports kernel throughput; a deployed index also pays PCIe:
+// queries arrive on the host, results return to it. HB+Tree's paper (and
+// §6 here) point at CPU-GPU pipelining / double buffering as the remedy —
+// chunk the batch and overlap upload(i+1) / kernel(i) / download(i-1).
+// This module models both schedules on the simulator's clock:
+//   serial     : sum of every chunk's upload + sort + kernel + download
+//   overlapped : pipeline fill + drain around the bottleneck stage
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "harmonia/index.hpp"
+
+namespace harmonia {
+
+/// Host-device link model (PCIe 3.0 x16 ~ 12 GB/s effective by default).
+struct TransferModel {
+  double gigabytes_per_second = 12.0;
+  /// Fixed per-transfer cost (driver + DMA setup).
+  double latency_seconds = 10e-6;
+
+  double seconds(std::uint64_t bytes) const {
+    return latency_seconds +
+           static_cast<double>(bytes) / (gigabytes_per_second * 1e9);
+  }
+};
+
+struct PipelineOptions {
+  std::uint64_t chunk_size = 1 << 16;
+  /// false = strictly serial chunks (no double buffering).
+  bool overlap = true;
+  QueryOptions query_options;
+};
+
+struct PipelineResult {
+  std::vector<Value> values;  // arrival order, all chunks
+  std::uint64_t chunks = 0;
+
+  // Per-stage totals (summed over chunks).
+  double upload_seconds = 0.0;
+  double sort_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double download_seconds = 0.0;
+
+  /// End-to-end time under the selected schedule.
+  double total_seconds = 0.0;
+  double throughput = 0.0;
+
+  /// The stage that bounds the overlapped schedule.
+  const char* bottleneck = "";
+};
+
+/// Runs `batch` through the index in chunks under the transfer model.
+/// Results are identical to a single index.search(batch); only the time
+/// accounting differs.
+PipelineResult pipelined_search(HarmoniaIndex& index, std::span<const Key> batch,
+                                const TransferModel& link,
+                                const PipelineOptions& options = {});
+
+}  // namespace harmonia

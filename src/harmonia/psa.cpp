@@ -1,0 +1,45 @@
+#include "harmonia/psa.hpp"
+
+#include <numeric>
+
+#include "common/expect.hpp"
+#include "sort/gpu_sort_model.hpp"
+#include "sort/radix_sort.hpp"
+
+namespace harmonia {
+
+PsaPlan psa_prepare(std::span<const Key> batch, std::uint64_t tree_size,
+                    const gpusim::DeviceSpec& spec, PsaMode mode, unsigned override_bits) {
+  PsaPlan plan;
+  plan.mode = mode;
+  plan.queries.assign(batch.begin(), batch.end());
+  plan.permutation.resize(batch.size());
+  std::iota(plan.permutation.begin(), plan.permutation.end(), std::uint64_t{0});
+  if (mode == PsaMode::kNone || batch.size() < 2) return plan;
+
+  if (mode == PsaMode::kFull) {
+    plan.sorted_bits = 64;
+  } else {
+    const unsigned keys_per_line = spec.line_bytes / static_cast<unsigned>(sizeof(Key));
+    plan.sorted_bits =
+        override_bits != 0 ? override_bits : sort::psa_bits(64, tree_size, keys_per_line);
+    if (plan.sorted_bits == 0) return plan;  // one line covers the range
+  }
+
+  const unsigned lo_bit = 64 - plan.sorted_bits;
+  sort::radix_sort_pairs_bits(plan.queries, plan.permutation, lo_bit, plan.sorted_bits);
+  plan.sort_cycles =
+      sort::gpu_radix_sort_cycles(spec, batch.size(), plan.sorted_bits, /*with_payload=*/true);
+  return plan;
+}
+
+void psa_restore(const PsaPlan& plan, std::span<const Value> issue_order_results,
+                 std::span<Value> arrival_order_out) {
+  HARMONIA_CHECK(issue_order_results.size() == plan.permutation.size());
+  HARMONIA_CHECK(arrival_order_out.size() == plan.permutation.size());
+  for (std::size_t i = 0; i < plan.permutation.size(); ++i) {
+    arrival_order_out[plan.permutation[i]] = issue_order_results[i];
+  }
+}
+
+}  // namespace harmonia

@@ -1,0 +1,34 @@
+// Batched range-query kernel (§3.2.1): locate the first key >= lo with a
+// point traversal, then scan the *consecutive* leaf level of the key
+// region warp-wide — the layout property that makes Harmonia ranges fast
+// (each 32-lane scan step reads 256 B of adjacent keys: fully coalesced).
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "harmonia/device_image.hpp"
+
+namespace harmonia {
+
+struct RangeConfig {
+  /// Result slots reserved per query in the output arrays.
+  unsigned max_results = 64;
+};
+
+struct RangeStats {
+  gpusim::KernelMetrics metrics;
+  std::uint64_t queries = 0;
+  std::uint64_t results = 0;
+};
+
+/// For each query i, collects values of keys in [los[i], his[i]] (up to
+/// max_results) into out_values[i*max_results ...] and the match count into
+/// out_counts[i]. One warp serves one range query.
+RangeStats range_batch(gpusim::Device& device, const HarmoniaDeviceImage& image,
+                       gpusim::DevPtr<Key> los, gpusim::DevPtr<Key> his, std::uint64_t n,
+                       gpusim::DevPtr<Value> out_values,
+                       gpusim::DevPtr<std::uint32_t> out_counts,
+                       const RangeConfig& config = {});
+
+}  // namespace harmonia

@@ -1,0 +1,66 @@
+// Batched point-lookup kernel for Harmonia on the simulated GPU (§3.2.1,
+// §4.2).
+//
+// Each query is served by a *thread group* of `group_size` lanes; a warp
+// packs warp_size/group_size queries. Per tree level a group scans its
+// node's key slots chunk-by-chunk (group_size keys per SIMT step),
+// counting separators <= target; the next node comes from Equation 1 via
+// the prefix-sum child region (constant memory for the top levels) — no
+// child-pointer indirection. At the leaf an equality probe fetches the
+// value region slot.
+//
+// group_size == fanout-ish is the traditional fanout-based layout
+// (Figure 9a, all chunks scanned); a narrowed group with early_exit is NTG
+// (Figure 9b): fewer useless comparisons, more queries per warp, but the
+// warp's per-level step count becomes the max over its groups (query
+// divergence).
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "harmonia/device_image.hpp"
+
+namespace harmonia {
+
+/// Sentinel stored in out_values for queries whose key is absent.
+inline constexpr Value kNotFound = ~Value{0};
+
+struct SearchConfig {
+  /// Lanes per query; power of two dividing warp_size. 0 selects the
+  /// fanout-based group of traditional designs: min(fanout, warp_size).
+  unsigned group_size = 0;
+  /// Stop scanning a node's chunks once the boundary (first key > target)
+  /// is seen. Traditional fanout-based traversal compares every key
+  /// (early_exit = false) — the "useless comparisons" of §4.2.
+  bool early_exit = true;
+  /// Charge the coalesced reads of the query array itself.
+  bool account_query_load = true;
+};
+
+struct SearchStats {
+  gpusim::KernelMetrics metrics;
+  std::uint64_t queries = 0;
+  std::uint64_t warps = 0;
+  /// Total chunk-scan SIMT steps summed over warps and levels; divided by
+  /// (warps * height) this is S, the max-comparison-step term of the NTG
+  /// model (Equations 3/4).
+  std::uint64_t chunk_steps = 0;
+
+  double avg_steps_per_warp_level(unsigned height) const {
+    if (warps == 0 || height == 0) return 0.0;
+    return static_cast<double>(chunk_steps) / static_cast<double>(warps * height);
+  }
+};
+
+/// Resolves SearchConfig::group_size (handles the 0 = fanout-based case).
+unsigned resolve_group_size(const gpusim::DeviceSpec& spec, unsigned fanout,
+                            unsigned requested);
+
+/// Runs the lookup kernel over device arrays `queries`/`out_values` of
+/// length n. out_values[i] receives the value or kNotFound.
+SearchStats search_batch(gpusim::Device& device, const HarmoniaDeviceImage& image,
+                         gpusim::DevPtr<Key> queries, std::uint64_t n,
+                         gpusim::DevPtr<Value> out_values, const SearchConfig& config = {});
+
+}  // namespace harmonia

@@ -1,0 +1,463 @@
+#include "harmonia/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+
+namespace {
+
+/// Number of separators <= key among the fanout-1 slots of a node record.
+/// Pad slots hold kPadKey, which compares greater than every valid key, so
+/// they never count — no per-node key count is needed during traversal,
+/// exactly as in the device kernels.
+unsigned separators_leq(std::span<const Key> slots, Key key) {
+  const auto it = std::upper_bound(slots.begin(), slots.end(), key);
+  return static_cast<unsigned>(it - slots.begin());
+}
+
+}  // namespace
+
+std::uint32_t HarmoniaTree::level_start(unsigned level) const {
+  HARMONIA_CHECK(level < level_start_.size());
+  return level_start_[level];
+}
+
+std::span<const Key> HarmoniaTree::node_keys(std::uint32_t node) const {
+  HARMONIA_CHECK(node < num_nodes_);
+  return std::span<const Key>(key_region_).subspan(
+      static_cast<std::size_t>(node) * keys_per_node(), keys_per_node());
+}
+
+unsigned HarmoniaTree::node_key_count(std::uint32_t node) const {
+  const auto keys = node_keys(node);
+  unsigned count = 0;
+  while (count < keys.size() && keys[count] != kPadKey) ++count;
+  return count;
+}
+
+std::uint32_t HarmoniaTree::child_count(std::uint32_t node) const {
+  HARMONIA_CHECK(node < num_nodes_);
+  return prefix_sum_[node + 1] - prefix_sum_[node];
+}
+
+std::uint64_t HarmoniaTree::value_slot(std::uint32_t node, unsigned slot) const {
+  HARMONIA_CHECK(is_leaf(node));
+  HARMONIA_CHECK(slot < keys_per_node());
+  return static_cast<std::uint64_t>(node - first_leaf_) * keys_per_node() + slot;
+}
+
+std::uint32_t HarmoniaTree::find_leaf(Key key) const {
+  HARMONIA_CHECK(num_nodes_ > 0);
+  HARMONIA_CHECK_MSG(key != kPadKey, "kPadKey is reserved");
+  std::uint32_t node = 0;
+  for (unsigned level = 0; level + 1 < height(); ++level) {
+    const unsigned i = separators_leq(node_keys(node), key);
+    node = prefix_sum_[node] + i;
+  }
+  return node;
+}
+
+std::optional<Value> HarmoniaTree::search(Key key) const {
+  if (num_nodes_ == 0 || key == kPadKey) return std::nullopt;
+  const std::uint32_t leaf = find_leaf(key);
+  const auto keys = node_keys(leaf);
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return std::nullopt;
+  const auto slot = static_cast<unsigned>(it - keys.begin());
+  return value_region_[value_slot(leaf, slot)];
+}
+
+std::vector<btree::Entry> HarmoniaTree::range(Key lo, Key hi, std::size_t limit) const {
+  std::vector<btree::Entry> out;
+  if (num_nodes_ == 0 || lo > hi) return out;
+  std::uint32_t leaf = find_leaf(lo);
+  // Walk the consecutive leaf level of the key region (§3.2.1).
+  for (; leaf < num_nodes_; ++leaf) {
+    const auto keys = node_keys(leaf);
+    for (unsigned s = 0; s < keys.size(); ++s) {
+      if (keys[s] == kPadKey) break;  // node tail
+      if (keys[s] < lo) continue;
+      if (keys[s] > hi) return out;
+      out.push_back({keys[s], value_region_[value_slot(leaf, s)]});
+      if (limit != 0 && out.size() >= limit) return out;
+    }
+  }
+  return out;
+}
+
+HarmoniaTree HarmoniaTree::from_btree(const btree::BTree& tree) {
+  const auto levels = tree.levels();
+  HARMONIA_CHECK_MSG(!levels.empty(), "cannot serialize an empty B+tree");
+
+  HarmoniaTree out;
+  out.fanout_ = tree.fanout();
+  const unsigned kpn = out.fanout_ - 1;
+
+  std::uint32_t total = 0;
+  for (const auto& level : levels) {
+    out.level_start_.push_back(total);
+    total += static_cast<std::uint32_t>(level.size());
+  }
+  out.num_nodes_ = total;
+  out.first_leaf_ = out.level_start_.back();
+  out.num_keys_ = tree.size();
+
+  out.key_region_.assign(static_cast<std::size_t>(total) * kpn, kPadKey);
+  out.prefix_sum_.assign(total + 1, total);
+  out.value_region_.assign(
+      static_cast<std::size_t>(total - out.first_leaf_) * kpn, Value{0});
+
+  std::uint32_t bfs = 0;
+  std::uint32_t next_child = 1;
+  for (const auto& level : levels) {
+    for (const btree::Node* node : level) {
+      Key* slots = out.key_region_.data() + static_cast<std::size_t>(bfs) * kpn;
+      std::copy(node->keys.begin(), node->keys.end(), slots);
+      if (node->leaf) {
+        Value* vals =
+            out.value_region_.data() + static_cast<std::size_t>(bfs - out.first_leaf_) * kpn;
+        std::copy(node->values.begin(), node->values.end(), vals);
+        out.prefix_sum_[bfs] = total;
+      } else {
+        out.prefix_sum_[bfs] = next_child;
+        next_child += static_cast<std::uint32_t>(node->children.size());
+      }
+      ++bfs;
+    }
+  }
+  HARMONIA_CHECK(next_child == total || levels.size() == 1);
+  return out;
+}
+
+HarmoniaTree HarmoniaTree::from_leaves(std::vector<std::vector<btree::Entry>> leaves,
+                                       unsigned fanout) {
+  HARMONIA_CHECK(fanout >= 4);
+  HARMONIA_CHECK(!leaves.empty());
+  const unsigned kpn = fanout - 1;
+
+  // Build the level structure bottom-up: per level, each node's min key
+  // and child count. Level 0 of `shape` is the leaf level (reversed later).
+  struct NodeShape {
+    Key min_key;
+    std::uint32_t children;  // 0 for leaves
+  };
+  std::vector<std::vector<NodeShape>> shape;  // bottom-up
+  std::vector<NodeShape> current;
+  current.reserve(leaves.size());
+  std::uint64_t num_keys = 0;
+  for (const auto& leaf : leaves) {
+    HARMONIA_CHECK_MSG(!leaf.empty(), "empty leaf in from_leaves");
+    HARMONIA_CHECK_MSG(leaf.size() <= kpn, "overfull leaf in from_leaves");
+    current.push_back({leaf.front().key, 0});
+    num_keys += leaf.size();
+  }
+  shape.push_back(current);
+
+  // Group children into parents, target occupancy ~ the bulk-load default.
+  const auto target_children =
+      std::clamp<std::size_t>(static_cast<std::size_t>(std::lround(fanout * 0.69)), 2, fanout);
+  while (shape.back().size() > 1) {
+    const auto& child_level = shape.back();
+    std::vector<NodeShape> parents;
+    std::size_t i = 0;
+    while (i < child_level.size()) {
+      std::size_t take = std::min(target_children, child_level.size() - i);
+      const std::size_t rest = child_level.size() - i - take;
+      if (rest > 0 && rest < 2) {
+        // No singleton tail node: absorb it if the node has room,
+        // otherwise split the remainder evenly.
+        if (take + rest <= fanout) {
+          take += rest;
+        } else {
+          take = (take + rest + 1) / 2;
+        }
+      }
+      parents.push_back({child_level[i].min_key, static_cast<std::uint32_t>(take)});
+      i += take;
+    }
+    shape.push_back(std::move(parents));
+  }
+  std::reverse(shape.begin(), shape.end());  // now top-down
+
+  HarmoniaTree out;
+  out.fanout_ = fanout;
+  out.num_keys_ = num_keys;
+  std::uint32_t total = 0;
+  for (const auto& level : shape) {
+    out.level_start_.push_back(total);
+    total += static_cast<std::uint32_t>(level.size());
+  }
+  out.num_nodes_ = total;
+  out.first_leaf_ = out.level_start_.back();
+
+  out.key_region_.assign(static_cast<std::size_t>(total) * kpn, kPadKey);
+  out.prefix_sum_.assign(total + 1, total);
+  out.value_region_.assign(static_cast<std::size_t>(leaves.size()) * kpn, Value{0});
+
+  // Internal nodes: separators are the min keys of children 1..n-1.
+  std::uint32_t bfs = 0;
+  std::uint32_t next_child = 1;
+  for (std::size_t lvl = 0; lvl + 1 < shape.size(); ++lvl) {
+    // Track each node's first child position within the next level.
+    std::size_t child_pos = 0;
+    const auto& next_level = shape[lvl + 1];
+    for (const NodeShape& node : shape[lvl]) {
+      Key* slots = out.key_region_.data() + static_cast<std::size_t>(bfs) * kpn;
+      for (std::uint32_t c = 1; c < node.children; ++c) {
+        slots[c - 1] = next_level[child_pos + c].min_key;
+      }
+      out.prefix_sum_[bfs] = next_child;
+      next_child += node.children;
+      child_pos += node.children;
+      ++bfs;
+    }
+    HARMONIA_CHECK(child_pos == next_level.size());
+  }
+
+  // Leaf level: copy keys and values.
+  Key prev = 0;
+  bool have_prev = false;
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    Key* slots = out.key_region_.data() + (static_cast<std::size_t>(out.first_leaf_) + l) * kpn;
+    Value* vals = out.value_region_.data() + static_cast<std::size_t>(l) * kpn;
+    for (std::size_t s = 0; s < leaves[l].size(); ++s) {
+      HARMONIA_CHECK_MSG(!have_prev || leaves[l][s].key > prev,
+                         "from_leaves input not globally ascending");
+      prev = leaves[l][s].key;
+      have_prev = true;
+      slots[s] = leaves[l][s].key;
+      vals[s] = leaves[l][s].value;
+    }
+  }
+  HARMONIA_CHECK(next_child == total || shape.size() == 1);
+  return out;
+}
+
+bool HarmoniaTree::leaf_update_inplace(std::uint32_t leaf, Key key, Value value) {
+  HARMONIA_CHECK(is_leaf(leaf));
+  const auto keys = node_keys(leaf);
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return false;
+  const auto slot = static_cast<unsigned>(it - keys.begin());
+  value_region_[value_slot(leaf, slot)] = value;
+  return true;
+}
+
+bool HarmoniaTree::leaf_insert_inplace(std::uint32_t leaf, Key key, Value value) {
+  HARMONIA_CHECK(is_leaf(leaf));
+  HARMONIA_CHECK(key != kPadKey);
+  const unsigned kpn = keys_per_node();
+  Key* slots = key_region_.data() + static_cast<std::size_t>(leaf) * kpn;
+  Value* vals = value_region_.data() + value_slot(leaf, 0);
+  const unsigned count = node_key_count(leaf);
+
+  const auto it = std::lower_bound(slots, slots + count, key);
+  const auto pos = static_cast<unsigned>(it - slots);
+  if (pos < count && slots[pos] == key) {
+    vals[pos] = value;  // existing key: plain overwrite
+    return true;
+  }
+  if (count == kpn) return false;  // full: caller takes the split path
+
+  for (unsigned s = count; s > pos; --s) {
+    slots[s] = slots[s - 1];
+    vals[s] = vals[s - 1];
+  }
+  slots[pos] = key;
+  vals[pos] = value;
+  ++num_keys_;
+  return true;
+}
+
+bool HarmoniaTree::leaf_erase_inplace(std::uint32_t leaf, Key key) {
+  HARMONIA_CHECK(is_leaf(leaf));
+  const unsigned kpn = keys_per_node();
+  Key* slots = key_region_.data() + static_cast<std::size_t>(leaf) * kpn;
+  Value* vals = value_region_.data() + value_slot(leaf, 0);
+  const unsigned count = node_key_count(leaf);
+
+  const auto it = std::lower_bound(slots, slots + count, key);
+  const auto pos = static_cast<unsigned>(it - slots);
+  if (pos >= count || slots[pos] != key) return false;
+  HARMONIA_CHECK_MSG(count > 1, "in-place erase would empty the leaf (merge path required)");
+
+  for (unsigned s = pos; s + 1 < count; ++s) {
+    slots[s] = slots[s + 1];
+    vals[s] = vals[s + 1];
+  }
+  slots[count - 1] = kPadKey;
+  vals[count - 1] = Value{0};
+  --num_keys_;
+  return true;
+}
+
+std::vector<btree::Entry> HarmoniaTree::leaf_entries(std::uint32_t leaf) const {
+  HARMONIA_CHECK(is_leaf(leaf));
+  const auto keys = node_keys(leaf);
+  std::vector<btree::Entry> out;
+  for (unsigned s = 0; s < node_key_count(leaf); ++s) {
+    out.push_back({keys[s], value_region_[value_slot(leaf, s)]});
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x484D5254;  // "HMRT"
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// FNV-1a over a byte range, accumulated into `h`.
+void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+template <typename T>
+void write_pod(std::ostream& os, std::uint64_t& h, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  fnv1a(h, &v, sizeof v);
+}
+
+template <typename T>
+void write_vec(std::ostream& os, std::uint64_t& h, const std::vector<T>& v) {
+  write_pod(os, h, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+  fnv1a(h, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is, std::uint64_t& h) {
+  T v;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  HARMONIA_CHECK_MSG(is.good(), "truncated Harmonia image");
+  fnv1a(h, &v, sizeof v);
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is, std::uint64_t& h) {
+  const auto n = read_pod<std::uint64_t>(is, h);
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  HARMONIA_CHECK_MSG(is.good(), "truncated Harmonia image");
+  fnv1a(h, v.data(), v.size() * sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void HarmoniaTree::save(std::ostream& os) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  write_pod(os, h, kMagic);
+  write_pod(os, h, kFormatVersion);
+  write_pod(os, h, fanout_);
+  write_pod(os, h, num_nodes_);
+  write_pod(os, h, first_leaf_);
+  write_pod(os, h, num_keys_);
+  write_vec(os, h, level_start_);
+  write_vec(os, h, key_region_);
+  write_vec(os, h, prefix_sum_);
+  write_vec(os, h, value_region_);
+  os.write(reinterpret_cast<const char*>(&h), sizeof h);  // checksum trailer
+  HARMONIA_CHECK_MSG(os.good(), "write failure while saving Harmonia image");
+}
+
+HarmoniaTree HarmoniaTree::load(std::istream& is) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  HARMONIA_CHECK_MSG(read_pod<std::uint32_t>(is, h) == kMagic,
+                     "not a Harmonia tree image (bad magic)");
+  HARMONIA_CHECK_MSG(read_pod<std::uint32_t>(is, h) == kFormatVersion,
+                     "unsupported Harmonia image version");
+  HarmoniaTree out;
+  out.fanout_ = read_pod<unsigned>(is, h);
+  out.num_nodes_ = read_pod<std::uint32_t>(is, h);
+  out.first_leaf_ = read_pod<std::uint32_t>(is, h);
+  out.num_keys_ = read_pod<std::uint64_t>(is, h);
+  out.level_start_ = read_vec<std::uint32_t>(is, h);
+  out.key_region_ = read_vec<Key>(is, h);
+  out.prefix_sum_ = read_vec<std::uint32_t>(is, h);
+  out.value_region_ = read_vec<Value>(is, h);
+
+  std::uint64_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  HARMONIA_CHECK_MSG(is.good(), "truncated Harmonia image (missing checksum)");
+  HARMONIA_CHECK_MSG(stored == h, "Harmonia image checksum mismatch");
+  out.validate();  // never trust bytes from disk
+  return out;
+}
+
+void HarmoniaTree::validate() const {
+  HARMONIA_CHECK(num_nodes_ > 0);
+  const unsigned kpn = keys_per_node();
+  HARMONIA_CHECK(key_region_.size() == static_cast<std::size_t>(num_nodes_) * kpn);
+  HARMONIA_CHECK(prefix_sum_.size() == static_cast<std::size_t>(num_nodes_) + 1);
+  HARMONIA_CHECK(prefix_sum_[num_nodes_] == num_nodes_);
+  HARMONIA_CHECK(value_region_.size() ==
+                 static_cast<std::size_t>(num_leaves()) * kpn);
+
+  std::uint64_t leaf_keys = 0;
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    const auto keys = node_keys(n);
+    // Real keys form a sorted, strictly increasing prefix; pads the tail.
+    unsigned count = node_key_count(n);
+    for (unsigned s = 0; s + 1 < count; ++s) {
+      HARMONIA_CHECK_MSG(keys[s] < keys[s + 1], "node keys not strictly ascending");
+    }
+    for (unsigned s = count; s < kpn; ++s) {
+      HARMONIA_CHECK_MSG(keys[s] == kPadKey, "pad slot before a real key");
+    }
+
+    if (is_leaf(n)) {
+      HARMONIA_CHECK_MSG(child_count(n) == 0, "leaf with children");
+      HARMONIA_CHECK_MSG(count > 0, "empty leaf node");
+      leaf_keys += count;
+    } else {
+      HARMONIA_CHECK_MSG(child_count(n) == count + 1, "internal children != keys + 1");
+      HARMONIA_CHECK_MSG(prefix_sum_[n] > n, "child index not after parent in BFS order");
+      // Separator s bounds its neighbours: every key in child s's subtree
+      // is < keys[s] and every key in child s+1's subtree is >= keys[s].
+      // (Equality with the right subtree's min can drift after in-place
+      // deletes; the bound is what routing correctness needs.)
+      for (unsigned s = 0; s < count; ++s) {
+        std::uint32_t right = prefix_sum_[n] + s + 1;
+        while (!is_leaf(right)) right = prefix_sum_[right];
+        HARMONIA_CHECK_MSG(node_keys(right)[0] >= keys[s],
+                           "right child subtree min below separator");
+        std::uint32_t left = prefix_sum_[n] + s;
+        while (!is_leaf(left)) left = prefix_sum_[left] + child_count(left) - 1;
+        const unsigned left_count = node_key_count(left);
+        HARMONIA_CHECK_MSG(left_count > 0 && node_keys(left)[left_count - 1] < keys[s],
+                           "left child subtree max not below separator");
+      }
+    }
+  }
+  HARMONIA_CHECK_MSG(leaf_keys == num_keys_, "leaf key total mismatch");
+
+  // The leaf level's real keys ascend globally (consecutive sorted array).
+  Key prev = 0;
+  bool have_prev = false;
+  for (std::uint32_t n = first_leaf_; n < num_nodes_; ++n) {
+    const auto keys = node_keys(n);
+    for (unsigned s = 0; s < node_key_count(n); ++s) {
+      HARMONIA_CHECK_MSG(!have_prev || keys[s] > prev, "leaf level not globally sorted");
+      prev = keys[s];
+      have_prev = true;
+    }
+  }
+
+  // Every level's start index is consistent with the prefix-sum array.
+  for (unsigned lvl = 0; lvl + 1 < height(); ++lvl) {
+    HARMONIA_CHECK(prefix_sum_[level_start_[lvl]] == level_start_[lvl + 1]);
+  }
+}
+
+}  // namespace harmonia

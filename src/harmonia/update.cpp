@@ -1,0 +1,265 @@
+#include "harmonia/update.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/expect.hpp"
+#include "common/timer.hpp"
+
+namespace harmonia {
+
+using queries::OpKind;
+using queries::UpdateOp;
+
+BatchUpdater::BatchUpdater(HarmoniaTree tree) : tree_(std::move(tree)) {
+  aux_.resize(tree_.num_leaves());
+  fine_ = std::make_unique<std::mutex[]>(tree_.num_leaves());
+}
+
+void BatchUpdater::fine_enter() {
+  // Algorithm 1, lines 3-5: the global counter is protected by the
+  // coarse lock.
+  std::lock_guard<std::mutex> lk(coarse_);
+  ++global_count_;
+}
+
+void BatchUpdater::fine_exit() {
+  // Algorithm 1, lines 11-13.
+  std::lock_guard<std::mutex> lk(coarse_);
+  HARMONIA_DCHECK(global_count_ > 0);
+  --global_count_;
+}
+
+template <typename Fn>
+void BatchUpdater::coarse_section(UpdateStats& local, Fn&& fn) {
+  // Algorithm 1, lines 16-24: hold the coarse lock only while no
+  // fine-grained op is in flight; otherwise release and retry.
+  for (;;) {
+    coarse_.lock();
+    if (global_count_ == 0) {
+      fn();
+      coarse_.unlock();
+      return;
+    }
+    coarse_.unlock();
+    ++local.coarse_retries;
+    std::this_thread::yield();
+  }
+}
+
+namespace {
+
+/// Sorted-vector helpers for auxiliary nodes.
+bool aux_upsert(std::vector<btree::Entry>& entries, Key key, Value value) {
+  const auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                                   [](const btree::Entry& e, Key k) { return e.key < k; });
+  if (it != entries.end() && it->key == key) {
+    it->value = value;
+    return false;  // existed
+  }
+  entries.insert(it, {key, value});
+  return true;  // new key
+}
+
+bool aux_update(std::vector<btree::Entry>& entries, Key key, Value value) {
+  const auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                                   [](const btree::Entry& e, Key k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return false;
+  it->value = value;
+  return true;
+}
+
+bool aux_erase(std::vector<btree::Entry>& entries, Key key) {
+  const auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                                   [](const btree::Entry& e, Key k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) return false;
+  entries.erase(it);
+  return true;
+}
+
+}  // namespace
+
+void BatchUpdater::apply_one(const UpdateOp& op, UpdateStats& local) {
+  // Routing reads only internal levels, which a batch never mutates, so
+  // no lock is needed to locate the leaf.
+  const std::uint32_t leaf = tree_.find_leaf(op.key);
+  const std::uint32_t li = leaf - tree_.first_leaf_index();
+
+  auto bump = [](std::uint64_t& counter) { ++counter; };
+
+  switch (op.kind) {
+    case OpKind::kUpdate: {
+      fine_enter();
+      bool ok;
+      {
+        std::lock_guard<std::mutex> lk(fine_[li]);
+        ok = aux_[li] ? aux_update(aux_[li]->entries, op.key, op.value)
+                      : tree_.leaf_update_inplace(leaf, op.key, op.value);
+      }
+      fine_exit();
+      bump(local.updates);
+      bump(local.fine_path_ops);
+      if (!ok) bump(local.failed);
+      return;
+    }
+
+    case OpKind::kInsert: {
+      // Optimistically try the fine path: an in-place insert succeeds
+      // whenever the leaf still has a free slot and is not split-marked.
+      bool need_split = false;
+      fine_enter();
+      {
+        std::lock_guard<std::mutex> lk(fine_[li]);
+        if (aux_[li]) {
+          need_split = true;  // leaf status is "split": use the aux node
+        } else {
+          need_split = !tree_.leaf_insert_inplace(leaf, op.key, op.value);
+        }
+      }
+      fine_exit();
+      if (!need_split) {
+        bump(local.inserts);
+        bump(local.fine_path_ops);
+        return;
+      }
+      coarse_section(local, [&] {
+        // Re-check under exclusivity: another coarse op may have already
+        // split this leaf into an aux node.
+        if (!aux_[li]) {
+          aux_[li] = std::make_unique<AuxNode>();
+          aux_[li]->entries = tree_.leaf_entries(leaf);
+        }
+        aux_upsert(aux_[li]->entries, op.key, op.value);
+        rebuild_needed_ = true;
+      });
+      bump(local.inserts);
+      bump(local.coarse_path_ops);
+      return;
+    }
+
+    case OpKind::kDelete: {
+      // Fine path while the leaf keeps at least one key; emptying a leaf
+      // is a merge and takes the coarse path.
+      bool done = false;
+      bool ok = false;
+      fine_enter();
+      {
+        std::lock_guard<std::mutex> lk(fine_[li]);
+        if (aux_[li]) {
+          if (aux_[li]->entries.size() > 1) {
+            ok = aux_erase(aux_[li]->entries, op.key);
+            done = true;
+          }
+        } else if (tree_.node_key_count(leaf) > 1) {
+          ok = tree_.leaf_erase_inplace(leaf, op.key);
+          done = true;
+        }
+      }
+      fine_exit();
+      if (!done) {
+        coarse_section(local, [&] {
+          if (!aux_[li]) {
+            aux_[li] = std::make_unique<AuxNode>();
+            aux_[li]->entries = tree_.leaf_entries(leaf);
+          }
+          ok = aux_erase(aux_[li]->entries, op.key);
+          rebuild_needed_ = true;
+        });
+        bump(local.coarse_path_ops);
+      } else {
+        bump(local.fine_path_ops);
+      }
+      bump(local.deletes);
+      if (!ok) bump(local.failed);
+      return;
+    }
+  }
+}
+
+UpdateStats BatchUpdater::apply(std::span<const UpdateOp> ops, unsigned threads) {
+  HARMONIA_CHECK(threads >= 1);
+  UpdateStats stats;
+  WallTimer timer;
+
+  if (threads == 1) {
+    for (const auto& op : ops) apply_one(op, stats);
+  } else {
+    std::vector<UpdateStats> locals(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([this, &ops, &locals, t, threads] {
+        UpdateStats& local = locals[t];
+        for (std::size_t i = t; i < ops.size(); i += threads) {
+          apply_one(ops[i], local);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& local : locals) {
+      stats.updates += local.updates;
+      stats.inserts += local.inserts;
+      stats.deletes += local.deletes;
+      stats.failed += local.failed;
+      stats.fine_path_ops += local.fine_path_ops;
+      stats.coarse_path_ops += local.coarse_path_ops;
+      stats.coarse_retries += local.coarse_retries;
+    }
+  }
+  stats.apply_seconds = timer.elapsed_seconds();
+
+  timer.reset();
+  if (rebuild_needed_) rebuild(stats);
+  stats.rebuild_seconds = timer.elapsed_seconds();
+  return stats;
+}
+
+void BatchUpdater::rebuild(UpdateStats& stats) {
+  const unsigned kpn = tree_.keys_per_node();
+  const auto target = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::lround(static_cast<double>(kpn) * 0.69)), 1, kpn);
+
+  std::vector<std::vector<btree::Entry>> leaves;
+  leaves.reserve(tree_.num_leaves());
+  std::uint32_t first_changed = tree_.num_leaves();
+  for (std::uint32_t li = 0; li < tree_.num_leaves(); ++li) {
+    if (aux_[li]) {
+      first_changed = std::min(first_changed, li);
+      ++stats.aux_nodes;
+      // Chunk the auxiliary node into target-fill leaves (a split yields
+      // two or more; a merged-away leaf yields none).
+      const auto& entries = aux_[li]->entries;
+      std::size_t i = 0;
+      while (i < entries.size()) {
+        const std::size_t take = std::min(target, entries.size() - i);
+        leaves.emplace_back(entries.begin() + static_cast<std::ptrdiff_t>(i),
+                            entries.begin() + static_cast<std::ptrdiff_t>(i + take));
+        i += take;
+      }
+    } else {
+      leaves.push_back(tree_.leaf_entries(tree_.first_leaf_index() + li));
+    }
+  }
+  HARMONIA_CHECK_MSG(!leaves.empty(), "batch removed every key from the tree");
+
+  HarmoniaTree rebuilt = HarmoniaTree::from_leaves(std::move(leaves), tree_.fanout());
+
+  // Deferred-movement accounting: everything from the first structurally
+  // changed leaf onward moves, plus all internal nodes (their prefix-sum
+  // entries and separators are regenerated).
+  const std::uint64_t unchanged =
+      static_cast<std::uint64_t>(first_changed) * kpn;
+  stats.moved_slots +=
+      static_cast<std::uint64_t>(rebuilt.num_nodes()) * kpn - std::min<std::uint64_t>(
+          unchanged, static_cast<std::uint64_t>(rebuilt.num_nodes()) * kpn);
+  stats.rebuilt = true;
+
+  tree_ = std::move(rebuilt);
+  aux_.clear();
+  aux_.resize(tree_.num_leaves());
+  fine_ = std::make_unique<std::mutex[]>(tree_.num_leaves());
+  rebuild_needed_ = false;
+}
+
+}  // namespace harmonia

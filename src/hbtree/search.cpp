@@ -1,0 +1,130 @@
+#include "hbtree/search.hpp"
+
+#include <array>
+#include <bit>
+
+#include "common/expect.hpp"
+
+namespace harmonia::hbtree {
+
+using gpusim::LaneMask;
+
+HBSearchStats hb_search_batch(gpusim::Device& device, const HBTreeDeviceImage& image,
+                              gpusim::DevPtr<Key> queries, std::uint64_t n,
+                              gpusim::DevPtr<Value> out_values) {
+  HARMONIA_CHECK(n > 0);
+  const gpusim::DeviceSpec& spec = device.spec();
+  const unsigned warp = spec.warp_size;
+  const unsigned gs = std::min(std::bit_ceil(image.fanout), warp);
+  const unsigned qpw = warp / gs;
+  const unsigned kpn = image.keys_per_node();
+  const unsigned chunks_per_node = (kpn + gs - 1) / gs;
+  const std::uint64_t num_warps = (n + qpw - 1) / qpw;
+
+  auto kernel = [&](gpusim::WarpCtx& w) {
+    const std::uint64_t base = w.warp_id() * qpw;
+    const unsigned nq = static_cast<unsigned>(std::min<std::uint64_t>(qpw, n - base));
+
+    std::array<std::uint64_t, 32> addrs{};
+    std::array<Key, 32> lane_keys{};
+    std::array<Key, 32> target{};
+    std::array<std::uint32_t, 32> node{};
+    std::array<unsigned, 32> sep_leq{};
+    std::array<bool, 32> found{};
+    std::array<unsigned, 32> found_slot{};
+
+    LaneMask leader_mask = 0;
+    for (unsigned g = 0; g < nq; ++g) {
+      leader_mask |= gpusim::lane_bit(g * gs);
+      addrs[g * gs] = queries.element_addr(base + g);
+    }
+    {
+      std::array<Key, 32> qvals{};
+      w.gather<Key>(leader_mask, std::span(addrs.data(), warp), qvals);
+      for (unsigned g = 0; g < nq; ++g) target[g] = qvals[g * gs];
+      w.compute(leader_mask);
+    }
+
+    for (unsigned level = 0; level < image.height; ++level) {
+      const bool leaf_level = (level + 1 == image.height);
+      for (unsigned g = 0; g < nq; ++g) sep_leq[g] = 0;
+
+      // Full-node scan: every chunk, every key (traditional design).
+      for (unsigned chunk = 0; chunk < chunks_per_node; ++chunk) {
+        LaneMask mask = 0;
+        for (unsigned g = 0; g < nq; ++g) {
+          for (unsigned j = 0; j < gs; ++j) {
+            const unsigned slot = chunk * gs + j;
+            if (slot >= kpn) break;
+            const unsigned lane = g * gs + j;
+            mask |= gpusim::lane_bit(lane);
+            addrs[lane] = image.node_key_addr(node[g], slot);
+          }
+        }
+        if (mask == 0) break;
+        w.gather<Key>(mask, std::span(addrs.data(), warp), lane_keys);
+        w.compute(mask);
+
+        for (unsigned g = 0; g < nq; ++g) {
+          for (unsigned j = 0; j < gs; ++j) {
+            const unsigned slot = chunk * gs + j;
+            if (slot >= kpn) break;
+            const Key k = lane_keys[g * gs + j];
+            if (leaf_level) {
+              if (k == target[g]) {
+                found[g] = true;
+                found_slot[g] = slot;
+              }
+            } else if (k <= target[g]) {
+              ++sep_leq[g];
+            }
+          }
+        }
+      }
+
+      if (!leaf_level) {
+        // The child-reference indirection: a 4 B load from the node
+        // record in global memory per query per level.
+        LaneMask mask = 0;
+        for (unsigned g = 0; g < nq; ++g) {
+          mask |= gpusim::lane_bit(g * gs);
+          addrs[g * gs] = image.child_ref_addr(node[g], sep_leq[g]);
+        }
+        std::array<std::uint32_t, 32> refs{};
+        w.gather<std::uint32_t>(mask, std::span(addrs.data(), warp), refs);
+        w.compute(mask);
+        for (unsigned g = 0; g < nq; ++g) node[g] = refs[g * gs];
+      }
+    }
+
+    LaneMask hit_mask = 0;
+    std::array<Value, 32> vals{};
+    for (unsigned g = 0; g < nq; ++g) {
+      if (found[g]) {
+        hit_mask |= gpusim::lane_bit(g * gs);
+        addrs[g * gs] = image.value_addr(node[g], found_slot[g]);
+      }
+    }
+    if (hit_mask != 0) {
+      w.gather<Value>(hit_mask, std::span(addrs.data(), warp), vals);
+    }
+    LaneMask out_mask = 0;
+    std::array<Value, 32> out_vals{};
+    for (unsigned g = 0; g < nq; ++g) {
+      const unsigned lane = g * gs;
+      out_mask |= gpusim::lane_bit(lane);
+      addrs[lane] = out_values.element_addr(base + g);
+      out_vals[lane] = found[g] ? vals[lane] : kNotFound;
+    }
+    w.scatter<Value>(out_mask, std::span(addrs.data(), warp),
+                     std::span<const Value>(out_vals.data(), warp));
+  };
+
+  HBSearchStats stats;
+  stats.metrics = device.launch(num_warps, kernel);
+  stats.queries = n;
+  stats.warps = num_warps;
+  return stats;
+}
+
+}  // namespace harmonia::hbtree

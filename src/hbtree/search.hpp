@@ -1,0 +1,26 @@
+// HB+Tree baseline search kernel: fanout-wide thread groups, full-node key
+// comparisons (no early exit — the "useless comparisons" of §4.2), and a
+// child-reference load from global memory at every level (the indirection
+// of §2.2's "gap in memory access requirement").
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "hbtree/layout.hpp"
+
+namespace harmonia::hbtree {
+
+inline constexpr Value kNotFound = ~Value{0};
+
+struct HBSearchStats {
+  gpusim::KernelMetrics metrics;
+  std::uint64_t queries = 0;
+  std::uint64_t warps = 0;
+};
+
+HBSearchStats hb_search_batch(gpusim::Device& device, const HBTreeDeviceImage& image,
+                              gpusim::DevPtr<Key> queries, std::uint64_t n,
+                              gpusim::DevPtr<Value> out_values);
+
+}  // namespace harmonia::hbtree

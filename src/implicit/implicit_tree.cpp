@@ -1,0 +1,193 @@
+#include "implicit/implicit_tree.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+
+namespace harmonia::implicit {
+
+ImplicitTree ImplicitTree::build(std::span<const btree::Entry> entries, unsigned fanout) {
+  HARMONIA_CHECK_MSG(fanout >= 4, "fanout must be >= 4");
+  HARMONIA_CHECK_MSG(!entries.empty(), "cannot build an empty implicit tree");
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    HARMONIA_CHECK_MSG(entries[i - 1].key < entries[i].key,
+                       "build input must be sorted and distinct");
+  }
+  HARMONIA_CHECK_MSG(entries.back().key != kPadKey, "kPadKey is reserved");
+
+  ImplicitTree out;
+  out.fanout_ = fanout;
+  const unsigned kpn = fanout - 1;
+  out.num_nodes_ =
+      static_cast<std::uint32_t>((entries.size() + kpn - 1) / kpn);
+  out.num_keys_ = entries.size();
+
+  // Height of the complete shape: levels 1, k, k^2, ...
+  std::uint64_t covered = 0;
+  std::uint64_t level_nodes = 1;
+  while (covered < out.num_nodes_) {
+    covered += level_nodes;
+    level_nodes *= fanout;
+    ++out.height_;
+  }
+
+  out.keys_.assign(static_cast<std::size_t>(out.num_nodes_) * kpn, kPadKey);
+  out.values_.assign(out.keys_.size(), Value{0});
+  std::uint64_t cursor = 0;
+  out.assign_inorder(0, entries, cursor);
+  HARMONIA_CHECK(cursor == entries.size());
+  return out;
+}
+
+void ImplicitTree::assign_inorder(std::uint32_t node, std::span<const btree::Entry> entries,
+                                  std::uint64_t& cursor) {
+  if (node >= num_nodes_) return;
+  const unsigned kpn = keys_per_node();
+  for (unsigned j = 0; j < fanout_; ++j) {
+    assign_inorder(child(node, j), entries, cursor);
+    if (j < kpn && cursor < entries.size()) {
+      keys_[static_cast<std::size_t>(node) * kpn + j] = entries[cursor].key;
+      values_[static_cast<std::size_t>(node) * kpn + j] = entries[cursor].value;
+      ++cursor;
+    }
+  }
+}
+
+std::span<const Key> ImplicitTree::node_keys(std::uint32_t node) const {
+  HARMONIA_CHECK(node < num_nodes_);
+  return std::span<const Key>(keys_).subspan(
+      static_cast<std::size_t>(node) * keys_per_node(), keys_per_node());
+}
+
+std::optional<Value> ImplicitTree::search(Key key) const {
+  if (key == kPadKey) return std::nullopt;
+  std::uint32_t node = 0;
+  while (node < num_nodes_) {
+    const auto slots = node_keys(node);
+    // Keys live at every level of a k-ary search tree: equality can hit
+    // before reaching the bottom.
+    const auto it = std::lower_bound(slots.begin(), slots.end(), key);
+    if (it != slots.end() && *it == key) {
+      return values_[static_cast<std::size_t>(node) * keys_per_node() +
+                     static_cast<std::size_t>(it - slots.begin())];
+    }
+    const auto upper = std::upper_bound(slots.begin(), slots.end(), key);
+    node = child(node, static_cast<unsigned>(upper - slots.begin()));
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// In-order traversal over key slots; visitor returns false to stop.
+template <typename Fn>
+bool inorder_slots(const ImplicitTree& tree, std::uint32_t node, Fn&& fn) {
+  if (node >= tree.num_nodes()) return true;
+  for (unsigned j = 0; j < tree.fanout(); ++j) {
+    if (!inorder_slots(tree, tree.child(node, j), fn)) return false;
+    if (j < tree.keys_per_node()) {
+      if (!fn(node, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<btree::Entry> ImplicitTree::range(Key lo, Key hi, std::size_t limit) const {
+  std::vector<btree::Entry> out;
+  if (lo > hi || num_nodes_ == 0) return out;
+  // In-order walk with subtree pruning: subtree j of a node holds keys in
+  // (keys[j-1], keys[j]); skip it when that interval misses [lo, hi].
+  struct Walker {
+    const ImplicitTree& tree;
+    Key lo, hi;
+    std::size_t limit;
+    std::vector<btree::Entry>& out;
+
+    bool visit(std::uint32_t node) {
+      if (node >= tree.num_nodes()) return true;
+      const auto slots = tree.node_keys(node);
+      const unsigned kpn = tree.keys_per_node();
+      for (unsigned j = 0; j < tree.fanout(); ++j) {
+        const bool skip_subtree =
+            (j < kpn && slots[j] < lo) ||          // subtree keys < slots[j] <= lo
+            (j > 0 && slots[j - 1] > hi);          // subtree keys > slots[j-1] > hi
+        if (!skip_subtree && !visit(tree.child(node, j))) return false;
+        if (j < kpn) {
+          const Key k = slots[j];
+          if (k == kPadKey || k > hi) return true;  // in-order: nothing later fits
+          if (k >= lo) {
+            out.push_back({k, tree.values()[static_cast<std::size_t>(node) * kpn + j]});
+            if (limit != 0 && out.size() >= limit) return false;
+          }
+        }
+      }
+      return true;
+    }
+  };
+  Walker walker{*this, lo, hi, limit, out};
+  walker.visit(0);
+  return out;
+}
+
+ImplicitTree ImplicitTree::rebuild_with(std::span<const btree::Entry> upserts,
+                                        std::span<const Key> removed) const {
+  // Collect the current contents in order...
+  std::vector<btree::Entry> current;
+  current.reserve(num_keys_);
+  inorder_slots(*this, 0, [&](std::uint32_t node, unsigned j) {
+    const std::size_t slot = static_cast<std::size_t>(node) * keys_per_node() + j;
+    if (keys_[slot] != kPadKey) current.push_back({keys_[slot], values_[slot]});
+    return true;
+  });
+
+  // ...merge the batch, then rebuild from scratch (the whole point).
+  std::vector<btree::Entry> adds(upserts.begin(), upserts.end());
+  std::sort(adds.begin(), adds.end(),
+            [](const btree::Entry& a, const btree::Entry& b) { return a.key < b.key; });
+  std::unordered_set<Key> dropped(removed.begin(), removed.end());
+
+  std::vector<btree::Entry> merged;
+  merged.reserve(current.size() + adds.size());
+  std::size_t i = 0, j = 0;
+  while (i < current.size() || j < adds.size()) {
+    btree::Entry next;
+    if (j >= adds.size() || (i < current.size() && current[i].key < adds[j].key)) {
+      next = current[i++];
+    } else {
+      if (i < current.size() && current[i].key == adds[j].key) ++i;  // overwritten
+      next = adds[j++];
+    }
+    if (!dropped.count(next.key)) merged.push_back(next);
+  }
+  HARMONIA_CHECK_MSG(!merged.empty(), "rebuild removed every key");
+  return build(merged, fanout_);
+}
+
+void ImplicitTree::validate() const {
+  HARMONIA_CHECK(num_nodes_ > 0);
+  HARMONIA_CHECK(keys_.size() == static_cast<std::size_t>(num_nodes_) * keys_per_node());
+  HARMONIA_CHECK(values_.size() == keys_.size());
+
+  // In-order slots: strictly ascending real keys, then only pads.
+  std::uint64_t seen = 0;
+  bool pad_seen = false;
+  std::optional<Key> prev;
+  inorder_slots(*this, 0, [&](std::uint32_t node, unsigned j) {
+    const Key k = keys_[static_cast<std::size_t>(node) * keys_per_node() + j];
+    if (k == kPadKey) {
+      pad_seen = true;
+      return true;
+    }
+    HARMONIA_CHECK_MSG(!pad_seen, "real key after pad in in-order position");
+    HARMONIA_CHECK_MSG(!prev || *prev < k, "in-order keys not strictly ascending");
+    prev = k;
+    ++seen;
+    return true;
+  });
+  HARMONIA_CHECK_MSG(seen == num_keys_, "key count mismatch");
+}
+
+}  // namespace harmonia::implicit

@@ -1,0 +1,84 @@
+// Implicit B+tree (§2.2, citing Munro & Suwanda): the *other* B+tree
+// organization the paper considers and rejects.
+//
+// The tree is complete and stores only keys, laid out breadth-first in
+// one array; child locations come from pure index arithmetic
+// (child(i, j) = i*fanout + j + 1 in node units), so no child references
+// — and no prefix-sum region — exist at all. Keys live in *every* node
+// (a k-ary search tree), assigned by an in-order traversal of the
+// complete tree shape, so each node's keys partition its subtrees.
+//
+// The catch, and the reason the paper builds Harmonia on the *regular*
+// B+tree instead: any insert or delete "has to restructure the entire
+// tree" — updates are full rebuilds. ext_implicit_baseline measures both
+// sides of that trade.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "btree/btree.hpp"
+
+namespace harmonia::implicit {
+
+using Key = std::uint64_t;
+using Value = std::uint64_t;
+
+/// Pad for slots past the last real key (compares greater than any key).
+inline constexpr Key kPadKey = ~Key{0};
+
+class ImplicitTree {
+ public:
+  /// Builds from sorted, distinct entries. Node capacity is fanout-1
+  /// keys; the node count is the minimum complete shape covering them.
+  static ImplicitTree build(std::span<const btree::Entry> entries, unsigned fanout);
+
+  unsigned fanout() const { return fanout_; }
+  unsigned keys_per_node() const { return fanout_ - 1; }
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  std::uint64_t num_keys() const { return num_keys_; }
+  unsigned height() const { return height_; }
+
+  std::span<const Key> keys() const { return keys_; }
+  std::span<const Value> values() const { return values_; }
+  std::span<const Key> node_keys(std::uint32_t node) const;
+
+  /// Index arithmetic: the j-th child of node i (may be >= num_nodes(),
+  /// meaning "no such subtree").
+  std::uint32_t child(std::uint32_t node, unsigned j) const {
+    return node * fanout_ + j + 1;
+  }
+
+  /// Host-side reference search.
+  std::optional<Value> search(Key key) const;
+
+  /// In-order scan of [lo, hi] (up to limit entries; 0 = unlimited).
+  std::vector<btree::Entry> range(Key lo, Key hi, std::size_t limit = 0) const;
+
+  /// The paper's point: updates restructure the whole tree. Returns the
+  /// rebuilt tree; `removed` keys are dropped, `upserts` inserted or
+  /// overwritten. Cost is O(existing + changes) regardless of batch size.
+  ImplicitTree rebuild_with(std::span<const btree::Entry> upserts,
+                            std::span<const Key> removed) const;
+
+  /// Structural invariants (search-tree ordering, pad placement).
+  void validate() const;
+
+ private:
+  ImplicitTree() = default;
+
+  void assign_inorder(std::uint32_t node, std::span<const btree::Entry> entries,
+                      std::uint64_t& cursor);
+  void inorder_collect(std::uint32_t node, std::vector<btree::Entry>& out) const;
+
+  unsigned fanout_ = 0;
+  unsigned height_ = 0;
+  std::uint32_t num_nodes_ = 0;
+  std::uint64_t num_keys_ = 0;
+  std::vector<Key> keys_;     // num_nodes * (fanout-1), in-order assigned
+  std::vector<Value> values_; // parallel to keys_
+};
+
+}  // namespace harmonia::implicit

@@ -1,0 +1,50 @@
+// Device placement and batched lookup kernel for the implicit B+tree.
+//
+// There is no child region at all: the next node is pure index
+// arithmetic, so traversal touches only the key array — the implicit
+// organization's one advantage. Each query is served by a thread group,
+// same SIMT structure as the Harmonia kernel, so the two are directly
+// comparable on the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "implicit/implicit_tree.hpp"
+
+namespace harmonia::implicit {
+
+inline constexpr Value kNotFound = ~Value{0};
+
+struct ImplicitDeviceImage {
+  unsigned fanout = 0;
+  unsigned height = 0;
+  std::uint32_t num_nodes = 0;
+  gpusim::DevPtr<Key> keys;
+  gpusim::DevPtr<Value> values;
+
+  unsigned keys_per_node() const { return fanout - 1; }
+  std::uint64_t key_addr(std::uint32_t node, unsigned slot) const {
+    return keys.element_addr(static_cast<std::uint64_t>(node) * keys_per_node() + slot);
+  }
+  std::uint64_t value_addr(std::uint32_t node, unsigned slot) const {
+    return values.element_addr(static_cast<std::uint64_t>(node) * keys_per_node() + slot);
+  }
+
+  static ImplicitDeviceImage upload(gpusim::Device& device, const ImplicitTree& tree);
+};
+
+struct ImplicitSearchStats {
+  gpusim::KernelMetrics metrics;
+  std::uint64_t queries = 0;
+  std::uint64_t warps = 0;
+};
+
+/// Batched lookups; group_size 0 selects the fanout-based group.
+ImplicitSearchStats implicit_search_batch(gpusim::Device& device,
+                                          const ImplicitDeviceImage& image,
+                                          gpusim::DevPtr<Key> queries, std::uint64_t n,
+                                          gpusim::DevPtr<Value> out_values,
+                                          unsigned group_size = 0);
+
+}  // namespace harmonia::implicit

@@ -1,0 +1,31 @@
+// Mixed update batches for the batch-update evaluation (Fig. 14: 5%
+// inserts / 95% updates, batch size 4096K).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace harmonia::queries {
+
+enum class OpKind : std::uint8_t { kUpdate, kInsert, kDelete };
+
+struct UpdateOp {
+  OpKind kind;
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+struct BatchSpec {
+  std::uint64_t size = 4096 << 10;
+  double insert_fraction = 0.05;
+  double delete_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a shuffled batch: updates target existing `tree_keys`, inserts
+/// use fresh keys from gaps between existing ones, deletes target existing
+/// keys (each key deleted at most once per batch).
+std::vector<UpdateOp> make_update_batch(const std::vector<std::uint64_t>& tree_keys,
+                                        const BatchSpec& spec);
+
+}  // namespace harmonia::queries

@@ -1,0 +1,114 @@
+#include "queries/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "queries/zipf.hpp"
+
+namespace harmonia::queries {
+
+Distribution distribution_from_string(const std::string& name) {
+  if (name == "uniform") return Distribution::kUniform;
+  if (name == "zipfian" || name == "zipf") return Distribution::kZipfian;
+  if (name == "gaussian" || name == "normal") return Distribution::kGaussian;
+  if (name == "sorted") return Distribution::kSorted;
+  if (name == "sequential") return Distribution::kSequential;
+  throw std::invalid_argument("unknown distribution: " + name);
+}
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipfian";
+    case Distribution::kGaussian: return "gaussian";
+    case Distribution::kSorted: return "sorted";
+    case Distribution::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> make_tree_keys(std::uint64_t count, std::uint64_t seed) {
+  HARMONIA_CHECK(count > 0);
+  // Stratified sampling: one key per stride keeps keys distinct, sorted,
+  // and uniformly spread without an O(n log n) sort or a dedup pass.
+  const std::uint64_t universe = kReservedKey;  // [0, 2^64 - 2]
+  const std::uint64_t stride = universe / count;
+  HARMONIA_CHECK_MSG(stride > 0, "tree size exceeds key universe");
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    keys[i] = i * stride + rng.next_below(stride);
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> make_queries(const std::vector<std::uint64_t>& tree_keys,
+                                        std::uint64_t count, Distribution dist,
+                                        std::uint64_t seed) {
+  HARMONIA_CHECK(!tree_keys.empty());
+  const std::uint64_t n = tree_keys.size();
+  std::vector<std::uint64_t> out(count);
+  Xoshiro256 rng(seed);
+
+  switch (dist) {
+    case Distribution::kUniform:
+      for (auto& q : out) q = tree_keys[rng.next_below(n)];
+      break;
+    case Distribution::kZipfian: {
+      ZipfGenerator zipf(n, 0.99, seed);
+      // Scatter ranks across the key space so the hot set is not one leaf.
+      const std::uint64_t scramble = 0x9e3779b97f4a7c15ULL;
+      for (auto& q : out) q = tree_keys[(zipf.next() * scramble) % n];
+      break;
+    }
+    case Distribution::kGaussian: {
+      // Box-Muller around the middle of the tree, sigma = n/8.
+      const double mu = static_cast<double>(n) / 2.0;
+      const double sigma = static_cast<double>(n) / 8.0;
+      for (auto& q : out) {
+        const double u1 = rng.next_double();
+        const double u2 = rng.next_double();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(2.0 * M_PI * u2);
+        auto idx = static_cast<std::int64_t>(mu + sigma * z);
+        idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(n) - 1);
+        q = tree_keys[static_cast<std::uint64_t>(idx)];
+      }
+      break;
+    }
+    case Distribution::kSorted: {
+      for (auto& q : out) q = tree_keys[rng.next_below(n)];
+      std::sort(out.begin(), out.end());
+      break;
+    }
+    case Distribution::kSequential:
+      for (std::uint64_t i = 0; i < count; ++i) out[i] = tree_keys[i % n];
+      break;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> make_missing_keys(const std::vector<std::uint64_t>& tree_keys,
+                                             std::uint64_t count, std::uint64_t seed) {
+  HARMONIA_CHECK(tree_keys.size() >= 2);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> out;
+  std::unordered_set<std::uint64_t> seen;
+  out.reserve(count);
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    const std::uint64_t i = rng.next_below(tree_keys.size() - 1);
+    const std::uint64_t lo = tree_keys[i];
+    const std::uint64_t hi = tree_keys[i + 1];
+    if (hi - lo < 2) continue;
+    const std::uint64_t k = lo + 1 + rng.next_below(hi - lo - 1);
+    if (seen.insert(k).second) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace harmonia::queries

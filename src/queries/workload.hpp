@@ -1,0 +1,45 @@
+// Workload generation: the keys that populate trees and the query streams
+// that traverse them.
+//
+// The paper's search evaluation uses uniformly distributed queries over
+// trees of 2^23–2^26 keys (§5.1); zipfian / clustered / sorted streams are
+// provided for the extended experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harmonia::queries {
+
+/// The key reserved as the "empty slot" pad in device images; generators
+/// never produce it.
+inline constexpr std::uint64_t kReservedKey = ~std::uint64_t{0};
+
+enum class Distribution {
+  kUniform,    ///< uniform over the key universe (paper's main workload)
+  kZipfian,    ///< skewed access, rank-frequency exponent ~0.99
+  kGaussian,   ///< clustered around the middle of the universe
+  kSorted,     ///< ascending targets (best-case locality)
+  kSequential  ///< round-robin over the tree's keys in order
+};
+
+Distribution distribution_from_string(const std::string& name);
+std::string to_string(Distribution d);
+
+/// `count` distinct keys spread uniformly over [0, 2^64-2], sorted
+/// ascending: the canonical tree population (keys occupy their space
+/// sparsely, as §4.1.2 assumes).
+std::vector<std::uint64_t> make_tree_keys(std::uint64_t count, std::uint64_t seed);
+
+/// A query stream of `count` targets drawn from `tree_keys` (every query
+/// hits an existing key) with the given distribution.
+std::vector<std::uint64_t> make_queries(const std::vector<std::uint64_t>& tree_keys,
+                                        std::uint64_t count, Distribution dist,
+                                        std::uint64_t seed);
+
+/// Keys **not** in `tree_keys` (for miss-path tests): midpoints of gaps.
+std::vector<std::uint64_t> make_missing_keys(const std::vector<std::uint64_t>& tree_keys,
+                                             std::uint64_t count, std::uint64_t seed);
+
+}  // namespace harmonia::queries

@@ -1,0 +1,37 @@
+#include "queries/zipf.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace harmonia::queries {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  HARMONIA_CHECK(n > 0);
+  HARMONIA_CHECK(theta > 0.0 && theta < 1.0);
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::zeta(std::uint64_t n, double theta) {
+  // Direct summation; generators are constructed once per workload, and
+  // the n we use (≤ 2^26) sums in well under a second.
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+std::uint64_t ZipfGenerator::next() {
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace harmonia::queries

@@ -1,0 +1,32 @@
+// Zipfian rank generator (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases") used for skewed query streams.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace harmonia::queries {
+
+class ZipfGenerator {
+ public:
+  /// Ranks are drawn from [0, n) with P(rank) ∝ 1/(rank+1)^theta.
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  std::uint64_t next();
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace harmonia::queries

@@ -1,0 +1,82 @@
+#include "sort/radix_sort.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace harmonia::sort {
+
+namespace {
+
+constexpr unsigned kDigitBits = 8;
+constexpr std::size_t kBuckets = 1u << kDigitBits;
+
+/// One stable counting pass on digit bits [shift, shift+width).
+template <bool kWithPayload>
+void counting_pass(std::vector<std::uint64_t>& keys, std::vector<std::uint64_t>& keys_tmp,
+                   std::vector<std::uint64_t>& payload, std::vector<std::uint64_t>& payload_tmp,
+                   unsigned shift, unsigned width) {
+  const std::uint64_t mask = (width == 64) ? ~std::uint64_t{0} : ((1ULL << width) - 1);
+  std::array<std::size_t, kBuckets> count{};
+  for (std::uint64_t k : keys) ++count[(k >> shift) & mask];
+  std::size_t sum = 0;
+  for (auto& c : count) {
+    const std::size_t next = sum + c;
+    c = sum;
+    sum = next;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t dst = count[(keys[i] >> shift) & mask]++;
+    keys_tmp[dst] = keys[i];
+    if constexpr (kWithPayload) payload_tmp[dst] = payload[i];
+  }
+  keys.swap(keys_tmp);
+  if constexpr (kWithPayload) payload.swap(payload_tmp);
+}
+
+template <bool kWithPayload>
+void sort_bits_impl(std::span<std::uint64_t> keys, std::span<std::uint64_t> payload,
+                    unsigned lo_bit, unsigned num_bits) {
+  HARMONIA_CHECK(lo_bit + num_bits <= 64);
+  if constexpr (kWithPayload) HARMONIA_CHECK(payload.size() == keys.size());
+  if (num_bits == 0 || keys.size() < 2) return;
+
+  std::vector<std::uint64_t> k(keys.begin(), keys.end());
+  std::vector<std::uint64_t> k_tmp(k.size());
+  std::vector<std::uint64_t> p, p_tmp;
+  if constexpr (kWithPayload) {
+    p.assign(payload.begin(), payload.end());
+    p_tmp.resize(p.size());
+  }
+
+  unsigned shift = lo_bit;
+  unsigned remaining = num_bits;
+  while (remaining > 0) {
+    const unsigned width = remaining < kDigitBits ? remaining : kDigitBits;
+    counting_pass<kWithPayload>(k, k_tmp, p, p_tmp, shift, width);
+    shift += width;
+    remaining -= width;
+  }
+
+  std::copy(k.begin(), k.end(), keys.begin());
+  if constexpr (kWithPayload) std::copy(p.begin(), p.end(), payload.begin());
+}
+
+}  // namespace
+
+void radix_sort(std::span<std::uint64_t> keys) { radix_sort_bits(keys, 0, 64); }
+
+void radix_sort_bits(std::span<std::uint64_t> keys, unsigned lo_bit, unsigned num_bits) {
+  std::span<std::uint64_t> no_payload;
+  sort_bits_impl<false>(keys, no_payload, lo_bit, num_bits);
+}
+
+void radix_sort_pairs_bits(std::span<std::uint64_t> keys, std::span<std::uint64_t> payload,
+                           unsigned lo_bit, unsigned num_bits) {
+  sort_bits_impl<true>(keys, payload, lo_bit, num_bits);
+}
+
+unsigned radix_passes(unsigned num_bits) { return (num_bits + kDigitBits - 1) / kDigitBits; }
+
+}  // namespace harmonia::sort

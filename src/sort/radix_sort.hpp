@@ -1,0 +1,32 @@
+// LSD radix sort over a configurable bit window.
+//
+// PSA (§4.1.2) sorts query batches on only their most significant N bits:
+// for bit-wise sorts the run time is proportional to the number of sorted
+// bits, so a partial sort costs N/64 of a full sort while still making
+// warp-adjacent queries share tree-traversal prefixes. Sorting the window
+// [lo_bit, lo_bit+num_bits) with a stable LSD pass sequence yields exactly
+// the paper's partially-sorted order (ties keep input order).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace harmonia::sort {
+
+/// Full 64-bit LSD radix sort (8-bit digits).
+void radix_sort(std::span<std::uint64_t> keys);
+
+/// Stable sort of `keys` by the bit window [lo_bit, lo_bit + num_bits).
+/// num_bits == 0 is a no-op. lo_bit + num_bits must be <= 64.
+void radix_sort_bits(std::span<std::uint64_t> keys, unsigned lo_bit, unsigned num_bits);
+
+/// As radix_sort_bits, but carries a parallel payload array (query ids,
+/// values) through the same permutation.
+void radix_sort_pairs_bits(std::span<std::uint64_t> keys, std::span<std::uint64_t> payload,
+                           unsigned lo_bit, unsigned num_bits);
+
+/// Number of 8-bit digit passes a bit-window sort needs (the quantity the
+/// GPU sort cost model charges for).
+unsigned radix_passes(unsigned num_bits);
+
+}  // namespace harmonia::sort

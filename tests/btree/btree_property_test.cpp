@@ -1,0 +1,109 @@
+// Property-style sweeps: the same invariants across fanouts, sizes, and
+// fill factors (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "btree/btree.hpp"
+#include "common/rng.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia::btree {
+namespace {
+
+class BTreeFanoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BTreeFanoutSweep, RandomInsertSearchEraseInvariants) {
+  const unsigned fanout = GetParam();
+  BTree tree(fanout);
+  std::map<Key, Value> oracle;
+  Xoshiro256 rng(fanout);
+  for (int i = 0; i < 1200; ++i) {
+    const Key k = rng.next_below(400);
+    if (rng.next_below(4) == 0) {
+      EXPECT_EQ(tree.erase(k), oracle.erase(k) > 0);
+    } else {
+      tree.insert(k, k);
+      oracle[k] = k;
+    }
+  }
+  tree.validate();
+  ASSERT_EQ(tree.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(tree.search(k).value(), v);
+  }
+}
+
+TEST_P(BTreeFanoutSweep, BulkLoadThenFullScanMatches) {
+  const unsigned fanout = GetParam();
+  const auto keys = queries::make_tree_keys(3000, fanout);
+  const auto tree = make_tree(keys, fanout);
+  tree.validate();
+  const auto all = tree.range(0, ~std::uint64_t{0} - 1);
+  ASSERT_EQ(all.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(all[i].key, keys[i]);
+    EXPECT_EQ(all[i].value, value_for_key(keys[i]));
+  }
+}
+
+TEST_P(BTreeFanoutSweep, HeightLogarithmicInSize) {
+  const unsigned fanout = GetParam();
+  const auto keys = queries::make_tree_keys(4096, fanout + 1);
+  const auto tree = make_tree(keys, fanout);
+  // height <= ceil(log_{fanout/2}(n)) + 1 for any sane B+tree.
+  const double denom = std::log2(static_cast<double>(fanout) / 2.0);
+  const unsigned bound = static_cast<unsigned>(std::ceil(12.0 / denom)) + 2;
+  EXPECT_LE(tree.height(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFanoutSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+class BulkLoadSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, double, std::size_t>> {};
+
+TEST_P(BulkLoadSweep, ValidatesAndSearches) {
+  const auto [fanout, fill, size] = GetParam();
+  const auto keys = queries::make_tree_keys(size, 17);
+  std::vector<Entry> entries;
+  for (Key k : keys) entries.push_back({k, k ^ 0xABCD});
+  BTree tree(fanout);
+  tree.bulk_load(entries, fill);
+  tree.validate();
+  EXPECT_EQ(tree.size(), size);
+  Xoshiro256 rng(size);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = keys[rng.next_below(keys.size())];
+    EXPECT_EQ(tree.search(k).value(), k ^ 0xABCD);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FillFactors, BulkLoadSweep,
+    ::testing::Combine(::testing::Values(8u, 32u, 128u),
+                       ::testing::Values(0.5, 0.69, 1.0),
+                       ::testing::Values(std::size_t{100}, std::size_t{5000})));
+
+class InsertAfterBulkLoad : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InsertAfterBulkLoad, SplitsPreserveInvariants) {
+  const unsigned fanout = GetParam();
+  const auto keys = queries::make_tree_keys(1000, 23);
+  auto tree = make_tree(keys, fanout, 1.0);  // full nodes: inserts must split
+  const auto fresh = queries::make_missing_keys(keys, 300, 29);
+  for (Key k : fresh) {
+    ASSERT_TRUE(tree.insert(k, k));
+    tree.validate();
+  }
+  EXPECT_EQ(tree.size(), 1300u);
+  for (Key k : fresh) EXPECT_EQ(tree.search(k).value(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, InsertAfterBulkLoad,
+                         ::testing::Values(4u, 8u, 64u));
+
+}  // namespace
+}  // namespace harmonia::btree

@@ -1,0 +1,39 @@
+#include "btree/parallel_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+#include "queries/workload.hpp"
+
+namespace harmonia::btree {
+namespace {
+
+TEST(CpuBatchSearch, MatchesPointSearch) {
+  const auto keys = queries::make_tree_keys(3000, 1);
+  const auto tree = make_tree(keys, 32);
+  auto qs = queries::make_queries(keys, 1000, queries::Distribution::kUniform, 2);
+  const auto missing = queries::make_missing_keys(keys, 200, 3);
+  qs.insert(qs.end(), missing.begin(), missing.end());
+
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const auto result = search_batch_cpu(tree, qs, threads);
+    ASSERT_EQ(result.values.size(), qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      const auto expect = tree.search(qs[i]);
+      ASSERT_EQ(result.values[i], expect ? *expect : kNotFound)
+          << "threads=" << threads << " query " << i;
+    }
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_GT(result.throughput(), 0.0);
+  }
+}
+
+TEST(CpuBatchSearch, RejectsZeroThreads) {
+  const auto keys = queries::make_tree_keys(100, 4);
+  const auto tree = make_tree(keys, 8);
+  EXPECT_THROW(search_batch_cpu(tree, keys, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace harmonia::btree

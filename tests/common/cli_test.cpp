@@ -1,0 +1,76 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harmonia {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.flag("tree-size", "number of keys", "1048576")
+      .flag("dist", "query distribution", "uniform")
+      .flag("full", "run paper-scale sizes", "false")
+      .flag("fill", "leaf fill factor", "0.69");
+  return cli;
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--tree-size=4096", "--dist=zipfian"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_uint("tree-size", 0), 4096u);
+  EXPECT_EQ(cli.get_string("dist", ""), "zipfian");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--tree-size", "123"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("tree-size", 0), 123);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--full"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("full", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_uint("tree-size", 77), 77u);
+  EXPECT_FALSE(cli.get_bool("full", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("fill", 0.5), 0.5);
+  EXPECT_FALSE(cli.has("dist"));
+}
+
+TEST(Cli, UnknownFlagFailsParse) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--no-such-flag=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, DoubleParsing) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--fill=0.5"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("fill", 0.0), 0.5);
+}
+
+TEST(Cli, BadBoolThrows) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog", "--full=maybe"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_bool("full", false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harmonia

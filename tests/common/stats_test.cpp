@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_NEAR(s.stddev(), 1.5811388, 1e-6);
+}
+
+TEST(Summary, SingleSampleStddevZero) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(Summary, PercentileAfterMoreAdds) {
+  Summary s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+  s.add(5.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+  EXPECT_THROW(s.percentile(50), ContractViolation);
+}
+
+TEST(Summary, AddAllSpan) {
+  Summary s;
+  const double xs[] = {1.0, 2.0, 3.0};
+  s.add_all(xs);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.9, 9.5}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.bucket(1), 2u);  // 2.5, 2.9
+  EXPECT_EQ(h.bucket(4), 1u);  // 9.5
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), ContractViolation);
+  EXPECT_THROW(Histogram(10.0, 0.0, 4), ContractViolation);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace harmonia

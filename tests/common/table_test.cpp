@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace harmonia {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"tree size", "throughput"});
+  t.add("2^23", 3.6);
+  t.add("2^24", 3.4);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("tree size"), std::string::npos);
+  EXPECT_NE(s.find("throughput"), std::string::npos);
+  EXPECT_NE(s.find("2^23"), std::string::npos);
+  EXPECT_NE(s.find("3.600"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, FormatsIntegersWithoutDecimals) {
+  EXPECT_EQ(Table::format_cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::format_cell(-7), "-7");
+}
+
+TEST(Table, FormatsExtremeDoublesInScientific) {
+  const std::string big = Table::format_cell(3.6e9);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  EXPECT_EQ(Table::format_cell(0.0), "0.000");
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x"});
+  t.add("short");
+  t.add("a-much-longer-cell");
+  std::ostringstream os;
+  t.print(os);
+  std::string line;
+  std::istringstream is(os.str());
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TableCsv, BasicRoundTrip) {
+  Table t({"a", "b"});
+  t.add("x", 1.5);
+  t.add("y", 2.0);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1.500\ny,2.000\n");
+}
+
+TEST(TableCsv, QuotesSpecialCells) {
+  Table t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TableCsv, AccessorsExposeData) {
+  Table t({"h1", "h2"});
+  t.add("a", "b");
+  ASSERT_EQ(t.headers().size(), 2u);
+  EXPECT_EQ(t.headers()[0], "h1");
+  ASSERT_EQ(t.data().size(), 1u);
+  EXPECT_EQ(t.data()[0][1], "b");
+}
+
+}  // namespace
+}  // namespace harmonia

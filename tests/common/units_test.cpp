@@ -1,0 +1,29 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harmonia {
+namespace {
+
+TEST(Units, SiPrefixScalesByThousands) {
+  EXPECT_EQ(si_prefix(3.6e9), "3.60 G");
+  EXPECT_EQ(si_prefix(1500.0), "1.50 K");
+  EXPECT_EQ(si_prefix(12.0), "12.00 ");
+}
+
+TEST(Units, SiPrefixNegative) {
+  EXPECT_EQ(si_prefix(-2500.0), "-2.50 K");
+}
+
+TEST(Units, BytesHumanPowersOfTwo) {
+  EXPECT_EQ(bytes_human(16384), "16.0 KiB");
+  EXPECT_EQ(bytes_human(512), "512 B");
+  EXPECT_EQ(bytes_human(3ULL << 30), "3.0 GiB");
+}
+
+TEST(Units, ThroughputHuman) {
+  EXPECT_EQ(throughput_human(3.6e9), "3.60 Gq/s");
+}
+
+}  // namespace
+}  // namespace harmonia

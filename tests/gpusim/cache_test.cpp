@@ -1,0 +1,80 @@
+#include "gpusim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace harmonia::gpusim {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  Cache c(1024, 128, 2);  // 4 sets x 2 ways
+  EXPECT_FALSE(c.access(10));
+  EXPECT_TRUE(c.access(10));
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(2 * 128, 128, 2);  // 1 set, 2 ways: lines 0,1,2 conflict
+  c.access(0);
+  c.access(1);
+  c.access(0);     // 0 is now MRU
+  c.access(2);     // evicts 1 (LRU)
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Cache, SetsIsolateLines) {
+  Cache c(4 * 128, 128, 1);  // 4 direct-mapped sets
+  // Lines 0..3 map to distinct sets -> all retained.
+  for (std::uint64_t line = 0; line < 4; ++line) c.access(line);
+  for (std::uint64_t line = 0; line < 4; ++line) EXPECT_TRUE(c.contains(line));
+  // Line 4 conflicts with line 0 only.
+  c.access(4);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(Cache, FlushEmptiesTags) {
+  Cache c(1024, 128, 2);
+  c.access(5);
+  c.flush();
+  EXPECT_FALSE(c.contains(5));
+  EXPECT_FALSE(c.access(5));  // miss again after flush
+}
+
+TEST(Cache, CapacityHoldsWorkingSet) {
+  Cache c(64 * 128, 128, 8);  // 64 lines total
+  for (std::uint64_t line = 0; line < 64; ++line) c.access(line);
+  c.reset_stats();
+  for (std::uint64_t line = 0; line < 64; ++line) c.access(line);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_EQ(c.hits(), 64u);
+}
+
+TEST(Cache, ThrashingWorkingSetMisses) {
+  Cache c(64 * 128, 128, 8);  // 8 sets x 8 ways
+  // 128 lines cycled: every access misses once warm (LRU, round robin).
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t line = 0; line < 128; ++line) c.access(line);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 256u);
+}
+
+TEST(Cache, InvalidGeometryThrows) {
+  EXPECT_THROW(Cache(1000, 128, 2), ContractViolation);  // not a multiple
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  Cache c(1024, 128, 2);
+  c.access(1);
+  c.reset_stats();
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.access(1));  // still cached
+}
+
+}  // namespace
+}  // namespace harmonia::gpusim

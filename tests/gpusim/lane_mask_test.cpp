@@ -1,0 +1,42 @@
+#include "gpusim/lane_mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harmonia::gpusim {
+namespace {
+
+TEST(LaneMask, FullMask) {
+  EXPECT_EQ(full_mask(1), 0x1u);
+  EXPECT_EQ(full_mask(4), 0xFu);
+  EXPECT_EQ(full_mask(32), 0xFFFFFFFFu);
+}
+
+TEST(LaneMask, LaneBit) {
+  EXPECT_EQ(lane_bit(0), 0x1u);
+  EXPECT_EQ(lane_bit(5), 0x20u);
+  EXPECT_EQ(lane_bit(31), 0x80000000u);
+}
+
+TEST(LaneMask, LaneActive) {
+  const LaneMask m = lane_bit(3) | lane_bit(7);
+  EXPECT_TRUE(lane_active(m, 3));
+  EXPECT_TRUE(lane_active(m, 7));
+  EXPECT_FALSE(lane_active(m, 0));
+  EXPECT_FALSE(lane_active(m, 31));
+}
+
+TEST(LaneMask, ActiveCount) {
+  EXPECT_EQ(active_count(0), 0u);
+  EXPECT_EQ(active_count(full_mask(32)), 32u);
+  EXPECT_EQ(active_count(lane_bit(1) | lane_bit(30)), 2u);
+}
+
+TEST(LaneMask, GroupMask) {
+  EXPECT_EQ(group_mask(0, 4), 0xFu);
+  EXPECT_EQ(group_mask(4, 4), 0xF0u);
+  EXPECT_EQ(group_mask(28, 4), 0xF0000000u);
+  EXPECT_EQ(group_mask(0, 32), 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace harmonia::gpusim

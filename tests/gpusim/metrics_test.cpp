@@ -1,0 +1,116 @@
+#include "gpusim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harmonia::gpusim {
+namespace {
+
+KernelMetrics simple_metrics(unsigned sms) {
+  KernelMetrics m;
+  m.sm_compute_cycles.assign(sms, 0);
+  m.sm_mem_cycles.assign(sms, 0);
+  m.sm_resident_warps.assign(sms, 0);
+  return m;
+}
+
+TEST(Metrics, CoherenceAndDivergenceRatios) {
+  KernelMetrics m;
+  m.steps = 10;
+  m.coherent_steps = 8;
+  m.loads = 4;
+  m.divergent_loads = 1;
+  EXPECT_DOUBLE_EQ(m.warp_coherence(), 0.8);
+  EXPECT_DOUBLE_EQ(m.memory_divergence(), 0.25);
+}
+
+TEST(Metrics, EmptyRatiosAreBenign) {
+  KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.warp_coherence(), 1.0);
+  EXPECT_DOUBLE_EQ(m.memory_divergence(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_transactions_per_warp(), 0.0);
+}
+
+TEST(Metrics, GlobalTransactionsIsL2PlusDram) {
+  KernelMetrics m;
+  m.l2_hits = 7;
+  m.dram_transactions = 3;
+  EXPECT_EQ(m.global_transactions(), 10u);
+}
+
+TEST(Metrics, ComputeBoundSm) {
+  const DeviceSpec spec = titan_v();
+  auto m = simple_metrics(spec.num_sms);
+  m.sm_compute_cycles[0] = 1000000;
+  m.sm_mem_cycles[0] = 100;
+  m.sm_resident_warps[0] = 1;
+  EXPECT_NEAR(m.elapsed_cycles(spec), 1000000 + spec.launch_overhead_cycles, 1e-6);
+}
+
+TEST(Metrics, MemoryLatencyHiddenByWarps) {
+  const DeviceSpec spec = titan_v();
+  auto a = simple_metrics(spec.num_sms);
+  a.sm_mem_cycles[0] = 1 << 20;
+  a.sm_resident_warps[0] = 1;
+  auto b = a;
+  b.sm_resident_warps[0] = 32;
+  EXPECT_GT(a.elapsed_cycles(spec), b.elapsed_cycles(spec));
+}
+
+TEST(Metrics, DramBandwidthBound) {
+  const DeviceSpec spec = titan_v();
+  auto m = simple_metrics(spec.num_sms);
+  m.dram_transactions = 1 << 24;
+  const double expected = static_cast<double>(1 << 24) * spec.dram_cycles_per_txn +
+                          spec.launch_overhead_cycles;
+  EXPECT_NEAR(m.elapsed_cycles(spec), expected, 1.0);
+}
+
+TEST(Metrics, WorstSmDominates) {
+  const DeviceSpec spec = titan_v();
+  auto m = simple_metrics(spec.num_sms);
+  m.sm_compute_cycles[3] = 500;
+  m.sm_compute_cycles[5] = 900;
+  m.sm_resident_warps[3] = m.sm_resident_warps[5] = 1;
+  EXPECT_NEAR(m.elapsed_cycles(spec), 900 + spec.launch_overhead_cycles, 1e-9);
+}
+
+TEST(Metrics, ThroughputPositive) {
+  const DeviceSpec spec = titan_v();
+  auto m = simple_metrics(spec.num_sms);
+  m.sm_compute_cycles[0] = 1000;
+  m.sm_resident_warps[0] = 1;
+  EXPECT_GT(m.throughput(spec, 1000), 0.0);
+}
+
+TEST(Metrics, MergeAccumulates) {
+  auto a = simple_metrics(2);
+  a.warps = 1;
+  a.steps = 10;
+  a.transactions = 5;
+  a.sm_compute_cycles[0] = 100;
+  auto b = simple_metrics(2);
+  b.warps = 2;
+  b.steps = 20;
+  b.transactions = 7;
+  b.sm_compute_cycles[0] = 50;
+  b.sm_compute_cycles[1] = 60;
+  a.merge(b);
+  EXPECT_EQ(a.warps, 3u);
+  EXPECT_EQ(a.steps, 30u);
+  EXPECT_EQ(a.transactions, 12u);
+  EXPECT_EQ(a.sm_compute_cycles[0], 150u);
+  EXPECT_EQ(a.sm_compute_cycles[1], 60u);
+}
+
+TEST(Metrics, DevicePresetsDiffer) {
+  const DeviceSpec v = titan_v();
+  const DeviceSpec k = tesla_k80();
+  EXPECT_GT(v.num_sms, k.num_sms);
+  EXPECT_GT(v.clock_ghz, k.clock_ghz);
+  EXPECT_LT(v.dram_cycles_per_txn, k.dram_cycles_per_txn);
+  EXPECT_EQ(v.warp_size, 32u);
+  EXPECT_EQ(k.warp_size, 32u);
+}
+
+}  // namespace
+}  // namespace harmonia::gpusim

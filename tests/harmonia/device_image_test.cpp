@@ -1,0 +1,92 @@
+#include "harmonia/device_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 4;
+  spec.global_mem_bytes = 256 << 20;
+  return spec;
+}
+
+HarmoniaTree make(std::uint64_t n, unsigned fanout) {
+  const auto keys = queries::make_tree_keys(n, n);
+  return HarmoniaTree::from_btree(btree::make_tree(keys, fanout));
+}
+
+TEST(DeviceImage, UploadRoundTripsKeyRegion) {
+  gpusim::Device dev(test_spec());
+  const auto tree = make(2000, 16);
+  const auto img = HarmoniaDeviceImage::upload(dev, tree);
+  EXPECT_EQ(img.num_nodes, tree.num_nodes());
+  EXPECT_EQ(img.first_leaf, tree.first_leaf_index());
+  EXPECT_EQ(img.height, tree.height());
+  for (std::uint32_t n = 0; n < tree.num_nodes(); n += 13) {
+    for (unsigned s = 0; s < tree.keys_per_node(); ++s) {
+      ASSERT_EQ(dev.memory().read<Key>(img.node_key_addr(n, s)), tree.node_keys(n)[s]);
+    }
+  }
+}
+
+TEST(DeviceImage, TopLevelsInConstantMemory) {
+  gpusim::Device dev(test_spec());
+  const auto tree = make(5000, 8);
+  const auto img = HarmoniaDeviceImage::upload(dev, tree);
+  ASSERT_GT(img.ps_const_count, 0u);
+  // The root's prefix-sum entry routes to the constant space.
+  EXPECT_TRUE(gpusim::is_const_address(img.ps_addr(0)));
+  // Prefix-sum values agree between the two copies.
+  for (std::uint32_t n = 0; n < img.ps_const_count; ++n) {
+    ASSERT_EQ(dev.memory().read<std::uint32_t>(img.ps_const.element_addr(n)),
+              dev.memory().read<std::uint32_t>(img.ps_global.element_addr(n)));
+  }
+}
+
+TEST(DeviceImage, ConstPlacementRespectsBudget) {
+  gpusim::Device dev(test_spec());
+  const auto tree = make(20000, 8);  // many nodes
+  const auto img = HarmoniaDeviceImage::upload(dev, tree, /*const_budget_bytes=*/1 << 10);
+  EXPECT_LE(img.ps_const_count * sizeof(std::uint32_t), 1u << 10);
+  EXPECT_LT(img.ps_const_count, tree.num_nodes());
+  // Deep nodes route to global memory.
+  EXPECT_FALSE(gpusim::is_const_address(img.ps_addr(tree.num_nodes() - 1)));
+}
+
+TEST(DeviceImage, WholeTreeFitsConstWhenSmall) {
+  gpusim::Device dev(test_spec());
+  const auto tree = make(100, 8);
+  const auto img = HarmoniaDeviceImage::upload(dev, tree);
+  EXPECT_EQ(img.ps_const_count, tree.num_nodes());
+}
+
+TEST(DeviceImage, ValueRegionUploaded) {
+  gpusim::Device dev(test_spec());
+  const auto tree = make(1000, 16);
+  const auto img = HarmoniaDeviceImage::upload(dev, tree);
+  const std::uint32_t leaf = tree.first_leaf_index();
+  for (unsigned s = 0; s < tree.node_key_count(leaf); ++s) {
+    ASSERT_EQ(dev.memory().read<Value>(img.value_addr(leaf, s)),
+              tree.value_region()[tree.value_slot(leaf, s)]);
+  }
+}
+
+TEST(DeviceImage, ZeroBudgetPutsEverythingGlobal) {
+  gpusim::Device dev(test_spec());
+  const auto tree = make(1000, 8);
+  // A budget below one level's size keeps the prefix-sum array global;
+  // ps_addr must still work for every node.
+  const auto img = HarmoniaDeviceImage::upload(dev, tree, 2);
+  EXPECT_EQ(img.ps_const_count, 0u);
+  for (std::uint32_t n = 0; n < tree.num_nodes(); n += 97) {
+    ASSERT_EQ(dev.memory().read<std::uint32_t>(img.ps_addr(n)), tree.prefix_sum()[n]);
+  }
+}
+
+}  // namespace
+}  // namespace harmonia

@@ -1,0 +1,145 @@
+#include "harmonia/ntg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+#include <algorithm>
+
+#include "btree/btree.hpp"
+#include "harmonia/psa.hpp"
+#include "harmonia/search.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+HarmoniaTree make(std::uint64_t n, unsigned fanout, std::uint64_t seed = 1) {
+  const auto keys = queries::make_tree_keys(n, seed);
+  return HarmoniaTree::from_btree(btree::make_tree(keys, fanout));
+}
+
+std::vector<Key> sample_queries(const HarmoniaTree& tree, std::uint64_t n,
+                                std::uint64_t seed) {
+  // NTG profiles the post-PSA stream: partially sort the sample.
+  const auto keys = queries::make_tree_keys(tree.num_keys(), seed);
+  auto qs = queries::make_queries(keys, n, queries::Distribution::kUniform, seed + 1);
+  auto plan = psa_prepare(qs, tree.num_keys(), gpusim::titan_v(), PsaMode::kPartial);
+  return plan.queries;
+}
+
+TEST(Ntg, StepsDecreaseWithWiderGroups) {
+  const auto tree = make(5000, 64);
+  const auto qs = sample_queries(tree, 1000, 1);
+  const auto spec = gpusim::titan_v();
+  double prev = 0.0;
+  for (unsigned gs : {32u, 16u, 8u, 4u, 2u, 1u}) {
+    const double s = profile_avg_max_steps(tree, qs, spec, gs);
+    EXPECT_GE(s, prev) << "narrower groups cannot need fewer steps (gs=" << gs << ")";
+    prev = s;
+  }
+}
+
+TEST(Ntg, WideGroupNeedsOneStepPerLevelFanout8) {
+  // fanout 8 => 7 keys; a 8-lane group covers the node in one chunk, so
+  // every level costs exactly one step.
+  const auto tree = make(2000, 8);
+  const auto qs = sample_queries(tree, 512, 2);
+  EXPECT_DOUBLE_EQ(profile_avg_max_steps(tree, qs, gpusim::titan_v(), 8), 1.0);
+}
+
+TEST(Ntg, ChoiceIsPowerOfTwoWithinRange) {
+  for (unsigned fanout : {8u, 16u, 32u, 64u, 128u}) {
+    const auto tree = make(4000, fanout, fanout);
+    const auto qs = sample_queries(tree, 1000, fanout);
+    const auto choice = choose_group_size(tree, qs, gpusim::titan_v());
+    EXPECT_GE(choice.group_size, 1u);
+    EXPECT_LE(choice.group_size, 32u);
+    EXPECT_EQ(choice.group_size & (choice.group_size - 1), 0u);
+  }
+}
+
+TEST(Ntg, NarrowsForLargeFanout) {
+  // §4.2: for large fanouts most comparisons are useless, so the model
+  // must narrow below the fanout-based width.
+  const auto tree = make(8000, 64);
+  const auto qs = sample_queries(tree, 1000, 3);
+  const auto choice = choose_group_size(tree, qs, gpusim::titan_v());
+  EXPECT_LT(choice.group_size, 32u);
+}
+
+TEST(Ntg, CandidatesOrderedWidestFirst) {
+  const auto tree = make(3000, 64);
+  const auto qs = sample_queries(tree, 500, 4);
+  const auto choice = choose_group_size(tree, qs, gpusim::titan_v());
+  ASSERT_GE(choice.candidates.size(), 2u);
+  for (std::size_t i = 1; i < choice.candidates.size(); ++i) {
+    EXPECT_EQ(choice.candidates[i].group_size, choice.candidates[i - 1].group_size / 2);
+  }
+  EXPECT_DOUBLE_EQ(choice.candidates.front().predicted_speedup, 1.0);
+}
+
+TEST(Ntg, ChosenSizeHasBestPredictedSpeedupAmongAccepted) {
+  const auto tree = make(6000, 128);
+  const auto qs = sample_queries(tree, 1000, 5);
+  const auto choice = choose_group_size(tree, qs, gpusim::titan_v());
+  // The chosen size's candidate must predict at least the widest group's
+  // throughput.
+  const auto it = std::find_if(choice.candidates.begin(), choice.candidates.end(),
+                               [&](const NtgCandidate& c) {
+                                 return c.group_size == choice.group_size;
+                               });
+  ASSERT_NE(it, choice.candidates.end());
+  EXPECT_GE(it->predicted_speedup, 1.0);
+}
+
+TEST(Ntg, ModelValidatedAgainstSimulatedKernel) {
+  // The paper: "the NTG size of this model is basically consistent with
+  // the NTG size of the best performance". Check the model's choice is
+  // within one halving of the simulator's empirical best.
+  // Use enough queries that every group size keeps all SMs at full
+  // occupancy — the regime Equation 3 assumes (memory latency hidden).
+  const auto tree = make(1 << 16, 64);
+  const auto qs = sample_queries(tree, 1 << 15, 6);
+  const auto spec = gpusim::titan_v();
+  const auto choice = choose_group_size(tree, qs, spec);
+
+  gpusim::Device dev([] {
+    auto s = gpusim::titan_v();
+    s.global_mem_bytes = 256 << 20;
+    return s;
+  }());
+  const auto img = HarmoniaDeviceImage::upload(dev, tree);
+  auto d_q = dev.memory().malloc<Key>(qs.size());
+  dev.memory().copy_to_device(d_q, std::span<const Key>(qs));
+  auto d_out = dev.memory().malloc<Value>(qs.size());
+
+  double best_tp = 0.0;
+  unsigned best_gs = 0;
+  for (unsigned gs : {32u, 16u, 8u, 4u, 2u, 1u}) {
+    SearchConfig cfg;
+    cfg.group_size = gs;
+    dev.flush_caches();
+    const auto stats = search_batch(dev, img, d_q, qs.size(), d_out, cfg);
+    const double tp = stats.metrics.throughput(dev.spec(), qs.size());
+    if (tp > best_tp) {
+      best_tp = tp;
+      best_gs = gs;
+    }
+  }
+  // "Basically consistent": within a factor of 4 (two halvings) of the
+  // empirical optimum, and strictly better than the fanout-based width.
+  const double ratio = static_cast<double>(choice.group_size) / best_gs;
+  EXPECT_GE(ratio, 0.25);
+  EXPECT_LE(ratio, 4.0);
+}
+
+TEST(Ntg, RejectsBadGroupSize) {
+  const auto tree = make(100, 8);
+  const auto qs = sample_queries(tree, 64, 7);
+  EXPECT_THROW(profile_avg_max_steps(tree, qs, gpusim::titan_v(), 3), ContractViolation);
+  EXPECT_THROW(profile_avg_max_steps(tree, qs, gpusim::titan_v(), 64), ContractViolation);
+}
+
+}  // namespace
+}  // namespace harmonia

@@ -1,0 +1,104 @@
+#include "harmonia/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 512 << 20;
+  return spec;
+}
+
+struct PipelineFixture {
+  gpusim::Device dev{test_spec()};
+  std::vector<Key> keys = queries::make_tree_keys(1 << 14, 1);
+  HarmoniaIndex index = [&] {
+    std::vector<btree::Entry> entries;
+    for (Key k : keys) entries.push_back({k, btree::value_for_key(k)});
+    return HarmoniaIndex::build(dev, entries, {.fanout = 16});
+  }();
+};
+
+TEST(Pipeline, ResultsMatchSingleBatch) {
+  PipelineFixture f;
+  const auto qs = queries::make_queries(f.keys, 5000, queries::Distribution::kUniform, 2);
+  const auto single = f.index.search(qs);
+
+  TransferModel link;
+  PipelineOptions opts;
+  opts.chunk_size = 700;  // deliberately not a divisor of 5000
+  const auto piped = pipelined_search(f.index, qs, link, opts);
+  EXPECT_EQ(piped.values, single.values);
+  EXPECT_EQ(piped.chunks, (5000 + 699) / 700);
+}
+
+TEST(Pipeline, OverlapNeverSlowerThanSerial) {
+  PipelineFixture f;
+  const auto qs = queries::make_queries(f.keys, 8192, queries::Distribution::kUniform, 3);
+  TransferModel link;
+  PipelineOptions serial, overlapped;
+  serial.chunk_size = overlapped.chunk_size = 1024;
+  serial.overlap = false;
+  overlapped.overlap = true;
+  const auto s = pipelined_search(f.index, qs, link, serial);
+  f.dev.flush_caches();
+  const auto o = pipelined_search(f.index, qs, link, overlapped);
+  EXPECT_LE(o.total_seconds, s.total_seconds * 1.001);
+  EXPECT_GE(o.throughput, s.throughput * 0.999);
+}
+
+TEST(Pipeline, OverlapBoundedByBottleneckStage) {
+  PipelineFixture f;
+  const auto qs = queries::make_queries(f.keys, 8192, queries::Distribution::kUniform, 4);
+  TransferModel link;
+  PipelineOptions opts;
+  opts.chunk_size = 1024;
+  const auto r = pipelined_search(f.index, qs, link, opts);
+  const double slowest = std::max(
+      {r.upload_seconds, r.sort_seconds + r.kernel_seconds, r.download_seconds});
+  EXPECT_GE(r.total_seconds, slowest);  // can't beat the bottleneck
+  EXPECT_LE(r.total_seconds,            // fill/drain bounded by total work
+            r.upload_seconds + r.sort_seconds + r.kernel_seconds +
+                r.download_seconds);
+  EXPECT_STRNE(r.bottleneck, "");
+}
+
+TEST(Pipeline, SlowLinkMakesTransferTheBottleneck) {
+  PipelineFixture f;
+  const auto qs = queries::make_queries(f.keys, 8192, queries::Distribution::kUniform, 5);
+  TransferModel slow;
+  slow.gigabytes_per_second = 0.001;  // pathological link
+  slow.latency_seconds = 0.0;
+  PipelineOptions opts;
+  opts.chunk_size = 1024;
+  const auto r = pipelined_search(f.index, qs, slow, opts);
+  EXPECT_STREQ(r.bottleneck, "upload");  // queries are as big as results
+  EXPECT_GT(r.upload_seconds, r.kernel_seconds);
+}
+
+TEST(Pipeline, SingleChunkFallsBackToSerial) {
+  PipelineFixture f;
+  const auto qs = queries::make_queries(f.keys, 100, queries::Distribution::kUniform, 6);
+  TransferModel link;
+  PipelineOptions opts;
+  opts.chunk_size = 1 << 20;
+  const auto r = pipelined_search(f.index, qs, link, opts);
+  EXPECT_EQ(r.chunks, 1u);
+  EXPECT_STREQ(r.bottleneck, "serial");
+}
+
+TEST(Pipeline, TransferModelMath) {
+  TransferModel link;
+  link.gigabytes_per_second = 10.0;
+  link.latency_seconds = 1e-6;
+  EXPECT_NEAR(link.seconds(10'000'000'000ULL), 1.0 + 1e-6, 1e-9);
+  EXPECT_NEAR(link.seconds(0), 1e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace harmonia

@@ -1,0 +1,106 @@
+#include "harmonia/psa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+std::vector<Key> random_batch(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Key> out(n);
+  for (auto& k : out) k = rng.next() >> 1;  // avoid kPadKey
+  return out;
+}
+
+TEST(Psa, NoneKeepsArrivalOrder) {
+  const auto batch = random_batch(1000, 1);
+  const auto plan = psa_prepare(batch, 1 << 20, gpusim::titan_v(), PsaMode::kNone);
+  EXPECT_EQ(plan.queries, batch);
+  EXPECT_EQ(plan.sorted_bits, 0u);
+  EXPECT_DOUBLE_EQ(plan.sort_cycles, 0.0);
+  for (std::size_t i = 0; i < batch.size(); ++i) EXPECT_EQ(plan.permutation[i], i);
+}
+
+TEST(Psa, FullSortsCompletely) {
+  const auto batch = random_batch(2000, 2);
+  const auto plan = psa_prepare(batch, 1 << 20, gpusim::titan_v(), PsaMode::kFull);
+  EXPECT_EQ(plan.sorted_bits, 64u);
+  EXPECT_TRUE(std::is_sorted(plan.queries.begin(), plan.queries.end()));
+  EXPECT_GT(plan.sort_cycles, 0.0);
+}
+
+TEST(Psa, PartialUsesEquation2Bits) {
+  const auto batch = random_batch(1000, 3);
+  const auto plan = psa_prepare(batch, 1ULL << 23, gpusim::titan_v(), PsaMode::kPartial);
+  EXPECT_EQ(plan.sorted_bits, 19u);  // §4.1.2 example
+  // Sorted on the top 19 bits: prefixes ascend.
+  for (std::size_t i = 1; i < plan.queries.size(); ++i) {
+    EXPECT_LE(plan.queries[i - 1] >> 45, plan.queries[i] >> 45);
+  }
+}
+
+TEST(Psa, PartialCheaperThanFull) {
+  const auto batch = random_batch(4096, 4);
+  const auto spec = gpusim::titan_v();
+  const auto partial = psa_prepare(batch, 1ULL << 23, spec, PsaMode::kPartial);
+  const auto full = psa_prepare(batch, 1ULL << 23, spec, PsaMode::kFull);
+  EXPECT_LT(partial.sort_cycles, full.sort_cycles);
+  // ~35% of the full sort (3 of 8 passes).
+  EXPECT_NEAR(partial.sort_cycles / full.sort_cycles, 0.375, 0.05);
+}
+
+TEST(Psa, OverrideBitsRespected) {
+  const auto batch = random_batch(500, 5);
+  const auto plan =
+      psa_prepare(batch, 1ULL << 23, gpusim::titan_v(), PsaMode::kPartial, 8);
+  EXPECT_EQ(plan.sorted_bits, 8u);
+  for (std::size_t i = 1; i < plan.queries.size(); ++i) {
+    EXPECT_LE(plan.queries[i - 1] >> 56, plan.queries[i] >> 56);
+  }
+}
+
+TEST(Psa, RestoreInvertsPermutation) {
+  const auto batch = random_batch(777, 6);
+  const auto plan = psa_prepare(batch, 1ULL << 20, gpusim::titan_v(), PsaMode::kFull);
+  // Results in issue order = the sorted queries themselves; restoring must
+  // give each arrival slot its own query back.
+  std::vector<Value> restored(batch.size());
+  psa_restore(plan, plan.queries, restored);
+  EXPECT_EQ(restored, batch);
+}
+
+TEST(Psa, PermutationIsBijective) {
+  const auto batch = random_batch(1234, 7);
+  const auto plan = psa_prepare(batch, 1ULL << 23, gpusim::titan_v(), PsaMode::kPartial);
+  std::vector<bool> seen(batch.size(), false);
+  for (auto p : plan.permutation) {
+    ASSERT_LT(p, batch.size());
+    ASSERT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Psa, TinyTreeSkipsSorting) {
+  const auto batch = random_batch(100, 8);
+  const auto plan = psa_prepare(batch, 8, gpusim::titan_v(), PsaMode::kPartial);
+  EXPECT_EQ(plan.sorted_bits, 0u);
+  EXPECT_EQ(plan.queries, batch);
+}
+
+TEST(Psa, RestoreRejectsSizeMismatch) {
+  const auto batch = random_batch(10, 9);
+  const auto plan = psa_prepare(batch, 1 << 20, gpusim::titan_v(), PsaMode::kNone);
+  std::vector<Value> wrong(5);
+  std::vector<Value> out(10);
+  EXPECT_THROW(psa_restore(plan, wrong, out), ContractViolation);
+}
+
+}  // namespace
+}  // namespace harmonia

@@ -1,0 +1,203 @@
+#include "harmonia/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+#include <algorithm>
+
+#include "btree/btree.hpp"
+#include "common/rng.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 512 << 20;
+  return spec;
+}
+
+struct Fixture {
+  gpusim::Device dev{test_spec()};
+  std::vector<Key> keys;
+  HarmoniaTree tree{make_tree(2000, 16)};
+  HarmoniaDeviceImage img;
+
+  HarmoniaTree make_tree(std::uint64_t n, unsigned fanout) {
+    keys = queries::make_tree_keys(n, 1);
+    return HarmoniaTree::from_btree(btree::make_tree(keys, fanout));
+  }
+
+  Fixture() { img = HarmoniaDeviceImage::upload(dev, tree); }
+
+  std::vector<Value> run(std::span<const Key> qs, const SearchConfig& cfg = {},
+                         SearchStats* stats_out = nullptr) {
+    auto d_q = dev.memory().malloc<Key>(qs.size());
+    dev.memory().copy_to_device(d_q, qs);
+    auto d_out = dev.memory().malloc<Value>(qs.size());
+    const auto stats = search_batch(dev, img, d_q, qs.size(), d_out, cfg);
+    if (stats_out != nullptr) *stats_out = stats;
+    std::vector<Value> out(qs.size());
+    dev.memory().copy_to_host(std::span<Value>(out), d_out);
+    return out;
+  }
+};
+
+TEST(Search, HitsMatchHostSearch) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 500, queries::Distribution::kUniform, 2);
+  const auto out = f.run(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], f.tree.search(qs[i]).value()) << "query " << i;
+  }
+}
+
+TEST(Search, MissesReturnSentinel) {
+  Fixture f;
+  const auto missing = queries::make_missing_keys(f.keys, 200, 3);
+  const auto out = f.run(missing);
+  for (Value v : out) ASSERT_EQ(v, kNotFound);
+}
+
+TEST(Search, MixedHitsAndMisses) {
+  Fixture f;
+  std::vector<Key> qs;
+  for (int i = 0; i < 100; ++i) {
+    qs.push_back(f.keys[static_cast<std::size_t>(i) * 7 % f.keys.size()]);
+  }
+  const auto missing = queries::make_missing_keys(f.keys, 100, 4);
+  qs.insert(qs.end(), missing.begin(), missing.end());
+  const auto out = f.run(qs);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_NE(out[i], kNotFound);
+  for (std::size_t i = 100; i < 200; ++i) ASSERT_EQ(out[i], kNotFound);
+}
+
+TEST(Search, SingleQuery) {
+  Fixture f;
+  const std::vector<Key> qs{f.keys[42]};
+  const auto out = f.run(qs);
+  EXPECT_EQ(out[0], f.tree.search(f.keys[42]).value());
+}
+
+TEST(Search, NonMultipleOfWarpBatch) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 333, queries::Distribution::kUniform, 5);
+  const auto out = f.run(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], f.tree.search(qs[i]).value());
+  }
+}
+
+TEST(Search, GroupSizeSweepGivesSameAnswers) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 256, queries::Distribution::kUniform, 6);
+  const auto baseline = f.run(qs);
+  for (unsigned gs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SearchConfig cfg;
+    cfg.group_size = gs;
+    const auto out = f.run(qs, cfg);
+    ASSERT_EQ(out, baseline) << "group size " << gs;
+  }
+}
+
+TEST(Search, EarlyExitOffSameAnswers) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 256, queries::Distribution::kUniform, 7);
+  SearchConfig with, without;
+  without.early_exit = false;
+  EXPECT_EQ(f.run(qs, with), f.run(qs, without));
+}
+
+TEST(Search, EarlyExitReducesSteps) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 1024, queries::Distribution::kUniform, 8);
+  SearchConfig narrow;
+  narrow.group_size = 4;  // 15 keys/node -> 4 chunks: early exit matters
+  SearchStats with_stats, without_stats;
+  narrow.early_exit = true;
+  f.run(qs, narrow, &with_stats);
+  narrow.early_exit = false;
+  f.run(qs, narrow, &without_stats);
+  EXPECT_LT(with_stats.chunk_steps, without_stats.chunk_steps);
+}
+
+TEST(Search, NarrowGroupsPackMoreQueriesPerWarp) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 1024, queries::Distribution::kUniform, 9);
+  SearchStats wide, narrow;
+  SearchConfig cfg;
+  cfg.group_size = 16;
+  f.run(qs, cfg, &wide);
+  cfg.group_size = 4;
+  f.run(qs, cfg, &narrow);
+  EXPECT_EQ(wide.warps, 1024u / 2);
+  EXPECT_EQ(narrow.warps, 1024u / 8);
+}
+
+TEST(Search, SortedQueriesCoalesceBetter) {
+  // The PSA premise (§4.1): sorted adjacent queries share traversal paths,
+  // so per-warp transactions drop.
+  Fixture f;
+  auto qs = queries::make_queries(f.keys, 4096, queries::Distribution::kUniform, 10);
+  SearchStats random_stats, sorted_stats;
+  f.dev.flush_caches();
+  f.run(qs, {}, &random_stats);
+  std::sort(qs.begin(), qs.end());
+  f.dev.flush_caches();
+  f.run(qs, {}, &sorted_stats);
+  EXPECT_LT(sorted_stats.metrics.transactions, random_stats.metrics.transactions);
+  EXPECT_LE(sorted_stats.metrics.memory_divergence(),
+            random_stats.metrics.memory_divergence());
+}
+
+TEST(Search, ResolveGroupSize) {
+  const auto spec = test_spec();
+  EXPECT_EQ(resolve_group_size(spec, 64, 0), 32u);   // capped at warp
+  EXPECT_EQ(resolve_group_size(spec, 8, 0), 8u);     // fanout-based
+  EXPECT_EQ(resolve_group_size(spec, 16, 4), 4u);    // explicit
+  EXPECT_THROW(resolve_group_size(spec, 16, 3), ContractViolation);   // not pow2
+  EXPECT_THROW(resolve_group_size(spec, 16, 64), ContractViolation);  // > warp
+}
+
+TEST(Search, MetricsAreAccumulated) {
+  Fixture f;
+  const auto qs = queries::make_queries(f.keys, 512, queries::Distribution::kUniform, 11);
+  SearchStats stats;
+  f.run(qs, {}, &stats);
+  EXPECT_EQ(stats.queries, 512u);
+  EXPECT_GT(stats.metrics.loads, 0u);
+  EXPECT_GT(stats.metrics.transactions, 0u);
+  EXPECT_GT(stats.metrics.steps, 0u);
+  EXPECT_GT(stats.metrics.elapsed_cycles(f.dev.spec()), 0.0);
+  EXPECT_GT(stats.metrics.throughput(f.dev.spec(), stats.queries), 0.0);
+}
+
+class SearchFanoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SearchFanoutSweep, CorrectAcrossFanouts) {
+  const unsigned fanout = GetParam();
+  gpusim::Device dev(test_spec());
+  const auto keys = queries::make_tree_keys(1200, fanout);
+  const auto tree = HarmoniaTree::from_btree(btree::make_tree(keys, fanout));
+  const auto img = HarmoniaDeviceImage::upload(dev, tree);
+  const auto qs = queries::make_queries(keys, 300, queries::Distribution::kUniform, 12);
+
+  auto d_q = dev.memory().malloc<Key>(qs.size());
+  dev.memory().copy_to_device(d_q, std::span<const Key>(qs));
+  auto d_out = dev.memory().malloc<Value>(qs.size());
+  search_batch(dev, img, d_q, qs.size(), d_out, {});
+  std::vector<Value> out(qs.size());
+  dev.memory().copy_to_host(std::span<Value>(out), d_out);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], tree.search(qs[i]).value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, SearchFanoutSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace harmonia

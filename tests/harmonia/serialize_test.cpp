@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "btree/btree.hpp"
+#include "common/expect.hpp"
+#include "harmonia/tree.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+HarmoniaTree sample_tree(std::uint64_t n = 2000, unsigned fanout = 16) {
+  const auto keys = queries::make_tree_keys(n, 1);
+  return HarmoniaTree::from_btree(btree::make_tree(keys, fanout));
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto tree = sample_tree();
+  std::stringstream buf;
+  tree.save(buf);
+  const auto loaded = HarmoniaTree::load(buf);
+  loaded.validate();
+  EXPECT_EQ(loaded.fanout(), tree.fanout());
+  EXPECT_EQ(loaded.num_nodes(), tree.num_nodes());
+  EXPECT_EQ(loaded.num_keys(), tree.num_keys());
+  EXPECT_EQ(loaded.height(), tree.height());
+  ASSERT_EQ(loaded.key_region().size(), tree.key_region().size());
+  for (std::size_t i = 0; i < tree.key_region().size(); ++i) {
+    ASSERT_EQ(loaded.key_region()[i], tree.key_region()[i]);
+  }
+  for (std::size_t i = 0; i < tree.prefix_sum().size(); ++i) {
+    ASSERT_EQ(loaded.prefix_sum()[i], tree.prefix_sum()[i]);
+  }
+}
+
+TEST(Serialize, LoadedTreeSearchesCorrectly) {
+  const auto keys = queries::make_tree_keys(3000, 2);
+  const auto tree = HarmoniaTree::from_btree(btree::make_tree(keys, 32));
+  std::stringstream buf;
+  tree.save(buf);
+  const auto loaded = HarmoniaTree::load(buf);
+  for (std::size_t i = 0; i < keys.size(); i += 17) {
+    ASSERT_EQ(loaded.search(keys[i]), tree.search(keys[i]));
+  }
+}
+
+TEST(Serialize, DetectsBitFlip) {
+  const auto tree = sample_tree();
+  std::stringstream buf;
+  tree.save(buf);
+  std::string bytes = buf.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt the middle of a region
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(HarmoniaTree::load(corrupted), ContractViolation);
+}
+
+TEST(Serialize, DetectsTruncation) {
+  const auto tree = sample_tree();
+  std::stringstream buf;
+  tree.save(buf);
+  std::string bytes = buf.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(HarmoniaTree::load(truncated), ContractViolation);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream junk("definitely not a harmonia image at all, sorry");
+  EXPECT_THROW(HarmoniaTree::load(junk), ContractViolation);
+}
+
+TEST(Serialize, SingleLeafTree) {
+  const auto tree = sample_tree(5, 8);
+  std::stringstream buf;
+  tree.save(buf);
+  const auto loaded = HarmoniaTree::load(buf);
+  EXPECT_EQ(loaded.num_keys(), 5u);
+  EXPECT_EQ(loaded.height(), 1u);
+}
+
+}  // namespace
+}  // namespace harmonia

@@ -1,0 +1,87 @@
+#include "hbtree/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queries/workload.hpp"
+
+namespace harmonia::hbtree {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 4;
+  spec.global_mem_bytes = 256 << 20;
+  return spec;
+}
+
+TEST(HBTreeHost, SearchMatchesBTree) {
+  const auto keys = queries::make_tree_keys(3000, 1);
+  const auto bt = btree::make_tree(keys, 16);
+  const auto host = HBTreeHost::from_btree(bt);
+  EXPECT_EQ(host.height(), bt.height());
+  for (Key k : keys) ASSERT_EQ(host.search(k), bt.search(k));
+  for (Key k : queries::make_missing_keys(keys, 300, 2)) {
+    ASSERT_FALSE(host.search(k).has_value());
+  }
+}
+
+TEST(HBTreeHost, ChildRefsAreBfsIndices) {
+  const auto keys = queries::make_tree_keys(1000, 8);
+  const auto bt = btree::make_tree(keys, 8);
+  const auto host = HBTreeHost::from_btree(bt);
+  // Root (node 0) children start at BFS index 1 and are consecutive.
+  ASSERT_FALSE(host.is_leaf(0));
+  const auto children = host.node_children(0);
+  std::uint32_t expected = 1;
+  for (std::uint32_t c : children) {
+    if (c == kNoChild) break;
+    EXPECT_EQ(c, expected++);
+  }
+}
+
+TEST(HBTreeHost, LeavesHaveNoChildren) {
+  const auto keys = queries::make_tree_keys(500, 8);
+  const auto host = HBTreeHost::from_btree(btree::make_tree(keys, 8));
+  for (std::uint32_t n = host.first_leaf_index(); n < host.num_nodes(); ++n) {
+    for (std::uint32_t c : host.node_children(n)) EXPECT_EQ(c, kNoChild);
+  }
+}
+
+TEST(HBTreeImage, NodeRecordsRoundTrip) {
+  gpusim::Device dev(test_spec());
+  const auto keys = queries::make_tree_keys(1200, 3);
+  const auto host = HBTreeHost::from_btree(btree::make_tree(keys, 16));
+  const auto img = HBTreeDeviceImage::upload(dev, host);
+  EXPECT_EQ(img.num_nodes, host.num_nodes());
+  for (std::uint32_t n = 0; n < host.num_nodes(); n += 7) {
+    for (unsigned s = 0; s < host.keys_per_node(); ++s) {
+      ASSERT_EQ(dev.memory().read<Key>(img.node_key_addr(n, s)), host.node_keys(n)[s]);
+    }
+    for (unsigned c = 0; c < img.fanout; ++c) {
+      ASSERT_EQ(dev.memory().read<std::uint32_t>(img.child_ref_addr(n, c)),
+                host.node_children(n)[c]);
+    }
+  }
+}
+
+TEST(HBTreeImage, NodeRecordsAreLarge) {
+  // §3.1: "the size of a node is about 1KB for a 64-fanout tree" — the
+  // baseline's per-node footprint dwarfs Harmonia's prefix-sum entry.
+  gpusim::Device dev(test_spec());
+  const auto keys = queries::make_tree_keys(5000, 4);
+  const auto host = HBTreeHost::from_btree(btree::make_tree(keys, 64));
+  const auto img = HBTreeDeviceImage::upload(dev, host);
+  EXPECT_GE(img.node_stride, 63 * 8 + 64 * 4);
+  EXPECT_LE(img.node_stride, 1024u);
+}
+
+TEST(HBTreeImage, NothingInConstantMemory) {
+  gpusim::Device dev(test_spec());
+  const auto keys = queries::make_tree_keys(500, 5);
+  const auto host = HBTreeHost::from_btree(btree::make_tree(keys, 8));
+  HBTreeDeviceImage::upload(dev, host);
+  EXPECT_EQ(dev.memory().const_used(), 0u);
+}
+
+}  // namespace
+}  // namespace harmonia::hbtree

@@ -1,0 +1,105 @@
+#include "hbtree/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queries/workload.hpp"
+
+namespace harmonia::hbtree {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 512 << 20;
+  return spec;
+}
+
+struct HBFixture {
+  gpusim::Device dev{test_spec()};
+  std::vector<Key> keys = queries::make_tree_keys(2500, 1);
+  HBTreeHost host = HBTreeHost::from_btree(btree::make_tree(keys, 16));
+  HBTreeDeviceImage img = HBTreeDeviceImage::upload(dev, host);
+
+  std::vector<Value> run(std::span<const Key> qs, HBSearchStats* stats_out = nullptr) {
+    auto d_q = dev.memory().malloc<Key>(qs.size());
+    dev.memory().copy_to_device(d_q, qs);
+    auto d_out = dev.memory().malloc<Value>(qs.size());
+    const auto stats = hb_search_batch(dev, img, d_q, qs.size(), d_out);
+    if (stats_out != nullptr) *stats_out = stats;
+    std::vector<Value> out(qs.size());
+    dev.memory().copy_to_host(std::span<Value>(out), d_out);
+    return out;
+  }
+};
+
+TEST(HBSearch, HitsMatchHost) {
+  HBFixture f;
+  const auto qs = queries::make_queries(f.keys, 600, queries::Distribution::kUniform, 2);
+  const auto out = f.run(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], f.host.search(qs[i]).value());
+  }
+}
+
+TEST(HBSearch, MissesReturnSentinel) {
+  HBFixture f;
+  const auto missing = queries::make_missing_keys(f.keys, 128, 3);
+  for (Value v : f.run(missing)) ASSERT_EQ(v, kNotFound);
+}
+
+TEST(HBSearch, OddBatchSizes) {
+  HBFixture f;
+  for (std::uint64_t n : {1u, 2u, 31u, 33u, 257u}) {
+    const auto qs = queries::make_queries(f.keys, n, queries::Distribution::kUniform, n);
+    const auto out = f.run(qs);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      ASSERT_EQ(out[i], f.host.search(qs[i]).value());
+    }
+  }
+}
+
+TEST(HBSearch, ChildRefLoadsHappenEveryLevel) {
+  HBFixture f;
+  const auto qs = queries::make_queries(f.keys, 512, queries::Distribution::kUniform, 4);
+  HBSearchStats stats;
+  f.run(qs, &stats);
+  // Loads per warp >= query load + per internal level (keys + child ref) +
+  // leaf keys + value + out store. The kernel cannot skip the indirection.
+  const std::uint64_t internal_levels = f.host.height() - 1;
+  EXPECT_GE(stats.metrics.loads,
+            stats.warps * (1 + internal_levels * 2));
+}
+
+TEST(HBSearch, NoConstantCacheTraffic) {
+  HBFixture f;
+  const auto qs = queries::make_queries(f.keys, 256, queries::Distribution::kUniform, 5);
+  HBSearchStats stats;
+  f.run(qs, &stats);
+  EXPECT_EQ(stats.metrics.const_hits, 0u);
+}
+
+class HBFanoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HBFanoutSweep, CorrectAcrossFanouts) {
+  const unsigned fanout = GetParam();
+  gpusim::Device dev(test_spec());
+  const auto keys = queries::make_tree_keys(1500, fanout);
+  const auto host = HBTreeHost::from_btree(btree::make_tree(keys, fanout));
+  const auto img = HBTreeDeviceImage::upload(dev, host);
+  const auto qs = queries::make_queries(keys, 400, queries::Distribution::kUniform, 6);
+  auto d_q = dev.memory().malloc<Key>(qs.size());
+  dev.memory().copy_to_device(d_q, std::span<const Key>(qs));
+  auto d_out = dev.memory().malloc<Value>(qs.size());
+  hb_search_batch(dev, img, d_q, qs.size(), d_out);
+  std::vector<Value> out(qs.size());
+  dev.memory().copy_to_host(std::span<Value>(out), d_out);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], host.search(qs[i]).value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, HBFanoutSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace harmonia::hbtree

@@ -1,0 +1,143 @@
+#include "implicit/implicit_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia::implicit {
+namespace {
+
+std::vector<btree::Entry> entries_for(const std::vector<Key>& keys) {
+  std::vector<btree::Entry> out;
+  for (Key k : keys) out.push_back({k, btree::value_for_key(k)});
+  return out;
+}
+
+TEST(ImplicitTree, BuildAndSearchAllKeys) {
+  const auto keys = queries::make_tree_keys(3000, 1);
+  const auto tree = ImplicitTree::build(entries_for(keys), 16);
+  tree.validate();
+  EXPECT_EQ(tree.num_keys(), keys.size());
+  for (Key k : keys) {
+    ASSERT_EQ(tree.search(k).value(), btree::value_for_key(k));
+  }
+}
+
+TEST(ImplicitTree, MissesReturnNothing) {
+  const auto keys = queries::make_tree_keys(1000, 2);
+  const auto tree = ImplicitTree::build(entries_for(keys), 8);
+  for (Key k : queries::make_missing_keys(keys, 300, 3)) {
+    ASSERT_FALSE(tree.search(k).has_value());
+  }
+  EXPECT_FALSE(tree.search(kPadKey).has_value());
+}
+
+TEST(ImplicitTree, NoChildStorageAtAll) {
+  // The organization's defining property: memory = keys + values, nothing
+  // else. A 1000-key fanout-64 tree stores exactly num_nodes*(63) slots.
+  const auto keys = queries::make_tree_keys(1000, 4);
+  const auto tree = ImplicitTree::build(entries_for(keys), 64);
+  EXPECT_EQ(tree.keys().size(), static_cast<std::size_t>(tree.num_nodes()) * 63);
+  EXPECT_EQ(tree.num_nodes(), (1000 + 62) / 63);
+}
+
+TEST(ImplicitTree, ChildIndexArithmetic) {
+  const auto keys = queries::make_tree_keys(500, 5);
+  const auto tree = ImplicitTree::build(entries_for(keys), 8);
+  EXPECT_EQ(tree.child(0, 0), 1u);
+  EXPECT_EQ(tree.child(0, 7), 8u);
+  EXPECT_EQ(tree.child(3, 2), 3u * 8 + 3);
+}
+
+TEST(ImplicitTree, SingleNodeTree) {
+  const auto keys = queries::make_tree_keys(5, 6);
+  const auto tree = ImplicitTree::build(entries_for(keys), 8);
+  tree.validate();
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  for (Key k : keys) EXPECT_TRUE(tree.search(k).has_value());
+}
+
+TEST(ImplicitTree, HeightIsLogarithmic) {
+  const auto keys = queries::make_tree_keys(1 << 15, 7);
+  const auto tree = ImplicitTree::build(entries_for(keys), 64);
+  EXPECT_LE(tree.height(), 3u);  // 63 + 63*64 + 63*64^2 >> 2^15
+}
+
+TEST(ImplicitTree, RangeMatchesSortedOrder) {
+  const auto keys = queries::make_tree_keys(2000, 8);
+  const auto tree = ImplicitTree::build(entries_for(keys), 16);
+  const auto out = tree.range(keys[100], keys[200]);
+  ASSERT_EQ(out.size(), 101u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, keys[100 + i]);
+    EXPECT_EQ(out[i].value, btree::value_for_key(keys[100 + i]));
+  }
+}
+
+TEST(ImplicitTree, RangeWithLimitAndEmpty) {
+  const auto keys = queries::make_tree_keys(1000, 9);
+  const auto tree = ImplicitTree::build(entries_for(keys), 8);
+  EXPECT_EQ(tree.range(0, ~std::uint64_t{0} - 1, 13).size(), 13u);
+  EXPECT_TRUE(tree.range(5, 1).empty());
+  const auto missing = queries::make_missing_keys(keys, 1, 10);
+  EXPECT_TRUE(tree.range(missing[0], missing[0]).empty());
+}
+
+TEST(ImplicitTree, RebuildWithUpserts) {
+  const auto keys = queries::make_tree_keys(1500, 11);
+  auto tree = ImplicitTree::build(entries_for(keys), 16);
+  const auto fresh = queries::make_missing_keys(keys, 100, 12);
+  std::vector<btree::Entry> upserts;
+  for (Key k : fresh) upserts.push_back({k, k * 3});
+  upserts.push_back({keys[7], 777});  // overwrite an existing key
+
+  const auto rebuilt = tree.rebuild_with(upserts, {});
+  rebuilt.validate();
+  EXPECT_EQ(rebuilt.num_keys(), keys.size() + fresh.size());
+  for (Key k : fresh) ASSERT_EQ(rebuilt.search(k).value(), k * 3);
+  EXPECT_EQ(rebuilt.search(keys[7]).value(), 777u);
+  EXPECT_EQ(rebuilt.search(keys[8]), tree.search(keys[8]));
+}
+
+TEST(ImplicitTree, RebuildWithRemovals) {
+  const auto keys = queries::make_tree_keys(800, 13);
+  auto tree = ImplicitTree::build(entries_for(keys), 8);
+  std::vector<Key> removed(keys.begin(), keys.begin() + 100);
+  const auto rebuilt = tree.rebuild_with({}, removed);
+  rebuilt.validate();
+  EXPECT_EQ(rebuilt.num_keys(), keys.size() - 100);
+  for (Key k : removed) EXPECT_FALSE(rebuilt.search(k).has_value());
+  EXPECT_TRUE(rebuilt.search(keys[100]).has_value());
+}
+
+TEST(ImplicitTree, BuildRejectsBadInput) {
+  EXPECT_THROW(ImplicitTree::build({}, 8), ContractViolation);
+  std::vector<btree::Entry> unsorted{{5, 1}, {3, 1}};
+  EXPECT_THROW(ImplicitTree::build(unsorted, 8), ContractViolation);
+  std::vector<btree::Entry> reserved{{kPadKey, 1}};
+  EXPECT_THROW(ImplicitTree::build(reserved, 8), ContractViolation);
+}
+
+class ImplicitFanoutSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ImplicitFanoutSweep, DifferentialAgainstBTree) {
+  const unsigned fanout = GetParam();
+  const auto keys = queries::make_tree_keys(1700, fanout);
+  const auto bt = btree::make_tree(keys, fanout);
+  const auto tree = ImplicitTree::build(entries_for(keys), fanout);
+  tree.validate();
+  Xoshiro256 rng(fanout);
+  for (int i = 0; i < 400; ++i) {
+    const Key k = rng.next();
+    ASSERT_EQ(tree.search(k), bt.search(k)) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, ImplicitFanoutSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace harmonia::implicit

@@ -1,0 +1,104 @@
+#include "implicit/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queries/workload.hpp"
+
+namespace harmonia::implicit {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 256 << 20;
+  return spec;
+}
+
+std::vector<btree::Entry> entries_for(const std::vector<Key>& keys) {
+  std::vector<btree::Entry> out;
+  for (Key k : keys) out.push_back({k, btree::value_for_key(k)});
+  return out;
+}
+
+struct ImplicitFixture {
+  gpusim::Device dev{test_spec()};
+  std::vector<Key> keys = queries::make_tree_keys(2500, 1);
+  ImplicitTree tree = ImplicitTree::build(entries_for(keys), 16);
+  ImplicitDeviceImage img = ImplicitDeviceImage::upload(dev, tree);
+
+  std::vector<Value> run(std::span<const Key> qs, unsigned gs = 0,
+                         ImplicitSearchStats* stats_out = nullptr) {
+    auto d_q = dev.memory().malloc<Key>(qs.size());
+    dev.memory().copy_to_device(d_q, qs);
+    auto d_out = dev.memory().malloc<Value>(qs.size());
+    const auto stats = implicit_search_batch(dev, img, d_q, qs.size(), d_out, gs);
+    if (stats_out != nullptr) *stats_out = stats;
+    std::vector<Value> out(qs.size());
+    dev.memory().copy_to_host(std::span<Value>(out), d_out);
+    return out;
+  }
+};
+
+TEST(ImplicitSearch, HitsMatchHost) {
+  ImplicitFixture f;
+  const auto qs = queries::make_queries(f.keys, 600, queries::Distribution::kUniform, 2);
+  const auto out = f.run(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], f.tree.search(qs[i]).value());
+  }
+}
+
+TEST(ImplicitSearch, MissesReturnSentinel) {
+  ImplicitFixture f;
+  const auto missing = queries::make_missing_keys(f.keys, 150, 3);
+  for (Value v : f.run(missing)) ASSERT_EQ(v, kNotFound);
+}
+
+TEST(ImplicitSearch, GroupSizeSweepAgrees) {
+  ImplicitFixture f;
+  const auto qs = queries::make_queries(f.keys, 256, queries::Distribution::kUniform, 4);
+  const auto baseline = f.run(qs);
+  for (unsigned gs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    ASSERT_EQ(f.run(qs, gs), baseline) << "group size " << gs;
+  }
+}
+
+TEST(ImplicitSearch, NoChildLoadsIssued) {
+  // Implicit traversal's advantage: per-level memory traffic is the key
+  // chunk only — the child is pure arithmetic. Loads per warp must be
+  // below the Harmonia kernel's (which adds a prefix-sum load per level).
+  ImplicitFixture f;
+  const auto qs = queries::make_queries(f.keys, 512, queries::Distribution::kUniform, 5);
+  ImplicitSearchStats stats;
+  f.run(qs, 0, &stats);
+  // query load + <= chunks per level key loads + value + store:
+  // height * chunks + 3 is a hard upper bound per warp.
+  const std::uint64_t chunks = (f.tree.keys_per_node() + 31) / 32;
+  EXPECT_LE(stats.metrics.loads, stats.warps * (f.tree.height() * chunks + 3));
+}
+
+TEST(ImplicitSearch, OddBatchSizes) {
+  ImplicitFixture f;
+  for (std::uint64_t n : {1u, 33u, 100u}) {
+    const auto qs = queries::make_queries(f.keys, n, queries::Distribution::kUniform, n);
+    const auto out = f.run(qs);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      ASSERT_EQ(out[i], f.tree.search(qs[i]).value());
+    }
+  }
+}
+
+TEST(ImplicitSearch, KeysFoundAtEveryLevel) {
+  // Internal-node hits terminate early: pick the root's keys explicitly.
+  ImplicitFixture f;
+  const auto root_keys = f.tree.node_keys(0);
+  std::vector<Key> qs(root_keys.begin(), root_keys.end());
+  const auto out = f.run(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(out[i], f.tree.search(qs[i]).value());
+    ASSERT_NE(out[i], kNotFound);
+  }
+}
+
+}  // namespace
+}  // namespace harmonia::implicit

@@ -1,0 +1,105 @@
+// Cross-structure integration: Harmonia and HB+Tree built from the same
+// data must agree with each other and with the CPU B+tree, through query
+// and update phases.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harmonia/index.hpp"
+#include "hbtree/index.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 512 << 20;
+  return spec;
+}
+
+std::vector<btree::Entry> entries_for(const std::vector<Key>& keys) {
+  std::vector<btree::Entry> out;
+  for (Key k : keys) out.push_back({k, btree::value_for_key(k)});
+  return out;
+}
+
+TEST(EndToEnd, ThreeStructuresAgreeOnQueries) {
+  const auto keys = queries::make_tree_keys(4000, 1);
+  const auto entries = entries_for(keys);
+
+  gpusim::Device dev_h(test_spec()), dev_b(test_spec());
+  auto harmonia_idx = HarmoniaIndex::build(dev_h, entries, {.fanout = 32});
+  auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, 32);
+  const auto bt = btree::make_tree(keys, 32);
+
+  auto qs = queries::make_queries(keys, 1000, queries::Distribution::kUniform, 2);
+  const auto missing = queries::make_missing_keys(keys, 200, 3);
+  qs.insert(qs.end(), missing.begin(), missing.end());
+
+  const auto hr = harmonia_idx.search(qs);
+  const auto br = hb_idx.search(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto expect = bt.search(qs[i]);
+    const Value want = expect ? *expect : kNotFound;
+    ASSERT_EQ(hr.values[i], want) << "harmonia disagrees at " << i;
+    ASSERT_EQ(br.values[i], want) << "hb+ disagrees at " << i;
+  }
+}
+
+TEST(EndToEnd, UpdatePhasesKeepStructuresInAgreement) {
+  const auto keys = queries::make_tree_keys(3000, 4);
+  const auto entries = entries_for(keys);
+
+  gpusim::Device dev_h(test_spec()), dev_b(test_spec());
+  auto harmonia_idx = HarmoniaIndex::build(dev_h, entries, {.fanout = 16});
+  auto hb_idx = hbtree::HBTreeIndex::build(dev_b, entries, 16);
+
+  std::vector<Key> current = keys;
+  for (int round = 0; round < 3; ++round) {
+    queries::BatchSpec spec;
+    spec.size = 800;
+    spec.insert_fraction = 0.15;
+    spec.delete_fraction = 0.05;
+    spec.seed = static_cast<std::uint64_t>(round) + 10;
+    const auto ops = queries::make_update_batch(current, spec);
+
+    harmonia_idx.update_batch(ops, 2);
+    hb_idx.update_batch(ops);
+    harmonia_idx.tree().validate();
+    hb_idx.tree().validate();
+    ASSERT_EQ(harmonia_idx.tree().num_keys(), hb_idx.tree().size());
+
+    // Query both over every touched key.
+    std::vector<Key> qs;
+    for (const auto& op : ops) qs.push_back(op.key);
+    const auto hr = harmonia_idx.search(qs);
+    const auto br = hb_idx.search(qs);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      ASSERT_EQ(hr.values[i], br.values[i]) << "round " << round << " key " << qs[i];
+    }
+
+    // Refresh the key set for the next round from the host tree.
+    const auto all = harmonia_idx.range_host(0, ~std::uint64_t{0} - 1);
+    current.clear();
+    for (const auto& e : all) current.push_back(e.key);
+  }
+}
+
+TEST(EndToEnd, RangeAndPointQueriesConsistent) {
+  const auto keys = queries::make_tree_keys(2000, 5);
+  gpusim::Device dev(test_spec());
+  auto index = HarmoniaIndex::build(dev, entries_for(keys), {.fanout = 16});
+  const auto span = index.range_host(keys[50], keys[149]);
+  ASSERT_EQ(span.size(), 100u);
+  std::vector<Key> qs;
+  for (const auto& e : span) qs.push_back(e.key);
+  const auto result = index.search(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(result.values[i], span[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace harmonia

@@ -1,0 +1,82 @@
+// Statistical shape checks of the workload generators (beyond membership).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia::queries {
+namespace {
+
+TEST(DistributionShape, GaussianConcentratesAroundMiddle) {
+  const auto keys = make_tree_keys(10000, 1);
+  const auto qs = make_queries(keys, 40000, Distribution::kGaussian, 2);
+  // Map each query back to its rank and check the spread: mu = n/2,
+  // sigma = n/8 by construction.
+  std::unordered_map<std::uint64_t, std::size_t> rank;
+  for (std::size_t i = 0; i < keys.size(); ++i) rank[keys[i]] = i;
+  Summary s;
+  for (auto q : qs) s.add(static_cast<double>(rank.at(q)));
+  EXPECT_NEAR(s.mean(), 5000.0, 150.0);
+  EXPECT_NEAR(s.stddev(), 1250.0, 150.0);
+  // ~95% within 2 sigma.
+  std::size_t within = 0;
+  for (auto q : qs) {
+    const auto r = static_cast<double>(rank.at(q));
+    within += (r > 5000.0 - 2500.0 && r < 5000.0 + 2500.0);
+  }
+  EXPECT_GT(static_cast<double>(within) / static_cast<double>(qs.size()), 0.93);
+}
+
+TEST(DistributionShape, UniformIsFlatAcrossDeciles) {
+  const auto keys = make_tree_keys(10000, 3);
+  const auto qs = make_queries(keys, 100000, Distribution::kUniform, 4);
+  std::unordered_map<std::uint64_t, std::size_t> rank;
+  for (std::size_t i = 0; i < keys.size(); ++i) rank[keys[i]] = i;
+  std::size_t deciles[10] = {};
+  for (auto q : qs) ++deciles[rank.at(q) * 10 / keys.size()];
+  for (auto d : deciles) {
+    EXPECT_NEAR(static_cast<double>(d), 10000.0, 500.0);
+  }
+}
+
+TEST(DistributionShape, ZipfianTopOnePercentDominates) {
+  const auto keys = make_tree_keys(10000, 5);
+  const auto qs = make_queries(keys, 50000, Distribution::kZipfian, 6);
+  std::unordered_map<std::uint64_t, std::size_t> freq;
+  for (auto q : qs) ++freq[q];
+  std::vector<std::size_t> counts;
+  for (const auto& [k, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  std::size_t top100 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(100, counts.size()); ++i) {
+    top100 += counts[i];
+  }
+  // Top 1% of keys draw far more than 1% of queries at theta 0.99.
+  EXPECT_GT(static_cast<double>(top100) / static_cast<double>(qs.size()), 0.3);
+}
+
+TEST(DistributionShape, SortedIsUniformButOrdered) {
+  const auto keys = make_tree_keys(5000, 7);
+  const auto qs = make_queries(keys, 20000, Distribution::kSorted, 8);
+  EXPECT_TRUE(std::is_sorted(qs.begin(), qs.end()));
+  // Still covers the whole key space (it is a sorted *uniform* draw).
+  std::unordered_map<std::uint64_t, std::size_t> rank;
+  for (std::size_t i = 0; i < keys.size(); ++i) rank[keys[i]] = i;
+  EXPECT_LT(rank.at(qs.front()), 50u);
+  EXPECT_GT(rank.at(qs.back()), keys.size() - 50);
+}
+
+TEST(DistributionShape, SeedsProduceIndependentStreams) {
+  const auto keys = make_tree_keys(5000, 9);
+  const auto a = make_queries(keys, 5000, Distribution::kUniform, 10);
+  const auto b = make_queries(keys, 5000, Distribution::kUniform, 11);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]);
+  EXPECT_LT(same, 20u);  // collisions only by chance (~1/5000 per slot)
+}
+
+}  // namespace
+}  // namespace harmonia::queries

@@ -1,0 +1,96 @@
+#include "queries/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace harmonia::queries {
+namespace {
+
+TEST(Workload, TreeKeysSortedDistinct) {
+  const auto keys = make_tree_keys(10000, 1);
+  ASSERT_EQ(keys.size(), 10000u);
+  for (std::size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(Workload, TreeKeysDeterministic) {
+  EXPECT_EQ(make_tree_keys(1000, 7), make_tree_keys(1000, 7));
+  EXPECT_NE(make_tree_keys(1000, 7), make_tree_keys(1000, 8));
+}
+
+TEST(Workload, TreeKeysSpreadOverUniverse) {
+  const auto keys = make_tree_keys(1000, 2);
+  // Stratified sampling: key i lies in stride i.
+  const std::uint64_t stride = kReservedKey / 1000;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_GE(keys[i], i * stride);
+    EXPECT_LT(keys[i], (i + 1) * stride);
+  }
+}
+
+TEST(Workload, TreeKeysNeverReserved) {
+  const auto keys = make_tree_keys(100000, 3);
+  EXPECT_TRUE(std::none_of(keys.begin(), keys.end(),
+                           [](std::uint64_t k) { return k == kReservedKey; }));
+}
+
+TEST(Workload, QueriesHitExistingKeys) {
+  const auto keys = make_tree_keys(5000, 4);
+  std::unordered_set<std::uint64_t> set(keys.begin(), keys.end());
+  for (auto dist : {Distribution::kUniform, Distribution::kZipfian,
+                    Distribution::kGaussian, Distribution::kSorted,
+                    Distribution::kSequential}) {
+    const auto qs = make_queries(keys, 2000, dist, 5);
+    ASSERT_EQ(qs.size(), 2000u) << to_string(dist);
+    for (auto q : qs) EXPECT_TRUE(set.count(q)) << to_string(dist);
+  }
+}
+
+TEST(Workload, SortedDistributionAscends) {
+  const auto keys = make_tree_keys(5000, 6);
+  const auto qs = make_queries(keys, 1000, Distribution::kSorted, 7);
+  EXPECT_TRUE(std::is_sorted(qs.begin(), qs.end()));
+}
+
+TEST(Workload, SequentialWrapsAround) {
+  const auto keys = make_tree_keys(10, 8);
+  const auto qs = make_queries(keys, 25, Distribution::kSequential, 9);
+  for (std::size_t i = 0; i < qs.size(); ++i) EXPECT_EQ(qs[i], keys[i % 10]);
+}
+
+TEST(Workload, ZipfianIsSkewed) {
+  const auto keys = make_tree_keys(10000, 10);
+  const auto qs = make_queries(keys, 50000, Distribution::kZipfian, 11);
+  std::unordered_set<std::uint64_t> distinct(qs.begin(), qs.end());
+  // Heavy skew: far fewer distinct targets than a uniform draw would give.
+  EXPECT_LT(distinct.size(), 15000u);
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(Workload, UniformCoversKeySpace) {
+  const auto keys = make_tree_keys(1000, 12);
+  const auto qs = make_queries(keys, 20000, Distribution::kUniform, 13);
+  std::unordered_set<std::uint64_t> distinct(qs.begin(), qs.end());
+  EXPECT_GT(distinct.size(), 900u);  // nearly every key touched
+}
+
+TEST(Workload, MissingKeysAreAbsent) {
+  const auto keys = make_tree_keys(5000, 14);
+  std::unordered_set<std::uint64_t> set(keys.begin(), keys.end());
+  const auto missing = make_missing_keys(keys, 1000, 15);
+  ASSERT_EQ(missing.size(), 1000u);
+  for (auto k : missing) EXPECT_FALSE(set.count(k));
+}
+
+TEST(Workload, DistributionStringsRoundTrip) {
+  for (auto dist : {Distribution::kUniform, Distribution::kZipfian,
+                    Distribution::kGaussian, Distribution::kSorted,
+                    Distribution::kSequential}) {
+    EXPECT_EQ(distribution_from_string(to_string(dist)), dist);
+  }
+  EXPECT_THROW(distribution_from_string("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harmonia::queries

@@ -1,0 +1,46 @@
+#include "queries/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace harmonia::queries {
+namespace {
+
+TEST(Zipf, RanksInRange) {
+  ZipfGenerator zipf(1000, 0.99, 1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.next(), 1000u);
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  ZipfGenerator zipf(10000, 0.99, 2);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto r = zipf.next();
+    if (r < counts.size()) ++counts[static_cast<std::size_t>(r)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], 8000);  // rank 0 gets ~10% of draws at theta .99
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfGenerator a(500, 0.9, 3), b(500, 0.9, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, InvalidParamsThrow) {
+  EXPECT_THROW(ZipfGenerator(0, 0.99, 1), ContractViolation);
+  EXPECT_THROW(ZipfGenerator(10, 1.5, 1), ContractViolation);
+  EXPECT_THROW(ZipfGenerator(10, 0.0, 1), ContractViolation);
+}
+
+TEST(Zipf, SmallN) {
+  ZipfGenerator zipf(1, 0.5, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(), 0u);
+}
+
+}  // namespace
+}  // namespace harmonia::queries

@@ -1,0 +1,127 @@
+#include "sort/radix_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace harmonia::sort {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+TEST(RadixSort, FullSortMatchesStdSort) {
+  auto keys = random_keys(10000, 1);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSort, EmptyAndSingleton) {
+  std::vector<std::uint64_t> empty;
+  radix_sort(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::uint64_t> one{42};
+  radix_sort(one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+TEST(RadixSort, AlreadySorted) {
+  std::vector<std::uint64_t> keys(1000);
+  std::iota(keys.begin(), keys.end(), 0);
+  auto expected = keys;
+  radix_sort(keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(RadixSort, AllEqual) {
+  std::vector<std::uint64_t> keys(100, 7);
+  radix_sort(keys);
+  EXPECT_TRUE(std::all_of(keys.begin(), keys.end(), [](auto k) { return k == 7; }));
+}
+
+TEST(RadixSortBits, ZeroBitsIsNoOp) {
+  auto keys = random_keys(100, 2);
+  auto original = keys;
+  radix_sort_bits(keys, 32, 0);
+  EXPECT_EQ(keys, original);
+}
+
+TEST(RadixSortBits, TopBitsOrderIsGroupwise) {
+  // Sorting only the top 8 bits: the 8-bit prefixes must ascend, while
+  // ties keep arrival order (stability).
+  auto keys = random_keys(5000, 3);
+  radix_sort_bits(keys, 56, 8);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LE(keys[i - 1] >> 56, keys[i] >> 56);
+  }
+}
+
+TEST(RadixSortBits, StabilityOnTies) {
+  // Keys share the top byte; low bits encode arrival order.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 100; ++i) keys.push_back((0xAAULL << 56) | i);
+  std::vector<std::uint64_t> shuffled = keys;  // in order already
+  radix_sort_bits(shuffled, 56, 8);
+  EXPECT_EQ(shuffled, keys);  // stable: untouched within the tie group
+}
+
+TEST(RadixSortBits, MidWindowSort) {
+  auto keys = random_keys(3000, 4);
+  radix_sort_bits(keys, 16, 16);  // bits [16, 32)
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LE((keys[i - 1] >> 16) & 0xFFFF, (keys[i] >> 16) & 0xFFFF);
+  }
+}
+
+TEST(RadixSortBits, NonMultipleOfEightBits) {
+  auto keys = random_keys(3000, 5);
+  radix_sort_bits(keys, 45, 19);  // Equation 2's N=19 case
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LE(keys[i - 1] >> 45, keys[i] >> 45);
+  }
+}
+
+TEST(RadixSortBits, WindowOverflowThrows) {
+  std::vector<std::uint64_t> keys{1, 2};
+  EXPECT_THROW(radix_sort_bits(keys, 60, 8), ContractViolation);
+}
+
+TEST(RadixSortPairs, PayloadFollowsKeys) {
+  auto keys = random_keys(2000, 6);
+  std::vector<std::uint64_t> payload(keys.size());
+  std::iota(payload.begin(), payload.end(), 0);
+  auto original = keys;
+  radix_sort_pairs_bits(keys, payload, 0, 64);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], original[payload[i]]);
+  }
+}
+
+TEST(RadixSortPairs, MismatchedPayloadThrows) {
+  std::vector<std::uint64_t> keys{1, 2, 3};
+  std::vector<std::uint64_t> payload{1};
+  EXPECT_THROW(radix_sort_pairs_bits(keys, payload, 0, 8), ContractViolation);
+}
+
+TEST(RadixPasses, CeilDivision) {
+  EXPECT_EQ(radix_passes(0), 0u);
+  EXPECT_EQ(radix_passes(1), 1u);
+  EXPECT_EQ(radix_passes(8), 1u);
+  EXPECT_EQ(radix_passes(9), 2u);
+  EXPECT_EQ(radix_passes(19), 3u);
+  EXPECT_EQ(radix_passes(64), 8u);
+}
+
+}  // namespace
+}  // namespace harmonia::sort
