@@ -1,0 +1,85 @@
+// Extension E10: the latency/throughput batching frontier of the online
+// serving layer (src/serve/).
+//
+// The paper measures pre-aggregated batches; an online server must *form*
+// batches from a live stream, trading queueing delay for batch size. This
+// harness replays Poisson arrivals at several rates against a grid of
+// max_wait deadlines: raising max_wait lets batches grow (amortizing
+// per-transfer latency and kernel launch overhead -> higher service
+// rate), while tail latency absorbs the longer wait. The CSV reports both
+// sides of the frontier.
+#include "bench_common.hpp"
+
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "18")
+      .flag("requests", "requests per run", "20000")
+      .flag("rates", "comma list of arrival rates (Mq/s)", "5,20")
+      .flag("waits", "comma list of max_wait deadlines (us)", "20,50,100,200,500")
+      .flag("max-batch", "batch size trigger", "8192")
+      .flag("queue-cap", "admission queue capacity", "16384")
+      .flag("fanout", "tree fanout", "64")
+      .flag("pcie", "link bandwidth in GB/s", "12.0")
+      .flag("seed", "workload seed", "1")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 18));
+  const std::uint64_t requests = cli.get_uint("requests", 20000);
+  if (cli.get_uint("queue-cap", 16384) < cli.get_uint("max-batch", 8192)) {
+    std::cerr << "error: --queue-cap must be >= --max-batch\n";
+    return 1;
+  }
+  const auto rates = hb::parse_log_list(cli.get_string("rates", "5,20"));
+  const auto waits = hb::parse_log_list(cli.get_string("waits", "20,50,100,200,500"));
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+
+  hb::print_header("Serving sweep: arrival rate x batching deadline",
+                   "extension E10 (online dynamic batching frontier)");
+
+  const auto keys = queries::make_tree_keys(1ULL << lg, cli.get_uint("seed", 1));
+
+  Table table({"rate (Mq/s)", "max_wait (us)", "batches", "mean batch",
+               "p50 (us)", "p95 (us)", "p99 (us)", "dropped",
+               "achieved (Mq/s)", "service rate (Mq/s)"});
+
+  for (unsigned rate_mqs : rates) {
+    for (unsigned wait_us : waits) {
+      // Fresh device + index per cell: cache state must not leak across
+      // configurations.
+      gpusim::Device dev(hb::bench_spec());
+      auto index = HarmoniaIndex::build(dev, hb::entries_for(keys), {.fanout = fanout});
+
+      serve::OpenLoopSpec spec;
+      spec.arrivals_per_second = rate_mqs * 1e6;
+      spec.count = requests;
+      spec.seed = cli.get_uint("seed", 1) + 7;
+      const auto stream = serve::make_open_loop(keys, spec);
+
+      serve::ServerConfig cfg;
+      cfg.batch.max_batch = cli.get_uint("max-batch", 8192);
+      cfg.batch.max_wait = wait_us * 1e-6;
+      cfg.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
+      cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+
+      serve::Server server(index, cfg);
+      const auto rep = server.run(stream);
+
+      table.add(rate_mqs, wait_us, rep.batches, rep.batch_size.mean(),
+                rep.latency.percentile(50) * 1e6, rep.latency.percentile(95) * 1e6,
+                rep.latency.percentile(99) * 1e6, rep.dropped,
+                rep.query_throughput() / 1e6, rep.service_rate() / 1e6);
+    }
+  }
+  hb::emit(cli, table);
+  std::cout << "\nexpected: within a rate, larger max_wait -> larger batches and"
+            << " higher service rate, but higher p99 latency; overloaded rates"
+            << " shed load (dropped > 0) instead of growing the queue\n";
+  return 0;
+}

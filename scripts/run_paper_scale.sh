@@ -35,4 +35,10 @@ run fig10_comparison_distribution --size=20
 "$BUILD/bench/sec42_ntg_model_validation" --size=20 --queries=17 \
   | tee "$OUT/sec42_ntg_model_validation.txt"
 
+# Opt-in online-serving sweep (E10): SERVING=1 scripts/run_paper_scale.sh
+if [[ "${SERVING:-0}" == "1" ]]; then
+  run ext_serving_sweep --size=23 --requests=200000 \
+    --rates=1,2,4,8 --waits=25,50,100,200,400
+fi
+
 echo "done; see $OUT/"

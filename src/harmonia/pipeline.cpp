@@ -6,6 +6,29 @@
 
 namespace harmonia {
 
+ChunkTiming dispatch_chunk(HarmoniaIndex& index, std::span<const Key> chunk,
+                           const TransferModel& link, const QueryOptions& qopts,
+                           std::span<Value> out) {
+  HARMONIA_CHECK(!chunk.empty());
+  HARMONIA_CHECK(out.size() == chunk.size());
+  const auto r = index.search(chunk, qopts);
+  std::copy(r.values.begin(), r.values.end(), out.begin());
+  ChunkTiming t;
+  t.upload_seconds = link.seconds(chunk.size() * sizeof(Key));
+  // Sorting happens on-device after upload: it belongs to the compute
+  // stage of the pipeline.
+  t.sort_seconds = r.sort_seconds;
+  t.kernel_seconds = r.kernel_seconds;
+  t.download_seconds = link.seconds(chunk.size() * sizeof(Value));
+  return t;
+}
+
+double image_resync_seconds(const HarmoniaTree& tree, const TransferModel& link) {
+  return link.seconds(tree.key_region().size() * sizeof(Key)) +
+         link.seconds(tree.prefix_sum().size() * sizeof(std::uint32_t)) +
+         link.seconds(tree.value_region().size() * sizeof(Value));
+}
+
 PipelineResult pipelined_search(HarmoniaIndex& index, std::span<const Key> batch,
                                 const TransferModel& link,
                                 const PipelineOptions& options) {
@@ -22,22 +45,17 @@ PipelineResult pipelined_search(HarmoniaIndex& index, std::span<const Key> batch
     const std::uint64_t n = std::min<std::uint64_t>(options.chunk_size,
                                                     batch.size() - base);
     const auto chunk = batch.subspan(base, n);
-    const auto r = index.search(chunk, options.query_options);
-    std::copy(r.values.begin(), r.values.end(),
-              result.values.begin() + static_cast<std::ptrdiff_t>(base));
+    const auto t = dispatch_chunk(
+        index, chunk, link, options.query_options,
+        std::span<Value>(result.values).subspan(base, n));
 
-    const double u = link.seconds(n * sizeof(Key));
-    const double d = link.seconds(n * sizeof(Value));
-    // Sorting happens on-device after upload: it belongs to the compute
-    // stage of the pipeline.
-    const double p = r.sort_seconds + r.kernel_seconds;
-    up.push_back(u);
-    proc.push_back(p);
-    down.push_back(d);
-    result.upload_seconds += u;
-    result.sort_seconds += r.sort_seconds;
-    result.kernel_seconds += r.kernel_seconds;
-    result.download_seconds += d;
+    up.push_back(t.upload_seconds);
+    proc.push_back(t.compute_seconds());
+    down.push_back(t.download_seconds);
+    result.upload_seconds += t.upload_seconds;
+    result.sort_seconds += t.sort_seconds;
+    result.kernel_seconds += t.kernel_seconds;
+    result.download_seconds += t.download_seconds;
     ++result.chunks;
   }
 

@@ -36,6 +36,34 @@ struct PipelineOptions {
   QueryOptions query_options;
 };
 
+/// Stage timings for one chunk pushed through upload -> (sort + kernel) ->
+/// download. This is the reusable unit of pipeline accounting:
+/// `pipelined_search` sums these per chunk, and the serving scheduler
+/// (src/serve/) charges each dispatched batch with the same math.
+struct ChunkTiming {
+  double upload_seconds = 0.0;
+  double sort_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double download_seconds = 0.0;
+
+  double compute_seconds() const { return sort_seconds + kernel_seconds; }
+  double serial_seconds() const {
+    return upload_seconds + compute_seconds() + download_seconds;
+  }
+};
+
+/// Runs one chunk through the index, writing values (arrival order) into
+/// `out` (`out.size() == chunk.size()`). Results are identical to
+/// `index.search(chunk, qopts)`; only the per-stage accounting is added.
+ChunkTiming dispatch_chunk(HarmoniaIndex& index, std::span<const Key> chunk,
+                           const TransferModel& link, const QueryOptions& qopts,
+                           std::span<Value> out);
+
+/// Virtual seconds to re-upload a tree's whole device image over `link`:
+/// the post-update-epoch resync cost (key region + prefix-sum array +
+/// value region, one transfer each).
+double image_resync_seconds(const HarmoniaTree& tree, const TransferModel& link);
+
 struct PipelineResult {
   std::vector<Value> values;  // arrival order, all chunks
   std::uint64_t chunks = 0;

@@ -1,0 +1,134 @@
+#include "serve/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace harmonia::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+BatchScheduler::BatchScheduler(HarmoniaIndex& index, const TransferModel& link,
+                               const BatchConfig& config)
+    : index_(index),
+      link_(link),
+      config_(config),
+      point_(config.queue_capacity),
+      range_(config.queue_capacity) {
+  HARMONIA_CHECK(config_.max_batch > 0);
+  HARMONIA_CHECK(config_.max_wait >= 0.0);
+  HARMONIA_CHECK(config_.queue_capacity >= config_.max_batch);
+}
+
+bool BatchScheduler::admit(const Request& r) {
+  HARMONIA_CHECK(r.kind != RequestKind::kUpdate);
+  return (r.kind == RequestKind::kRange ? range_ : point_).try_push(r);
+}
+
+double BatchScheduler::next_deadline() const {
+  const double d =
+      std::min(point_.oldest_arrival(), range_.oldest_arrival());
+  return d == kInf ? kInf : d + config_.max_wait;
+}
+
+bool BatchScheduler::size_ready() const {
+  return point_.size() >= config_.max_batch || range_.size() >= config_.max_batch;
+}
+
+BatchScheduler::Dispatch BatchScheduler::dispatch_ready(double close_time,
+                                                        double device_free,
+                                                        unsigned epoch) {
+  HARMONIA_CHECK(!empty());
+  // A size-full lane is overdue regardless of deadlines; otherwise serve
+  // the lane whose oldest request has waited longest.
+  if (point_.size() >= config_.max_batch)
+    return dispatch_point(close_time, device_free, epoch);
+  if (range_.size() >= config_.max_batch)
+    return dispatch_range(close_time, device_free, epoch);
+  if (point_.oldest_arrival() <= range_.oldest_arrival())
+    return dispatch_point(close_time, device_free, epoch);
+  return dispatch_range(close_time, device_free, epoch);
+}
+
+BatchScheduler::Dispatch BatchScheduler::dispatch_point(double close_time,
+                                                        double device_free,
+                                                        unsigned epoch) {
+  const std::size_t n = std::min(point_.size(), config_.max_batch);
+  std::vector<Request> members;
+  members.reserve(n);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members.push_back(point_.pop());
+    keys.push_back(members.back().key);
+  }
+
+  const auto piped = pipelined_search(index_, keys, link_, config_.pipeline);
+
+  Dispatch d;
+  d.kind = RequestKind::kPoint;
+  d.batch_size = n;
+  d.close = close_time;
+  d.start = std::max(close_time, device_free);
+  d.finish = d.start + piped.total_seconds;
+  d.responses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Response resp;
+    resp.id = members[i].id;
+    resp.kind = RequestKind::kPoint;
+    resp.epoch = epoch;
+    resp.arrival = members[i].arrival;
+    resp.dispatch = d.start;
+    resp.completion = d.finish;
+    resp.value = piped.values[i];
+    d.responses.push_back(std::move(resp));
+  }
+  return d;
+}
+
+BatchScheduler::Dispatch BatchScheduler::dispatch_range(double close_time,
+                                                        double device_free,
+                                                        unsigned epoch) {
+  const std::size_t n = std::min(range_.size(), config_.max_batch);
+  std::vector<Request> members;
+  members.reserve(n);
+  std::vector<Key> los, his;
+  los.reserve(n);
+  his.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members.push_back(range_.pop());
+    los.push_back(members.back().key);
+    his.push_back(members.back().hi);
+  }
+
+  const auto r = index_.range_device(los, his, config_.max_range_results);
+  // Bounds up, result values down, kernel in between (no chunking: online
+  // range batches are small next to the point-lookup stream).
+  const double service = link_.seconds(2 * n * sizeof(Key)) + r.kernel_seconds +
+                         link_.seconds(r.total_results * sizeof(Value));
+
+  Dispatch d;
+  d.kind = RequestKind::kRange;
+  d.batch_size = n;
+  d.close = close_time;
+  d.start = std::max(close_time, device_free);
+  d.finish = d.start + service;
+  d.responses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Response resp;
+    resp.id = members[i].id;
+    resp.kind = RequestKind::kRange;
+    resp.epoch = epoch;
+    resp.arrival = members[i].arrival;
+    resp.dispatch = d.start;
+    resp.completion = d.finish;
+    resp.range_values = r.values[i];
+    d.responses.push_back(std::move(resp));
+  }
+  return d;
+}
+
+}  // namespace harmonia::serve

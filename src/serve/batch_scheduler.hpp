@@ -1,0 +1,88 @@
+// Deadline-driven dynamic batching: the piece inference servers add
+// between a request stream and a batch-oriented accelerator.
+//
+// Point and range queries wait in per-kind lanes (one bounded admission
+// budget across both). A lane's batch closes on whichever fires first:
+//   size trigger     : the lane holds max_batch requests;
+//   deadline trigger : the lane's oldest request has waited max_wait.
+// A closed batch is dispatched through the PCIe pipeline scheduler
+// (`pipelined_search` / the device range kernel), starting when both the
+// batch is closed and the device is free; every member request completes
+// when the batch's results finish downloading.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "harmonia/index.hpp"
+#include "harmonia/pipeline.hpp"
+#include "serve/request_queue.hpp"
+
+namespace harmonia::serve {
+
+struct BatchConfig {
+  /// Size trigger: close a lane's batch at this many requests.
+  std::size_t max_batch = 2048;
+  /// Deadline trigger: close when the oldest request has waited this long
+  /// (virtual seconds).
+  double max_wait = 200e-6;
+  /// Bounded admission per lane; requests beyond it are rejected
+  /// (backpressure), so waiting never grows unboundedly under overload.
+  std::size_t queue_capacity = 1 << 14;
+  /// Per-query result cap for the device range kernel.
+  unsigned max_range_results = 64;
+  /// Chunking + query options for dispatch. NTG auto-profiling is off by
+  /// default: re-profiling every small online batch would dominate its
+  /// cost; servers pick a group size once (or pin one here).
+  PipelineOptions pipeline{.chunk_size = 1 << 16,
+                           .overlap = true,
+                           .query_options = {.auto_ntg = false}};
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(HarmoniaIndex& index, const TransferModel& link,
+                 const BatchConfig& config);
+
+  /// Admits a point/range request into its lane. False = backpressure.
+  bool admit(const Request& r);
+
+  std::size_t depth() const { return point_.size() + range_.size(); }
+  bool empty() const { return point_.empty() && range_.empty(); }
+
+  /// Earliest deadline over both lanes; +inf when idle.
+  double next_deadline() const;
+  /// True when some lane reached max_batch and must close now.
+  bool size_ready() const;
+
+  struct Dispatch {
+    std::vector<Response> responses;
+    RequestKind kind = RequestKind::kPoint;
+    std::size_t batch_size = 0;
+    /// Batch close time (trigger), device start, and download-done time.
+    double close = 0.0;
+    double start = 0.0;
+    double finish = 0.0;
+    double service_seconds() const { return finish - start; }
+  };
+
+  /// Closes and dispatches the most urgent lane: a size-full lane first,
+  /// otherwise the lane with the earliest deadline. Dispatch starts at
+  /// max(close_time, device_free). Requires !empty().
+  Dispatch dispatch_ready(double close_time, double device_free, unsigned epoch);
+
+  std::uint64_t admitted() const { return point_.admitted() + range_.admitted(); }
+  std::uint64_t rejected() const { return point_.rejected() + range_.rejected(); }
+
+ private:
+  Dispatch dispatch_point(double close_time, double device_free, unsigned epoch);
+  Dispatch dispatch_range(double close_time, double device_free, unsigned epoch);
+
+  HarmoniaIndex& index_;
+  TransferModel link_;
+  BatchConfig config_;
+  RequestQueue point_;
+  RequestQueue range_;
+};
+
+}  // namespace harmonia::serve

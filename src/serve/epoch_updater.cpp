@@ -1,0 +1,57 @@
+#include "serve/epoch_updater.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace harmonia::serve {
+
+EpochUpdater::EpochUpdater(HarmoniaIndex& index, const TransferModel& link,
+                           const EpochConfig& config)
+    : index_(index), link_(link), config_(config) {
+  HARMONIA_CHECK(config_.max_buffered > 0);
+  HARMONIA_CHECK(config_.apply_threads > 0);
+}
+
+void EpochUpdater::buffer(const Request& r) {
+  HARMONIA_CHECK(r.kind == RequestKind::kUpdate);
+  pending_.push_back(r);
+}
+
+double EpochUpdater::next_deadline() const {
+  if (pending_.empty()) return std::numeric_limits<double>::infinity();
+  return pending_.front().arrival + config_.max_wait;
+}
+
+EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
+  HARMONIA_CHECK(!pending_.empty());
+
+  std::vector<queries::UpdateOp> ops;
+  ops.reserve(pending_.size());
+  for (const Request& r : pending_) ops.push_back({r.op, r.key, r.value});
+
+  EpochResult e;
+  e.stats = index_.update_batch(ops, config_.apply_threads);
+  e.epoch = ++epochs_;
+  e.start = std::max(at, device_free);
+  e.apply_seconds =
+      static_cast<double>(ops.size()) * config_.seconds_per_op;
+  e.resync_seconds = image_resync_seconds(index_.tree(), link_);
+  e.finish = e.start + e.apply_seconds + e.resync_seconds;
+
+  e.responses.reserve(pending_.size());
+  for (const Request& r : pending_) {
+    Response resp;
+    resp.id = r.id;
+    resp.kind = RequestKind::kUpdate;
+    resp.epoch = e.epoch;
+    resp.arrival = r.arrival;
+    resp.dispatch = e.start;
+    resp.completion = e.finish;
+    e.responses.push_back(std::move(resp));
+  }
+  pending_.clear();
+  return e;
+}
+
+}  // namespace harmonia::serve

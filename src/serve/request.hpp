@@ -1,0 +1,62 @@
+// Request/response types for the online serving layer (src/serve/).
+//
+// The serving subsystem simulates an online deployment of the offline
+// index on a *virtual clock*: every request carries an arrival timestamp
+// in virtual seconds, and every response records when the request was
+// admitted, dispatched, and completed on that same clock. Device-side
+// costs come from the gpusim cycle model plus the PCIe TransferModel, so
+// a whole simulated run is deterministic for a fixed request stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harmonia/tree.hpp"
+#include "harmonia/search.hpp"
+#include "queries/batch.hpp"
+
+namespace harmonia::serve {
+
+enum class RequestKind : std::uint8_t { kPoint, kRange, kUpdate };
+
+const char* to_string(RequestKind kind);
+
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kPoint;
+  /// Arrival time in virtual seconds (monotone within a stream).
+  double arrival = 0.0;
+  /// Point target / range lower bound / update target.
+  Key key = 0;
+  /// Range upper bound (inclusive); unused otherwise.
+  Key hi = 0;
+  /// Update payload; unused for queries.
+  queries::OpKind op = queries::OpKind::kUpdate;
+  Value value = 0;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kPoint;
+  /// Rejected by backpressure: never dispatched, completion == arrival.
+  bool dropped = false;
+  /// Update epochs applied before this request was served. A query with
+  /// epoch e observed exactly the first e update epochs; an update
+  /// response carries the epoch that applied it (1-based).
+  unsigned epoch = 0;
+  double arrival = 0.0;
+  /// When the batch containing this request started on the device.
+  double dispatch = 0.0;
+  /// When the batch's results finished downloading (or the epoch finished
+  /// resyncing, for updates).
+  double completion = 0.0;
+  /// Point result (kNotFound for misses); unused for ranges/updates.
+  Value value = kNotFound;
+  /// Range results, ascending, truncated at the scheduler's max_results.
+  std::vector<Value> range_values;
+
+  double latency() const { return completion - arrival; }
+  double queue_delay() const { return dispatch - arrival; }
+};
+
+}  // namespace harmonia::serve

@@ -1,0 +1,30 @@
+#include "serve/request_queue.hpp"
+
+namespace harmonia::serve {
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPoint: return "point";
+    case RequestKind::kRange: return "range";
+    case RequestKind::kUpdate: return "update";
+  }
+  return "?";
+}
+
+bool RequestQueue::try_push(const Request& r) {
+  if (pending_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  pending_.push_back(r);
+  ++admitted_;
+  return true;
+}
+
+Request RequestQueue::pop() {
+  Request r = pending_.front();
+  pending_.pop_front();
+  return r;
+}
+
+}  // namespace harmonia::serve

@@ -1,0 +1,138 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace harmonia::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Server::Server(HarmoniaIndex& index, const ServerConfig& config)
+    : index_(index),
+      config_(config),
+      scheduler_(index, config.link, config.batch),
+      updater_(index, config.link, config.epoch) {}
+
+void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
+                             ServerReport& report) {
+  device_free_ = d.finish;
+  ++report.batches;
+  report.batch_size.add(static_cast<double>(d.batch_size));
+  report.busy_seconds += d.service_seconds();
+  for (Response& resp : d.responses) {
+    ++report.completed;
+    report.latency.add(resp.latency());
+    report.queue_delay.add(resp.queue_delay());
+    report.makespan = std::max(report.makespan, resp.completion);
+    source.on_complete(resp);
+    report.responses.push_back(std::move(resp));
+  }
+}
+
+void Server::run_epoch(double at, RequestSource& source, ServerReport& report) {
+  // Quiesce: every batch admitted before the epoch trigger is served by
+  // the pre-epoch tree. (They dispatch now; the device serializes them
+  // ahead of the update application.)
+  while (!scheduler_.empty()) {
+    handle_dispatch(scheduler_.dispatch_ready(at, device_free_, updater_.epochs()),
+                    source, report);
+  }
+  auto e = updater_.apply(at, device_free_);
+  device_free_ = e.finish;
+  ++report.epochs;
+  report.updates_applied += e.stats.total_ops();
+  report.updates_failed += e.stats.failed;
+  report.busy_seconds += e.finish - e.start;
+  for (Response& resp : e.responses) {
+    report.makespan = std::max(report.makespan, resp.completion);
+    source.on_complete(resp);
+    report.responses.push_back(std::move(resp));
+  }
+}
+
+ServerReport Server::run(RequestSource& source) {
+  ServerReport report;
+  double now = 0.0;
+
+  while (true) {
+    const Request* next = source.peek();
+    const double t_arrival = next ? next->arrival : kInf;
+
+    // A batch dispatches when BOTH its trigger (size reached, or oldest
+    // member hit the deadline) has fired AND the device is free. Until
+    // then its members stay in the bounded queue — that is what turns
+    // device saturation into backpressure at admission instead of an
+    // unbounded in-flight backlog.
+    double t_batch = kInf;
+    if (!scheduler_.empty()) {
+      const double trigger =
+          scheduler_.size_ready() ? now : scheduler_.next_deadline();
+      t_batch = std::max(trigger, device_free_);
+    }
+    const double t_epoch =
+        updater_.buffered() == 0
+            ? kInf
+            : (updater_.size_ready() ? now : updater_.next_deadline());
+
+    if (t_arrival == kInf && t_batch == kInf && t_epoch == kInf) {
+      // Stream exhausted and no armed trigger (possible only with
+      // infinite deadlines): final drain — queries first, then leftovers
+      // of the update buffer as a last epoch.
+      while (!scheduler_.empty()) {
+        handle_dispatch(scheduler_.dispatch_ready(std::max(now, device_free_),
+                                                  device_free_, updater_.epochs()),
+                        source, report);
+      }
+      if (updater_.buffered() > 0)
+        run_epoch(std::max(now, device_free_), source, report);
+      if (!source.peek()) break;  // on_complete may have injected arrivals
+      continue;
+    }
+
+    if (t_arrival <= t_batch && t_arrival <= t_epoch) {
+      now = t_arrival;
+      const Request r = source.pop();
+      ++report.arrivals;
+      if (r.kind == RequestKind::kUpdate) {
+        ++report.admitted;
+        updater_.buffer(r);  // size trigger fires via t_epoch next round
+      } else {
+        report.queue_depth.add(static_cast<double>(scheduler_.depth()));
+        if (!scheduler_.admit(r)) {
+          ++report.dropped;
+          Response resp;
+          resp.id = r.id;
+          resp.kind = r.kind;
+          resp.dropped = true;
+          resp.epoch = updater_.epochs();
+          resp.arrival = resp.dispatch = resp.completion = r.arrival;
+          resp.value = kNotFound;
+          report.makespan = std::max(report.makespan, resp.completion);
+          source.on_complete(resp);
+          report.responses.push_back(std::move(resp));
+        } else {
+          ++report.admitted;
+        }
+      }
+    } else if (t_batch <= t_epoch) {
+      now = t_batch;
+      handle_dispatch(scheduler_.dispatch_ready(now, device_free_, updater_.epochs()),
+                      source, report);
+    } else {
+      now = t_epoch;
+      run_epoch(now, source, report);
+    }
+  }
+  return report;
+}
+
+ServerReport Server::run(std::span<const Request> requests) {
+  VectorSource source(std::vector<Request>(requests.begin(), requests.end()));
+  return run(source);
+}
+
+}  // namespace harmonia::serve

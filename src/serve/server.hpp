@@ -1,0 +1,92 @@
+// The online query-serving front end: one virtual-clock event loop that
+// composes the bounded admission queue, the deadline-driven batch
+// scheduler, and the epoch updater over a single HarmoniaIndex/device.
+//
+// Event order is deterministic: the next event is the earliest of
+// (next arrival, oldest batch deadline, oldest update deadline); size
+// triggers fire inside the arrival that fills a lane or the update
+// buffer. An update epoch first quiesces (flushes every pending query
+// batch at the trigger time), then applies and resyncs — so every query
+// is served by a tree with a whole number of epochs applied, and each
+// response records which epoch count it observed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harmonia/index.hpp"
+#include "harmonia/pipeline.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/epoch_updater.hpp"
+#include "serve/workload.hpp"
+
+namespace harmonia::serve {
+
+struct ServerConfig {
+  BatchConfig batch;
+  EpochConfig epoch;
+  TransferModel link;
+};
+
+struct ServerReport {
+  /// Every request's outcome (including drops), in service order.
+  std::vector<Response> responses;
+
+  /// Seconds, over completed (non-dropped) queries.
+  Summary latency;
+  Summary queue_delay;
+  /// Requests per dispatched query batch.
+  Summary batch_size;
+  /// Scheduler depth sampled at each query admission attempt.
+  Summary queue_depth;
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t completed = 0;  // non-dropped queries served
+  std::uint64_t batches = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_failed = 0;
+
+  /// Virtual time of the last completion.
+  double makespan = 0.0;
+  /// Device-occupied time (batch service + epoch apply/resync).
+  double busy_seconds = 0.0;
+
+  /// Completed queries per virtual second, end to end.
+  double query_throughput() const {
+    return makespan > 0.0 ? static_cast<double>(completed) / makespan : 0.0;
+  }
+  /// Completed queries per device-busy second: the capacity the batching
+  /// achieved, independent of how hard the workload pushed.
+  double service_rate() const {
+    return busy_seconds > 0.0 ? static_cast<double>(completed) / busy_seconds : 0.0;
+  }
+};
+
+class Server {
+ public:
+  Server(HarmoniaIndex& index, const ServerConfig& config);
+
+  /// Runs the stream to completion (drains all lanes and leftover
+  /// updates) and returns the aggregate report.
+  ServerReport run(RequestSource& source);
+  /// Open-loop convenience: serve a pre-built, arrival-sorted stream.
+  ServerReport run(std::span<const Request> requests);
+
+ private:
+  void handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
+                       ServerReport& report);
+  void run_epoch(double at, RequestSource& source, ServerReport& report);
+
+  HarmoniaIndex& index_;
+  ServerConfig config_;
+  BatchScheduler scheduler_;
+  EpochUpdater updater_;
+  double device_free_ = 0.0;
+};
+
+}  // namespace harmonia::serve

@@ -1,0 +1,146 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "queries/batch.hpp"
+
+namespace harmonia::serve {
+
+VectorSource::VectorSource(std::vector<Request> requests)
+    : requests_(std::move(requests)) {
+  for (std::size_t i = 1; i < requests_.size(); ++i) {
+    HARMONIA_CHECK(requests_[i - 1].arrival <= requests_[i].arrival);
+  }
+}
+
+std::vector<Request> make_open_loop(const std::vector<Key>& tree_keys,
+                                    const OpenLoopSpec& spec) {
+  HARMONIA_CHECK(!tree_keys.empty());
+  HARMONIA_CHECK(spec.arrivals_per_second > 0.0);
+  HARMONIA_CHECK(spec.update_fraction + spec.range_fraction <= 1.0);
+
+  Xoshiro256 rng(spec.seed);
+
+  // Draw the kind sequence first so each kind's target pool can be built
+  // at exactly the needed size.
+  std::vector<RequestKind> kinds;
+  kinds.reserve(spec.count);
+  std::uint64_t updates = 0, ranges = 0, points = 0;
+  for (std::uint64_t i = 0; i < spec.count; ++i) {
+    const double u = rng.next_double();
+    if (u < spec.update_fraction) {
+      kinds.push_back(RequestKind::kUpdate);
+      ++updates;
+    } else if (u < spec.update_fraction + spec.range_fraction) {
+      kinds.push_back(RequestKind::kRange);
+      ++ranges;
+    } else {
+      kinds.push_back(RequestKind::kPoint);
+      ++points;
+    }
+  }
+
+  const auto point_targets =
+      points > 0 ? queries::make_queries(tree_keys, points, spec.dist, spec.seed + 1)
+                 : std::vector<Key>{};
+  std::vector<queries::UpdateOp> ops;
+  if (updates > 0) {
+    queries::BatchSpec bs;
+    bs.size = updates;
+    bs.insert_fraction = spec.insert_fraction;
+    bs.delete_fraction = spec.delete_fraction;
+    bs.seed = spec.seed + 2;
+    ops = queries::make_update_batch(tree_keys, bs);
+  }
+
+  const std::uint64_t span = std::max<std::uint64_t>(1, spec.range_span);
+  const std::uint64_t max_start =
+      tree_keys.size() > span ? tree_keys.size() - span : 1;
+
+  std::vector<Request> out;
+  out.reserve(spec.count);
+  double now = 0.0;
+  std::uint64_t next_point = 0, next_op = 0;
+  for (std::uint64_t i = 0; i < spec.count; ++i) {
+    // Exponential interarrival -> Poisson process.
+    now += -std::log1p(-rng.next_double()) / spec.arrivals_per_second;
+    Request r;
+    r.id = i;
+    r.kind = kinds[i];
+    r.arrival = now;
+    switch (kinds[i]) {
+      case RequestKind::kPoint:
+        r.key = point_targets[next_point++];
+        break;
+      case RequestKind::kRange: {
+        const std::uint64_t start = rng.next_below(max_start);
+        r.key = tree_keys[start];
+        r.hi = tree_keys[std::min<std::uint64_t>(start + span - 1,
+                                                 tree_keys.size() - 1)];
+        break;
+      }
+      case RequestKind::kUpdate: {
+        const auto& op = ops[next_op++];
+        r.op = op.kind;
+        r.key = op.key;
+        r.value = op.value;
+        break;
+      }
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+ClosedLoopSource::ClosedLoopSource(const std::vector<Key>& tree_keys,
+                                   const ClosedLoopSpec& spec)
+    : spec_(spec) {
+  HARMONIA_CHECK(!tree_keys.empty());
+  HARMONIA_CHECK(spec_.clients > 0);
+  targets_ = queries::make_queries(tree_keys, std::max<std::uint64_t>(1, spec_.total_requests),
+                                   spec_.dist, spec_.seed + 1);
+  // Stagger the first wave so the initial burst is not one giant batch.
+  const double stagger = spec_.think_seconds / spec_.clients;
+  for (unsigned c = 0; c < spec_.clients && issued_ < spec_.total_requests; ++c) {
+    const Request r = make_request(c, c * stagger);
+    scheduled_.emplace(r.arrival, r);
+  }
+}
+
+Request ClosedLoopSource::make_request(unsigned client, double arrival) {
+  Request r;
+  r.id = issued_;
+  r.kind = RequestKind::kPoint;
+  r.arrival = arrival;
+  r.key = targets_[issued_];
+  client_of_[r.id] = client;
+  ++issued_;
+  return r;
+}
+
+const Request* ClosedLoopSource::peek() const {
+  return scheduled_.empty() ? nullptr : &scheduled_.begin()->second;
+}
+
+Request ClosedLoopSource::pop() {
+  HARMONIA_CHECK(!scheduled_.empty());
+  Request r = scheduled_.begin()->second;
+  scheduled_.erase(scheduled_.begin());
+  return r;
+}
+
+void ClosedLoopSource::on_complete(const Response& response) {
+  const auto it = client_of_.find(response.id);
+  if (it == client_of_.end()) return;  // not one of ours
+  const unsigned client = it->second;
+  client_of_.erase(it);
+  if (issued_ >= spec_.total_requests) return;
+  // The client thinks, then issues its next request (even after a drop —
+  // a real client retries later).
+  const Request r = make_request(client, response.completion + spec_.think_seconds);
+  scheduled_.emplace(r.arrival, r);
+}
+
+}  // namespace harmonia::serve

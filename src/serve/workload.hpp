@@ -1,0 +1,103 @@
+// Request-stream generation for the serving simulator.
+//
+// Open loop: arrivals are a Poisson process at a fixed rate, independent
+// of server behaviour — the standard way to expose queueing/batching
+// frontiers (an overloaded open-loop server *must* shed load).
+// Closed loop: a fixed client population where each client issues its
+// next request only after its previous one completes (plus think time),
+// so offered load self-throttles to the server's speed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "queries/workload.hpp"
+#include "serve/request.hpp"
+
+namespace harmonia::serve {
+
+/// Where the server pulls arrivals from. `peek` exposes the earliest
+/// pending arrival (nullptr when none is currently scheduled); closed-loop
+/// sources inject future arrivals from `on_complete` feedback.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  virtual const Request* peek() const = 0;
+  virtual Request pop() = 0;
+  /// Called once per response, in dispatch order, as batches complete on
+  /// the virtual clock.
+  virtual void on_complete(const Response& /*response*/) {}
+};
+
+/// A pre-built, arrival-sorted stream (open-loop workloads, tests).
+class VectorSource final : public RequestSource {
+ public:
+  explicit VectorSource(std::vector<Request> requests);
+  const Request* peek() const override {
+    return next_ < requests_.size() ? &requests_[next_] : nullptr;
+  }
+  Request pop() override { return requests_[next_++]; }
+
+ private:
+  std::vector<Request> requests_;
+  std::size_t next_ = 0;
+};
+
+struct OpenLoopSpec {
+  /// Poisson arrival rate, requests per virtual second.
+  double arrivals_per_second = 1e6;
+  std::uint64_t count = 1 << 16;
+  /// Request-kind mix (the remainder are point lookups).
+  double update_fraction = 0.0;
+  double range_fraction = 0.0;
+  /// Ranges span this many consecutive tree keys.
+  std::uint64_t range_span = 32;
+  /// Mix *within* the update stream (rest are value updates).
+  double insert_fraction = 0.3;
+  double delete_fraction = 0.1;
+  queries::Distribution dist = queries::Distribution::kUniform;
+  std::uint64_t seed = 1;
+};
+
+/// Builds an arrival-sorted open-loop stream over `tree_keys`. Point and
+/// range targets hit existing keys; update ops come from the mixed-batch
+/// builder (inserts target gaps, deletes existing keys). Deterministic in
+/// (tree_keys, spec).
+std::vector<Request> make_open_loop(const std::vector<Key>& tree_keys,
+                                    const OpenLoopSpec& spec);
+
+struct ClosedLoopSpec {
+  unsigned clients = 64;
+  /// Gap between a client's response and its next request.
+  double think_seconds = 50e-6;
+  /// Total requests issued across all clients.
+  std::uint64_t total_requests = 1 << 14;
+  queries::Distribution dist = queries::Distribution::kUniform;
+  std::uint64_t seed = 1;
+};
+
+/// Point-lookup closed loop: at most `clients` requests are ever
+/// outstanding, so a correct server never sheds load here.
+class ClosedLoopSource final : public RequestSource {
+ public:
+  ClosedLoopSource(const std::vector<Key>& tree_keys, const ClosedLoopSpec& spec);
+  const Request* peek() const override;
+  Request pop() override;
+  void on_complete(const Response& response) override;
+
+  std::uint64_t issued() const { return issued_; }
+
+ private:
+  Request make_request(unsigned client, double arrival);
+
+  ClosedLoopSpec spec_;
+  std::vector<Key> targets_;  // pre-drawn per-issue lookup targets
+  /// Scheduled arrivals keyed by time (multimap: simultaneous arrivals ok).
+  std::multimap<double, Request> scheduled_;
+  std::unordered_map<std::uint64_t, unsigned> client_of_;  // request id -> client
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace harmonia::serve

@@ -92,6 +92,45 @@ TEST(Pipeline, SingleChunkFallsBackToSerial) {
   EXPECT_STREQ(r.bottleneck, "serial");
 }
 
+TEST(Pipeline, DispatchChunkMatchesSearchAndPipelineSums) {
+  PipelineFixture f;
+  const auto qs = queries::make_queries(f.keys, 1500, queries::Distribution::kUniform, 7);
+  TransferModel link;
+  QueryOptions qopts;
+
+  std::vector<Value> out(qs.size());
+  const auto t = dispatch_chunk(f.index, qs, link, qopts, out);
+  f.dev.flush_caches();
+  const auto direct = f.index.search(qs, qopts);
+  EXPECT_EQ(out, direct.values);
+  EXPECT_DOUBLE_EQ(t.sort_seconds, direct.sort_seconds);
+  EXPECT_DOUBLE_EQ(t.kernel_seconds, direct.kernel_seconds);
+  EXPECT_DOUBLE_EQ(t.upload_seconds, link.seconds(qs.size() * sizeof(Key)));
+  EXPECT_DOUBLE_EQ(t.download_seconds, link.seconds(qs.size() * sizeof(Value)));
+  EXPECT_DOUBLE_EQ(t.serial_seconds(),
+                   t.upload_seconds + t.compute_seconds() + t.download_seconds);
+
+  // A single-chunk pipelined_search is exactly one dispatch_chunk.
+  f.dev.flush_caches();
+  PipelineOptions opts;
+  opts.chunk_size = qs.size();
+  const auto piped = pipelined_search(f.index, qs, link, opts);
+  EXPECT_EQ(piped.values, out);
+  EXPECT_DOUBLE_EQ(piped.upload_seconds, t.upload_seconds);
+  EXPECT_DOUBLE_EQ(piped.download_seconds, t.download_seconds);
+}
+
+TEST(Pipeline, ImageResyncSecondsMatchesRegions) {
+  PipelineFixture f;
+  TransferModel link;
+  const auto& tree = f.index.tree();
+  const double want = link.seconds(tree.key_region().size() * sizeof(Key)) +
+                      link.seconds(tree.prefix_sum().size() * sizeof(std::uint32_t)) +
+                      link.seconds(tree.value_region().size() * sizeof(Value));
+  EXPECT_DOUBLE_EQ(image_resync_seconds(tree, link), want);
+  EXPECT_GT(image_resync_seconds(tree, link), 3 * link.latency_seconds);
+}
+
 TEST(Pipeline, TransferModelMath) {
   TransferModel link;
   link.gigabytes_per_second = 10.0;

@@ -1,0 +1,274 @@
+// System tests of the serving event loop: the serving path must return
+// exactly what the offline index would (differentially, across update
+// epochs), the deadline trigger must bound tail queueing delay, and
+// overload must shed load instead of growing the queue.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "queries/workload.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace harmonia::serve {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 512 << 20;
+  return spec;
+}
+
+struct ServerFixture {
+  explicit ServerFixture(std::uint64_t tree_keys = 1 << 12, unsigned fanout = 16)
+      : keys(queries::make_tree_keys(tree_keys, 1)), index([&] {
+          std::vector<btree::Entry> entries;
+          for (Key k : keys) entries.push_back({k, btree::value_for_key(k)});
+          return HarmoniaIndex::build(dev, entries, {.fanout = fanout});
+        }()) {}
+
+  gpusim::Device dev{test_spec()};
+  std::vector<Key> keys;
+  HarmoniaIndex index;
+};
+
+/// Mirrors BatchUpdater semantics on a std::map (phase_workflow style).
+void apply_to_oracle(std::map<Key, Value>& oracle, const Request& r) {
+  switch (r.op) {
+    case queries::OpKind::kUpdate:
+      if (auto it = oracle.find(r.key); it != oracle.end()) it->second = r.value;
+      break;
+    case queries::OpKind::kInsert:
+      oracle[r.key] = r.value;
+      break;
+    case queries::OpKind::kDelete:
+      oracle.erase(r.key);
+      break;
+  }
+}
+
+// Acceptance: the serving path returns, for every admitted request, the
+// answer the offline index would give for the epoch it was served under —
+// across >= 3 interleaved query/update epochs (point and range lanes).
+TEST(Server, DifferentialOracleAcrossEpochs) {
+  ServerFixture f;
+
+  OpenLoopSpec spec;
+  spec.arrivals_per_second = 5e6;
+  spec.count = 6000;
+  spec.update_fraction = 0.25;
+  spec.range_fraction = 0.10;
+  spec.range_span = 8;
+  spec.seed = 42;
+  const auto stream = make_open_loop(f.keys, spec);
+
+  ServerConfig cfg;
+  cfg.batch.max_batch = 256;
+  cfg.batch.max_wait = 100e-6;
+  cfg.batch.queue_capacity = 8192;  // no drops: every request needs an oracle check
+  cfg.batch.max_range_results = 16;
+  cfg.epoch.max_buffered = 400;
+
+  // Snapshot the oracle after every epoch's worth of updates, replaying
+  // the stream in arrival order exactly as the epoch updater batches it.
+  std::vector<std::map<Key, Value>> snapshots;
+  {
+    std::map<Key, Value> oracle;
+    for (Key k : f.keys) oracle[k] = btree::value_for_key(k);
+    snapshots.push_back(oracle);
+    std::size_t buffered = 0;
+    for (const Request& r : stream) {
+      if (r.kind != RequestKind::kUpdate) continue;
+      apply_to_oracle(oracle, r);
+      if (++buffered == cfg.epoch.max_buffered) {
+        snapshots.push_back(oracle);
+        buffered = 0;
+      }
+    }
+    if (buffered > 0) snapshots.push_back(oracle);  // final drain epoch
+  }
+  ASSERT_GE(snapshots.size(), 4u) << "workload must span >= 3 update epochs";
+
+  Server server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  ASSERT_EQ(rep.dropped, 0u);
+  ASSERT_EQ(rep.responses.size(), stream.size());
+  EXPECT_GE(rep.epochs, 3u);
+  ASSERT_EQ(rep.epochs + 1, snapshots.size());
+
+  std::uint64_t points = 0, ranges = 0;
+  for (const auto& resp : rep.responses) {
+    ASSERT_LT(resp.epoch, snapshots.size());
+    const auto& oracle = snapshots[resp.epoch];
+    switch (resp.kind) {
+      case RequestKind::kPoint: {
+        ++points;
+        const Request& req = stream[resp.id];
+        const auto it = oracle.find(req.key);
+        const Value want = it != oracle.end() ? it->second : kNotFound;
+        ASSERT_EQ(resp.value, want)
+            << "request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case RequestKind::kRange: {
+        ++ranges;
+        const Request& req = stream[resp.id];
+        std::vector<Value> want;
+        for (auto it = oracle.lower_bound(req.key);
+             it != oracle.end() && it->first <= req.hi &&
+             want.size() < cfg.batch.max_range_results;
+             ++it) {
+          want.push_back(it->second);
+        }
+        ASSERT_EQ(resp.range_values, want)
+            << "range request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case RequestKind::kUpdate:
+        EXPECT_GE(resp.completion, resp.arrival);
+        EXPECT_GE(resp.epoch, 1u);
+        break;
+    }
+  }
+  EXPECT_GT(points, 3000u);
+  EXPECT_GT(ranges, 400u);
+
+  // After the run, the index itself must equal the final snapshot.
+  const auto& final_oracle = snapshots.back();
+  f.index.tree().validate();
+  ASSERT_EQ(f.index.tree().num_keys(), final_oracle.size());
+  for (const auto& [k, v] : final_oracle) {
+    ASSERT_EQ(f.index.search_host(k).value_or(kNotFound), v);
+  }
+}
+
+// Acceptance: the deadline trigger bounds p99 queueing delay; widening
+// the deadline shifts the whole latency distribution up.
+TEST(Server, DeadlineBoundsTailQueueingDelay) {
+  auto run_with_wait = [](double max_wait) {
+    ServerFixture f;
+    OpenLoopSpec spec;
+    spec.arrivals_per_second = 2e6;  // well under capacity: waiting is
+    spec.count = 8000;               // deadline-dominated, not contention
+    spec.seed = 7;
+    const auto stream = make_open_loop(f.keys, spec);
+
+    ServerConfig cfg;
+    cfg.batch.max_batch = 4096;  // size trigger out of the way
+    cfg.batch.max_wait = max_wait;
+    Server server(f.index, cfg);
+    return server.run(stream);
+  };
+
+  const auto tight = run_with_wait(50e-6);
+  const auto loose = run_with_wait(400e-6);
+
+  // p99 queueing delay stays within deadline + one batch's service time.
+  const double service_allowance = 50e-6;
+  EXPECT_LE(tight.queue_delay.percentile(99), 50e-6 + service_allowance);
+  EXPECT_LE(loose.queue_delay.percentile(99), 400e-6 + service_allowance);
+  // The frontier: longer deadline -> bigger batches, higher tail latency.
+  EXPECT_GT(loose.batch_size.mean(), tight.batch_size.mean());
+  EXPECT_GT(loose.latency.percentile(99), tight.latency.percentile(99));
+  EXPECT_EQ(tight.dropped, 0u);
+  EXPECT_EQ(loose.dropped, 0u);
+}
+
+// Acceptance: under overload the bounded queue rejects; the backlog (and
+// hence queueing delay) stays bounded instead of growing with the stream.
+TEST(Server, OverloadShedsLoadInsteadOfGrowingQueue) {
+  ServerFixture f;
+  OpenLoopSpec spec;
+  spec.arrivals_per_second = 500e6;  // far beyond device capacity
+  spec.count = 20000;
+  spec.seed = 11;
+  const auto stream = make_open_loop(f.keys, spec);
+
+  ServerConfig cfg;
+  cfg.batch.max_batch = 256;
+  cfg.batch.max_wait = 50e-6;
+  cfg.batch.queue_capacity = 1024;
+  Server server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  EXPECT_GT(rep.dropped, 0u);
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.arrivals);
+  EXPECT_EQ(rep.responses.size(), stream.size());  // every request answered
+  EXPECT_EQ(rep.completed + rep.dropped, rep.arrivals);
+  // The sampled backlog never exceeds the bound.
+  EXPECT_LE(rep.queue_depth.max(), static_cast<double>(cfg.batch.queue_capacity));
+
+  // Doubling the length of the overload must not move the worst queueing
+  // delay: it is a function of the queue bound, not of how long the
+  // overload lasts. (Without backpressure it would roughly double.)
+  OpenLoopSpec longer = spec;
+  longer.count = 2 * spec.count;
+  const auto stream2 = make_open_loop(f.keys, longer);
+  ServerFixture f2;
+  Server server2(f2.index, cfg);
+  const auto rep2 = server2.run(stream2);
+  EXPECT_GT(rep2.dropped, rep.dropped);  // shedding scales with the stream
+  EXPECT_LE(rep2.queue_delay.max(), rep.queue_delay.max() * 1.25);
+}
+
+TEST(Server, ClosedLoopNeverOverflowsClientPopulation) {
+  ServerFixture f;
+  ClosedLoopSpec spec;
+  spec.clients = 32;
+  spec.think_seconds = 10e-6;
+  spec.total_requests = 2000;
+  spec.seed = 3;
+  ClosedLoopSource source(f.keys, spec);
+
+  ServerConfig cfg;
+  cfg.batch.max_batch = 64;
+  cfg.batch.max_wait = 30e-6;
+  Server server(f.index, cfg);
+  const auto rep = server.run(source);
+
+  EXPECT_EQ(source.issued(), 2000u);
+  EXPECT_EQ(rep.completed, 2000u);
+  EXPECT_EQ(rep.dropped, 0u);
+  // At most `clients` requests can ever wait.
+  EXPECT_LE(rep.queue_depth.max(), 32.0);
+  // Every response's latency includes its wait + service, never negative.
+  EXPECT_GE(rep.latency.min(), 0.0);
+}
+
+// Serving must be a pure replay: same stream, same config -> identical
+// virtual-clock trace.
+TEST(Server, DeterministicReplay) {
+  OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 3000;
+  spec.update_fraction = 0.1;
+  spec.seed = 5;
+
+  auto run_once = [&] {
+    ServerFixture f;
+    const auto stream = make_open_loop(f.keys, spec);
+    ServerConfig cfg;
+    cfg.batch.max_batch = 128;
+    cfg.batch.max_wait = 80e-6;
+    cfg.epoch.max_buffered = 100;
+    Server server(f.index, cfg);
+    return server.run(stream);
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_EQ(a.responses[i].id, b.responses[i].id);
+    EXPECT_DOUBLE_EQ(a.responses[i].completion, b.responses[i].completion);
+    EXPECT_EQ(a.responses[i].value, b.responses[i].value);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.epochs, b.epochs);
+}
+
+}  // namespace
+}  // namespace harmonia::serve

@@ -1,0 +1,194 @@
+// harmonia_server_sim — drive the online serving layer (src/serve/) with
+// open-loop (Poisson) or closed-loop workloads on the virtual clock.
+//
+//   harmonia_server_sim open   --size=18 --rate-mqs=10 --requests=50000
+//                              --updates=0.05 --ranges=0.02 --max-wait-us=100
+//   harmonia_server_sim closed --size=18 --clients=256 --think-us=20 --requests=20000
+//
+// Prints the aggregate report: admission/drop counts, batch-size and
+// latency distributions (p50/p95/p99), update epochs, achieved
+// throughput, and device-busy service rate.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/units.hpp"
+#include "queries/workload.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+using namespace harmonia;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: harmonia_server_sim <open|closed> [flags]\n"
+               "run a mode with --help for its flags\n");
+  return 2;
+}
+
+void add_server_flags(Cli& cli) {
+  cli.flag("size", "log2 tree size", "18")
+      .flag("fanout", "tree fanout", "64")
+      .flag("max-batch", "batch size trigger", "4096")
+      .flag("max-wait-us", "batch deadline (us)", "100")
+      .flag("queue-cap", "admission queue capacity per lane", "16384")
+      .flag("epoch-updates", "updates buffered per epoch", "4096")
+      .flag("pcie", "link bandwidth in GB/s", "12.0")
+      .flag("seed", "workload seed", "1");
+}
+
+serve::ServerConfig server_config(const Cli& cli) {
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = cli.get_uint("max-batch", 4096);
+  cfg.batch.max_wait = static_cast<double>(cli.get_uint("max-wait-us", 100)) * 1e-6;
+  cfg.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
+  cfg.epoch.max_buffered = cli.get_uint("epoch-updates", 4096);
+  cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+  if (cfg.batch.queue_capacity < cfg.batch.max_batch) {
+    std::fprintf(stderr, "error: --queue-cap (%llu) must be >= --max-batch (%llu)\n",
+                 static_cast<unsigned long long>(cfg.batch.queue_capacity),
+                 static_cast<unsigned long long>(cfg.batch.max_batch));
+    std::exit(2);
+  }
+  return cfg;
+}
+
+void print_report(const serve::ServerReport& rep) {
+  std::printf("arrivals        : %llu (admitted %llu, dropped %llu)\n",
+              static_cast<unsigned long long>(rep.arrivals),
+              static_cast<unsigned long long>(rep.admitted),
+              static_cast<unsigned long long>(rep.dropped));
+  std::printf("queries served  : %llu in %llu batches (mean batch %.1f, max %.0f)\n",
+              static_cast<unsigned long long>(rep.completed),
+              static_cast<unsigned long long>(rep.batches),
+              rep.batch_size.empty() ? 0.0 : rep.batch_size.mean(),
+              rep.batch_size.empty() ? 0.0 : rep.batch_size.max());
+  std::printf("update epochs   : %llu (%llu ops applied, %llu failed)\n",
+              static_cast<unsigned long long>(rep.epochs),
+              static_cast<unsigned long long>(rep.updates_applied),
+              static_cast<unsigned long long>(rep.updates_failed));
+  if (!rep.latency.empty()) {
+    std::printf("latency         : p50 %.1f us | p95 %.1f us | p99 %.1f us | max %.1f us\n",
+                rep.latency.percentile(50) * 1e6, rep.latency.percentile(95) * 1e6,
+                rep.latency.percentile(99) * 1e6, rep.latency.max() * 1e6);
+    std::printf("queueing delay  : p50 %.1f us | p99 %.1f us\n",
+                rep.queue_delay.percentile(50) * 1e6,
+                rep.queue_delay.percentile(99) * 1e6);
+  }
+  if (!rep.queue_depth.empty()) {
+    std::printf("queue depth     : mean %.1f | max %.0f\n", rep.queue_depth.mean(),
+                rep.queue_depth.max());
+  }
+  std::printf("makespan        : %.3f ms (virtual)\n", rep.makespan * 1e3);
+  std::printf("throughput      : %s achieved | %s while busy\n",
+              throughput_human(rep.query_throughput()).c_str(),
+              throughput_human(rep.service_rate()).c_str());
+}
+
+/// Device and index live behind unique_ptrs: HarmoniaIndex references its
+/// Device and is not movable (the updater owns mutexes).
+struct BuiltIndex {
+  std::vector<Key> keys;
+  std::unique_ptr<gpusim::Device> device;
+  std::unique_ptr<HarmoniaIndex> index;
+};
+
+BuiltIndex build_index(const Cli& cli) {
+  BuiltIndex b;
+  b.keys =
+      queries::make_tree_keys(1ULL << cli.get_uint("size", 18), cli.get_uint("seed", 1));
+  std::vector<btree::Entry> entries;
+  entries.reserve(b.keys.size());
+  for (Key k : b.keys) entries.push_back({k, btree::value_for_key(k)});
+
+  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  btree::BTree builder(fanout);
+  builder.bulk_load(entries, 0.69);
+
+  auto spec = gpusim::titan_v();
+  spec.global_mem_bytes = 8ULL << 30;
+  b.device = std::make_unique<gpusim::Device>(spec);
+  b.index = std::make_unique<HarmoniaIndex>(*b.device, HarmoniaTree::from_btree(builder),
+                                            HarmoniaIndex::Options{.fanout = fanout});
+  return b;
+}
+
+int cmd_open(int argc, const char* const* argv) {
+  Cli cli;
+  add_server_flags(cli);
+  cli.flag("rate-mqs", "Poisson arrival rate (Mq/s)", "10.0")
+      .flag("requests", "total requests", "50000")
+      .flag("updates", "update fraction", "0.0")
+      .flag("ranges", "range fraction", "0.0")
+      .flag("range-span", "keys per range", "32")
+      .flag("dist", "query distribution", "uniform");
+  if (!cli.parse(argc, argv)) return 2;
+
+  auto built = build_index(cli);
+
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = cli.get_double("rate-mqs", 10.0) * 1e6;
+  spec.count = cli.get_uint("requests", 50000);
+  spec.update_fraction = cli.get_double("updates", 0.0);
+  spec.range_fraction = cli.get_double("ranges", 0.0);
+  if (spec.update_fraction < 0 || spec.range_fraction < 0 ||
+      spec.update_fraction + spec.range_fraction > 1.0) {
+    std::fprintf(stderr, "error: --updates + --ranges must lie in [0, 1]\n");
+    return 2;
+  }
+  spec.range_span = cli.get_uint("range-span", 32);
+  spec.dist = queries::distribution_from_string(cli.get_string("dist", "uniform"));
+  spec.seed = cli.get_uint("seed", 1) + 7;
+  const auto stream = serve::make_open_loop(built.keys, spec);
+
+  serve::Server server(*built.index, server_config(cli));
+  std::printf("open loop: %llu requests at %.1f Mq/s (%.1f%% updates, %.1f%% ranges)\n\n",
+              static_cast<unsigned long long>(spec.count),
+              spec.arrivals_per_second / 1e6, spec.update_fraction * 100,
+              spec.range_fraction * 100);
+  print_report(server.run(stream));
+  return 0;
+}
+
+int cmd_closed(int argc, const char* const* argv) {
+  Cli cli;
+  add_server_flags(cli);
+  cli.flag("clients", "concurrent clients", "256")
+      .flag("think-us", "per-client think time (us)", "20")
+      .flag("requests", "total requests", "20000")
+      .flag("dist", "query distribution", "uniform");
+  if (!cli.parse(argc, argv)) return 2;
+
+  auto built = build_index(cli);
+
+  serve::ClosedLoopSpec spec;
+  spec.clients = static_cast<unsigned>(cli.get_uint("clients", 256));
+  spec.think_seconds = static_cast<double>(cli.get_uint("think-us", 20)) * 1e-6;
+  spec.total_requests = cli.get_uint("requests", 20000);
+  spec.dist = queries::distribution_from_string(cli.get_string("dist", "uniform"));
+  spec.seed = cli.get_uint("seed", 1) + 7;
+  serve::ClosedLoopSource source(built.keys, spec);
+
+  serve::Server server(*built.index, server_config(cli));
+  std::printf("closed loop: %u clients, think %.0f us, %llu requests\n\n", spec.clients,
+              spec.think_seconds * 1e6,
+              static_cast<unsigned long long>(spec.total_requests));
+  print_report(server.run(source));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (mode == "open") return cmd_open(sub_argc, sub_argv);
+  if (mode == "closed") return cmd_closed(sub_argc, sub_argv);
+  return usage();
+}
