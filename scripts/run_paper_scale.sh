@@ -41,4 +41,11 @@ if [[ "${SERVING:-0}" == "1" ]]; then
     --rates=1,2,4,8 --waits=25,50,100,200,400
 fi
 
+# Opt-in multi-device shard sweep (E11): SHARDS=1,2,4,8 scripts/run_paper_scale.sh
+# (any comma list of device counts; off by default).
+if [[ "${SHARDS:-}" != "" ]]; then
+  run ext_shard_scaling --size=23 --queries="$QLOG" \
+    --shards="$SHARDS" --dists=uniform,zipfian --mode=both --check=true
+fi
+
 echo "done; see $OUT/"

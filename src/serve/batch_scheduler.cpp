@@ -28,6 +28,11 @@ bool BatchScheduler::admit(const Request& r) {
   return (r.kind == RequestKind::kRange ? range_ : point_).try_push(r);
 }
 
+std::size_t BatchScheduler::free_slots(RequestKind kind) const {
+  const RequestQueue& q = kind == RequestKind::kRange ? range_ : point_;
+  return q.capacity() - q.size();
+}
+
 double BatchScheduler::next_deadline() const {
   const double d =
       std::min(point_.oldest_arrival(), range_.oldest_arrival());

@@ -50,6 +50,11 @@ class BatchScheduler {
   std::size_t depth() const { return point_.size() + range_.size(); }
   bool empty() const { return point_.empty() && range_.empty(); }
 
+  /// Free admission slots in a lane. The sharded fan-out path probes
+  /// every involved shard before splitting a straddling range, so the
+  /// split is admitted all-or-nothing.
+  std::size_t free_slots(RequestKind kind) const;
+
   /// Earliest deadline over both lanes; +inf when idle.
   double next_deadline() const;
   /// True when some lane reached max_batch and must close now.

@@ -1,0 +1,82 @@
+#include "shard/plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace harmonia::shard {
+
+namespace {
+constexpr Key kKeyMax = std::numeric_limits<Key>::max();
+}  // namespace
+
+ShardPlan::ShardPlan(std::vector<Key> lo) : lo_(std::move(lo)) { validate(); }
+
+ShardPlan ShardPlan::equal_width(unsigned num_shards) {
+  HARMONIA_CHECK(num_shards >= 1 && num_shards <= kMaxShards);
+  // ceil(2^64 / n) so n * width covers the whole domain (the last shard
+  // absorbs the remainder).
+  const Key width = kKeyMax / num_shards + 1;
+  std::vector<Key> lo(num_shards);
+  for (unsigned s = 0; s < num_shards; ++s) lo[s] = width * s;
+  return ShardPlan(std::move(lo));
+}
+
+ShardPlan ShardPlan::sample_balanced(std::span<const Key> sorted_keys,
+                                     unsigned num_shards) {
+  HARMONIA_CHECK(num_shards >= 1 && num_shards <= kMaxShards);
+  if (sorted_keys.empty()) return equal_width(num_shards);
+  HARMONIA_CHECK(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+
+  std::vector<Key> lo;
+  lo.reserve(num_shards);
+  lo.push_back(0);
+  for (unsigned s = 1; s < num_shards; ++s) {
+    const std::size_t q =
+        static_cast<std::size_t>(s) * sorted_keys.size() / num_shards;
+    Key cut = sorted_keys[q];
+    // Strictly increasing bounds keep every shard's range non-empty even
+    // when quantiles collide (tiny or highly duplicated samples).
+    if (cut <= lo.back()) {
+      HARMONIA_CHECK_MSG(lo.back() < kKeyMax,
+                         "cannot place " << num_shards << " cuts above key "
+                                         << lo.back());
+      cut = lo.back() + 1;
+    }
+    lo.push_back(cut);
+  }
+  return ShardPlan(std::move(lo));
+}
+
+ShardPlan ShardPlan::from_bounds(std::vector<Key> lower_bounds) {
+  return ShardPlan(std::move(lower_bounds));
+}
+
+unsigned ShardPlan::shard_of(Key key) const {
+  const auto it = std::upper_bound(lo_.begin(), lo_.end(), key);
+  // lo_[0] == 0 <= key, so `it` is always past the first element.
+  return static_cast<unsigned>(it - lo_.begin()) - 1;
+}
+
+Key ShardPlan::lo(unsigned s) const {
+  HARMONIA_CHECK(s < lo_.size());
+  return lo_[s];
+}
+
+Key ShardPlan::hi(unsigned s) const {
+  HARMONIA_CHECK(s < lo_.size());
+  return s + 1 < lo_.size() ? lo_[s + 1] - 1 : kKeyMax;
+}
+
+void ShardPlan::validate() const {
+  HARMONIA_CHECK_MSG(!lo_.empty() && lo_.size() <= kMaxShards,
+                     "plan must hold 1.." << kMaxShards << " shards");
+  HARMONIA_CHECK_MSG(lo_.front() == 0, "first shard must start at key 0");
+  for (std::size_t s = 1; s < lo_.size(); ++s) {
+    HARMONIA_CHECK_MSG(lo_[s - 1] < lo_[s],
+                       "bounds must be strictly increasing (shard " << s << ")");
+  }
+}
+
+}  // namespace harmonia::shard

@@ -1,0 +1,71 @@
+// Range partitioning of the key domain across simulated devices.
+//
+// The paper caps out at one GPU; the natural next axis is sharding the
+// key space across several independent device-resident Harmonia trees.
+// The prefix-sum layout makes range sharding cheap: each shard is just a
+// smaller, fully self-contained key-region + child-region pair, so no
+// cross-device pointers exist and every shard can be built, searched,
+// updated, and resynced on its own.
+//
+// A ShardPlan is a sorted list of lower bounds: shard s serves the
+// contiguous, inclusive key range [lower_bounds[s], lower_bounds[s+1]-1]
+// (the last shard runs to the top of the domain). Two construction modes:
+//   equal_width     : split the 64-bit key universe into equal slices —
+//                     right for uniformly spread keys, zero metadata;
+//   sample_balanced : cut at quantiles of a sorted key sample so every
+//                     shard holds about the same number of keys even
+//                     when the population is skewed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "harmonia/tree.hpp"
+
+namespace harmonia::shard {
+
+class ShardPlan {
+ public:
+  /// Routing tables and per-shard device state are all O(num_shards);
+  /// the cap just keeps misconfigured sweeps from building 10^6 devices.
+  static constexpr unsigned kMaxShards = 64;
+
+  /// Splits [0, 2^64-1] into `num_shards` equal slices.
+  static ShardPlan equal_width(unsigned num_shards);
+
+  /// Cuts at the s*n/num_shards quantiles of `sorted_keys` (ascending).
+  /// Degenerate samples (too few / duplicated quantiles) still yield a
+  /// valid plan: colliding cuts are nudged up by one key. An empty sample
+  /// falls back to equal_width.
+  static ShardPlan sample_balanced(std::span<const Key> sorted_keys,
+                                   unsigned num_shards);
+
+  /// Wraps explicit lower bounds: bounds[0] must be 0 and the list must
+  /// be strictly increasing.
+  static ShardPlan from_bounds(std::vector<Key> lower_bounds);
+
+  unsigned num_shards() const { return static_cast<unsigned>(lo_.size()); }
+
+  /// The unique shard whose range contains `key`.
+  unsigned shard_of(Key key) const;
+
+  /// Inclusive bounds of shard `s`.
+  Key lo(unsigned s) const;
+  Key hi(unsigned s) const;
+
+  std::span<const Key> lower_bounds() const { return lo_; }
+
+  /// Partition invariants: non-empty, lo(0)==0, strictly increasing
+  /// bounds (ranges disjoint and covering). Throws ContractViolation.
+  void validate() const;
+
+  bool operator==(const ShardPlan& other) const { return lo_ == other.lo_; }
+
+ private:
+  explicit ShardPlan(std::vector<Key> lo);
+
+  std::vector<Key> lo_;  // lower bound per shard, ascending, lo_[0] == 0
+};
+
+}  // namespace harmonia::shard

@@ -1,0 +1,242 @@
+#include "shard/sharded_index.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.hpp"
+
+namespace harmonia::shard {
+
+ShardedIndex::ShardedIndex(std::span<const btree::Entry> entries, ShardPlan plan,
+                           const ShardedOptions& options)
+    : plan_(std::move(plan)), options_(options), shards_(plan_.num_shards()) {
+  HARMONIA_CHECK(std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const btree::Entry& a, const btree::Entry& b) { return a.key < b.key; }));
+  // Entries are sorted, so each shard's slice is one contiguous subspan.
+  std::size_t begin = 0;
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    std::size_t end = begin;
+    while (end < entries.size() && plan_.shard_of(entries[end].key) == s) ++end;
+    if (end > begin) build_shard(s, entries.subspan(begin, end - begin));
+    begin = end;
+  }
+}
+
+void ShardedIndex::build_shard(unsigned s, std::span<const btree::Entry> entries) {
+  auto spec = options_.device;
+  spec.global_mem_bytes = options_.device_global_bytes;
+  spec.name = options_.device.name + " shard" + std::to_string(s);
+  shards_[s].device = std::make_unique<gpusim::Device>(spec);
+  shards_[s].index = std::make_unique<HarmoniaIndex>(
+      *shards_[s].device,
+      [&] {
+        btree::BTree builder(options_.index.fanout);
+        builder.bulk_load(entries, options_.index.fill_factor);
+        return HarmoniaTree::from_btree(builder);
+      }(),
+      options_.index);
+}
+
+HarmoniaIndex* ShardedIndex::shard(unsigned s) {
+  HARMONIA_CHECK(s < shards_.size());
+  return shards_[s].index.get();
+}
+
+const HarmoniaIndex* ShardedIndex::shard(unsigned s) const {
+  HARMONIA_CHECK(s < shards_.size());
+  return shards_[s].index.get();
+}
+
+std::uint64_t ShardedIndex::shard_key_count(unsigned s) const {
+  const HarmoniaIndex* idx = shard(s);
+  return idx ? idx->tree().num_keys() : 0;
+}
+
+std::uint64_t ShardedIndex::num_keys() const {
+  std::uint64_t n = 0;
+  for (unsigned s = 0; s < num_shards(); ++s) n += shard_key_count(s);
+  return n;
+}
+
+ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch) {
+  HARMONIA_CHECK(!batch.empty());
+  SearchResult result;
+  result.values.assign(batch.size(), kNotFound);
+  result.per_shard.assign(num_shards(), 0);
+
+  // Scatter by partition boundary, remembering each query's arrival slot.
+  std::vector<std::vector<Key>> keys(num_shards());
+  std::vector<std::vector<std::size_t>> slots(num_shards());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const unsigned s = plan_.shard_of(batch[i]);
+    keys[s].push_back(batch[i]);
+    slots[s].push_back(i);
+    ++result.per_shard[s];
+  }
+
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    if (keys[s].empty()) continue;
+    // A deviceless shard holds no keys: its queries stay kNotFound.
+    if (!shards_[s].index) continue;
+    const auto piped = pipelined_search(*shards_[s].index, keys[s], options_.link,
+                                        options_.pipeline);
+    for (std::size_t j = 0; j < slots[s].size(); ++j)
+      result.values[slots[s][j]] = piped.values[j];
+    result.device_seconds += piped.total_seconds;
+    if (piped.total_seconds > result.total_seconds) {
+      result.total_seconds = piped.total_seconds;
+      result.bottleneck_shard = s;
+    }
+  }
+  return result;
+}
+
+ShardedIndex::RangeResult ShardedIndex::range(std::span<const Key> los,
+                                              std::span<const Key> his,
+                                              unsigned max_results) {
+  HARMONIA_CHECK(los.size() == his.size());
+  HARMONIA_CHECK(!los.empty());
+  HARMONIA_CHECK(max_results > 0);
+
+  RangeResult result;
+  result.values.resize(los.size());
+
+  // Fan out: each query contributes one clamped sub-query to every shard
+  // its span touches. Sub-queries are gathered per shard so each device
+  // serves one batch.
+  std::vector<std::vector<Key>> sub_lo(num_shards()), sub_hi(num_shards());
+  std::vector<std::vector<std::size_t>> sub_query(num_shards());
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    HARMONIA_CHECK(los[i] <= his[i]);
+    const unsigned s0 = plan_.shard_of(los[i]);
+    const unsigned s1 = plan_.shard_of(his[i]);
+    if (s1 > s0) ++result.straddling;
+    for (unsigned s = s0; s <= s1; ++s) {
+      if (!shards_[s].index) continue;
+      sub_lo[s].push_back(std::max(los[i], plan_.lo(s)));
+      sub_hi[s].push_back(std::min(his[i], plan_.hi(s)));
+      sub_query[s].push_back(i);
+    }
+  }
+
+  // Shards in ascending order: a query's per-shard pieces append in key
+  // order, so the merged list is ascending without a sort.
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    if (sub_lo[s].empty()) continue;
+    const auto r = shards_[s].index->range_device(sub_lo[s], sub_hi[s], max_results);
+    // Same service model as the online scheduler: bounds up, kernel,
+    // values down, on this shard's own link.
+    const double service =
+        options_.link.seconds(2 * sub_lo[s].size() * sizeof(Key)) +
+        r.kernel_seconds + options_.link.seconds(r.total_results * sizeof(Value));
+    result.total_seconds = std::max(result.total_seconds, service);
+    for (std::size_t j = 0; j < sub_query[s].size(); ++j) {
+      auto& out = result.values[sub_query[s][j]];
+      for (Value v : r.values[j]) {
+        if (out.size() >= max_results) break;
+        out.push_back(v);
+        ++result.total_results;
+      }
+    }
+  }
+  return result;
+}
+
+UpdateStats ShardedIndex::update_batch(std::span<const queries::UpdateOp> ops,
+                                       unsigned threads) {
+  // Scatter preserving arrival order within each shard: ops commute across
+  // shards (disjoint key ranges) but not within one.
+  std::vector<std::vector<queries::UpdateOp>> per_shard(num_shards());
+  for (const auto& op : ops) per_shard[plan_.shard_of(op.key)].push_back(op);
+
+  UpdateStats agg;
+  last_resync_seconds_ = 0.0;
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    if (per_shard[s].empty()) continue;
+    if (!shards_[s].index) {
+      apply_to_empty_shard(s, per_shard[s], agg);
+      continue;
+    }
+    const UpdateStats st = shards_[s].index->update_batch(per_shard[s], threads);
+    agg.updates += st.updates;
+    agg.inserts += st.inserts;
+    agg.deletes += st.deletes;
+    agg.failed += st.failed;
+    agg.fine_path_ops += st.fine_path_ops;
+    agg.coarse_path_ops += st.coarse_path_ops;
+    agg.coarse_retries += st.coarse_retries;
+    agg.aux_nodes += st.aux_nodes;
+    agg.moved_slots += st.moved_slots;
+    agg.rebuilt = agg.rebuilt || st.rebuilt;
+    // One host CPU applies shard after shard; wall apply time sums.
+    agg.apply_seconds += st.apply_seconds;
+    agg.rebuild_seconds += st.rebuild_seconds;
+    // Each device resyncs over its own link; resyncs overlap. Charge the
+    // modeled PCIe cost, not measured wall time — the virtual clock must
+    // stay deterministic for a fixed op stream.
+    last_resync_seconds_ =
+        std::max(last_resync_seconds_,
+                 image_resync_seconds(shards_[s].index->tree(), options_.link));
+  }
+  return agg;
+}
+
+void ShardedIndex::apply_to_empty_shard(unsigned s,
+                                        std::span<const queries::UpdateOp> ops,
+                                        UpdateStats& agg) {
+  // No tree to lock: replay the sub-batch on a host map with the
+  // BatchUpdater's op semantics, then bulk-build the shard from the
+  // survivors.
+  std::map<Key, Value> m;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case queries::OpKind::kUpdate:
+        ++agg.updates;
+        if (auto it = m.find(op.key); it != m.end())
+          it->second = op.value;
+        else
+          ++agg.failed;
+        break;
+      case queries::OpKind::kInsert:
+        ++agg.inserts;
+        m[op.key] = op.value;
+        break;
+      case queries::OpKind::kDelete:
+        ++agg.deletes;
+        if (m.erase(op.key) == 0) ++agg.failed;
+        break;
+    }
+  }
+  if (m.empty()) return;
+  std::vector<btree::Entry> entries;
+  entries.reserve(m.size());
+  for (const auto& [k, v] : m) entries.push_back({k, v});
+  build_shard(s, entries);
+  last_resync_seconds_ =
+      std::max(last_resync_seconds_,
+               image_resync_seconds(shards_[s].index->tree(), options_.link));
+}
+
+std::optional<Value> ShardedIndex::search_host(Key key) const {
+  const HarmoniaIndex* idx = shard(plan_.shard_of(key));
+  return idx ? idx->search_host(key) : std::nullopt;
+}
+
+std::vector<btree::Entry> ShardedIndex::range_host(Key lo, Key hi,
+                                                   std::size_t limit) const {
+  std::vector<btree::Entry> out;
+  const unsigned s1 = plan_.shard_of(hi);
+  for (unsigned s = plan_.shard_of(lo); s <= s1; ++s) {
+    const HarmoniaIndex* idx = shard(s);
+    if (!idx) continue;
+    const std::size_t want = limit == 0 ? 0 : limit - out.size();
+    auto part = idx->range_host(std::max(lo, plan_.lo(s)),
+                                std::min(hi, plan_.hi(s)), want);
+    out.insert(out.end(), part.begin(), part.end());
+    if (limit != 0 && out.size() >= limit) break;
+  }
+  return out;
+}
+
+}  // namespace harmonia::shard

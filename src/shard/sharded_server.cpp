@@ -1,0 +1,302 @@
+#include "shard/sharded_server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace harmonia::shard {
+
+using serve::BatchScheduler;
+using serve::Request;
+using serve::RequestKind;
+using serve::RequestSource;
+using serve::Response;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& config)
+    : index_(index),
+      config_(config),
+      sched_(index.num_shards()),
+      device_free_(index.num_shards(), 0.0) {
+  for (unsigned s = 0; s < index_.num_shards(); ++s) {
+    HARMONIA_CHECK_MSG(index_.shard(s) != nullptr,
+                       "shard " << s << " holds no keys — plan the partition "
+                                << "from the served keys (sample_balanced)");
+    sched_[s] = std::make_unique<BatchScheduler>(*index_.shard(s), config_.link,
+                                                 config_.batch);
+  }
+}
+
+std::size_t ShardedServer::total_depth() const {
+  std::size_t n = 0;
+  for (const auto& s : sched_) n += s->depth();
+  return n;
+}
+
+void ShardedServer::drop(const Request& r, RequestSource& source,
+                         ShardedServerReport& report) {
+  ++report.dropped;
+  Response resp;
+  resp.id = r.id;
+  resp.kind = r.kind;
+  resp.dropped = true;
+  resp.epoch = epochs_;
+  resp.arrival = resp.dispatch = resp.completion = r.arrival;
+  resp.value = kNotFound;
+  report.makespan = std::max(report.makespan, resp.completion);
+  source.on_complete(resp);
+  report.responses.push_back(std::move(resp));
+}
+
+void ShardedServer::admit_query(const Request& r, RequestSource& source,
+                                ShardedServerReport& report) {
+  report.queue_depth.add(static_cast<double>(total_depth()));
+
+  if (r.kind == RequestKind::kPoint) {
+    const unsigned s = index_.plan().shard_of(r.key);
+    if (sched_[s]->admit(r))
+      ++report.admitted;
+    else
+      drop(r, source, report);
+    return;
+  }
+
+  HARMONIA_CHECK(r.kind == RequestKind::kRange);
+  HARMONIA_CHECK(r.key <= r.hi);
+  const unsigned s0 = index_.plan().shard_of(r.key);
+  const unsigned s1 = index_.plan().shard_of(r.hi);
+  if (s0 == s1) {
+    // Whole span inside one shard: an ordinary range request.
+    if (sched_[s0]->admit(r))
+      ++report.admitted;
+    else
+      drop(r, source, report);
+    return;
+  }
+
+  // Straddling: split into per-shard sub-requests with clamped bounds,
+  // admitted all-or-nothing so a partially-enqueued fan-out never exists.
+  for (unsigned s = s0; s <= s1; ++s) {
+    if (sched_[s]->free_slots(RequestKind::kRange) == 0) {
+      drop(r, source, report);
+      return;
+    }
+  }
+  ++report.admitted;
+  ++report.split_ranges;
+  PendingMerge merge;
+  merge.parts_expected = s1 - s0 + 1;
+  merge.original = r;
+  merges_.emplace(r.id, std::move(merge));
+  for (unsigned s = s0; s <= s1; ++s) {
+    Request sub = r;
+    sub.id = next_sub_id_++;
+    sub.key = std::max(r.key, index_.plan().lo(s));
+    sub.hi = std::min(r.hi, index_.plan().hi(s));
+    parent_of_.emplace(sub.id, r.id);
+    const bool ok = sched_[s]->admit(sub);
+    HARMONIA_CHECK(ok);  // free_slots was probed above
+  }
+}
+
+void ShardedServer::deliver(Response resp, RequestSource& source,
+                            ShardedServerReport& report) {
+  ++report.completed;
+  report.latency.add(resp.latency());
+  report.queue_delay.add(resp.queue_delay());
+  report.makespan = std::max(report.makespan, resp.completion);
+  source.on_complete(resp);
+  report.responses.push_back(std::move(resp));
+}
+
+void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
+                           ShardedServerReport& report) {
+  if (resp.id < kSubIdBase) {
+    deliver(std::move(resp), source, report);
+    return;
+  }
+
+  // A fan-out piece: park it until its siblings complete.
+  const auto parent_it = parent_of_.find(resp.id);
+  HARMONIA_CHECK(parent_it != parent_of_.end());
+  const std::uint64_t parent = parent_it->second;
+  parent_of_.erase(parent_it);
+  auto& merge = merges_.at(parent);
+  merge.parts.emplace_back(s, std::move(resp));
+  if (merge.parts.size() < merge.parts_expected) return;
+
+  // All pieces in: reassemble in shard order (shards are ordered ranges,
+  // so concatenation is globally ascending).
+  std::sort(merge.parts.begin(), merge.parts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Response merged;
+  merged.id = parent;
+  merged.kind = RequestKind::kRange;
+  merged.arrival = merge.original.arrival;
+  merged.epoch = merge.parts.front().second.epoch;
+  merged.dispatch = kInf;
+  for (const auto& [shard_ord, part] : merge.parts) {
+    (void)shard_ord;
+    // The cross-shard epoch barrier quiesces every shard before an epoch
+    // applies, so all pieces of a fan-out observe the same epoch count.
+    HARMONIA_CHECK(part.epoch == merged.epoch);
+    merged.dispatch = std::min(merged.dispatch, part.dispatch);
+    merged.completion = std::max(merged.completion, part.completion);
+    for (Value v : part.range_values) {
+      if (merged.range_values.size() >= config_.batch.max_range_results) break;
+      merged.range_values.push_back(v);
+    }
+  }
+  merges_.erase(parent);
+  deliver(std::move(merged), source, report);
+}
+
+void ShardedServer::handle_dispatch(unsigned s, BatchScheduler::Dispatch d,
+                                    RequestSource& source,
+                                    ShardedServerReport& report) {
+  device_free_[s] = d.finish;
+  ++report.batches;
+  ++report.shard_batches[s];
+  report.shard_queries[s] += d.batch_size;
+  report.batch_size.add(static_cast<double>(d.batch_size));
+  report.busy_seconds += d.service_seconds();
+  for (Response& resp : d.responses) finish(s, std::move(resp), source, report);
+}
+
+void ShardedServer::run_epoch(double at, RequestSource& source,
+                              ShardedServerReport& report) {
+  // Quiesce: flush every shard's pending query batches so everything
+  // admitted before the trigger is served by pre-epoch trees.
+  for (unsigned s = 0; s < sched_.size(); ++s) {
+    while (!sched_[s]->empty()) {
+      handle_dispatch(s, sched_[s]->dispatch_ready(at, device_free_[s], epochs_),
+                      source, report);
+    }
+  }
+
+  // Barrier: the epoch starts when the slowest device drains.
+  double start = at;
+  for (const double f : device_free_) start = std::max(start, f);
+  for (const double f : device_free_)
+    report.barrier_wait_seconds += start - std::max(at, f);
+
+  std::vector<queries::UpdateOp> ops;
+  ops.reserve(pending_updates_.size());
+  for (const Request& r : pending_updates_) ops.push_back({r.op, r.key, r.value});
+  const UpdateStats stats =
+      index_.update_batch(ops, config_.epoch.apply_threads);
+
+  // One host CPU applies the whole epoch; per-shard image resyncs overlap
+  // on their own links, so the resync charge is the slowest shard's.
+  const double apply_seconds =
+      static_cast<double>(ops.size()) * config_.epoch.seconds_per_op;
+  const double finish_t = start + apply_seconds + index_.last_resync_seconds();
+
+  ++epochs_;
+  ++report.epochs;
+  report.updates_applied += stats.total_ops();
+  report.updates_failed += stats.failed;
+  // Every device is held through the epoch: admission reopens on all
+  // shards at the same instant (the atomicity the stress tests pin).
+  report.busy_seconds +=
+      (finish_t - start) * static_cast<double>(device_free_.size());
+  for (double& f : device_free_) f = finish_t;
+
+  for (const Request& r : pending_updates_) {
+    Response resp;
+    resp.id = r.id;
+    resp.kind = RequestKind::kUpdate;
+    resp.epoch = epochs_;
+    resp.arrival = r.arrival;
+    resp.dispatch = start;
+    resp.completion = finish_t;
+    report.makespan = std::max(report.makespan, resp.completion);
+    source.on_complete(resp);
+    report.responses.push_back(std::move(resp));
+  }
+  pending_updates_.clear();
+}
+
+ShardedServerReport ShardedServer::run(RequestSource& source) {
+  ShardedServerReport report;
+  report.shard_batches.assign(index_.num_shards(), 0);
+  report.shard_queries.assign(index_.num_shards(), 0);
+  double now = 0.0;
+
+  while (true) {
+    const Request* next = source.peek();
+    const double t_arrival = next ? next->arrival : kInf;
+
+    // Earliest dispatchable batch across shards: each shard's trigger
+    // (size full, or oldest deadline) gated on its own device timeline.
+    double t_batch = kInf;
+    unsigned batch_shard = 0;
+    for (unsigned s = 0; s < sched_.size(); ++s) {
+      if (sched_[s]->empty()) continue;
+      const double trigger =
+          sched_[s]->size_ready() ? now : sched_[s]->next_deadline();
+      const double t = std::max(trigger, device_free_[s]);
+      if (t < t_batch) {
+        t_batch = t;
+        batch_shard = s;
+      }
+    }
+    const double t_epoch =
+        pending_updates_.empty()
+            ? kInf
+            : (pending_updates_.size() >= config_.epoch.max_buffered
+                   ? now
+                   : pending_updates_.front().arrival + config_.epoch.max_wait);
+
+    if (t_arrival == kInf && t_batch == kInf && t_epoch == kInf) {
+      // Stream exhausted, no armed trigger: final drain, then leftovers
+      // of the update buffer as a last epoch.
+      for (unsigned s = 0; s < sched_.size(); ++s) {
+        while (!sched_[s]->empty()) {
+          handle_dispatch(s,
+                          sched_[s]->dispatch_ready(std::max(now, device_free_[s]),
+                                                    device_free_[s], epochs_),
+                          source, report);
+        }
+      }
+      if (!pending_updates_.empty()) run_epoch(now, source, report);
+      if (!source.peek()) break;  // on_complete may have injected arrivals
+      continue;
+    }
+
+    if (t_arrival <= t_batch && t_arrival <= t_epoch) {
+      now = t_arrival;
+      const Request r = source.pop();
+      ++report.arrivals;
+      if (r.kind == RequestKind::kUpdate) {
+        ++report.admitted;
+        pending_updates_.push_back(r);
+      } else {
+        admit_query(r, source, report);
+      }
+    } else if (t_batch <= t_epoch) {
+      now = t_batch;
+      handle_dispatch(batch_shard,
+                      sched_[batch_shard]->dispatch_ready(now, device_free_[batch_shard],
+                                                          epochs_),
+                      source, report);
+    } else {
+      now = t_epoch;
+      run_epoch(now, source, report);
+    }
+  }
+
+  HARMONIA_CHECK(merges_.empty());  // every fan-out reassembled
+  return report;
+}
+
+ShardedServerReport ShardedServer::run(std::span<const Request> requests) {
+  serve::VectorSource source(std::vector<Request>(requests.begin(), requests.end()));
+  return run(source);
+}
+
+}  // namespace harmonia::shard

@@ -1,0 +1,112 @@
+// Online serving over a range-sharded, multi-device index.
+//
+// One virtual-clock event loop drives a per-shard copy of the serving
+// machinery: every shard gets its own bounded admission queues and
+// deadline-driven batch scheduler (src/serve/), and its own device
+// timeline, so shards batch and dispatch independently — the whole point
+// of sharding the serving path.
+//
+// Two pieces are genuinely cross-shard:
+//   Range fan-out  : a range query whose span straddles a partition
+//                    boundary is split into per-shard sub-requests
+//                    (bounds clamped), admitted all-or-nothing, and its
+//                    response is reassembled in shard order when the last
+//                    piece completes.
+//   Epoch barrier  : buffered updates apply as one cross-shard epoch.
+//                    The trigger quiesces every shard (flushes all
+//                    pending query batches), waits for the slowest
+//                    device (the barrier), applies the Algorithm-1
+//                    updater per shard, resyncs every touched image
+//                    (overlapped, one link per device), and reopens
+//                    admission on all shards at the same instant. Every
+//                    query therefore observes a whole number of epochs on
+//                    *every* shard — there are no torn cross-shard
+//                    states, which is what the stress tests pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/batch_scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "shard/sharded_index.hpp"
+
+namespace harmonia::shard {
+
+struct ShardedServerConfig {
+  /// Per-shard scheduler configuration (every shard gets its own lanes
+  /// with this capacity, so aggregate admission scales with shards).
+  serve::BatchConfig batch;
+  serve::EpochConfig epoch;
+  TransferModel link;
+};
+
+struct ShardedServerReport : serve::ServerReport {
+  /// Query batches dispatched / queries served per shard.
+  std::vector<std::uint64_t> shard_batches;
+  std::vector<std::uint64_t> shard_queries;
+  /// Range requests that fanned out across >1 shard.
+  std::uint64_t split_ranges = 0;
+  /// Device idle time summed over shards while epoch barriers gathered
+  /// the slowest shard (the intrinsic cost of atomic cross-shard epochs).
+  double barrier_wait_seconds = 0.0;
+};
+
+class ShardedServer {
+ public:
+  /// Every shard of `index` must hold keys (plan the partition from the
+  /// served keys, e.g. ShardPlan::sample_balanced) so each shard has a
+  /// live device and scheduler for the whole run.
+  ShardedServer(ShardedIndex& index, const ShardedServerConfig& config);
+
+  ShardedServerReport run(serve::RequestSource& source);
+  ShardedServerReport run(std::span<const serve::Request> requests);
+
+ private:
+  /// Sub-request ids live above this bit so they can never collide with
+  /// stream ids (which count up from 0).
+  static constexpr std::uint64_t kSubIdBase = 1ULL << 63;
+
+  struct PendingMerge {
+    std::size_t parts_expected = 0;
+    /// (shard, part) pairs; merged in shard order on completion.
+    std::vector<std::pair<unsigned, serve::Response>> parts;
+    serve::Request original;
+  };
+
+  void admit_query(const serve::Request& r, serve::RequestSource& source,
+                   ShardedServerReport& report);
+  void drop(const serve::Request& r, serve::RequestSource& source,
+            ShardedServerReport& report);
+  void handle_dispatch(unsigned s, serve::BatchScheduler::Dispatch d,
+                       serve::RequestSource& source, ShardedServerReport& report);
+  /// Routes one finished response: sub-responses park in their merge
+  /// slot until the fan-out completes; whole responses go to the report.
+  void finish(unsigned s, serve::Response resp, serve::RequestSource& source,
+              ShardedServerReport& report);
+  void deliver(serve::Response resp, serve::RequestSource& source,
+               ShardedServerReport& report);
+  void run_epoch(double at, serve::RequestSource& source,
+                 ShardedServerReport& report);
+
+  std::size_t total_depth() const;
+
+  ShardedIndex& index_;
+  ShardedServerConfig config_;
+  /// One scheduler per shard.
+  std::vector<std::unique_ptr<serve::BatchScheduler>> sched_;
+  std::vector<double> device_free_;
+  std::vector<serve::Request> pending_updates_;
+  unsigned epochs_ = 0;
+  std::uint64_t next_sub_id_ = kSubIdBase;
+  /// Sub-request id -> parent request id.
+  std::map<std::uint64_t, std::uint64_t> parent_of_;
+  /// Parent request id -> fan-out reassembly state.
+  std::map<std::uint64_t, PendingMerge> merges_;
+};
+
+}  // namespace harmonia::shard

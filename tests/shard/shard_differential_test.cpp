@@ -1,0 +1,257 @@
+// Differential fuzzing of the sharded execution layer: sharded search and
+// range over 1-8 shards, both partition modes, sweeping seeds x fanouts x
+// query distributions, must agree exactly with a single-device Harmonia
+// index and the CPU btree oracle — including keys sitting exactly on
+// partition boundaries and ranges straddling them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "btree/btree.hpp"
+#include "common/rng.hpp"
+#include "queries/workload.hpp"
+#include "shard/sharded_index.hpp"
+
+namespace harmonia::shard {
+namespace {
+
+gpusim::DeviceSpec small_device() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 256 << 20;
+  return spec;
+}
+
+ShardedOptions small_options(unsigned fanout) {
+  ShardedOptions options;
+  options.index.fanout = fanout;
+  options.device = small_device();
+  options.device_global_bytes = 256 << 20;
+  return options;
+}
+
+struct Fixture {
+  Fixture(std::uint64_t num_keys, unsigned fanout, std::uint64_t seed,
+          ShardPlan shard_plan)
+      : keys(queries::make_tree_keys(num_keys, seed)),
+        entries([&] {
+          std::vector<btree::Entry> e;
+          e.reserve(keys.size());
+          for (Key k : keys) e.push_back({k, btree::value_for_key(k)});
+          return e;
+        }()),
+        oracle(fanout),
+        single_device(small_device()),
+        single([&] {
+          return HarmoniaIndex::build(single_device, entries, {.fanout = fanout});
+        }()),
+        sharded(entries, std::move(shard_plan), small_options(fanout)) {
+    oracle.bulk_load(entries);
+  }
+
+  std::vector<Key> keys;
+  std::vector<btree::Entry> entries;
+  btree::BTree oracle;
+  gpusim::Device single_device;
+  HarmoniaIndex single;
+  ShardedIndex sharded;
+};
+
+/// Queries that stress the partition: every shard's exact bounds, keys
+/// adjacent to every boundary, plus hits and misses from `dist`.
+std::vector<Key> make_probe_batch(const Fixture& f, queries::Distribution dist,
+                                  std::uint64_t seed) {
+  std::vector<Key> batch = queries::make_queries(f.keys, 512, dist, seed);
+  const auto missing = queries::make_missing_keys(f.keys, 64, seed + 1);
+  batch.insert(batch.end(), missing.begin(), missing.end());
+  const ShardPlan& plan = f.sharded.plan();
+  for (unsigned s = 0; s < plan.num_shards(); ++s) {
+    batch.push_back(plan.lo(s));
+    if (plan.lo(s) > 0) batch.push_back(plan.lo(s) - 1);
+    // The last shard's hi is 2^64-1 == kReservedKey, the device-image pad
+    // key, which query generators never produce — probe up to hi-1 there.
+    if (plan.hi(s) < ~Key{0}) {
+      batch.push_back(plan.hi(s));
+      batch.push_back(plan.hi(s) + 1);
+    } else {
+      batch.push_back(plan.hi(s) - 1);
+    }
+  }
+  return batch;
+}
+
+void check_search_agreement(Fixture& f, queries::Distribution dist,
+                            std::uint64_t seed) {
+  const auto batch = make_probe_batch(f, dist, seed);
+  const auto sharded = f.sharded.search(batch);
+  const auto single = f.single.search(batch);
+  ASSERT_EQ(sharded.values.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Value want = f.oracle.search(batch[i]).value_or(kNotFound);
+    ASSERT_EQ(sharded.values[i], want) << "query " << i << " key " << batch[i];
+    ASSERT_EQ(sharded.values[i], single.values[i])
+        << "sharded vs single-device divergence at query " << i;
+  }
+  // Routing conservation: every query landed in exactly one shard.
+  std::uint64_t routed = 0;
+  for (std::uint64_t n : sharded.per_shard) routed += n;
+  EXPECT_EQ(routed, batch.size());
+}
+
+void check_range_agreement(Fixture& f, std::uint64_t seed, unsigned max_results) {
+  const ShardPlan& plan = f.sharded.plan();
+  std::vector<Key> los, his;
+  // Ranges centered on every partition boundary (guaranteed straddling
+  // when the boundary is interior), plus random spans of varying width.
+  // Keep his below kReservedKey (2^64-1): that key is the device-image
+  // pad and never a real query target.
+  const Key hi_cap = ~Key{0} - 1;
+  for (unsigned s = 0; s + 1 < plan.num_shards(); ++s) {
+    const Key b = plan.lo(s + 1);
+    const Key width = (plan.hi(s) - plan.lo(s)) / 4;
+    los.push_back(b - std::min(b, width));
+    his.push_back(b + std::min(hi_cap - b, width));
+  }
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 48; ++i) {
+    const Key lo = f.keys[rng.next_below(f.keys.size())];
+    // Wide enough that some spans cross several shards.
+    const Key span = rng.next() >> (2 + rng.next_below(12));
+    los.push_back(lo);
+    his.push_back(lo + std::min(hi_cap - lo, span));
+  }
+  // Degenerate single-key ranges on boundary keys.
+  for (unsigned s = 0; s + 1 < plan.num_shards(); ++s) {
+    los.push_back(plan.lo(s + 1));
+    his.push_back(plan.lo(s + 1));
+  }
+
+  const auto sharded = f.sharded.range(los, his, max_results);
+  const auto single = f.single.range_device(los, his, max_results);
+  ASSERT_EQ(sharded.values.size(), los.size());
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    std::vector<Value> want;
+    for (const auto& e : f.oracle.range(los[i], his[i], max_results))
+      want.push_back(e.value);
+    ASSERT_EQ(sharded.values[i], want)
+        << "range " << i << " [" << los[i] << ", " << his[i] << "]";
+    ASSERT_EQ(sharded.values[i], single.values[i])
+        << "sharded vs single-device range divergence at " << i;
+  }
+  if (plan.num_shards() > 1) {
+    EXPECT_GT(sharded.straddling, 0u);
+  }
+}
+
+TEST(ShardDifferential, SearchAgreesAcrossShardCountsAndModes) {
+  for (const unsigned shards : {1u, 2u, 3u, 5u, 8u}) {
+    for (const bool balanced : {false, true}) {
+      SCOPED_TRACE(testing::Message()
+                   << (balanced ? "balanced" : "width") << " x" << shards);
+      const std::uint64_t seed = 11 + shards;
+      const auto keys = queries::make_tree_keys(1 << 10, seed);
+      Fixture f(1 << 10, 16, seed,
+                balanced ? ShardPlan::sample_balanced(keys, shards)
+                         : ShardPlan::equal_width(shards));
+      check_search_agreement(f, queries::Distribution::kUniform, seed + 1);
+    }
+  }
+}
+
+TEST(ShardDifferential, SearchAgreesAcrossFanoutsSeedsDistributions) {
+  for (const unsigned fanout : {8u, 64u}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      for (const auto dist : {queries::Distribution::kUniform,
+                              queries::Distribution::kZipfian,
+                              queries::Distribution::kSorted}) {
+        SCOPED_TRACE(testing::Message() << "fanout " << fanout << " seed "
+                                        << seed << " dist "
+                                        << queries::to_string(dist));
+        const auto keys = queries::make_tree_keys(1500, seed);
+        Fixture f(1500, fanout, seed, ShardPlan::sample_balanced(keys, 4));
+        check_search_agreement(f, dist, seed * 31);
+      }
+    }
+  }
+}
+
+TEST(ShardDifferential, RangeAgreesIncludingStraddlingBoundaries) {
+  for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+    for (const bool balanced : {false, true}) {
+      SCOPED_TRACE(testing::Message()
+                   << (balanced ? "balanced" : "width") << " x" << shards);
+      const std::uint64_t seed = 23 + shards;
+      const auto keys = queries::make_tree_keys(1 << 10, seed);
+      Fixture f(1 << 10, 16, seed,
+                balanced ? ShardPlan::sample_balanced(keys, shards)
+                         : ShardPlan::equal_width(shards));
+      check_range_agreement(f, seed + 5, 16);
+    }
+  }
+}
+
+TEST(ShardDifferential, RangeTruncationMatchesSingleDevice) {
+  // A span covering the whole domain must truncate identically whether
+  // the results come from one device or are merged across all shards.
+  const std::uint64_t seed = 77;
+  const auto keys = queries::make_tree_keys(2000, seed);
+  Fixture f(2000, 16, seed, ShardPlan::sample_balanced(keys, 5));
+  std::vector<Key> los{0, keys[100]};
+  std::vector<Key> his{~Key{0} - 1, keys[1900]};
+  for (const unsigned cap : {1u, 7u, 64u}) {
+    const auto sharded = f.sharded.range(los, his, cap);
+    const auto single = f.single.range_device(los, his, cap);
+    for (std::size_t i = 0; i < los.size(); ++i) {
+      ASSERT_EQ(sharded.values[i].size(), std::min<std::size_t>(cap, 2000u));
+      ASSERT_EQ(sharded.values[i], single.values[i]) << "cap " << cap;
+    }
+  }
+}
+
+TEST(ShardDifferential, UpdatesKeepShardsConsistentWithOracle) {
+  // Mixed update batches applied to the sharded index vs the btree
+  // oracle; searches must agree after every round, across boundaries.
+  const std::uint64_t seed = 41;
+  const auto keys = queries::make_tree_keys(1 << 10, seed);
+  Fixture f(1 << 10, 16, seed, ShardPlan::sample_balanced(keys, 4));
+
+  std::vector<Key> population = f.keys;
+  for (int round = 0; round < 3; ++round) {
+    queries::BatchSpec spec;
+    spec.size = 400;
+    spec.insert_fraction = 0.3;
+    spec.delete_fraction = 0.1;
+    spec.seed = seed + static_cast<std::uint64_t>(round);
+    const auto ops = queries::make_update_batch(population, spec);
+    f.sharded.update_batch(ops, 2);
+    for (const auto& op : ops) {
+      switch (op.kind) {
+        case queries::OpKind::kUpdate:
+          f.oracle.update(op.key, op.value);
+          break;
+        case queries::OpKind::kInsert:
+          f.oracle.insert(op.key, op.value);
+          break;
+        case queries::OpKind::kDelete:
+          f.oracle.erase(op.key);
+          break;
+      }
+    }
+    population.clear();
+    for (const auto& e : f.oracle.range(0, ~Key{0})) population.push_back(e.key);
+
+    // Differential probe after the round (device path, all shards).
+    std::vector<Key> batch = queries::make_queries(
+        population, 256, queries::Distribution::kUniform, seed + 100);
+    for (const auto& op : ops) batch.push_back(op.key);
+    const auto got = f.sharded.search(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(got.values[i], f.oracle.search(batch[i]).value_or(kNotFound))
+          << "round " << round << " key " << batch[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmonia::shard

@@ -1,0 +1,178 @@
+// Property tests for ShardPlan: partitions are disjoint, cover the full
+// key domain, every key routes to exactly one shard, and sample-balanced
+// (re)planning preserves coverage while bounding shard-size skew.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "queries/workload.hpp"
+#include "shard/plan.hpp"
+
+namespace harmonia::shard {
+namespace {
+
+constexpr Key kKeyMax = std::numeric_limits<Key>::max();
+
+/// Exhaustive routing oracle: the number of shard ranges containing `key`.
+unsigned shards_containing(const ShardPlan& plan, Key key) {
+  unsigned n = 0;
+  for (unsigned s = 0; s < plan.num_shards(); ++s) {
+    if (plan.lo(s) <= key && key <= plan.hi(s)) ++n;
+  }
+  return n;
+}
+
+std::vector<Key> probe_keys(const ShardPlan& plan, std::uint64_t seed) {
+  std::vector<Key> probes{0, 1, kKeyMax - 1, kKeyMax};
+  for (unsigned s = 0; s < plan.num_shards(); ++s) {
+    const Key lo = plan.lo(s), hi = plan.hi(s);
+    probes.push_back(lo);
+    probes.push_back(hi);
+    if (lo > 0) probes.push_back(lo - 1);
+    if (hi < kKeyMax) probes.push_back(hi + 1);
+    probes.push_back(lo + (hi - lo) / 2);
+  }
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 256; ++i) probes.push_back(rng.next());
+  return probes;
+}
+
+void check_partition_invariants(const ShardPlan& plan, std::uint64_t seed) {
+  ASSERT_NO_THROW(plan.validate());
+  // Coverage at the edges and contiguity between neighbours: ranges are
+  // disjoint and jointly cover [0, 2^64-1].
+  EXPECT_EQ(plan.lo(0), 0u);
+  EXPECT_EQ(plan.hi(plan.num_shards() - 1), kKeyMax);
+  for (unsigned s = 0; s + 1 < plan.num_shards(); ++s) {
+    ASSERT_LE(plan.lo(s), plan.hi(s));
+    EXPECT_EQ(plan.hi(s) + 1, plan.lo(s + 1));
+  }
+  // Every key routes to exactly one shard, and shard_of agrees with the
+  // interval scan.
+  for (Key key : probe_keys(plan, seed)) {
+    ASSERT_EQ(shards_containing(plan, key), 1u) << "key " << key;
+    const unsigned s = plan.shard_of(key);
+    ASSERT_LT(s, plan.num_shards());
+    EXPECT_GE(key, plan.lo(s));
+    EXPECT_LE(key, plan.hi(s));
+  }
+}
+
+TEST(ShardPlan, EqualWidthPartitionInvariants) {
+  for (unsigned n : {1u, 2u, 3u, 4u, 7u, 8u, 13u, 64u}) {
+    SCOPED_TRACE(n);
+    check_partition_invariants(ShardPlan::equal_width(n), n);
+  }
+}
+
+TEST(ShardPlan, EqualWidthSlicesAreEven) {
+  const auto plan = ShardPlan::equal_width(8);
+  const Key width0 = plan.hi(0) - plan.lo(0);
+  for (unsigned s = 0; s + 1 < 8; ++s) {
+    EXPECT_EQ(plan.hi(s) - plan.lo(s), width0);
+  }
+}
+
+TEST(ShardPlan, SampleBalancedPartitionInvariants) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto keys = queries::make_tree_keys(1 << 12, seed);
+    for (unsigned n : {1u, 2u, 4u, 5u, 8u}) {
+      SCOPED_TRACE(testing::Message() << "seed " << seed << " shards " << n);
+      check_partition_invariants(ShardPlan::sample_balanced(keys, n), seed);
+    }
+  }
+}
+
+TEST(ShardPlan, SampleBalancedBoundsSkew) {
+  // Quantile cuts put n/N +- 1 sample keys in every shard; allow a
+  // generous 10% + 2 slack so the property, not the RNG, is what's pinned.
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    const auto keys = queries::make_tree_keys(1 << 12, seed);
+    for (unsigned n : {2u, 4u, 8u}) {
+      const auto plan = ShardPlan::sample_balanced(keys, n);
+      std::vector<std::uint64_t> count(n, 0);
+      for (Key k : keys) ++count[plan.shard_of(k)];
+      const auto [mn, mx] = std::minmax_element(count.begin(), count.end());
+      const double ideal = static_cast<double>(keys.size()) / n;
+      EXPECT_LE(*mx - *mn, ideal * 0.1 + 2.0)
+          << "seed " << seed << " shards " << n << ": min " << *mn << " max "
+          << *mx;
+    }
+  }
+}
+
+TEST(ShardPlan, SampleBalancedBeatsEqualWidthOnSkewedKeys) {
+  // All keys crammed into the bottom 1/256 of the domain: equal-width
+  // piles everything into shard 0; balanced replanning spreads it.
+  std::vector<Key> keys;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 4096; ++i) keys.push_back(rng.next() >> 8);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  const auto width = ShardPlan::equal_width(4);
+  const auto balanced = ShardPlan::sample_balanced(keys, 4);
+  auto skew = [&](const ShardPlan& plan) {
+    std::vector<std::uint64_t> count(plan.num_shards(), 0);
+    for (Key k : keys) ++count[plan.shard_of(k)];
+    const auto [mn, mx] = std::minmax_element(count.begin(), count.end());
+    return *mx - *mn;
+  };
+  EXPECT_EQ(skew(width), keys.size());  // everything lands in one slice
+  EXPECT_LE(skew(balanced), keys.size() / 10);
+  check_partition_invariants(balanced, 7);
+}
+
+TEST(ShardPlan, ReplanningPreservesCoverage) {
+  // Simulate growth: plan, mutate the key population, replan. Both plans
+  // must stay full partitions, and every surviving key must route into a
+  // shard whose range contains it (trivially true for a valid partition,
+  // pinned here as the replan contract).
+  auto keys = queries::make_tree_keys(2048, 3);
+  const auto before = ShardPlan::sample_balanced(keys, 6);
+  check_partition_invariants(before, 3);
+
+  keys.erase(keys.begin(), keys.begin() + 700);  // drop the low range
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.next());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  const auto after = ShardPlan::sample_balanced(keys, 6);
+  check_partition_invariants(after, 4);
+  std::vector<std::uint64_t> count(after.num_shards(), 0);
+  for (Key k : keys) ++count[after.shard_of(k)];
+  const auto [mn, mx] = std::minmax_element(count.begin(), count.end());
+  EXPECT_LE(*mx - *mn, static_cast<double>(keys.size()) / 6 * 0.1 + 2.0);
+}
+
+TEST(ShardPlan, DegenerateSamplesStillPartition) {
+  // Too few / heavily duplicated samples: quantile cuts collide and must
+  // be nudged apart, never dropped.
+  const std::vector<Key> tiny{5};
+  check_partition_invariants(ShardPlan::sample_balanced(tiny, 4), 1);
+
+  const std::vector<Key> dup(100, 42);
+  const auto plan = ShardPlan::sample_balanced(dup, 8);
+  check_partition_invariants(plan, 2);
+  EXPECT_EQ(plan.num_shards(), 8u);
+
+  check_partition_invariants(ShardPlan::sample_balanced({}, 3), 5);
+}
+
+TEST(ShardPlan, FromBoundsRejectsNonPartitions) {
+  EXPECT_THROW(ShardPlan::from_bounds({}), ContractViolation);
+  EXPECT_THROW(ShardPlan::from_bounds({1, 10}), ContractViolation);  // gap at 0
+  EXPECT_THROW(ShardPlan::from_bounds({0, 10, 10}),
+               ContractViolation);  // overlap
+  EXPECT_THROW(ShardPlan::from_bounds({0, 10, 5}),
+               ContractViolation);  // disorder
+  EXPECT_NO_THROW(ShardPlan::from_bounds({0, 10, 20}));
+}
+
+}  // namespace
+}  // namespace harmonia::shard

@@ -1,0 +1,321 @@
+// System tests of the sharded serving path: every response must match a
+// per-epoch snapshot oracle (no response is ever served from a
+// half-updated cross-shard epoch), straddling ranges must reassemble
+// correctly, overload must shed instead of growing any shard's queue,
+// and the whole multi-device simulation must replay deterministically.
+// Extends the snapshot pattern of tests/serve/server_test.cpp.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "queries/workload.hpp"
+#include "serve/workload.hpp"
+#include "shard/sharded_server.hpp"
+
+namespace harmonia::shard {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 256 << 20;
+  return spec;
+}
+
+ShardedOptions test_options(unsigned fanout) {
+  ShardedOptions options;
+  options.index.fanout = fanout;
+  options.device = test_spec();
+  options.device_global_bytes = 256 << 20;
+  return options;
+}
+
+struct ShardedFixture {
+  explicit ShardedFixture(unsigned shards, std::uint64_t tree_keys = 1 << 12,
+                          unsigned fanout = 16)
+      : keys(queries::make_tree_keys(tree_keys, 1)),
+        index([&] {
+          std::vector<btree::Entry> entries;
+          for (Key k : keys) entries.push_back({k, btree::value_for_key(k)});
+          return ShardedIndex(entries, ShardPlan::sample_balanced(keys, shards),
+                              test_options(fanout));
+        }()) {}
+
+  std::vector<Key> keys;
+  ShardedIndex index;
+};
+
+/// Mirrors BatchUpdater semantics on a std::map (as in server_test.cpp).
+void apply_to_oracle(std::map<Key, Value>& oracle, const serve::Request& r) {
+  switch (r.op) {
+    case queries::OpKind::kUpdate:
+      if (auto it = oracle.find(r.key); it != oracle.end()) it->second = r.value;
+      break;
+    case queries::OpKind::kInsert:
+      oracle[r.key] = r.value;
+      break;
+    case queries::OpKind::kDelete:
+      oracle.erase(r.key);
+      break;
+  }
+}
+
+/// Replays the stream's updates in arrival order, snapshotting the map
+/// exactly where the epoch updater closes an epoch (size trigger + final
+/// drain). snapshots[e] is the tree a query with response epoch e saw.
+std::vector<std::map<Key, Value>> make_snapshots(
+    const std::vector<Key>& keys, const std::vector<serve::Request>& stream,
+    std::size_t max_buffered) {
+  std::vector<std::map<Key, Value>> snapshots;
+  std::map<Key, Value> oracle;
+  for (Key k : keys) oracle[k] = btree::value_for_key(k);
+  snapshots.push_back(oracle);
+  std::size_t buffered = 0;
+  for (const serve::Request& r : stream) {
+    if (r.kind != serve::RequestKind::kUpdate) continue;
+    apply_to_oracle(oracle, r);
+    if (++buffered == max_buffered) {
+      snapshots.push_back(oracle);
+      buffered = 0;
+    }
+  }
+  if (buffered > 0) snapshots.push_back(oracle);
+  return snapshots;
+}
+
+/// Runs the sharded server over `stream` and checks every response
+/// against the snapshot for the epoch it reports — the atomicity pin: a
+/// response served from a half-updated cross-shard state could not match
+/// any whole-epoch snapshot. The report lands in *out (gtest ASSERT
+/// requires a void function).
+void run_and_check_oracle(ShardedFixture& f,
+                          const std::vector<serve::Request>& stream,
+                          const ShardedServerConfig& cfg,
+                          ShardedServerReport* out) {
+  const auto snapshots = make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
+
+  ShardedServer server(f.index, cfg);
+  const auto& rep = *out = server.run(stream);
+
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_EQ(rep.responses.size(), stream.size());
+  EXPECT_EQ(rep.epochs + 1, snapshots.size());
+
+  for (const auto& resp : rep.responses) {
+    ASSERT_LT(resp.epoch, snapshots.size());
+    const auto& oracle = snapshots[resp.epoch];
+    const serve::Request& req = stream[resp.id];
+    switch (resp.kind) {
+      case serve::RequestKind::kPoint: {
+        const auto it = oracle.find(req.key);
+        const Value want = it != oracle.end() ? it->second : kNotFound;
+        ASSERT_EQ(resp.value, want)
+            << "request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case serve::RequestKind::kRange: {
+        std::vector<Value> want;
+        for (auto it = oracle.lower_bound(req.key);
+             it != oracle.end() && it->first <= req.hi &&
+             want.size() < cfg.batch.max_range_results;
+             ++it) {
+          want.push_back(it->second);
+        }
+        ASSERT_EQ(resp.range_values, want)
+            << "range request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case serve::RequestKind::kUpdate:
+        EXPECT_GE(resp.completion, resp.arrival);
+        EXPECT_GE(resp.epoch, 1u);
+        break;
+    }
+  }
+
+  // After the run, the sharded index equals the final snapshot.
+  const auto& final_oracle = snapshots.back();
+  EXPECT_EQ(f.index.num_keys(), final_oracle.size());
+  for (const auto& [k, v] : final_oracle) {
+    ASSERT_EQ(f.index.search_host(k).value_or(kNotFound), v);
+  }
+}
+
+// Acceptance: >= 3 cross-shard update epochs with multi-threaded applies
+// interleaved with point and straddling range queries — every admitted
+// request answered exactly as a whole-epoch snapshot would.
+TEST(ShardedServer, DifferentialOracleAcrossEpochs) {
+  ShardedFixture f(4);
+
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 5e6;
+  spec.count = 6000;
+  spec.update_fraction = 0.25;
+  spec.range_fraction = 0.10;
+  spec.range_span = 64;  // wide enough to straddle partition boundaries
+  spec.seed = 42;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  ShardedServerConfig cfg;
+  cfg.batch.max_batch = 256;
+  cfg.batch.max_wait = 100e-6;
+  cfg.batch.queue_capacity = 8192;  // no drops: every request oracle-checked
+  cfg.batch.max_range_results = 16;
+  cfg.epoch.max_buffered = 400;
+  cfg.epoch.apply_threads = 2;
+
+  ShardedServerReport rep;
+  run_and_check_oracle(f, stream, cfg, &rep);
+  EXPECT_GE(rep.epochs, 3u);
+  EXPECT_GT(rep.split_ranges, 0u);  // boundary-straddling fan-outs happened
+  EXPECT_GE(rep.barrier_wait_seconds, 0.0);
+  // Balanced partition + uniform stream: every shard served real work.
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_GT(rep.shard_batches[s], 0u) << "shard " << s;
+    EXPECT_GT(rep.shard_queries[s], 0u) << "shard " << s;
+  }
+}
+
+// Stress: frequent epochs (small buffer) x many wide ranges, so nearly
+// every fan-out brackets one or more barriers. Any shard resuming early
+// or late would surface as a part-vs-snapshot mismatch (or trip the
+// internal same-epoch assertion inside the merge).
+TEST(ShardedServer, EpochBarrierKeepsFanOutsAtomic) {
+  for (const unsigned shards : {2u, 5u}) {
+    SCOPED_TRACE(testing::Message() << shards << " shards");
+    ShardedFixture f(shards);
+
+    serve::OpenLoopSpec spec;
+    spec.arrivals_per_second = 4e6;
+    spec.count = 5000;
+    spec.update_fraction = 0.30;
+    spec.range_fraction = 0.30;
+    spec.range_span = 1024;  // ~a quarter of each shard's key span
+    spec.seed = 9;
+    const auto stream = serve::make_open_loop(f.keys, spec);
+
+    ShardedServerConfig cfg;
+    cfg.batch.max_batch = 128;
+    cfg.batch.max_wait = 80e-6;
+    cfg.batch.queue_capacity = 1 << 14;
+    cfg.batch.max_range_results = 12;
+    cfg.epoch.max_buffered = 150;  // many epochs
+    cfg.epoch.apply_threads = 3;
+
+    ShardedServerReport rep;
+    run_and_check_oracle(f, stream, cfg, &rep);
+    EXPECT_GE(rep.epochs, 8u);
+    if (shards > 1) {
+      EXPECT_GT(rep.split_ranges, 100u);
+      EXPECT_GT(rep.barrier_wait_seconds, 0.0);
+    }
+  }
+}
+
+// Under overload every shard's bounded queues reject rather than grow;
+// the aggregate backlog stays bounded by the per-shard capacities.
+TEST(ShardedServer, OverloadShedsLoadInsteadOfGrowingQueues) {
+  ShardedFixture f(4);
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 500e6;  // far beyond aggregate capacity
+  spec.count = 20000;
+  spec.range_fraction = 0.05;
+  spec.range_span = 64;
+  spec.seed = 11;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  ShardedServerConfig cfg;
+  cfg.batch.max_batch = 256;
+  cfg.batch.max_wait = 50e-6;
+  cfg.batch.queue_capacity = 512;
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  EXPECT_GT(rep.dropped, 0u);
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.arrivals);
+  EXPECT_EQ(rep.responses.size(), stream.size());  // every request answered
+  // Total depth across 4 shards x 2 lanes never exceeds the bounds.
+  EXPECT_LE(rep.queue_depth.max(),
+            static_cast<double>(4 * 2 * cfg.batch.queue_capacity));
+}
+
+TEST(ShardedServer, ClosedLoopNeverOverflowsClientPopulation) {
+  ShardedFixture f(3);
+  serve::ClosedLoopSpec spec;
+  spec.clients = 32;
+  spec.think_seconds = 10e-6;
+  spec.total_requests = 2000;
+  spec.seed = 3;
+  serve::ClosedLoopSource source(f.keys, spec);
+
+  ShardedServerConfig cfg;
+  cfg.batch.max_batch = 64;
+  cfg.batch.max_wait = 30e-6;
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(source);
+
+  EXPECT_EQ(source.issued(), 2000u);
+  EXPECT_EQ(rep.completed, 2000u);
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_LE(rep.queue_depth.max(), 32.0);
+  EXPECT_GE(rep.latency.min(), 0.0);
+}
+
+// Sharded serving must be a pure replay: same stream, same partition,
+// same config -> identical virtual-clock trace across all devices.
+TEST(ShardedServer, DeterministicReplay) {
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 3000;
+  spec.update_fraction = 0.1;
+  spec.range_fraction = 0.1;
+  spec.range_span = 128;
+  spec.seed = 5;
+
+  auto run_once = [&] {
+    ShardedFixture f(4);
+    const auto stream = serve::make_open_loop(f.keys, spec);
+    ShardedServerConfig cfg;
+    cfg.batch.max_batch = 128;
+    cfg.batch.max_wait = 80e-6;
+    cfg.epoch.max_buffered = 100;
+    ShardedServer server(f.index, cfg);
+    return server.run(stream);
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_EQ(a.responses[i].id, b.responses[i].id);
+    EXPECT_DOUBLE_EQ(a.responses[i].completion, b.responses[i].completion);
+    EXPECT_EQ(a.responses[i].value, b.responses[i].value);
+    EXPECT_EQ(a.responses[i].range_values, b.responses[i].range_values);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.split_ranges, b.split_ranges);
+  EXPECT_DOUBLE_EQ(a.barrier_wait_seconds, b.barrier_wait_seconds);
+}
+
+// The serving path refuses an index with a deviceless (empty) shard:
+// lazily creating devices mid-run would tear cross-shard reads.
+TEST(ShardedServer, RejectsEmptyShards) {
+  const auto keys = queries::make_tree_keys(1 << 10, 1);
+  std::vector<btree::Entry> entries;
+  for (Key k : keys) {
+    if (k < (~Key{0} >> 2)) entries.push_back({k, btree::value_for_key(k)});
+  }
+  ASSERT_FALSE(entries.empty());
+  // Equal-width over keys confined to the bottom quarter: upper shards
+  // hold nothing.
+  ShardedIndex index(entries, ShardPlan::equal_width(4), test_options(16));
+  ASSERT_EQ(index.shard(3), nullptr);
+  ShardedServerConfig cfg;
+  EXPECT_THROW(ShardedServer(index, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace harmonia::shard

@@ -18,6 +18,7 @@
 #include "queries/workload.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
+#include "shard/sharded_server.hpp"
 
 using namespace harmonia;
 
@@ -33,12 +34,23 @@ int usage() {
 void add_server_flags(Cli& cli) {
   cli.flag("size", "log2 tree size", "18")
       .flag("fanout", "tree fanout", "64")
+      .flag("shards", "simulated devices (range-sharded serving)", "1")
       .flag("max-batch", "batch size trigger", "4096")
       .flag("max-wait-us", "batch deadline (us)", "100")
       .flag("queue-cap", "admission queue capacity per lane", "16384")
       .flag("epoch-updates", "updates buffered per epoch", "4096")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("seed", "workload seed", "1");
+}
+
+unsigned shards_flag(const Cli& cli) {
+  const std::uint64_t n = cli.get_uint("shards", 1);
+  if (n < 1 || n > shard::ShardPlan::kMaxShards) {
+    std::fprintf(stderr, "error: --shards must lie in [1, %u], got %llu\n",
+                 shard::ShardPlan::kMaxShards, static_cast<unsigned long long>(n));
+    std::exit(2);
+  }
+  return static_cast<unsigned>(n);
 }
 
 serve::ServerConfig server_config(const Cli& cli) {
@@ -89,6 +101,21 @@ void print_report(const serve::ServerReport& rep) {
               throughput_human(rep.service_rate()).c_str());
 }
 
+/// Per-shard counters the single-device report doesn't have.
+void print_shard_report(const shard::ShardedServerReport& rep) {
+  print_report(rep);
+  for (std::size_t s = 0; s < rep.shard_batches.size(); ++s) {
+    std::printf("shard %-2llu        : %llu batches, %llu queries\n",
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(rep.shard_batches[s]),
+                static_cast<unsigned long long>(rep.shard_queries[s]));
+  }
+  std::printf("range fan-outs  : %llu split across shards\n",
+              static_cast<unsigned long long>(rep.split_ranges));
+  std::printf("barrier wait    : %.3f ms device idle at epoch barriers\n",
+              rep.barrier_wait_seconds * 1e3);
+}
+
 /// Device and index live behind unique_ptrs: HarmoniaIndex references its
 /// Device and is not movable (the updater owns mutexes).
 struct BuiltIndex {
@@ -96,6 +123,38 @@ struct BuiltIndex {
   std::unique_ptr<gpusim::Device> device;
   std::unique_ptr<HarmoniaIndex> index;
 };
+
+struct BuiltShards {
+  std::vector<Key> keys;
+  std::unique_ptr<shard::ShardedIndex> index;
+};
+
+BuiltShards build_sharded(const Cli& cli, unsigned num_shards) {
+  BuiltShards b;
+  b.keys =
+      queries::make_tree_keys(1ULL << cli.get_uint("size", 18), cli.get_uint("seed", 1));
+  std::vector<btree::Entry> entries;
+  entries.reserve(b.keys.size());
+  for (Key k : b.keys) entries.push_back({k, btree::value_for_key(k)});
+
+  shard::ShardedOptions options;
+  options.index.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  options.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+  // Balanced partition over the served keys: every shard is populated,
+  // which the sharded serving path requires.
+  b.index = std::make_unique<shard::ShardedIndex>(
+      entries, shard::ShardPlan::sample_balanced(b.keys, num_shards), options);
+  return b;
+}
+
+shard::ShardedServerConfig sharded_config(const Cli& cli) {
+  const serve::ServerConfig base = server_config(cli);
+  shard::ShardedServerConfig cfg;
+  cfg.batch = base.batch;
+  cfg.epoch = base.epoch;
+  cfg.link = base.link;
+  return cfg;
+}
 
 BuiltIndex build_index(const Cli& cli) {
   BuiltIndex b;
@@ -127,8 +186,7 @@ int cmd_open(int argc, const char* const* argv) {
       .flag("range-span", "keys per range", "32")
       .flag("dist", "query distribution", "uniform");
   if (!cli.parse(argc, argv)) return 2;
-
-  auto built = build_index(cli);
+  const unsigned num_shards = shards_flag(cli);
 
   serve::OpenLoopSpec spec;
   spec.arrivals_per_second = cli.get_double("rate-mqs", 10.0) * 1e6;
@@ -143,14 +201,23 @@ int cmd_open(int argc, const char* const* argv) {
   spec.range_span = cli.get_uint("range-span", 32);
   spec.dist = queries::distribution_from_string(cli.get_string("dist", "uniform"));
   spec.seed = cli.get_uint("seed", 1) + 7;
-  const auto stream = serve::make_open_loop(built.keys, spec);
 
-  serve::Server server(*built.index, server_config(cli));
-  std::printf("open loop: %llu requests at %.1f Mq/s (%.1f%% updates, %.1f%% ranges)\n\n",
+  std::printf("open loop: %llu requests at %.1f Mq/s (%.1f%% updates, %.1f%% ranges, "
+              "%u device%s)\n\n",
               static_cast<unsigned long long>(spec.count),
               spec.arrivals_per_second / 1e6, spec.update_fraction * 100,
-              spec.range_fraction * 100);
-  print_report(server.run(stream));
+              spec.range_fraction * 100, num_shards, num_shards > 1 ? "s" : "");
+  if (num_shards == 1) {
+    auto built = build_index(cli);
+    const auto stream = serve::make_open_loop(built.keys, spec);
+    serve::Server server(*built.index, server_config(cli));
+    print_report(server.run(stream));
+  } else {
+    auto sharded = build_sharded(cli, num_shards);
+    const auto stream = serve::make_open_loop(sharded.keys, spec);
+    shard::ShardedServer server(*sharded.index, sharded_config(cli));
+    print_shard_report(server.run(stream));
+  }
   return 0;
 }
 
@@ -162,8 +229,7 @@ int cmd_closed(int argc, const char* const* argv) {
       .flag("requests", "total requests", "20000")
       .flag("dist", "query distribution", "uniform");
   if (!cli.parse(argc, argv)) return 2;
-
-  auto built = build_index(cli);
+  const unsigned num_shards = shards_flag(cli);
 
   serve::ClosedLoopSpec spec;
   spec.clients = static_cast<unsigned>(cli.get_uint("clients", 256));
@@ -171,13 +237,22 @@ int cmd_closed(int argc, const char* const* argv) {
   spec.total_requests = cli.get_uint("requests", 20000);
   spec.dist = queries::distribution_from_string(cli.get_string("dist", "uniform"));
   spec.seed = cli.get_uint("seed", 1) + 7;
-  serve::ClosedLoopSource source(built.keys, spec);
 
-  serve::Server server(*built.index, server_config(cli));
-  std::printf("closed loop: %u clients, think %.0f us, %llu requests\n\n", spec.clients,
-              spec.think_seconds * 1e6,
-              static_cast<unsigned long long>(spec.total_requests));
-  print_report(server.run(source));
+  std::printf("closed loop: %u clients, think %.0f us, %llu requests, %u device%s\n\n",
+              spec.clients, spec.think_seconds * 1e6,
+              static_cast<unsigned long long>(spec.total_requests), num_shards,
+              num_shards > 1 ? "s" : "");
+  if (num_shards == 1) {
+    auto built = build_index(cli);
+    serve::ClosedLoopSource source(built.keys, spec);
+    serve::Server server(*built.index, server_config(cli));
+    print_report(server.run(source));
+  } else {
+    auto sharded = build_sharded(cli, num_shards);
+    serve::ClosedLoopSource source(sharded.keys, spec);
+    shard::ShardedServer server(*sharded.index, sharded_config(cli));
+    print_shard_report(server.run(source));
+  }
   return 0;
 }
 
