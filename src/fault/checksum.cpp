@@ -1,0 +1,73 @@
+#include "fault/checksum.hpp"
+
+#include <array>
+#include <vector>
+
+namespace harmonia::fault {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+template <typename T>
+std::uint32_t crc_span(std::span<const T> data, std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size_bytes(), seed);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) c = crc_table()[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+ImageChecksums host_checksums(const HarmoniaTree& tree) {
+  ImageChecksums sums;
+  sums.keys = crc_span(tree.key_region());
+  sums.prefix_sum = crc_span(tree.prefix_sum());
+  sums.values = crc_span(tree.value_region());
+  return sums;
+}
+
+ImageChecksums device_checksums(const HarmoniaIndex& index) {
+  const auto& mem = index.device().memory();
+  const auto& img = index.image();
+  const auto& tree = index.tree();
+
+  ImageChecksums sums;
+
+  std::vector<std::uint8_t> buf(tree.key_region().size() * sizeof(Key));
+  if (!buf.empty()) mem.read_bytes(img.key_region.addr, buf.data(), buf.size());
+  sums.keys = crc32(buf.data(), buf.size());
+
+  // Prefix sum as the kernel would read it: ps_addr routes the top
+  // `ps_const_count` nodes to the constant segment, the rest to global.
+  std::vector<std::uint32_t> ps(tree.prefix_sum().size());
+  for (std::uint32_t node = 0; node < ps.size(); ++node) {
+    ps[node] = mem.read<std::uint32_t>(img.ps_addr(node));
+  }
+  sums.prefix_sum = crc32(ps.data(), ps.size() * sizeof(std::uint32_t));
+
+  buf.assign(tree.value_region().size() * sizeof(Value), 0);
+  if (!buf.empty()) mem.read_bytes(img.value_region.addr, buf.data(), buf.size());
+  sums.values = crc32(buf.data(), buf.size());
+
+  return sums;
+}
+
+}  // namespace harmonia::fault

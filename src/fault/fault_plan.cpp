@@ -1,0 +1,214 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace harmonia::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransferSlowdown: return "slow";
+    case FaultKind::kDispatchFailure: return "fail";
+    case FaultKind::kResyncCorruption: return "corrupt";
+    case FaultKind::kShardLost: return "lose";
+  }
+  return "?";
+}
+
+void FaultPlan::validate() const {
+  for (const FaultEvent& e : events) {
+    HARMONIA_CHECK_MSG(e.at >= 0.0, "fault event time must be >= 0");
+    HARMONIA_CHECK_MSG(e.duration >= 0.0, "fault duration must be >= 0");
+    switch (e.kind) {
+      case FaultKind::kTransferSlowdown:
+        HARMONIA_CHECK_MSG(e.factor >= 1.0, "slowdown factor must be >= 1");
+        HARMONIA_CHECK_MSG(e.duration > 0.0, "slowdown needs duration > 0");
+        break;
+      case FaultKind::kDispatchFailure:
+        HARMONIA_CHECK_MSG(e.count > 0, "fail event needs count > 0");
+        break;
+      case FaultKind::kResyncCorruption:
+        HARMONIA_CHECK_MSG(e.bytes > 0, "corrupt event needs bytes > 0");
+        break;
+      case FaultKind::kShardLost:
+        HARMONIA_CHECK_MSG(e.duration > 0.0, "lose event needs repair > 0");
+        break;
+    }
+  }
+  HARMONIA_CHECK_MSG(
+      std::is_sorted(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; }),
+      "fault events must be sorted by time");
+}
+
+namespace {
+
+FaultKind kind_from(const std::string& name) {
+  if (name == "slow") return FaultKind::kTransferSlowdown;
+  if (name == "fail") return FaultKind::kDispatchFailure;
+  if (name == "corrupt") return FaultKind::kResyncCorruption;
+  if (name == "lose") return FaultKind::kShardLost;
+  HARMONIA_CHECK_MSG(false, "unknown fault kind '" << name
+                            << "' (want slow|fail|corrupt|lose)");
+  return FaultKind::kTransferSlowdown;
+}
+
+double parse_double(const std::string& tok) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  HARMONIA_CHECK_MSG(used == tok.size() && !tok.empty(),
+                     "bad number '" << tok << "' in fault spec");
+  return v;
+}
+
+std::uint64_t parse_uint(const std::string& tok) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(tok, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  HARMONIA_CHECK_MSG(used == tok.size() && !tok.empty(),
+                     "bad integer '" << tok << "' in fault spec");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, sep)) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& item : split(spec, ';')) {
+    const auto at_pos = item.find('@');
+    HARMONIA_CHECK_MSG(at_pos != std::string::npos,
+                       "fault event '" << item << "' lacks '@<seconds>'");
+    FaultEvent e;
+    e.kind = kind_from(item.substr(0, at_pos));
+    const auto colon = item.find(':', at_pos);
+    e.at = parse_double(item.substr(at_pos + 1, colon == std::string::npos
+                                                    ? std::string::npos
+                                                    : colon - at_pos - 1));
+    if (colon != std::string::npos) {
+      for (const std::string& kv : split(item.substr(colon + 1), ',')) {
+        const auto eq = kv.find('=');
+        HARMONIA_CHECK_MSG(eq != std::string::npos,
+                           "fault option '" << kv << "' lacks '='");
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        if (key == "shard") {
+          e.shard = static_cast<unsigned>(parse_uint(val));
+        } else if (key == "factor") {
+          e.factor = parse_double(val);
+        } else if (key == "duration" || key == "repair") {
+          e.duration = parse_double(val);
+        } else if (key == "count") {
+          e.count = static_cast<unsigned>(parse_uint(val));
+        } else if (key == "bytes") {
+          e.bytes = static_cast<unsigned>(parse_uint(val));
+        } else {
+          HARMONIA_CHECK_MSG(false, "unknown fault option '" << key << "'");
+        }
+      }
+    }
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  char buf[160];
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) out += ';';
+    switch (e.kind) {
+      case FaultKind::kTransferSlowdown:
+        std::snprintf(buf, sizeof buf, "slow@%g:shard=%u,factor=%g,duration=%g",
+                      e.at, e.shard, e.factor, e.duration);
+        break;
+      case FaultKind::kDispatchFailure:
+        std::snprintf(buf, sizeof buf, "fail@%g:shard=%u,count=%u", e.at, e.shard,
+                      e.count);
+        break;
+      case FaultKind::kResyncCorruption:
+        std::snprintf(buf, sizeof buf, "corrupt@%g:shard=%u,bytes=%u", e.at, e.shard,
+                      e.bytes);
+        break;
+      case FaultKind::kShardLost:
+        std::snprintf(buf, sizeof buf, "lose@%g:shard=%u,repair=%g", e.at, e.shard,
+                      e.duration);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::random(const RandomSpec& spec, std::uint64_t seed) {
+  HARMONIA_CHECK(spec.horizon > 0.0);
+  HARMONIA_CHECK(spec.events_per_second >= 0.0);
+  HARMONIA_CHECK(spec.num_shards > 0);
+  FaultPlan plan;
+  if (spec.events_per_second == 0.0) return plan;
+
+  Xoshiro256 rng(seed);
+  const double total_weight =
+      spec.weights[0] + spec.weights[1] + spec.weights[2] + spec.weights[3];
+  HARMONIA_CHECK_MSG(total_weight > 0.0, "all fault-kind weights are zero");
+
+  double t = 0.0;
+  while (true) {
+    // Poisson arrivals: exponential inter-event gaps.
+    t += -std::log(1.0 - rng.next_double()) / spec.events_per_second;
+    if (t >= spec.horizon) break;
+    FaultEvent e;
+    e.at = t;
+    e.shard = static_cast<unsigned>(rng.next_below(spec.num_shards));
+    double pick = rng.next_double() * total_weight;
+    unsigned kind = 0;
+    while (kind < 3 && pick >= spec.weights[kind]) pick -= spec.weights[kind], ++kind;
+    e.kind = static_cast<FaultKind>(kind);
+    switch (e.kind) {
+      case FaultKind::kTransferSlowdown:
+        e.factor = spec.slowdown_factor;
+        e.duration = spec.slowdown_duration;
+        break;
+      case FaultKind::kDispatchFailure:
+        e.count = spec.fail_count;
+        break;
+      case FaultKind::kResyncCorruption:
+        e.bytes = spec.corrupt_bytes;
+        break;
+      case FaultKind::kShardLost:
+        e.duration = spec.repair_seconds;
+        break;
+    }
+    plan.events.push_back(e);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace harmonia::fault

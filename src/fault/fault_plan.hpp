@@ -1,0 +1,93 @@
+// Deterministic fault schedules for the serving/sharding simulator.
+//
+// A FaultPlan is a seed- or spec-driven list of FaultEvents pinned to the
+// virtual clock. The simulator never rolls dice at serve time: every
+// fault an injection run observes is decided before the run starts, so a
+// (stream, config, plan) triple replays bit-identically — which is what
+// lets CI diff two FaultReport CSVs as a regression gate.
+//
+// Event kinds (the fault model, see docs/fault_tolerance.md):
+//   slow    : a per-shard PCIe degradation window — transfer costs scale
+//             by `factor` for `duration` virtual seconds from `at`.
+//   fail    : the next `count` batch dispatches on `shard` at/after `at`
+//             return an error instead of results (transient chunk
+//             failure; the batch's work is lost and must be retried).
+//   corrupt : the next post-epoch image resync on `shard` at/after `at`
+//             flips `bytes` bytes of the freshly uploaded device image.
+//   lose    : `shard` drops off the bus at `at`; its device comes back
+//             `duration` (repair) seconds later and must be re-imaged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harmonia::fault {
+
+enum class FaultKind : std::uint8_t {
+  kTransferSlowdown,
+  kDispatchFailure,
+  kResyncCorruption,
+  kShardLost,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransferSlowdown;
+  /// Virtual second the event arms.
+  double at = 0.0;
+  unsigned shard = 0;
+  /// Slowdown window length / shard repair time (seconds).
+  double duration = 0.0;
+  /// Transfer-cost multiplier while a slowdown window is active (>= 1).
+  double factor = 1.0;
+  /// Consecutive dispatch failures injected by a `fail` event.
+  unsigned count = 1;
+  /// Bytes flipped in the device image by a `corrupt` event.
+  unsigned bytes = 1;
+};
+
+struct FaultPlan {
+  /// Sorted by `at` (ties keep insertion order).
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Throws ContractViolation on nonsense (factor < 1, duration < 0, ...).
+  void validate() const;
+
+  /// Parses the `--faults` spec grammar: semicolon-separated events,
+  ///   kind@seconds[:key=value,...]
+  /// e.g. "slow@0.001:shard=1,factor=4,duration=0.002;
+  ///       fail@0:shard=0,count=3;corrupt@0.004:shard=2,bytes=8;
+  ///       lose@0.003:shard=1,repair=0.002"
+  /// (`repair` is an alias for duration on lose events). Throws
+  /// ContractViolation with a message naming the bad token.
+  static FaultPlan parse(const std::string& spec);
+
+  /// The inverse of parse(): a canonical spec string (round-trips).
+  std::string to_string() const;
+
+  struct RandomSpec {
+    /// Virtual seconds covered by the schedule.
+    double horizon = 10e-3;
+    /// Mean fault events per virtual second (Poisson arrivals).
+    double events_per_second = 500.0;
+    unsigned num_shards = 1;
+    /// Relative weights of the four kinds, in enum order. A zero weight
+    /// disables that kind (e.g. shard-lost for single-device runs).
+    double weights[4] = {1.0, 1.0, 1.0, 0.25};
+    double slowdown_factor = 4.0;
+    double slowdown_duration = 200e-6;
+    unsigned fail_count = 2;
+    unsigned corrupt_bytes = 4;
+    double repair_seconds = 1e-3;
+  };
+
+  /// Seeded Poisson schedule over the horizon. Deterministic in
+  /// (spec, seed); shards are drawn uniformly.
+  static FaultPlan random(const RandomSpec& spec, std::uint64_t seed);
+};
+
+}  // namespace harmonia::fault

@@ -1,0 +1,180 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "fault/checksum.hpp"
+
+namespace harmonia::fault {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+const char* FaultReport::csv_header() {
+  return "slowdown_windows,dispatch_failures,corruptions,shards_lost,"
+         "audits,checksum_mismatches,retries,retry_shed_batches,"
+         "retry_shed_requests,reimages,hedges_issued,hedges_won,"
+         "degraded_points,degraded_ranges,degraded_shed,shards_restored,"
+         "backoff_us,reimage_us,degraded_us,fenced_us";
+}
+
+std::string FaultReport::csv_row() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+      "%llu,%llu,%.3f,%.3f,%.3f,%.3f",
+      static_cast<unsigned long long>(slowdown_windows),
+      static_cast<unsigned long long>(dispatch_failures),
+      static_cast<unsigned long long>(corruptions),
+      static_cast<unsigned long long>(shards_lost),
+      static_cast<unsigned long long>(audits),
+      static_cast<unsigned long long>(checksum_mismatches),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(retry_shed_batches),
+      static_cast<unsigned long long>(retry_shed_requests),
+      static_cast<unsigned long long>(reimages),
+      static_cast<unsigned long long>(hedges_issued),
+      static_cast<unsigned long long>(hedges_won),
+      static_cast<unsigned long long>(degraded_points),
+      static_cast<unsigned long long>(degraded_ranges),
+      static_cast<unsigned long long>(degraded_shed),
+      static_cast<unsigned long long>(shards_restored), backoff_seconds * 1e6,
+      reimage_seconds * 1e6, degraded_seconds * 1e6, fenced_seconds * 1e6);
+  return buf;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, const MitigationConfig& mitigation,
+                             unsigned num_shards)
+    : mitigation_(mitigation), num_shards_(num_shards) {
+  plan.validate();
+  HARMONIA_CHECK(num_shards_ > 0);
+  HARMONIA_CHECK(mitigation_.retry.max_attempts > 0);
+  HARMONIA_CHECK(mitigation_.retry.backoff >= 0.0);
+  HARMONIA_CHECK(mitigation_.hedge.multiplier > 1.0);
+  events_.reserve(plan.events.size());
+  for (const FaultEvent& e : plan.events) {
+    HARMONIA_CHECK_MSG(e.shard < num_shards_,
+                       "fault event targets shard " << e.shard << " but the run has "
+                       << num_shards_ << " shard(s)");
+    events_.push_back(
+        {e, e.kind == FaultKind::kDispatchFailure ? e.count : 1u, false});
+  }
+}
+
+double FaultInjector::transfer_factor(unsigned shard, double now) {
+  double factor = 1.0;
+  for (State& s : events_) {
+    if (s.ev.kind != FaultKind::kTransferSlowdown || s.ev.shard != shard) continue;
+    if (now < s.ev.at || now >= s.ev.at + s.ev.duration) continue;
+    factor *= s.ev.factor;
+    if (!s.counted) {
+      s.counted = true;
+      ++report_.slowdown_windows;
+    }
+  }
+  return factor;
+}
+
+bool FaultInjector::take_dispatch_failure(unsigned shard, double now) {
+  for (State& s : events_) {
+    if (s.ev.kind != FaultKind::kDispatchFailure || s.ev.shard != shard) continue;
+    if (s.ev.at > now || s.remaining == 0) continue;
+    --s.remaining;
+    ++report_.dispatch_failures;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::maybe_corrupt_resync(unsigned shard, HarmoniaIndex& index,
+                                         double now) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    State& s = events_[i];
+    if (s.ev.kind != FaultKind::kResyncCorruption || s.ev.shard != shard) continue;
+    if (s.ev.at > now || s.remaining == 0) continue;
+    s.remaining = 0;
+    ++report_.corruptions;
+
+    // Deterministic damage: byte positions and flip masks come from a
+    // SplitMix64 stream seeded by the event's plan position, never from
+    // run state — replays corrupt the same bytes.
+    SplitMix64 sm(0x8badf00dULL ^ (static_cast<std::uint64_t>(i) << 20) ^ shard);
+    auto& mem = index.device().memory();
+    const auto& img = index.image();
+    const auto& tree = index.tree();
+    for (unsigned b = 0; b < s.ev.bytes; ++b) {
+      const std::uint64_t pick = sm.next();
+      std::uint64_t addr = 0;
+      switch (pick % 3) {
+        case 0:
+          addr = img.key_region.addr +
+                 sm.next() % (tree.key_region().size() * sizeof(Key));
+          break;
+        case 1: {
+          // Route through ps_addr so the flip lands where the kernel (and
+          // the audit) actually reads: const segment for top nodes.
+          const std::uint32_t node =
+              static_cast<std::uint32_t>(sm.next() % tree.prefix_sum().size());
+          addr = img.ps_addr(node) + sm.next() % sizeof(std::uint32_t);
+          break;
+        }
+        default:
+          if (tree.value_region().empty()) {
+            addr = img.key_region.addr +
+                   sm.next() % (tree.key_region().size() * sizeof(Key));
+          } else {
+            addr = img.value_region.addr +
+                   sm.next() % (tree.value_region().size() * sizeof(Value));
+          }
+          break;
+      }
+      std::uint8_t byte = 0;
+      mem.read_bytes(addr, &byte, 1);
+      byte ^= static_cast<std::uint8_t>(1 + sm.next() % 255);
+      mem.write_bytes(addr, &byte, 1);
+    }
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::audit_and_repair(unsigned shard, HarmoniaIndex& index,
+                                       const TransferModel& link) {
+  (void)shard;
+  ++report_.audits;
+  if (verify_image(index)) return 0.0;
+  ++report_.checksum_mismatches;
+  ++report_.reimages;
+  index.resync_device();
+  HARMONIA_CHECK_MSG(verify_image(index), "device image corrupt after re-image");
+  const double seconds = image_resync_seconds(index.tree(), link);
+  report_.reimage_seconds += seconds;
+  return seconds;
+}
+
+std::optional<FaultEvent> FaultInjector::take_shard_lost(double now) {
+  for (State& s : events_) {
+    if (s.ev.kind != FaultKind::kShardLost || s.remaining == 0) continue;
+    if (s.ev.at > now) continue;
+    s.remaining = 0;
+    ++report_.shards_lost;
+    return s.ev;
+  }
+  return std::nullopt;
+}
+
+double FaultInjector::next_shard_lost_time() const {
+  double t = kInf;
+  for (const State& s : events_) {
+    if (s.ev.kind != FaultKind::kShardLost || s.remaining == 0) continue;
+    t = std::min(t, s.ev.at);
+  }
+  return t;
+}
+
+}  // namespace harmonia::fault

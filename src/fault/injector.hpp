@@ -1,0 +1,155 @@
+// FaultInjector — the run-time side of a FaultPlan, plus the knobs and
+// counters of every mitigation the serving stack applies under it.
+//
+// One injector is owned per serving run (Server or ShardedServer) and
+// threaded by pointer into the layers that pay fault costs:
+//   BatchScheduler : transfer slowdown scaling + transient dispatch
+//                    failures answered with bounded exponential-backoff
+//                    retries (shed after the retry budget);
+//   EpochUpdater / ShardedServer::run_epoch :
+//                    resync corruption injection, CRC32 audit, re-image;
+//   ShardedServer  : shard-lost fencing, CPU-oracle degraded serving,
+//                    timed restore + re-image;
+//   ShardedIndex   : straggler hedging in the scatter/gather batch path.
+//
+// Everything is deterministic: the plan decides *what* fails and *when*;
+// the injector only tracks which events have been consumed and tallies a
+// FaultReport. An inactive injector (empty plan) is never consulted, so
+// fault-free runs are bit-identical to pre-fault behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "harmonia/index.hpp"
+#include "harmonia/pipeline.hpp"
+
+namespace harmonia::fault {
+
+/// Bounded retry with exponential backoff for failed batch dispatches.
+/// Deadline-aware twice over: each backoff delay is capped, and the whole
+/// budget is `max_attempts` tries — after that the batch is shed (its
+/// requests answer `dropped`) rather than holding the lane forever.
+struct RetryPolicy {
+  unsigned max_attempts = 4;
+  double backoff = 50e-6;
+  double backoff_multiplier = 2.0;
+  double max_backoff = 1e-3;
+};
+
+/// CPU-oracle serving for a fenced (lost) shard: correct but slow. The
+/// modeled host costs are per-op charges on the virtual clock; admission
+/// for the fenced range sheds once the CPU backlog exceeds max_backlog.
+struct DegradedPolicy {
+  double seconds_per_point = 2e-6;
+  double seconds_per_range = 4e-6;
+  double seconds_per_result = 100e-9;
+  double max_backlog = 2e-3;
+};
+
+/// Hedged re-dispatch for the scatter/gather batch path: when one shard's
+/// pipeline runs `multiplier`x slower than the median shard, the straggler
+/// sub-batch is re-issued at that detection point on an unimpaired link
+/// and the earlier finisher wins.
+struct HedgePolicy {
+  bool enabled = true;
+  double multiplier = 3.0;
+};
+
+struct MitigationConfig {
+  RetryPolicy retry;
+  DegradedPolicy degraded;
+  HedgePolicy hedge;
+};
+
+/// Typed counters of everything injected, detected, and mitigated.
+/// Surfaced through ServerReport/ShardedServerReport and dumped as a
+/// deterministic CSV row (the CI replay gate diffs these bytes).
+struct FaultReport {
+  // Injected.
+  std::uint64_t slowdown_windows = 0;
+  std::uint64_t dispatch_failures = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t shards_lost = 0;
+  // Detected.
+  std::uint64_t audits = 0;
+  std::uint64_t checksum_mismatches = 0;
+  // Mitigated.
+  std::uint64_t retries = 0;
+  std::uint64_t retry_shed_batches = 0;
+  std::uint64_t retry_shed_requests = 0;
+  std::uint64_t reimages = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t degraded_points = 0;
+  std::uint64_t degraded_ranges = 0;
+  std::uint64_t degraded_shed = 0;
+  std::uint64_t shards_restored = 0;
+  double backoff_seconds = 0.0;
+  double reimage_seconds = 0.0;
+  double degraded_seconds = 0.0;
+  double fenced_seconds = 0.0;
+
+  bool operator==(const FaultReport&) const = default;
+
+  static const char* csv_header();
+  std::string csv_row() const;
+};
+
+class FaultInjector {
+ public:
+  /// `num_shards` bounds the shard ids events may target (shard 0 for a
+  /// single-device Server). Throws on an out-of-range event.
+  FaultInjector(FaultPlan plan, const MitigationConfig& mitigation,
+                unsigned num_shards);
+
+  /// False for an empty plan: callers skip every fault branch, keeping
+  /// fault-free runs bit-identical to pre-fault behaviour.
+  bool active() const { return !events_.empty(); }
+
+  const MitigationConfig& mitigation() const { return mitigation_; }
+  FaultReport& report() { return report_; }
+  const FaultReport& report() const { return report_; }
+
+  /// Product of the factors of every slowdown window active on `shard`
+  /// at `now` (1.0 when none). Counts each window once on first use.
+  double transfer_factor(unsigned shard, double now);
+
+  /// Consumes one pending dispatch failure armed for `shard` at `now`.
+  bool take_dispatch_failure(unsigned shard, double now);
+
+  /// Consumes a pending corruption event for `shard` (armed at <= now):
+  /// flips the event's `bytes` deterministically chosen bytes in the
+  /// index's device image (key / prefix-sum / value regions). Returns
+  /// true when corruption was injected.
+  bool maybe_corrupt_resync(unsigned shard, HarmoniaIndex& index, double now);
+
+  /// CRC32 audit of the device image against the host tree; on mismatch
+  /// re-uploads the image and returns the modeled re-image seconds the
+  /// caller must charge on the device timeline (0.0 when clean).
+  double audit_and_repair(unsigned shard, HarmoniaIndex& index,
+                          const TransferModel& link);
+
+  /// Earliest armed, unconsumed shard-lost event at or before `now`.
+  std::optional<FaultEvent> take_shard_lost(double now);
+
+  /// Arm time of the next unconsumed shard-lost event (+inf when none):
+  /// the extra wakeup the sharded event loop schedules.
+  double next_shard_lost_time() const;
+
+ private:
+  struct State {
+    FaultEvent ev;
+    unsigned remaining = 0;  // dispatch failures left / 1 for one-shot kinds
+    bool counted = false;    // slowdown window already tallied
+  };
+
+  std::vector<State> events_;
+  MitigationConfig mitigation_;
+  unsigned num_shards_;
+  FaultReport report_;
+};
+
+}  // namespace harmonia::fault

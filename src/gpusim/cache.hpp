@@ -29,6 +29,13 @@ class Cache {
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }
   void reset_stats() { hits_ = misses_ = 0; }
 
+  /// Back to construction state: cold tags and zeroed counters (the
+  /// fault-audit path resets caches after a device re-image).
+  void reset() {
+    flush();
+    reset_stats();
+  }
+
  private:
   struct Way {
     std::uint64_t tag = kInvalid;

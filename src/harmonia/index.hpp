@@ -80,6 +80,7 @@ class HarmoniaIndex {
   const HarmoniaTree& tree() const { return updater_.tree(); }
   const HarmoniaDeviceImage& image() const { return image_; }
   gpusim::Device& device() { return device_; }
+  const gpusim::Device& device() const { return device_; }
   const Options& options() const { return options_; }
 
   /// Query phase: batched point lookups on the (simulated) GPU.
@@ -110,6 +111,12 @@ class HarmoniaIndex {
 
   /// Wall seconds spent in the last device re-synchronization.
   double last_sync_seconds() const { return last_sync_seconds_; }
+
+  /// Rebuilds the device image from the host tree (frees device memory,
+  /// flushes caches, re-uploads). update_batch does this automatically;
+  /// the fault layer calls it directly to repair a corrupted or freshly
+  /// restored device image.
+  void resync_device() { sync_device(); }
 
  private:
   void sync_device();

@@ -58,6 +58,50 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_ready(double close_time,
   return dispatch_range(close_time, device_free, epoch);
 }
 
+std::vector<Request> BatchScheduler::evict_all() {
+  std::vector<Request> out;
+  out.reserve(point_.size() + range_.size());
+  while (!point_.empty()) out.push_back(point_.pop());
+  while (!range_.empty()) out.push_back(range_.pop());
+  std::stable_sort(out.begin(), out.end(), [](const Request& a, const Request& b) {
+    return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
+  });
+  return out;
+}
+
+// Applies the fault model to one dispatch: any live slowdown window scales
+// the transfer share of the service time, and each armed transient failure
+// costs the failed attempt plus an exponential backoff before the retry.
+// Exhausting the retry budget sheds the batch (its requests answer
+// dropped) so a persistently failing device cannot hold the lane forever.
+double BatchScheduler::faulted_finish(double start, double base_service,
+                                      double transfer_seconds, Dispatch& d) {
+  if (injector_ == nullptr || !injector_->active()) return start + base_service;
+  const fault::RetryPolicy& retry = injector_->mitigation().retry;
+  fault::FaultReport& rep = injector_->report();
+  double t = start;
+  double backoff = retry.backoff;
+  for (;;) {
+    const double factor = injector_->transfer_factor(shard_, t);
+    const double service =
+        base_service + (factor - 1.0) * transfer_seconds;
+    if (!injector_->take_dispatch_failure(shard_, t)) return t + service;
+    t += service;  // the failed attempt still occupied device and link
+    if (d.attempts >= retry.max_attempts) {
+      d.shed = true;
+      ++rep.retry_shed_batches;
+      rep.retry_shed_requests += d.batch_size;
+      return t;
+    }
+    const double wait = std::min(backoff, retry.max_backoff);
+    t += wait;
+    backoff *= retry.backoff_multiplier;
+    rep.backoff_seconds += wait;
+    ++rep.retries;
+    ++d.attempts;
+  }
+}
+
 BatchScheduler::Dispatch BatchScheduler::dispatch_point(double close_time,
                                                         double device_free,
                                                         unsigned epoch) {
@@ -78,7 +122,8 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_point(double close_time,
   d.batch_size = n;
   d.close = close_time;
   d.start = std::max(close_time, device_free);
-  d.finish = d.start + piped.total_seconds;
+  d.finish = faulted_finish(d.start, piped.total_seconds,
+                            piped.upload_seconds + piped.download_seconds, d);
   d.responses.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     Response resp;
@@ -88,7 +133,8 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_point(double close_time,
     resp.arrival = members[i].arrival;
     resp.dispatch = d.start;
     resp.completion = d.finish;
-    resp.value = piped.values[i];
+    resp.dropped = d.shed;
+    if (!d.shed) resp.value = piped.values[i];
     d.responses.push_back(std::move(resp));
   }
   return d;
@@ -112,15 +158,16 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_range(double close_time,
   const auto r = index_.range_device(los, his, config_.max_range_results);
   // Bounds up, result values down, kernel in between (no chunking: online
   // range batches are small next to the point-lookup stream).
-  const double service = link_.seconds(2 * n * sizeof(Key)) + r.kernel_seconds +
-                         link_.seconds(r.total_results * sizeof(Value));
+  const double transfer = link_.seconds(2 * n * sizeof(Key)) +
+                          link_.seconds(r.total_results * sizeof(Value));
+  const double service = transfer + r.kernel_seconds;
 
   Dispatch d;
   d.kind = RequestKind::kRange;
   d.batch_size = n;
   d.close = close_time;
   d.start = std::max(close_time, device_free);
-  d.finish = d.start + service;
+  d.finish = faulted_finish(d.start, service, transfer, d);
   d.responses.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     Response resp;
@@ -130,7 +177,8 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_range(double close_time,
     resp.arrival = members[i].arrival;
     resp.dispatch = d.start;
     resp.completion = d.finish;
-    resp.range_values = r.values[i];
+    resp.dropped = d.shed;
+    if (!d.shed) resp.range_values = r.values[i];
     d.responses.push_back(std::move(resp));
   }
   return d;

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
 #include "serve/request_queue.hpp"
@@ -68,6 +69,10 @@ class BatchScheduler {
     double close = 0.0;
     double start = 0.0;
     double finish = 0.0;
+    /// Fault path: dispatch tries consumed (1 = clean first try) and
+    /// whether the retry budget ran out (responses answer dropped).
+    unsigned attempts = 1;
+    bool shed = false;
     double service_seconds() const { return finish - start; }
   };
 
@@ -79,15 +84,32 @@ class BatchScheduler {
   std::uint64_t admitted() const { return point_.admitted() + range_.admitted(); }
   std::uint64_t rejected() const { return point_.rejected() + range_.rejected(); }
 
+  /// Arms the fault path: dispatches on this scheduler consult `injector`
+  /// as shard `shard` for slowdown windows and transient failures. A null
+  /// or inactive injector keeps dispatch arithmetic bit-identical to the
+  /// fault-free build.
+  void set_fault_context(fault::FaultInjector* injector, unsigned shard) {
+    injector_ = injector;
+    shard_ = shard;
+  }
+
+  /// Drains both lanes (fencing a lost shard re-routes its queued work).
+  /// Returned in arrival order; admission counters are unchanged.
+  std::vector<Request> evict_all();
+
  private:
   Dispatch dispatch_point(double close_time, double device_free, unsigned epoch);
   Dispatch dispatch_range(double close_time, double device_free, unsigned epoch);
+  double faulted_finish(double start, double base_service,
+                        double transfer_seconds, Dispatch& d);
 
   HarmoniaIndex& index_;
   TransferModel link_;
   BatchConfig config_;
   RequestQueue point_;
   RequestQueue range_;
+  fault::FaultInjector* injector_ = nullptr;
+  unsigned shard_ = 0;
 };
 
 }  // namespace harmonia::serve

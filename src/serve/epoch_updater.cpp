@@ -37,6 +37,17 @@ EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
   e.apply_seconds =
       static_cast<double>(ops.size()) * config_.seconds_per_op;
   e.resync_seconds = image_resync_seconds(index_.tree(), link_);
+  if (injector_ != nullptr && injector_->active()) {
+    // The resync is a PCIe transfer like any other: active slowdown
+    // windows stretch it. Then any armed corruption event hits the fresh
+    // image, and the audit catches it — the re-image cost (also under
+    // the slowdown) lands on the device timeline before admission reopens.
+    const double resync_end = e.start + e.apply_seconds + e.resync_seconds;
+    const double factor = injector_->transfer_factor(shard_, resync_end);
+    e.resync_seconds *= factor;
+    if (injector_->maybe_corrupt_resync(shard_, index_, resync_end))
+      e.resync_seconds += factor * injector_->audit_and_repair(shard_, index_, link_);
+  }
   e.finish = e.start + e.apply_seconds + e.resync_seconds;
 
   e.responses.reserve(pending_.size());

@@ -19,6 +19,7 @@
 #include <limits>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
 #include "serve/request.hpp"
@@ -69,12 +70,22 @@ class EpochUpdater {
   /// occupies [max(at, device_free), finish] on the device timeline.
   EpochResult apply(double at, double device_free);
 
+  /// Arms the fault path for the post-epoch resync: slowdown windows
+  /// scale the re-upload, armed corruption events damage the fresh image,
+  /// and a CRC32 audit repairs (re-images) before admission reopens.
+  void set_fault_context(fault::FaultInjector* injector, unsigned shard) {
+    injector_ = injector;
+    shard_ = shard;
+  }
+
  private:
   HarmoniaIndex& index_;
   TransferModel link_;
   EpochConfig config_;
   std::vector<Request> pending_;
   unsigned epochs_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  unsigned shard_ = 0;
 };
 
 }  // namespace harmonia::serve

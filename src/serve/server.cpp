@@ -15,7 +15,17 @@ Server::Server(HarmoniaIndex& index, const ServerConfig& config)
     : index_(index),
       config_(config),
       scheduler_(index, config.link, config.batch),
-      updater_(index, config.link, config.epoch) {}
+      updater_(index, config.link, config.epoch),
+      injector_(config.faults, config.mitigation, 1) {
+  for (const fault::FaultEvent& e : config.faults.events) {
+    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kShardLost,
+                       "shard-lost faults need a ShardedServer");
+  }
+  if (injector_.active()) {
+    scheduler_.set_fault_context(&injector_, 0);
+    updater_.set_fault_context(&injector_, 0);
+  }
+}
 
 void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
                              ServerReport& report) {
@@ -24,9 +34,13 @@ void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
   report.batch_size.add(static_cast<double>(d.batch_size));
   report.busy_seconds += d.service_seconds();
   for (Response& resp : d.responses) {
-    ++report.completed;
-    report.latency.add(resp.latency());
-    report.queue_delay.add(resp.queue_delay());
+    if (resp.dropped) {
+      ++report.shed;  // retry budget exhausted: admitted but not served
+    } else {
+      ++report.completed;
+      report.latency.add(resp.latency());
+      report.queue_delay.add(resp.queue_delay());
+    }
     report.makespan = std::max(report.makespan, resp.completion);
     source.on_complete(resp);
     report.responses.push_back(std::move(resp));
@@ -127,6 +141,7 @@ ServerReport Server::run(RequestSource& source) {
       run_epoch(now, source, report);
     }
   }
+  report.faults = injector_.report();
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
 #include "serve/batch_scheduler.hpp"
@@ -28,6 +29,11 @@ struct ServerConfig {
   BatchConfig batch;
   EpochConfig epoch;
   TransferModel link;
+  /// Deterministic fault schedule (empty = fault-free, bit-identical to a
+  /// build without the fault layer) and the mitigation knobs. Shard-lost
+  /// events need a ShardedServer; a single-device plan may not carry them.
+  fault::FaultPlan faults;
+  fault::MitigationConfig mitigation;
 };
 
 struct ServerReport {
@@ -46,6 +52,10 @@ struct ServerReport {
   std::uint64_t admitted = 0;
   std::uint64_t dropped = 0;
   std::uint64_t completed = 0;  // non-dropped queries served
+  /// Admitted queries later answered `dropped` by a fault mitigation
+  /// (retry budget exhausted / degraded-mode backlog). Kept apart from
+  /// `dropped` so admitted + dropped == arrivals holds under faults.
+  std::uint64_t shed = 0;
   std::uint64_t batches = 0;
   std::uint64_t epochs = 0;
   std::uint64_t updates_applied = 0;
@@ -55,6 +65,9 @@ struct ServerReport {
   double makespan = 0.0;
   /// Device-occupied time (batch service + epoch apply/resync).
   double busy_seconds = 0.0;
+
+  /// Injection/detection/mitigation tallies (all zero on fault-free runs).
+  fault::FaultReport faults;
 
   /// Completed queries per virtual second, end to end.
   double query_throughput() const {
@@ -86,6 +99,7 @@ class Server {
   ServerConfig config_;
   BatchScheduler scheduler_;
   EpochUpdater updater_;
+  fault::FaultInjector injector_;
   double device_free_ = 0.0;
 };
 

@@ -60,7 +60,14 @@ std::uint64_t ShardedIndex::num_keys() const {
 }
 
 ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch) {
+  return search(batch, nullptr, 0.0);
+}
+
+ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch,
+                                                fault::FaultInjector* injector,
+                                                double now) {
   HARMONIA_CHECK(!batch.empty());
+  const bool faulty = injector != nullptr && injector->active();
   SearchResult result;
   result.values.assign(batch.size(), kNotFound);
   result.per_shard.assign(num_shards(), 0);
@@ -75,6 +82,11 @@ ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch) {
     ++result.per_shard[s];
   }
 
+  // Per-shard times, kept apart so the hedging pass below can compare
+  // shards against each other before the final aggregation.
+  std::vector<double> shard_seconds(num_shards(), 0.0);
+  std::vector<double> clean_seconds(num_shards(), 0.0);
+  std::vector<bool> ran(num_shards(), false);
   for (unsigned s = 0; s < num_shards(); ++s) {
     if (keys[s].empty()) continue;
     // A deviceless shard holds no keys: its queries stay kNotFound.
@@ -83,9 +95,48 @@ ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch) {
                                         options_.pipeline);
     for (std::size_t j = 0; j < slots[s].size(); ++j)
       result.values[slots[s][j]] = piped.values[j];
-    result.device_seconds += piped.total_seconds;
-    if (piped.total_seconds > result.total_seconds) {
-      result.total_seconds = piped.total_seconds;
+    ran[s] = true;
+    clean_seconds[s] = piped.total_seconds;
+    shard_seconds[s] = piped.total_seconds;
+    if (faulty) {
+      const double factor = injector->transfer_factor(s, now);
+      shard_seconds[s] +=
+          (factor - 1.0) * (piped.upload_seconds + piped.download_seconds);
+    }
+  }
+
+  // Hedged re-dispatch: a shard still running at `multiplier`x the median
+  // shard time is treated as a straggler — its sub-batch is re-issued at
+  // that detection point on an unimpaired link, and whichever copy
+  // finishes first answers. (Results are identical either way; only the
+  // timeline changes, so this stays deterministic.)
+  if (faulty && injector->mitigation().hedge.enabled) {
+    std::vector<double> active;
+    for (unsigned s = 0; s < num_shards(); ++s)
+      if (ran[s]) active.push_back(shard_seconds[s]);
+    if (active.size() >= 2) {
+      std::sort(active.begin(), active.end());
+      const double median = active[(active.size() - 1) / 2];
+      const double cutoff = injector->mitigation().hedge.multiplier * median;
+      for (unsigned s = 0; s < num_shards(); ++s) {
+        if (!ran[s] || shard_seconds[s] <= cutoff) continue;
+        ++result.hedges_issued;
+        ++injector->report().hedges_issued;
+        const double hedged = cutoff + clean_seconds[s];
+        if (hedged < shard_seconds[s]) {
+          shard_seconds[s] = hedged;
+          ++result.hedges_won;
+          ++injector->report().hedges_won;
+        }
+      }
+    }
+  }
+
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    if (!ran[s]) continue;
+    result.device_seconds += shard_seconds[s];
+    if (shard_seconds[s] > result.total_seconds) {
+      result.total_seconds = shard_seconds[s];
       result.bottleneck_shard = s;
     }
   }

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "gpusim/device.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
@@ -77,6 +78,10 @@ class ShardedIndex {
     /// Summed device-occupied time across shards (work, not wall).
     double device_seconds = 0.0;
     unsigned bottleneck_shard = 0;
+    /// Straggler sub-batches re-issued / re-issues that finished first
+    /// (always zero without an active fault injector).
+    unsigned hedges_issued = 0;
+    unsigned hedges_won = 0;
 
     double throughput() const {
       return total_seconds > 0.0
@@ -88,6 +93,14 @@ class ShardedIndex {
   /// Scatter -> per-shard PCIe pipeline -> gather. Results are identical
   /// to a single-device index over the same entries.
   SearchResult search(std::span<const Key> batch);
+
+  /// Fault-aware scatter/gather at virtual time `now`: each shard's
+  /// pipeline pays its active slowdown windows, and a shard running past
+  /// `hedge.multiplier`x the median shard time gets its sub-batch
+  /// re-issued at that detection point on an unimpaired link — the
+  /// earlier finisher wins. A null/inactive injector is the plain path.
+  SearchResult search(std::span<const Key> batch, fault::FaultInjector* injector,
+                      double now);
 
   struct RangeResult {
     /// values[i]: ascending values of keys in [los[i], his[i]], truncated

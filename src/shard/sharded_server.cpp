@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/expect.hpp"
+#include "fault/checksum.hpp"
 
 namespace harmonia::shard {
 
@@ -20,14 +21,20 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& config)
     : index_(index),
       config_(config),
+      injector_(config.faults, config.mitigation, index.num_shards()),
       sched_(index.num_shards()),
-      device_free_(index.num_shards(), 0.0) {
+      device_free_(index.num_shards(), 0.0),
+      fenced_(index.num_shards(), 0),
+      fence_start_(index.num_shards(), 0.0),
+      restore_at_(index.num_shards(), kInf),
+      cpu_free_(index.num_shards(), 0.0) {
   for (unsigned s = 0; s < index_.num_shards(); ++s) {
     HARMONIA_CHECK_MSG(index_.shard(s) != nullptr,
                        "shard " << s << " holds no keys — plan the partition "
                                 << "from the served keys (sample_balanced)");
     sched_[s] = std::make_unique<BatchScheduler>(*index_.shard(s), config_.link,
                                                  config_.batch);
+    if (injector_.active()) sched_[s]->set_fault_context(&injector_, s);
   }
 }
 
@@ -37,9 +44,10 @@ std::size_t ShardedServer::total_depth() const {
   return n;
 }
 
-void ShardedServer::drop(const Request& r, RequestSource& source,
+void ShardedServer::drop(const Request& r, unsigned shard, RequestSource& source,
                          ShardedServerReport& report) {
   ++report.dropped;
+  ++report.shard_dropped[shard];
   Response resp;
   resp.id = r.id;
   resp.kind = r.kind;
@@ -58,10 +66,18 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
 
   if (r.kind == RequestKind::kPoint) {
     const unsigned s = index_.plan().shard_of(r.key);
-    if (sched_[s]->admit(r))
+    if (fenced_[s]) {
+      // The owner shard is fenced: serve the query degraded from the CPU
+      // oracle (or shed if its backlog is full) — other ranges unaffected.
       ++report.admitted;
-    else
-      drop(r, source, report);
+      ++report.shard_admitted[s];
+      finish(s, degraded_serve(s, r, r.arrival), source, report);
+    } else if (sched_[s]->admit(r)) {
+      ++report.admitted;
+      ++report.shard_admitted[s];
+    } else {
+      drop(r, s, source, report);
+    }
     return;
   }
 
@@ -71,22 +87,31 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
   const unsigned s1 = index_.plan().shard_of(r.hi);
   if (s0 == s1) {
     // Whole span inside one shard: an ordinary range request.
-    if (sched_[s0]->admit(r))
+    if (fenced_[s0]) {
       ++report.admitted;
-    else
-      drop(r, source, report);
+      ++report.shard_admitted[s0];
+      finish(s0, degraded_serve(s0, r, r.arrival), source, report);
+    } else if (sched_[s0]->admit(r)) {
+      ++report.admitted;
+      ++report.shard_admitted[s0];
+    } else {
+      drop(r, s0, source, report);
+    }
     return;
   }
 
   // Straddling: split into per-shard sub-requests with clamped bounds,
   // admitted all-or-nothing so a partially-enqueued fan-out never exists.
+  // Fenced shards take their piece degraded, so only live shards' lanes
+  // are probed.
   for (unsigned s = s0; s <= s1; ++s) {
-    if (sched_[s]->free_slots(RequestKind::kRange) == 0) {
-      drop(r, source, report);
+    if (!fenced_[s] && sched_[s]->free_slots(RequestKind::kRange) == 0) {
+      drop(r, s, source, report);
       return;
     }
   }
   ++report.admitted;
+  ++report.shard_admitted[s0];
   ++report.split_ranges;
   PendingMerge merge;
   merge.parts_expected = s1 - s0 + 1;
@@ -98,6 +123,10 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
     sub.key = std::max(r.key, index_.plan().lo(s));
     sub.hi = std::min(r.hi, index_.plan().hi(s));
     parent_of_.emplace(sub.id, r.id);
+    if (fenced_[s]) {
+      finish(s, degraded_serve(s, sub, r.arrival), source, report);
+      continue;
+    }
     const bool ok = sched_[s]->admit(sub);
     HARMONIA_CHECK(ok);  // free_slots was probed above
   }
@@ -105,9 +134,15 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
 
 void ShardedServer::deliver(Response resp, RequestSource& source,
                             ShardedServerReport& report) {
-  ++report.completed;
-  report.latency.add(resp.latency());
-  report.queue_delay.add(resp.queue_delay());
+  if (resp.dropped) {
+    // A fault mitigation gave up on this admitted query (retry budget or
+    // degraded backlog): a shed, not an admission drop.
+    ++report.shed;
+  } else {
+    ++report.completed;
+    report.latency.add(resp.latency());
+    report.queue_delay.add(resp.queue_delay());
+  }
   report.makespan = std::max(report.makespan, resp.completion);
   source.on_complete(resp);
   report.responses.push_back(std::move(resp));
@@ -130,25 +165,43 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
   if (merge.parts.size() < merge.parts_expected) return;
 
   // All pieces in: reassemble in shard order (shards are ordered ranges,
-  // so concatenation is globally ascending).
+  // so concatenation is globally ascending). A dropped piece (shed by a
+  // fault mitigation) poisons the whole fan-out — a response with a gap
+  // in its range would be silently wrong, so the merge answers dropped.
   std::sort(merge.parts.begin(), merge.parts.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   Response merged;
   merged.id = parent;
   merged.kind = RequestKind::kRange;
   merged.arrival = merge.original.arrival;
-  merged.epoch = merge.parts.front().second.epoch;
+  merged.epoch = epochs_;
   merged.dispatch = kInf;
+  bool seen_live = false;
   for (const auto& [shard_ord, part] : merge.parts) {
     (void)shard_ord;
-    // The cross-shard epoch barrier quiesces every shard before an epoch
-    // applies, so all pieces of a fan-out observe the same epoch count.
-    HARMONIA_CHECK(part.epoch == merged.epoch);
     merged.dispatch = std::min(merged.dispatch, part.dispatch);
     merged.completion = std::max(merged.completion, part.completion);
-    for (Value v : part.range_values) {
-      if (merged.range_values.size() >= config_.batch.max_range_results) break;
-      merged.range_values.push_back(v);
+    if (part.dropped) {
+      merged.dropped = true;
+      continue;
+    }
+    // The cross-shard epoch barrier quiesces every shard before an epoch
+    // applies, so all live pieces of a fan-out observe the same epoch.
+    if (!seen_live) {
+      seen_live = true;
+      merged.epoch = part.epoch;
+    }
+    HARMONIA_CHECK(part.epoch == merged.epoch);
+  }
+  if (merged.dropped) {
+    merged.range_values.clear();
+  } else {
+    for (const auto& [shard_ord, part] : merge.parts) {
+      (void)shard_ord;
+      for (Value v : part.range_values) {
+        if (merged.range_values.size() >= config_.batch.max_range_results) break;
+        merged.range_values.push_back(v);
+      }
     }
   }
   merges_.erase(parent);
@@ -194,7 +247,28 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   // on their own links, so the resync charge is the slowest shard's.
   const double apply_seconds =
       static_cast<double>(ops.size()) * config_.epoch.seconds_per_op;
-  const double finish_t = start + apply_seconds + index_.last_resync_seconds();
+  double resync_seconds = index_.last_resync_seconds();
+  if (injector_.active()) {
+    // Recompute the resync charge per touched shard so each pays its own
+    // slowdown windows, and give armed corruption events their shot at
+    // the fresh images — the CRC32 audit catches and re-images before
+    // admission reopens, so a corrupt image is never served.
+    std::vector<char> touched(index_.num_shards(), 0);
+    for (const auto& op : ops) touched[index_.plan().shard_of(op.key)] = 1;
+    resync_seconds = 0.0;
+    const double resync_at = start + apply_seconds;
+    for (unsigned s = 0; s < index_.num_shards(); ++s) {
+      if (!touched[s] || index_.shard(s) == nullptr) continue;
+      const double factor = injector_.transfer_factor(s, resync_at);
+      double rs = factor *
+                  image_resync_seconds(index_.shard(s)->tree(), config_.link);
+      if (injector_.maybe_corrupt_resync(s, *index_.shard(s), resync_at))
+        rs += factor *
+              injector_.audit_and_repair(s, *index_.shard(s), config_.link);
+      resync_seconds = std::max(resync_seconds, rs);
+    }
+  }
+  const double finish_t = start + apply_seconds + resync_seconds;
 
   ++epochs_;
   ++report.epochs;
@@ -221,10 +295,105 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   pending_updates_.clear();
 }
 
+void ShardedServer::fence_shard(double now, RequestSource& source,
+                                ShardedServerReport& report) {
+  const auto ev = injector_.take_shard_lost(now);
+  HARMONIA_CHECK(ev.has_value());
+  const unsigned s = ev->shard;
+  HARMONIA_CHECK_MSG(!fenced_[s],
+                     "shard " << s << " lost twice without a restore between");
+  fenced_[s] = 1;
+  fence_start_[s] = now;
+  restore_at_[s] = now + ev->duration;
+  cpu_free_[s] = std::max(cpu_free_[s], now);
+  // The device's in-flight admission queue dies with it. The queued
+  // requests are not lost, though: re-route them through the degraded
+  // path in arrival order (the CPU backlog bound sheds the excess).
+  for (const Request& r : sched_[s]->evict_all())
+    finish(s, degraded_serve(s, r, now), source, report);
+}
+
+void ShardedServer::restore_shard(double now, ShardedServerReport& report) {
+  unsigned s = 0;
+  for (unsigned i = 1; i < restore_at_.size(); ++i)
+    if (restore_at_[i] < restore_at_[s]) s = i;
+  HARMONIA_CHECK(restore_at_[s] < kInf && fenced_[s]);
+  restore_at_[s] = kInf;
+
+  // The replacement device comes up empty: re-image it from the host
+  // tree (the source of truth), audit the fresh image, and rejoin. The
+  // re-image transfer pays any slowdown window live on this shard's link.
+  fault::FaultReport& rep = injector_.report();
+  HarmoniaIndex& idx = *index_.shard(s);
+  idx.resync_device();
+  ++rep.audits;
+  HARMONIA_CHECK_MSG(fault::verify_image(idx), "restored image failed audit");
+  ++rep.reimages;
+  const double reimage = injector_.transfer_factor(s, now) *
+                         image_resync_seconds(idx.tree(), config_.link);
+  rep.reimage_seconds += reimage;
+  device_free_[s] = std::max(device_free_[s], now + reimage);
+  report.busy_seconds += reimage;
+
+  fenced_[s] = 0;
+  ++rep.shards_restored;
+  rep.fenced_seconds += now - fence_start_[s];
+}
+
+serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
+                                              double now) {
+  const fault::DegradedPolicy& pol = injector_.mitigation().degraded;
+  fault::FaultReport& rep = injector_.report();
+  Response resp;
+  resp.id = r.id;
+  resp.kind = r.kind;
+  resp.epoch = epochs_;
+  resp.arrival = r.arrival;
+
+  // Admission shedding for the affected range only: once the CPU oracle
+  // is this far behind, answering dropped beats unbounded latency.
+  if (std::max(cpu_free_[s], now) - now > pol.max_backlog) {
+    ++rep.degraded_shed;
+    resp.dropped = true;
+    resp.dispatch = resp.completion = now;
+    return resp;
+  }
+
+  double cost = 0.0;
+  if (r.kind == RequestKind::kPoint) {
+    ++rep.degraded_points;
+    if (const auto v = index_.shard(s)->search_host(r.key)) resp.value = *v;
+    cost = pol.seconds_per_point;
+  } else {
+    ++rep.degraded_ranges;
+    const auto entries = index_.shard(s)->range_host(
+        std::max(r.key, index_.plan().lo(s)), std::min(r.hi, index_.plan().hi(s)),
+        config_.batch.max_range_results);
+    resp.range_values.reserve(entries.size());
+    for (const auto& e : entries) resp.range_values.push_back(e.value);
+    cost = pol.seconds_per_range +
+           static_cast<double>(entries.size()) * pol.seconds_per_result;
+  }
+  const double begin = std::max(cpu_free_[s], now);
+  cpu_free_[s] = begin + cost;
+  rep.degraded_seconds += cost;
+  resp.dispatch = begin;
+  resp.completion = cpu_free_[s];
+  return resp;
+}
+
+double ShardedServer::next_restore_time() const {
+  double t = kInf;
+  for (const double r : restore_at_) t = std::min(t, r);
+  return t;
+}
+
 ShardedServerReport ShardedServer::run(RequestSource& source) {
   ShardedServerReport report;
   report.shard_batches.assign(index_.num_shards(), 0);
   report.shard_queries.assign(index_.num_shards(), 0);
+  report.shard_admitted.assign(index_.num_shards(), 0);
+  report.shard_dropped.assign(index_.num_shards(), 0);
   double now = 0.0;
 
   while (true) {
@@ -254,7 +423,12 @@ ShardedServerReport ShardedServer::run(RequestSource& source) {
 
     if (t_arrival == kInf && t_batch == kInf && t_epoch == kInf) {
       // Stream exhausted, no armed trigger: final drain, then leftovers
-      // of the update buffer as a last epoch.
+      // of the update buffer as a last epoch. Pending restores complete
+      // first (lose events not yet fired are inert past stream end).
+      while (next_restore_time() < kInf) {
+        now = std::max(now, next_restore_time());
+        restore_shard(now, report);
+      }
       for (unsigned s = 0; s < sched_.size(); ++s) {
         while (!sched_[s]->empty()) {
           handle_dispatch(s,
@@ -266,6 +440,25 @@ ShardedServerReport ShardedServer::run(RequestSource& source) {
       if (!pending_updates_.empty()) run_epoch(now, source, report);
       if (!source.peek()) break;  // on_complete may have injected arrivals
       continue;
+    }
+
+    // Fault events cut ahead of same-instant work: a shard lost at t is
+    // fenced before anything else dispatches at t, and a due restore
+    // rejoins its shard before new work routes around it.
+    if (injector_.active()) {
+      const double t_fault = injector_.next_shard_lost_time();
+      const double t_restore = next_restore_time();
+      const double t_work = std::min(t_arrival, std::min(t_batch, t_epoch));
+      if (t_fault <= t_work && t_fault <= t_restore) {
+        now = std::max(now, t_fault);
+        fence_shard(now, source, report);
+        continue;
+      }
+      if (t_restore <= t_work) {
+        now = std::max(now, t_restore);
+        restore_shard(now, report);
+        continue;
+      }
     }
 
     if (t_arrival <= t_batch && t_arrival <= t_epoch) {
@@ -291,6 +484,7 @@ ShardedServerReport ShardedServer::run(RequestSource& source) {
   }
 
   HARMONIA_CHECK(merges_.empty());  // every fan-out reassembled
+  report.faults = injector_.report();
   return report;
 }
 

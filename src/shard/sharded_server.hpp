@@ -43,12 +43,25 @@ struct ShardedServerConfig {
   serve::BatchConfig batch;
   serve::EpochConfig epoch;
   TransferModel link;
+  /// Deterministic fault schedule and mitigation knobs. An empty plan is
+  /// the exact pre-fault event loop, bit for bit.
+  fault::FaultPlan faults;
+  fault::MitigationConfig mitigation;
 };
 
 struct ShardedServerReport : serve::ServerReport {
   /// Query batches dispatched / queries served per shard.
   std::vector<std::uint64_t> shard_batches;
   std::vector<std::uint64_t> shard_queries;
+  /// Per-shard admissions and drops, tallied exactly once at the routing
+  /// point: a query counts toward the shard its routing starts at
+  /// (points: the owner shard; ranges: the first shard of the span), so
+  /// each vector sums to its stream-level counter. The schedulers' own
+  /// admitted()/rejected() tallies cannot be aggregated here — they
+  /// count every fan-out sub-request (double-counting straddling
+  /// ranges) and never see all-or-nothing probe drops (omitting them).
+  std::vector<std::uint64_t> shard_admitted;
+  std::vector<std::uint64_t> shard_dropped;
   /// Range requests that fanned out across >1 shard.
   std::uint64_t split_ranges = 0;
   /// Device idle time summed over shards while epoch barriers gathered
@@ -80,7 +93,7 @@ class ShardedServer {
 
   void admit_query(const serve::Request& r, serve::RequestSource& source,
                    ShardedServerReport& report);
-  void drop(const serve::Request& r, serve::RequestSource& source,
+  void drop(const serve::Request& r, unsigned shard, serve::RequestSource& source,
             ShardedServerReport& report);
   void handle_dispatch(unsigned s, serve::BatchScheduler::Dispatch d,
                        serve::RequestSource& source, ShardedServerReport& report);
@@ -93,13 +106,32 @@ class ShardedServer {
   void run_epoch(double at, serve::RequestSource& source,
                  ShardedServerReport& report);
 
+  /// Shard-lost handling: fence the shard (its queued work re-routes to
+  /// the CPU oracle), serve its key range degraded while the replacement
+  /// device re-images, then rejoin it at restore time.
+  void fence_shard(double now, serve::RequestSource& source,
+                   ShardedServerReport& report);
+  void restore_shard(double now, ShardedServerReport& report);
+  /// Serves one request of a fenced shard's range from the host tree on
+  /// the shard's CPU timeline; sheds (dropped response) once the CPU
+  /// backlog exceeds the degraded policy's max_backlog.
+  serve::Response degraded_serve(unsigned s, const serve::Request& r, double now);
+  double next_restore_time() const;
+
   std::size_t total_depth() const;
 
   ShardedIndex& index_;
   ShardedServerConfig config_;
+  fault::FaultInjector injector_;
   /// One scheduler per shard.
   std::vector<std::unique_ptr<serve::BatchScheduler>> sched_;
   std::vector<double> device_free_;
+  /// Per-shard fencing state: fenced shards serve degraded from the CPU
+  /// oracle until restore_at_; cpu_free_ is the degraded-path timeline.
+  std::vector<char> fenced_;
+  std::vector<double> fence_start_;
+  std::vector<double> restore_at_;
+  std::vector<double> cpu_free_;
   std::vector<serve::Request> pending_updates_;
   unsigned epochs_ = 0;
   std::uint64_t next_sub_id_ = kSubIdBase;

@@ -1,0 +1,109 @@
+// FaultPlan: the --faults spec grammar, canonical round-trips, schedule
+// validation, and seeded random plans (deterministic by construction).
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace harmonia::fault {
+namespace {
+
+TEST(FaultPlan, ParsesEveryKindWithArguments) {
+  const auto plan = FaultPlan::parse(
+      "slow@0.001:shard=1,factor=4,duration=0.002;"
+      "fail@0:shard=0,count=3;"
+      "corrupt@0.004:shard=2,bytes=8;"
+      "lose@0.003:shard=1,repair=0.0005");
+  ASSERT_EQ(plan.events.size(), 4u);
+
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kDispatchFailure);  // at=0 sorts first
+  EXPECT_EQ(plan.events[0].shard, 0u);
+  EXPECT_EQ(plan.events[0].count, 3u);
+
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kTransferSlowdown);
+  EXPECT_DOUBLE_EQ(plan.events[1].at, 0.001);
+  EXPECT_DOUBLE_EQ(plan.events[1].factor, 4.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].duration, 0.002);
+
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kShardLost);
+  EXPECT_EQ(plan.events[2].shard, 1u);
+  EXPECT_DOUBLE_EQ(plan.events[2].duration, 0.0005);  // repair aliases duration
+
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kResyncCorruption);
+  EXPECT_EQ(plan.events[3].bytes, 8u);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  const std::string spec =
+      "fail@0:shard=0,count=3;"
+      "slow@0.001:shard=1,factor=4,duration=0.002;"
+      "lose@0.003:shard=1,repair=0.0005;"
+      "corrupt@0.004:shard=2,bytes=8";
+  const auto plan = FaultPlan::parse(spec);
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].at, plan.events[i].at);
+    EXPECT_EQ(reparsed.events[i].shard, plan.events[i].shard);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].duration, plan.events[i].duration);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].factor, plan.events[i].factor);
+    EXPECT_EQ(reparsed.events[i].count, plan.events[i].count);
+    EXPECT_EQ(reparsed.events[i].bytes, plan.events[i].bytes);
+  }
+}
+
+TEST(FaultPlan, RejectsBadSpecs) {
+  EXPECT_THROW(FaultPlan::parse("explode@0"), ContractViolation);  // unknown kind
+  EXPECT_THROW(FaultPlan::parse("slow"), ContractViolation);       // missing @time
+  EXPECT_THROW(FaultPlan::parse("slow@abc"), ContractViolation);   // bad number
+  EXPECT_THROW(FaultPlan::parse("slow@0:factor"), ContractViolation);  // no value
+  EXPECT_THROW(FaultPlan::parse("slow@0:warp=3"), ContractViolation);  // bad key
+  EXPECT_THROW(FaultPlan::parse("slow@0:factor=0.5,duration=1"),
+               ContractViolation);  // slowdown must slow down
+  EXPECT_THROW(FaultPlan::parse("fail@-1:count=1"), ContractViolation);
+}
+
+TEST(FaultPlan, ValidateRequiresSortedSchedule) {
+  FaultPlan plan;
+  plan.events.push_back({FaultKind::kDispatchFailure, 2.0, 0, 0.0, 1.0, 1, 1});
+  plan.events.push_back({FaultKind::kDispatchFailure, 1.0, 0, 0.0, 1.0, 1, 1});
+  EXPECT_THROW(plan.validate(), ContractViolation);
+}
+
+TEST(FaultPlan, RandomIsDeterministicInSeed) {
+  FaultPlan::RandomSpec spec;
+  spec.horizon = 5e-3;
+  spec.events_per_second = 2000;
+  spec.num_shards = 4;
+  const auto a = FaultPlan::random(spec, 7);
+  const auto b = FaultPlan::random(spec, 7);
+  const auto c = FaultPlan::random(spec, 8);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_NE(a.to_string(), c.to_string());
+  a.validate();
+  for (const FaultEvent& e : a.events) {
+    EXPECT_LT(e.at, spec.horizon);
+    EXPECT_LT(e.shard, spec.num_shards);
+  }
+}
+
+TEST(FaultPlan, RandomHonorsDisabledKinds) {
+  FaultPlan::RandomSpec spec;
+  spec.horizon = 20e-3;
+  spec.events_per_second = 3000;
+  spec.num_shards = 2;
+  spec.weights[static_cast<int>(FaultKind::kShardLost)] = 0.0;
+  spec.weights[static_cast<int>(FaultKind::kResyncCorruption)] = 0.0;
+  const auto plan = FaultPlan::random(spec, 3);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.kind, FaultKind::kShardLost);
+    EXPECT_NE(e.kind, FaultKind::kResyncCorruption);
+  }
+}
+
+}  // namespace
+}  // namespace harmonia::fault

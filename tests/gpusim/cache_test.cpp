@@ -68,6 +68,23 @@ TEST(Cache, InvalidGeometryThrows) {
   EXPECT_THROW(Cache(1000, 128, 2), ContractViolation);  // not a multiple
 }
 
+TEST(Cache, ResetFlushesContentsAndZeroesCounters) {
+  Cache c(1024, 128, 2);
+  c.access(1);
+  c.access(1);
+  c.access(2);
+  ASSERT_GT(c.hits(), 0u);
+  ASSERT_GT(c.misses(), 0u);
+  c.reset();
+  // Cold again: nothing cached, nothing counted.
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.access(1));  // first access after reset is a miss
+  EXPECT_EQ(c.misses(), 1u);
+}
+
 TEST(Cache, ResetStatsKeepsContents) {
   Cache c(1024, 128, 2);
   c.access(1);

@@ -300,6 +300,133 @@ TEST(ShardedServer, DeterministicReplay) {
   EXPECT_DOUBLE_EQ(a.barrier_wait_seconds, b.barrier_wait_seconds);
 }
 
+// Regression: per-shard admission counters must tally each request
+// exactly once at its routing point. Aggregating the schedulers' own
+// admitted()/rejected() double-counts straddling fan-outs and misses
+// all-or-nothing probe drops; these vectors must instead sum to the
+// stream-level counters even when both effects are in play.
+TEST(ShardedServer, PerShardCountersSumOnceToStreamTotals) {
+  ShardedFixture f(4);
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 100e6;  // overload: probe drops happen
+  spec.count = 12000;
+  spec.update_fraction = 0.10;
+  spec.range_fraction = 0.20;  // wide ranges: fan-outs happen
+  spec.range_span = 512;
+  spec.seed = 17;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  ShardedServerConfig cfg;
+  cfg.batch.max_batch = 128;
+  cfg.batch.max_wait = 50e-6;
+  cfg.batch.queue_capacity = 512;
+  cfg.epoch.max_buffered = 400;
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  ASSERT_GT(rep.dropped, 0u);       // both failure modes exercised
+  ASSERT_GT(rep.split_ranges, 0u);
+  EXPECT_EQ(rep.responses.size(), stream.size());
+  EXPECT_EQ(rep.admitted + rep.dropped, rep.arrivals);
+
+  std::uint64_t updates = 0;
+  for (const auto& r : stream) updates += r.kind == serve::RequestKind::kUpdate;
+
+  ASSERT_EQ(rep.shard_admitted.size(), 4u);
+  ASSERT_EQ(rep.shard_dropped.size(), 4u);
+  std::uint64_t admitted = 0, dropped = 0, batches = 0;
+  for (unsigned s = 0; s < 4; ++s) {
+    admitted += rep.shard_admitted[s];
+    dropped += rep.shard_dropped[s];
+    batches += rep.shard_batches[s];
+  }
+  // Updates buffer for the epoch path, so they appear in the stream
+  // totals but in no shard's admission tally.
+  EXPECT_EQ(admitted + updates, rep.admitted);
+  EXPECT_EQ(dropped, rep.dropped);
+  EXPECT_EQ(batches, rep.batches);
+}
+
+// Seed matrix: a shard dies while cross-shard epochs are in flight. The
+// all-or-nothing barrier must hold anyway — every answered response
+// (device path, degraded CPU path, or a merge mixing both) matches one
+// whole-epoch snapshot, for every (seed, lost shard) combination.
+TEST(ShardedServer, LostShardDuringEpochsKeepsBarrierAtomic) {
+  for (const std::uint64_t seed : {1u, 7u, 13u}) {
+    const unsigned lost_shard = seed % 4;
+    SCOPED_TRACE(testing::Message()
+                 << "seed " << seed << ", losing shard " << lost_shard);
+    ShardedFixture f(4);
+
+    serve::OpenLoopSpec spec;
+    spec.arrivals_per_second = 4e6;
+    spec.count = 5000;
+    spec.update_fraction = 0.25;
+    spec.range_fraction = 0.20;
+    spec.range_span = 512;  // straddling fan-outs bracket the outage
+    spec.seed = seed;
+    const auto stream = serve::make_open_loop(f.keys, spec);
+
+    ShardedServerConfig cfg;
+    cfg.batch.max_batch = 128;
+    cfg.batch.max_wait = 80e-6;
+    cfg.batch.queue_capacity = 1 << 14;
+    cfg.batch.max_range_results = 12;
+    cfg.epoch.max_buffered = 150;  // many epochs around the outage
+    cfg.faults = fault::FaultPlan::parse(
+        "lose@0.0004:shard=" + std::to_string(lost_shard) + ",repair=0.0004");
+
+    const auto snapshots =
+        make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
+    ShardedServer server(f.index, cfg);
+    const auto rep = server.run(stream);
+
+    ASSERT_EQ(rep.faults.shards_lost, 1u);
+    ASSERT_EQ(rep.faults.shards_restored, 1u);
+    EXPECT_GE(rep.epochs, 8u);
+    ASSERT_EQ(rep.epochs + 1, snapshots.size());
+    ASSERT_EQ(rep.responses.size(), stream.size());
+
+    for (const auto& resp : rep.responses) {
+      if (resp.dropped) continue;  // fault shedding is exempt, answers are not
+      ASSERT_LT(resp.epoch, snapshots.size());
+      const auto& oracle = snapshots[resp.epoch];
+      const serve::Request& req = stream[resp.id];
+      switch (resp.kind) {
+        case serve::RequestKind::kPoint: {
+          const auto it = oracle.find(req.key);
+          ASSERT_EQ(resp.value, it != oracle.end() ? it->second : kNotFound)
+              << "request " << resp.id << " epoch " << resp.epoch;
+          break;
+        }
+        case serve::RequestKind::kRange: {
+          std::vector<Value> want;
+          for (auto it = oracle.lower_bound(req.key);
+               it != oracle.end() && it->first <= req.hi &&
+               want.size() < cfg.batch.max_range_results;
+               ++it) {
+            want.push_back(it->second);
+          }
+          ASSERT_EQ(resp.range_values, want)
+              << "range request " << resp.id << " epoch " << resp.epoch;
+          break;
+        }
+        case serve::RequestKind::kUpdate:
+          EXPECT_GE(resp.epoch, 1u);
+          break;
+      }
+    }
+
+    // Updates routed at the fenced shard still landed: the index equals
+    // the final snapshot after the outage.
+    const auto& final_oracle = snapshots.back();
+    EXPECT_EQ(f.index.num_keys(), final_oracle.size());
+    for (const auto& [k, v] : final_oracle) {
+      ASSERT_EQ(f.index.search_host(k).value_or(kNotFound), v);
+    }
+  }
+}
+
 // The serving path refuses an index with a deviceless (empty) shard:
 // lazily creating devices mid-run would tear cross-shard reads.
 TEST(ShardedServer, RejectsEmptyShards) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/expect.hpp"
 #include "common/units.hpp"
 #include "queries/workload.hpp"
 #include "serve/server.hpp"
@@ -40,7 +41,10 @@ void add_server_flags(Cli& cli) {
       .flag("queue-cap", "admission queue capacity per lane", "16384")
       .flag("epoch-updates", "updates buffered per epoch", "4096")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
-      .flag("seed", "workload seed", "1");
+      .flag("seed", "workload seed", "1")
+      .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
+                      "(see docs/fault_tolerance.md)", "")
+      .flag("fault-csv", "write the FaultReport as CSV to this path", "");
 }
 
 unsigned shards_flag(const Cli& cli) {
@@ -60,6 +64,14 @@ serve::ServerConfig server_config(const Cli& cli) {
   cfg.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
   cfg.epoch.max_buffered = cli.get_uint("epoch-updates", 4096);
   cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+  if (const std::string spec = cli.get_string("faults", ""); !spec.empty()) {
+    try {
+      cfg.faults = fault::FaultPlan::parse(spec);
+    } catch (const ContractViolation& e) {
+      std::fprintf(stderr, "error: bad --faults spec: %s\n", e.what());
+      std::exit(2);
+    }
+  }
   if (cfg.batch.queue_capacity < cfg.batch.max_batch) {
     std::fprintf(stderr, "error: --queue-cap (%llu) must be >= --max-batch (%llu)\n",
                  static_cast<unsigned long long>(cfg.batch.queue_capacity),
@@ -99,6 +111,43 @@ void print_report(const serve::ServerReport& rep) {
   std::printf("throughput      : %s achieved | %s while busy\n",
               throughput_human(rep.query_throughput()).c_str(),
               throughput_human(rep.service_rate()).c_str());
+  if (rep.faults != fault::FaultReport{}) {
+    const fault::FaultReport& f = rep.faults;
+    std::printf("faults injected : %llu slowdown windows, %llu dispatch failures, "
+                "%llu corruptions, %llu shards lost\n",
+                static_cast<unsigned long long>(f.slowdown_windows),
+                static_cast<unsigned long long>(f.dispatch_failures),
+                static_cast<unsigned long long>(f.corruptions),
+                static_cast<unsigned long long>(f.shards_lost));
+    std::printf("detection       : %llu audits, %llu checksum mismatches\n",
+                static_cast<unsigned long long>(f.audits),
+                static_cast<unsigned long long>(f.checksum_mismatches));
+    std::printf("mitigation      : %llu retries, %llu reimages, %llu hedges "
+                "(%llu won), %llu/%llu/%llu degraded pt/rg/shed\n",
+                static_cast<unsigned long long>(f.retries),
+                static_cast<unsigned long long>(f.reimages),
+                static_cast<unsigned long long>(f.hedges_issued),
+                static_cast<unsigned long long>(f.hedges_won),
+                static_cast<unsigned long long>(f.degraded_points),
+                static_cast<unsigned long long>(f.degraded_ranges),
+                static_cast<unsigned long long>(f.degraded_shed));
+    std::printf("queries shed    : %llu (fenced %.3f ms, backoff %.3f ms)\n",
+                static_cast<unsigned long long>(rep.shed), f.fenced_seconds * 1e3,
+                f.backoff_seconds * 1e3);
+  }
+}
+
+void maybe_write_fault_csv(const Cli& cli, const serve::ServerReport& rep) {
+  const std::string path = cli.get_string("fault-csv", "");
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "%s\n%s\n", fault::FaultReport::csv_header(),
+               rep.faults.csv_row().c_str());
+  std::fclose(f);
 }
 
 /// Per-shard counters the single-device report doesn't have.
@@ -153,6 +202,8 @@ shard::ShardedServerConfig sharded_config(const Cli& cli) {
   cfg.batch = base.batch;
   cfg.epoch = base.epoch;
   cfg.link = base.link;
+  cfg.faults = base.faults;
+  cfg.mitigation = base.mitigation;
   return cfg;
 }
 
@@ -211,12 +262,16 @@ int cmd_open(int argc, const char* const* argv) {
     auto built = build_index(cli);
     const auto stream = serve::make_open_loop(built.keys, spec);
     serve::Server server(*built.index, server_config(cli));
-    print_report(server.run(stream));
+    const auto rep = server.run(stream);
+    print_report(rep);
+    maybe_write_fault_csv(cli, rep);
   } else {
     auto sharded = build_sharded(cli, num_shards);
     const auto stream = serve::make_open_loop(sharded.keys, spec);
     shard::ShardedServer server(*sharded.index, sharded_config(cli));
-    print_shard_report(server.run(stream));
+    const auto rep = server.run(stream);
+    print_shard_report(rep);
+    maybe_write_fault_csv(cli, rep);
   }
   return 0;
 }
@@ -246,19 +301,23 @@ int cmd_closed(int argc, const char* const* argv) {
     auto built = build_index(cli);
     serve::ClosedLoopSource source(built.keys, spec);
     serve::Server server(*built.index, server_config(cli));
-    print_report(server.run(source));
+    const auto rep = server.run(source);
+    print_report(rep);
+    maybe_write_fault_csv(cli, rep);
   } else {
     auto sharded = build_sharded(cli, num_shards);
     serve::ClosedLoopSource source(sharded.keys, spec);
     shard::ShardedServer server(*sharded.index, sharded_config(cli));
-    print_shard_report(server.run(source));
+    const auto rep = server.run(source);
+    print_shard_report(rep);
+    maybe_write_fault_csv(cli, rep);
   }
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   if (argc < 2) return usage();
   const std::string mode = argv[1];
   const int sub_argc = argc - 1;
@@ -266,4 +325,9 @@ int main(int argc, char** argv) {
   if (mode == "open") return cmd_open(sub_argc, sub_argv);
   if (mode == "closed") return cmd_closed(sub_argc, sub_argv);
   return usage();
+} catch (const ContractViolation& e) {
+  // e.g. a --faults plan whose events don't fit the run (lose on a
+  // single-device server, shard id out of range).
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 2;
 }
