@@ -20,6 +20,7 @@
 #include "gpusim/device.hpp"
 #include "harmonia/index.hpp"
 #include "hbtree/index.hpp"
+#include "obs/metrics.hpp"
 #include "queries/workload.hpp"
 
 namespace harmonia::bench {
@@ -66,6 +67,28 @@ inline void emit(const Cli& cli, const Table& table) {
   }
   table.print_csv(out);
   std::cout << "(csv written to " << path << ")\n";
+}
+
+/// Registers --metrics-out for harnesses that thread an obs::Observer
+/// through the serving stack. One registry spans the whole sweep, so the
+/// dump holds totals aggregated across every cell (the per-cell numbers
+/// stay in the table; see docs/observability.md).
+inline void add_metrics_flag(Cli& cli) {
+  cli.flag("metrics-out",
+           "write a sweep-wide Prometheus-style metrics dump to this path", "(off)");
+}
+
+/// Writes the registry to --metrics-out=<path> if given.
+inline void maybe_dump_metrics(const Cli& cli, const obs::MetricsRegistry& metrics) {
+  const std::string path = cli.get_string("metrics-out", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open metrics output: " << path << "\n";
+    return;
+  }
+  out << metrics.prometheus_text();
+  std::cout << "(metrics written to " << path << ")\n";
 }
 
 struct CommonConfig {

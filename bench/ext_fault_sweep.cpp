@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("seed", "workload + fault-schedule seed", "1")
       .flag("csv", "also write the table as CSV to this path", "(off)");
+  hb::add_metrics_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 18));
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
                    "extension E12 (robustness of the serving stack)");
 
   const auto keys = queries::make_tree_keys(1ULL << lg, seed);
+  const bool observe = !cli.get_string("metrics-out", "").empty();
+  // Only the mitigated runs feed the registry: the off-rows rerun the same
+  // schedule and would double-count every fault event in the sweep totals.
+  obs::MetricsRegistry metrics;
 
   Table table({"faults/s", "mitigation", "injected", "retries", "hedges won",
                "degraded", "shed", "dropped", "completed", "p99 (us)",
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
         cfg.mitigation.hedge.enabled = false;    // stragglers run out
         cfg.mitigation.degraded.max_backlog = 0; // fenced range sheds
       }
+      if (observe && mitigate) cfg.obs.metrics = &metrics;
 
       shard::ShardedServer server(index, cfg);
       const auto rep = server.run(stream);
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
     }
   }
   hb::emit(cli, table);
+  hb::maybe_dump_metrics(cli, metrics);
   std::cout << "\nexpected: at every fault rate, mitigation on completes more"
             << " requests and sheds fewer than mitigation off under the same"
             << " fault schedule; at rate 0 the two rows are identical\n";

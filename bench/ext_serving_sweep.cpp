@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("seed", "workload seed", "1")
       .flag("csv", "also write the table as CSV to this path", "(off)");
+  hb::add_metrics_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 18));
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
                    "extension E10 (online dynamic batching frontier)");
 
   const auto keys = queries::make_tree_keys(1ULL << lg, cli.get_uint("seed", 1));
+  const bool observe = !cli.get_string("metrics-out", "").empty();
+  obs::MetricsRegistry metrics;
 
   Table table({"rate (Mq/s)", "max_wait (us)", "batches", "mean batch",
                "p50 (us)", "p95 (us)", "p99 (us)", "dropped",
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
       cfg.batch.max_wait = wait_us * 1e-6;
       cfg.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
       cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+      if (observe) cfg.obs.metrics = &metrics;
 
       serve::Server server(index, cfg);
       const auto rep = server.run(stream);
@@ -78,6 +82,7 @@ int main(int argc, char** argv) {
     }
   }
   hb::emit(cli, table);
+  hb::maybe_dump_metrics(cli, metrics);
   std::cout << "\nexpected: within a rate, larger max_wait -> larger batches and"
             << " higher service rate, but higher p99 latency; overloaded rates"
             << " shed load (dropped > 0) instead of growing the queue\n";

@@ -10,7 +10,6 @@ namespace harmonia {
 void Summary::add(double x) {
   samples_.push_back(x);
   sum_ += x;
-  sorted_ = false;
 }
 
 void Summary::add_all(std::span<const double> xs) {
@@ -43,15 +42,16 @@ double Summary::stddev() const {
 double Summary::percentile(double p) const {
   HARMONIA_CHECK(!samples_.empty());
   HARMONIA_CHECK(p >= 0.0 && p <= 100.0);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  // Sort an owned copy: the old lazy in-place sort mutated shared state
+  // from a const method, a data race when several threads read the same
+  // report concurrently.
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
@@ -61,10 +61,19 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  // Out-of-range samples get their own buckets: clamping them into the
+  // edge buckets silently corrupted tail readings.
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
 }
 
 std::uint64_t Histogram::bucket(std::size_t i) const {

@@ -23,17 +23,21 @@ class Summary {
   double sum() const { return sum_; }
   /// Sample standard deviation (n-1 denominator); 0 for n < 2.
   double stddev() const;
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile, p in [0, 100]. Sorts an owned copy
+  /// of the sample, so concurrent reads of a const Summary are race-free
+  /// (reports are read from multiple threads under TSan in CI).
   double percentile(double p) const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
   double sum_ = 0.0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bucket. Used for divergence distributions (Fig. 3, Fig. 10).
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are counted
+/// in explicit underflow/overflow buckets — never clamped into the edge
+/// buckets, which would silently corrupt tail readings. Used for
+/// divergence distributions (Fig. 3, Fig. 10) and as the semantic model
+/// for the serving stack's obs::LatencyHistogram.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -41,8 +45,12 @@ class Histogram {
   void add(double x);
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t bucket(std::size_t i) const;
+  /// Samples below lo / at or above hi.
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// Every sample seen, in-range or not.
   std::uint64_t total() const { return total_; }
-  /// Fraction of samples in bucket i (0 if empty histogram).
+  /// Fraction of all samples landing in bucket i (0 if empty histogram).
   double fraction(std::size_t i) const;
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
@@ -51,6 +59,8 @@ class Histogram {
   double lo_;
   double width_;
   std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
 };
 

@@ -12,6 +12,12 @@ namespace harmonia::fault {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string fmt_factor(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", factor);
+  return buf;
+}
 }  // namespace
 
 const char* FaultReport::csv_header() {
@@ -66,6 +72,25 @@ FaultInjector::FaultInjector(FaultPlan plan, const MitigationConfig& mitigation,
   }
 }
 
+void FaultInjector::set_observer(const obs::Observer& obs) {
+  obs_ = obs;
+  if (obs.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *obs.metrics;
+  slowdowns_ = &m.counter("fault_slowdown_windows_total");
+  failures_ = &m.counter("fault_dispatch_failures_total");
+  corruptions_ = &m.counter("fault_corruptions_total");
+  audits_ = &m.counter("fault_audits_total");
+  mismatches_ = &m.counter("fault_checksum_mismatches_total");
+  reimages_ = &m.counter("fault_reimages_total");
+  losses_ = &m.counter("fault_shards_lost_total");
+}
+
+void FaultInjector::note_event(obs::Counter* counter, double at, unsigned shard,
+                               std::string note) {
+  if (counter != nullptr) counter->inc();
+  if (obs_.trace != nullptr) obs_.trace->annotate(at, shard, std::move(note));
+}
+
 double FaultInjector::transfer_factor(unsigned shard, double now) {
   double factor = 1.0;
   for (State& s : events_) {
@@ -75,6 +100,10 @@ double FaultInjector::transfer_factor(unsigned shard, double now) {
     if (!s.counted) {
       s.counted = true;
       ++report_.slowdown_windows;
+      if (obs_.active()) {
+        note_event(slowdowns_, now, shard,
+                   "fault slowdown factor=" + fmt_factor(s.ev.factor));
+      }
     }
   }
   return factor;
@@ -86,6 +115,7 @@ bool FaultInjector::take_dispatch_failure(unsigned shard, double now) {
     if (s.ev.at > now || s.remaining == 0) continue;
     --s.remaining;
     ++report_.dispatch_failures;
+    if (obs_.active()) note_event(failures_, now, shard, "fault dispatch failure");
     return true;
   }
   return false;
@@ -99,6 +129,10 @@ bool FaultInjector::maybe_corrupt_resync(unsigned shard, HarmoniaIndex& index,
     if (s.ev.at > now || s.remaining == 0) continue;
     s.remaining = 0;
     ++report_.corruptions;
+    if (obs_.active()) {
+      note_event(corruptions_, now, shard,
+                 "fault resync corruption bytes=" + std::to_string(s.ev.bytes));
+    }
 
     // Deterministic damage: byte positions and flip masks come from a
     // SplitMix64 stream seeded by the event's plan position, never from
@@ -144,9 +178,9 @@ bool FaultInjector::maybe_corrupt_resync(unsigned shard, HarmoniaIndex& index,
 }
 
 double FaultInjector::audit_and_repair(unsigned shard, HarmoniaIndex& index,
-                                       const TransferModel& link) {
-  (void)shard;
+                                       const TransferModel& link, double now) {
   ++report_.audits;
+  if (audits_ != nullptr) audits_->inc();
   if (verify_image(index)) return 0.0;
   ++report_.checksum_mismatches;
   ++report_.reimages;
@@ -154,6 +188,10 @@ double FaultInjector::audit_and_repair(unsigned shard, HarmoniaIndex& index,
   HARMONIA_CHECK_MSG(verify_image(index), "device image corrupt after re-image");
   const double seconds = image_resync_seconds(index.tree(), link);
   report_.reimage_seconds += seconds;
+  if (obs_.active()) {
+    if (mismatches_ != nullptr) mismatches_->inc();
+    note_event(reimages_, now, shard, "checksum mismatch: re-imaged device");
+  }
   return seconds;
 }
 
@@ -163,6 +201,7 @@ std::optional<FaultEvent> FaultInjector::take_shard_lost(double now) {
     if (s.ev.at > now) continue;
     s.remaining = 0;
     ++report_.shards_lost;
+    if (obs_.active()) note_event(losses_, now, s.ev.shard, "shard lost");
     return s.ev;
   }
   return std::nullopt;

@@ -25,6 +25,7 @@
 #include "fault/fault_plan.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
+#include "obs/observer.hpp"
 
 namespace harmonia::fault {
 
@@ -128,9 +129,10 @@ class FaultInjector {
 
   /// CRC32 audit of the device image against the host tree; on mismatch
   /// re-uploads the image and returns the modeled re-image seconds the
-  /// caller must charge on the device timeline (0.0 when clean).
+  /// caller must charge on the device timeline (0.0 when clean). `now`
+  /// only timestamps the trace annotation; it never changes the outcome.
   double audit_and_repair(unsigned shard, HarmoniaIndex& index,
-                          const TransferModel& link);
+                          const TransferModel& link, double now);
 
   /// Earliest armed, unconsumed shard-lost event at or before `now`.
   std::optional<FaultEvent> take_shard_lost(double now);
@@ -139,7 +141,16 @@ class FaultInjector {
   /// the extra wakeup the sharded event loop schedules.
   double next_shard_lost_time() const;
 
+  /// Attaches metrics + tracing: injected/detected events bump fault_*
+  /// counters and land as stage=annotation trace events on the same
+  /// virtual timeline as the request lifecycle stamps.
+  void set_observer(const obs::Observer& obs);
+
  private:
+  /// Bumps the cached counter (if observed) and records the annotation.
+  void note_event(obs::Counter* counter, double at, unsigned shard,
+                  std::string note);
+
   struct State {
     FaultEvent ev;
     unsigned remaining = 0;  // dispatch failures left / 1 for one-shot kinds
@@ -150,6 +161,14 @@ class FaultInjector {
   MitigationConfig mitigation_;
   unsigned num_shards_;
   FaultReport report_;
+  obs::Observer obs_;
+  obs::Counter* slowdowns_ = nullptr;
+  obs::Counter* failures_ = nullptr;
+  obs::Counter* corruptions_ = nullptr;
+  obs::Counter* audits_ = nullptr;
+  obs::Counter* mismatches_ = nullptr;
+  obs::Counter* reimages_ = nullptr;
+  obs::Counter* losses_ = nullptr;
 };
 
 }  // namespace harmonia::fault

@@ -10,6 +10,11 @@ namespace harmonia {
 
 PsaPlan psa_prepare(std::span<const Key> batch, std::uint64_t tree_size,
                     const gpusim::DeviceSpec& spec, PsaMode mode, unsigned override_bits) {
+  // Keys are 64-bit: a larger override would underflow `lo_bit` below and
+  // hand radix_sort_pairs_bits a shift window past the word (the unsigned
+  // wrap even defeats that function's own lo_bit + num_bits <= 64 check).
+  HARMONIA_CHECK_MSG(override_bits <= 64,
+                     "override_bits must lie in [0, 64], got " << override_bits);
   PsaPlan plan;
   plan.mode = mode;
   plan.queries.assign(batch.begin(), batch.end());

@@ -1,0 +1,23 @@
+// The handle the serving layers carry: an Observer bundles an optional
+// MetricsRegistry and an optional TraceRecorder. Both default to null —
+// an inactive Observer costs one pointer test per instrumentation site,
+// keeping unobserved runs bit-identical to pre-observability behaviour
+// (the same discipline fault::FaultInjector uses for fault-free runs).
+//
+// Ownership stays with whoever built the registry/recorder (the tool or
+// test); the serving stack only borrows them for the run.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace harmonia::obs {
+
+struct Observer {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  bool active() const { return metrics != nullptr || trace != nullptr; }
+};
+
+}  // namespace harmonia::obs

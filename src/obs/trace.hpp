@@ -1,0 +1,85 @@
+// End-to-end observability: the tracing half (see obs/metrics.hpp for
+// metrics).
+//
+// Each admitted request carries a trace context: the serving layers stamp
+// it at queue-enter (admission), batch-form (lane close), dispatch
+// (device start), shard-scatter (fan-out split), gather-merge (fan-out
+// reassembly), and reply (completion). Stamps are on the *virtual clock*,
+// so a trace replays bit-identically for a fixed (stream, config, fault
+// plan) triple — two same-seed runs dump byte-identical CSV/JSON, which
+// the CI determinism gate diffs.
+//
+// Fault events are annotations on the same timeline (stage=annotation,
+// no request id): an injected slowdown, a consumed dispatch failure, a
+// corruption, a shard loss/restore all interleave with the lifecycle
+// stamps in event order.
+//
+// The recorder appends to a plain vector: the serving event loop is
+// single-threaded on the virtual clock, so the hot path is a push_back,
+// not a lock. (Metrics, which *are* read concurrently by TSan-covered
+// report paths, are the atomic half.)
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace harmonia::obs {
+
+enum class Stage : std::uint8_t {
+  kQueueEnter,    // admitted into a scheduler lane / update buffer
+  kBatchForm,     // the lane containing the request closed its batch
+  kDispatch,      // the batch started on the device
+  kShardScatter,  // a straddling range split one sub-request onto a shard
+  kGatherMerge,   // the last fan-out piece arrived; response reassembled
+  kReply,         // the response was delivered (completed, shed, or merged)
+  kAnnotation,    // run-level event (fault injected, epoch barrier, ...)
+};
+
+const char* to_string(Stage stage);
+
+struct TraceEvent {
+  std::uint64_t request_id = 0;
+  Stage stage = Stage::kAnnotation;
+  /// Virtual seconds.
+  double at = 0.0;
+  /// Shard the event happened on; kNoShard for single-device/global.
+  unsigned shard = 0;
+  /// Free-form detail: "dropped", "degraded", "fault slowdown factor=6".
+  std::string note;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::uint64_t kNoRequest = ~std::uint64_t{0};
+  static constexpr unsigned kNoShard = ~0u;
+
+  void stamp(std::uint64_t request_id, Stage stage, double at,
+             unsigned shard = kNoShard, std::string note = {}) {
+    events_.push_back({request_id, stage, at, shard, std::move(note)});
+  }
+  /// Run-level event not tied to one request (fault injection, barrier).
+  void annotate(double at, unsigned shard, std::string note) {
+    events_.push_back({kNoRequest, Stage::kAnnotation, at, shard, std::move(note)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Events recorded for one request id, in record order.
+  std::vector<TraceEvent> for_request(std::uint64_t request_id) const;
+
+  /// CSV: header + one row per event, in record order (== virtual-clock
+  /// order for stamps made as the simulation advances). Deterministic.
+  void write_csv(std::ostream& os) const;
+  /// JSON array of event objects, same order and determinism.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace harmonia::obs

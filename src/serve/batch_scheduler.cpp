@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "common/expect.hpp"
 
@@ -9,6 +10,10 @@ namespace harmonia::serve {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string shard_label(unsigned shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
 }  // namespace
 
 BatchScheduler::BatchScheduler(HarmoniaIndex& index, const TransferModel& link,
@@ -25,7 +30,67 @@ BatchScheduler::BatchScheduler(HarmoniaIndex& index, const TransferModel& link,
 
 bool BatchScheduler::admit(const Request& r) {
   HARMONIA_CHECK(r.kind != RequestKind::kUpdate);
-  return (r.kind == RequestKind::kRange ? range_ : point_).try_push(r);
+  const bool range = r.kind == RequestKind::kRange;
+  const bool ok = (range ? range_ : point_).try_push(r);
+  if (obs_.active()) {
+    const LaneMetrics& m = range ? range_metrics_ : point_metrics_;
+    if (ok) {
+      if (m.admitted != nullptr) m.admitted->inc();
+      if (obs_.trace != nullptr)
+        obs_.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival, shard_);
+    } else if (m.rejected != nullptr) {
+      m.rejected->inc();
+    }
+  }
+  return ok;
+}
+
+void BatchScheduler::set_observer(const obs::Observer& obs, unsigned shard) {
+  obs_ = obs;
+  shard_ = shard;
+  if (obs.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *obs.metrics;
+  const std::string sl = shard_label(shard);
+  for (const char* kind : {"point", "range"}) {
+    LaneMetrics& lane =
+        kind[0] == 'p' ? point_metrics_ : range_metrics_;
+    const std::string labels = std::string{"{kind=\""} + kind + "\"," + sl + "}";
+    lane.admitted = &m.counter("serve_admitted_total" + labels);
+    lane.rejected = &m.counter("serve_rejected_total" + labels);
+    lane.batches = &m.counter("serve_batches_total" + labels);
+    lane.queries = &m.counter("serve_batched_queries_total" + labels);
+  }
+  batch_size_hist_ =
+      &m.histogram("serve_batch_size{" + sl + "}",
+                   obs::LatencyHistogram::exponential_edges(1.0, 65536.0, 16));
+  service_hist_ =
+      &m.histogram("serve_batch_service_seconds{" + sl + "}",
+                   obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
+  queue_wait_hist_ =
+      &m.histogram("serve_queue_wait_seconds{" + sl + "}",
+                   obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
+}
+
+void BatchScheduler::observe_dispatch(const Dispatch& d,
+                                      std::span<const Request> members) {
+  if (obs_.metrics != nullptr) {
+    const LaneMetrics& m =
+        d.kind == RequestKind::kRange ? range_metrics_ : point_metrics_;
+    m.batches->inc();
+    m.queries->inc(d.batch_size);
+    batch_size_hist_->observe(static_cast<double>(d.batch_size));
+    service_hist_->observe(d.service_seconds());
+    for (const Request& r : members)
+      queue_wait_hist_->observe(d.start - r.arrival);
+  }
+  if (obs_.trace != nullptr) {
+    const std::string note =
+        d.attempts > 1 ? "attempts=" + std::to_string(d.attempts) : std::string{};
+    for (const Request& r : members) {
+      obs_.trace->stamp(r.id, obs::Stage::kBatchForm, d.close, shard_);
+      obs_.trace->stamp(r.id, obs::Stage::kDispatch, d.start, shard_, note);
+    }
+  }
 }
 
 std::size_t BatchScheduler::free_slots(RequestKind kind) const {
@@ -137,6 +202,7 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_point(double close_time,
     if (!d.shed) resp.value = piped.values[i];
     d.responses.push_back(std::move(resp));
   }
+  if (obs_.active()) observe_dispatch(d, members);
   return d;
 }
 
@@ -181,6 +247,7 @@ BatchScheduler::Dispatch BatchScheduler::dispatch_range(double close_time,
     if (!d.shed) resp.range_values = r.values[i];
     d.responses.push_back(std::move(resp));
   }
+  if (obs_.active()) observe_dispatch(d, members);
   return d;
 }
 

@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
+#include "obs/observer.hpp"
 #include "serve/request_queue.hpp"
 
 namespace harmonia::serve {
@@ -97,11 +99,29 @@ class BatchScheduler {
   /// Returned in arrival order; admission counters are unchanged.
   std::vector<Request> evict_all();
 
+  /// Attaches metrics + lifecycle tracing as shard `shard` (0 for a
+  /// single-device server). Counter/histogram handles resolve once here
+  /// (the registry's cold path); admit/dispatch then increment through
+  /// cached pointers — lock-free on the hot path. Admitted requests are
+  /// stamped at queue-enter, batch-form, and dispatch; the server stamps
+  /// reply when it delivers the response.
+  void set_observer(const obs::Observer& obs, unsigned shard);
+
  private:
   Dispatch dispatch_point(double close_time, double device_free, unsigned epoch);
   Dispatch dispatch_range(double close_time, double device_free, unsigned epoch);
   double faulted_finish(double start, double base_service,
                         double transfer_seconds, Dispatch& d);
+  /// Metrics + trace stamps for one dispatched batch.
+  void observe_dispatch(const Dispatch& d, std::span<const Request> members);
+
+  /// Per-lane cached metric handles (null when unobserved).
+  struct LaneMetrics {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* queries = nullptr;
+  };
 
   HarmoniaIndex& index_;
   TransferModel link_;
@@ -110,6 +130,12 @@ class BatchScheduler {
   RequestQueue range_;
   fault::FaultInjector* injector_ = nullptr;
   unsigned shard_ = 0;
+  obs::Observer obs_;
+  LaneMetrics point_metrics_;
+  LaneMetrics range_metrics_;
+  obs::LatencyHistogram* batch_size_hist_ = nullptr;
+  obs::LatencyHistogram* service_hist_ = nullptr;
+  obs::LatencyHistogram* queue_wait_hist_ = nullptr;
 };
 
 }  // namespace harmonia::serve

@@ -1,6 +1,7 @@
 #include "serve/epoch_updater.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/expect.hpp"
 
@@ -16,6 +17,25 @@ EpochUpdater::EpochUpdater(HarmoniaIndex& index, const TransferModel& link,
 void EpochUpdater::buffer(const Request& r) {
   HARMONIA_CHECK(r.kind == RequestKind::kUpdate);
   pending_.push_back(r);
+  if (obs_.trace != nullptr)
+    obs_.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival, shard_, "update");
+}
+
+void EpochUpdater::set_observer(const obs::Observer& obs, unsigned shard) {
+  obs_ = obs;
+  shard_ = shard;
+  if (obs.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *obs.metrics;
+  const std::string sl = "{shard=\"" + std::to_string(shard) + "\"}";
+  epochs_total_ = &m.counter("serve_epochs_total" + sl);
+  ops_total_ = &m.counter("serve_epoch_ops_total" + sl);
+  ops_failed_ = &m.counter("serve_epoch_ops_failed_total" + sl);
+  apply_hist_ =
+      &m.histogram("serve_epoch_apply_seconds" + sl,
+                   obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
+  resync_hist_ =
+      &m.histogram("serve_epoch_resync_seconds" + sl,
+                   obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
 }
 
 double EpochUpdater::next_deadline() const {
@@ -46,10 +66,18 @@ EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
     const double factor = injector_->transfer_factor(shard_, resync_end);
     e.resync_seconds *= factor;
     if (injector_->maybe_corrupt_resync(shard_, index_, resync_end))
-      e.resync_seconds += factor * injector_->audit_and_repair(shard_, index_, link_);
+      e.resync_seconds +=
+          factor * injector_->audit_and_repair(shard_, index_, link_, resync_end);
   }
   e.finish = e.start + e.apply_seconds + e.resync_seconds;
 
+  if (obs_.metrics != nullptr) {
+    epochs_total_->inc();
+    ops_total_->inc(e.stats.total_ops());
+    ops_failed_->inc(e.stats.failed);
+    apply_hist_->observe(e.apply_seconds);
+    resync_hist_->observe(e.resync_seconds);
+  }
   e.responses.reserve(pending_.size());
   for (const Request& r : pending_) {
     Response resp;
@@ -59,6 +87,11 @@ EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
     resp.arrival = r.arrival;
     resp.dispatch = e.start;
     resp.completion = e.finish;
+    if (obs_.trace != nullptr) {
+      obs_.trace->stamp(r.id, obs::Stage::kDispatch, e.start, shard_,
+                        "epoch=" + std::to_string(e.epoch));
+      obs_.trace->stamp(r.id, obs::Stage::kReply, e.finish, shard_);
+    }
     e.responses.push_back(std::move(resp));
   }
   pending_.clear();

@@ -22,6 +22,7 @@
 #include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
+#include "obs/observer.hpp"
 #include "serve/request.hpp"
 
 namespace harmonia::serve {
@@ -78,6 +79,11 @@ class EpochUpdater {
     shard_ = shard;
   }
 
+  /// Attaches metrics + tracing: each epoch bumps the epoch/op counters
+  /// and observes apply/resync durations; every buffered update is
+  /// stamped at queue-enter (on buffer) and dispatch/reply (on apply).
+  void set_observer(const obs::Observer& obs, unsigned shard);
+
  private:
   HarmoniaIndex& index_;
   TransferModel link_;
@@ -86,6 +92,12 @@ class EpochUpdater {
   unsigned epochs_ = 0;
   fault::FaultInjector* injector_ = nullptr;
   unsigned shard_ = 0;
+  obs::Observer obs_;
+  obs::Counter* epochs_total_ = nullptr;
+  obs::Counter* ops_total_ = nullptr;
+  obs::Counter* ops_failed_ = nullptr;
+  obs::LatencyHistogram* apply_hist_ = nullptr;
+  obs::LatencyHistogram* resync_hist_ = nullptr;
 };
 
 }  // namespace harmonia::serve

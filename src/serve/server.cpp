@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "common/expect.hpp"
 
@@ -10,6 +11,25 @@ namespace harmonia::serve {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
+
+void ServerReport::check_invariants() const {
+  HARMONIA_CHECK_MSG(arrivals == admitted + dropped,
+                     "serving accounting broken: arrivals=" << arrivals
+                         << " != admitted=" << admitted
+                         << " + dropped=" << dropped);
+  HARMONIA_CHECK_MSG(
+      admitted == completed + shed + update_requests,
+      "serving accounting broken: admitted=" << admitted
+          << " != completed=" << completed << " + shed=" << shed
+          << " + update_requests=" << update_requests);
+  HARMONIA_CHECK_MSG(responses.size() == arrivals,
+                     "serving accounting broken: " << responses.size()
+                         << " responses for " << arrivals << " arrivals");
+  HARMONIA_CHECK_MSG(latency.count() == completed,
+                     "serving accounting broken: " << latency.count()
+                         << " latency samples for " << completed
+                         << " completions");
+}
 
 Server::Server(HarmoniaIndex& index, const ServerConfig& config)
     : index_(index),
@@ -24,6 +44,11 @@ Server::Server(HarmoniaIndex& index, const ServerConfig& config)
   if (injector_.active()) {
     scheduler_.set_fault_context(&injector_, 0);
     updater_.set_fault_context(&injector_, 0);
+  }
+  if (config_.obs.active()) {
+    scheduler_.set_observer(config_.obs, 0);
+    updater_.set_observer(config_.obs, 0);
+    injector_.set_observer(config_.obs);
   }
 }
 
@@ -40,6 +65,10 @@ void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
       ++report.completed;
       report.latency.add(resp.latency());
       report.queue_delay.add(resp.queue_delay());
+    }
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion, 0,
+                               resp.dropped ? "shed" : std::string{});
     }
     report.makespan = std::max(report.makespan, resp.completion);
     source.on_complete(resp);
@@ -113,6 +142,7 @@ ServerReport Server::run(RequestSource& source) {
       ++report.arrivals;
       if (r.kind == RequestKind::kUpdate) {
         ++report.admitted;
+        ++report.update_requests;
         updater_.buffer(r);  // size trigger fires via t_epoch next round
       } else {
         report.queue_depth.add(static_cast<double>(scheduler_.depth()));
@@ -125,6 +155,10 @@ ServerReport Server::run(RequestSource& source) {
           resp.epoch = updater_.epochs();
           resp.arrival = resp.dispatch = resp.completion = r.arrival;
           resp.value = kNotFound;
+          if (config_.obs.trace != nullptr) {
+            config_.obs.trace->stamp(resp.id, obs::Stage::kReply,
+                                     resp.completion, 0, "rejected");
+          }
           report.makespan = std::max(report.makespan, resp.completion);
           source.on_complete(resp);
           report.responses.push_back(std::move(resp));
@@ -142,6 +176,11 @@ ServerReport Server::run(RequestSource& source) {
     }
   }
   report.faults = injector_.report();
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->gauge("serve_makespan_seconds").set(report.makespan);
+    config_.obs.metrics->gauge("serve_busy_seconds").set(report.busy_seconds);
+  }
+  report.check_invariants();
   return report;
 }
 

@@ -19,6 +19,7 @@
 #include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
+#include "obs/observer.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/epoch_updater.hpp"
 #include "serve/workload.hpp"
@@ -34,6 +35,10 @@ struct ServerConfig {
   /// events need a ShardedServer; a single-device plan may not carry them.
   fault::FaultPlan faults;
   fault::MitigationConfig mitigation;
+  /// Optional metrics + request-lifecycle tracing (docs/observability.md).
+  /// Both pointers null = zero-overhead, bit-identical to an unobserved
+  /// run. The caller owns the registry/recorder.
+  obs::Observer obs;
 };
 
 struct ServerReport {
@@ -56,6 +61,10 @@ struct ServerReport {
   /// (retry budget exhausted / degraded-mode backlog). Kept apart from
   /// `dropped` so admitted + dropped == arrivals holds under faults.
   std::uint64_t shed = 0;
+  /// Update *requests* admitted into the epoch buffer (each produces one
+  /// update response; distinct from updates_applied, which counts ops and
+  /// excludes failed ones). Closes the admission identity below.
+  std::uint64_t update_requests = 0;
   std::uint64_t batches = 0;
   std::uint64_t epochs = 0;
   std::uint64_t updates_applied = 0;
@@ -78,6 +87,16 @@ struct ServerReport {
   double service_rate() const {
     return busy_seconds > 0.0 ? static_cast<double>(completed) / busy_seconds : 0.0;
   }
+
+  /// Accounting identities every fully-drained run must satisfy; the
+  /// report builders assert them before returning (two prior serving PRs
+  /// each shipped a silent tally bug such an invariant would have
+  /// tripped). At close nothing is in flight, so:
+  ///   arrivals == admitted + dropped
+  ///   admitted == completed + shed + update_requests
+  ///   responses.size() == arrivals  (every request answered exactly once)
+  /// Throws ContractViolation on violation.
+  void check_invariants() const;
 };
 
 class Server {

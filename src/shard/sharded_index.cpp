@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "common/expect.hpp"
 
@@ -59,6 +60,22 @@ std::uint64_t ShardedIndex::num_keys() const {
   return n;
 }
 
+void ShardedIndex::set_observer(const obs::Observer& obs) {
+  obs_ = obs;
+  if (obs.metrics == nullptr) return;
+  obs::MetricsRegistry& m = *obs.metrics;
+  routed_.assign(num_shards(), nullptr);
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    routed_[s] = &m.counter("shard_routed_queries_total{shard=\"" +
+                            std::to_string(s) + "\"}");
+  }
+  search_batches_ = &m.counter("shard_search_batches_total");
+  straddling_ = &m.counter("shard_straddling_ranges_total");
+  update_ops_ = &m.counter("shard_update_ops_total");
+  hedges_issued_ = &m.counter("fault_hedges_issued_total");
+  hedges_won_ = &m.counter("fault_hedges_won_total");
+}
+
 ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch) {
   return search(batch, nullptr, 0.0);
 }
@@ -80,6 +97,11 @@ ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch,
     keys[s].push_back(batch[i]);
     slots[s].push_back(i);
     ++result.per_shard[s];
+  }
+  if (obs_.metrics != nullptr) {
+    search_batches_->inc();
+    for (unsigned s = 0; s < num_shards(); ++s)
+      if (result.per_shard[s] > 0) routed_[s]->inc(result.per_shard[s]);
   }
 
   // Per-shard times, kept apart so the hedging pass below can compare
@@ -122,11 +144,18 @@ ShardedIndex::SearchResult ShardedIndex::search(std::span<const Key> batch,
         if (!ran[s] || shard_seconds[s] <= cutoff) continue;
         ++result.hedges_issued;
         ++injector->report().hedges_issued;
+        if (hedges_issued_ != nullptr) hedges_issued_->inc();
+        if (obs_.trace != nullptr) {
+          obs_.trace->annotate(now, s,
+                               "hedged straggler sub-batch (" +
+                                   std::to_string(keys[s].size()) + " queries)");
+        }
         const double hedged = cutoff + clean_seconds[s];
         if (hedged < shard_seconds[s]) {
           shard_seconds[s] = hedged;
           ++result.hedges_won;
           ++injector->report().hedges_won;
+          if (hedges_won_ != nullptr) hedges_won_->inc();
         }
       }
     }
@@ -162,7 +191,10 @@ ShardedIndex::RangeResult ShardedIndex::range(std::span<const Key> los,
     HARMONIA_CHECK(los[i] <= his[i]);
     const unsigned s0 = plan_.shard_of(los[i]);
     const unsigned s1 = plan_.shard_of(his[i]);
-    if (s1 > s0) ++result.straddling;
+    if (s1 > s0) {
+      ++result.straddling;
+      if (straddling_ != nullptr) straddling_->inc();
+    }
     for (unsigned s = s0; s <= s1; ++s) {
       if (!shards_[s].index) continue;
       sub_lo[s].push_back(std::max(los[i], plan_.lo(s)));
@@ -200,6 +232,7 @@ UpdateStats ShardedIndex::update_batch(std::span<const queries::UpdateOp> ops,
   // shards (disjoint key ranges) but not within one.
   std::vector<std::vector<queries::UpdateOp>> per_shard(num_shards());
   for (const auto& op : ops) per_shard[plan_.shard_of(op.key)].push_back(op);
+  if (update_ops_ != nullptr) update_ops_->inc(ops.size());
 
   UpdateStats agg;
   last_resync_seconds_ = 0.0;

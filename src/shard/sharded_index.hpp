@@ -33,6 +33,7 @@
 #include "gpusim/device.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
+#include "obs/observer.hpp"
 #include "shard/plan.hpp"
 
 namespace harmonia::shard {
@@ -130,6 +131,11 @@ class ShardedIndex {
   std::optional<Value> search_host(Key key) const;
   std::vector<btree::Entry> range_host(Key lo, Key hi, std::size_t limit = 0) const;
 
+  /// Attaches metrics: scatter/gather batches bump routing counters
+  /// (per-shard query routing, straddling fan-outs, hedges). Null = no
+  /// overhead; results never change either way.
+  void set_observer(const obs::Observer& obs);
+
  private:
   struct Shard {
     std::unique_ptr<gpusim::Device> device;
@@ -146,6 +152,15 @@ class ShardedIndex {
   ShardedOptions options_;
   std::vector<Shard> shards_;
   double last_resync_seconds_ = 0.0;
+  obs::Observer obs_;
+  /// Cached metric handles (null when unobserved). Routed counters are
+  /// per shard, resolved once at set_observer.
+  std::vector<obs::Counter*> routed_;
+  obs::Counter* search_batches_ = nullptr;
+  obs::Counter* straddling_ = nullptr;
+  obs::Counter* update_ops_ = nullptr;
+  obs::Counter* hedges_issued_ = nullptr;
+  obs::Counter* hedges_won_ = nullptr;
 };
 
 }  // namespace harmonia::shard

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
+#include <string>
 
 #include "common/expect.hpp"
 #include "fault/checksum.hpp"
@@ -16,7 +18,26 @@ using serve::Response;
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
 }  // namespace
+
+void ShardedServerReport::check_invariants() const {
+  ServerReport::check_invariants();
+  HARMONIA_CHECK_MSG(
+      sum(shard_admitted) + update_requests == admitted,
+      "sharded accounting broken: per-shard admissions sum to "
+          << sum(shard_admitted) << " + update_requests=" << update_requests
+          << " but admitted=" << admitted);
+  HARMONIA_CHECK_MSG(sum(shard_dropped) == dropped,
+                     "sharded accounting broken: per-shard drops sum to "
+                         << sum(shard_dropped) << " but dropped=" << dropped);
+  HARMONIA_CHECK_MSG(sum(shard_batches) == batches,
+                     "sharded accounting broken: per-shard batches sum to "
+                         << sum(shard_batches) << " but batches=" << batches);
+}
 
 ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& config)
     : index_(index),
@@ -35,6 +56,17 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
     sched_[s] = std::make_unique<BatchScheduler>(*index_.shard(s), config_.link,
                                                  config_.batch);
     if (injector_.active()) sched_[s]->set_fault_context(&injector_, s);
+    if (config_.obs.active()) sched_[s]->set_observer(config_.obs, s);
+  }
+  if (config_.obs.active()) {
+    injector_.set_observer(config_.obs);
+    index_.set_observer(config_.obs);
+    if (config_.obs.metrics != nullptr) {
+      obs::MetricsRegistry& m = *config_.obs.metrics;
+      split_ranges_total_ = &m.counter("shard_split_ranges_total");
+      degraded_total_ = &m.counter("shard_degraded_requests_total");
+      epochs_total_ = &m.counter("serve_epochs_total");
+    }
   }
 }
 
@@ -55,6 +87,10 @@ void ShardedServer::drop(const Request& r, unsigned shard, RequestSource& source
   resp.epoch = epochs_;
   resp.arrival = resp.dispatch = resp.completion = r.arrival;
   resp.value = kNotFound;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion, shard,
+                             "rejected");
+  }
   report.makespan = std::max(report.makespan, resp.completion);
   source.on_complete(resp);
   report.responses.push_back(std::move(resp));
@@ -113,6 +149,10 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
   ++report.admitted;
   ++report.shard_admitted[s0];
   ++report.split_ranges;
+  if (split_ranges_total_ != nullptr) split_ranges_total_->inc();
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival, s0,
+                             "fan-out shards=" + std::to_string(s1 - s0 + 1));
   PendingMerge merge;
   merge.parts_expected = s1 - s0 + 1;
   merge.original = r;
@@ -123,6 +163,9 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
     sub.key = std::max(r.key, index_.plan().lo(s));
     sub.hi = std::min(r.hi, index_.plan().hi(s));
     parent_of_.emplace(sub.id, r.id);
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->stamp(r.id, obs::Stage::kShardScatter, r.arrival, s,
+                               "sub=" + std::to_string(sub.id));
     if (fenced_[s]) {
       finish(s, degraded_serve(s, sub, r.arrival), source, report);
       continue;
@@ -142,6 +185,11 @@ void ShardedServer::deliver(Response resp, RequestSource& source,
     ++report.completed;
     report.latency.add(resp.latency());
     report.queue_delay.add(resp.queue_delay());
+  }
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion,
+                             obs::TraceRecorder::kNoShard,
+                             resp.dropped ? "shed" : std::string{});
   }
   report.makespan = std::max(report.makespan, resp.completion);
   source.on_complete(resp);
@@ -204,7 +252,13 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
       }
     }
   }
-  merges_.erase(parent);
+  const std::size_t parts = merge.parts.size();
+  merges_.erase(parent);  // invalidates `merge`
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->stamp(merged.id, obs::Stage::kGatherMerge,
+                             merged.completion, obs::TraceRecorder::kNoShard,
+                             "parts=" + std::to_string(parts));
+  }
   deliver(std::move(merged), source, report);
 }
 
@@ -236,6 +290,12 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   for (const double f : device_free_) start = std::max(start, f);
   for (const double f : device_free_)
     report.barrier_wait_seconds += start - std::max(at, f);
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->annotate(
+        start, obs::TraceRecorder::kNoShard,
+        "epoch barrier epoch=" + std::to_string(epochs_ + 1) +
+            " updates=" + std::to_string(pending_updates_.size()));
+  }
 
   std::vector<queries::UpdateOp> ops;
   ops.reserve(pending_updates_.size());
@@ -263,8 +323,8 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
       double rs = factor *
                   image_resync_seconds(index_.shard(s)->tree(), config_.link);
       if (injector_.maybe_corrupt_resync(s, *index_.shard(s), resync_at))
-        rs += factor *
-              injector_.audit_and_repair(s, *index_.shard(s), config_.link);
+        rs += factor * injector_.audit_and_repair(s, *index_.shard(s),
+                                                  config_.link, resync_at);
       resync_seconds = std::max(resync_seconds, rs);
     }
   }
@@ -272,6 +332,7 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
 
   ++epochs_;
   ++report.epochs;
+  if (epochs_total_ != nullptr) epochs_total_->inc();
   report.updates_applied += stats.total_ops();
   report.updates_failed += stats.failed;
   // Every device is held through the epoch: admission reopens on all
@@ -288,6 +349,13 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
     resp.arrival = r.arrival;
     resp.dispatch = start;
     resp.completion = finish_t;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->stamp(resp.id, obs::Stage::kDispatch, start,
+                               obs::TraceRecorder::kNoShard,
+                               "epoch=" + std::to_string(epochs_));
+      config_.obs.trace->stamp(resp.id, obs::Stage::kReply, finish_t,
+                               obs::TraceRecorder::kNoShard);
+    }
     report.makespan = std::max(report.makespan, resp.completion);
     source.on_complete(resp);
     report.responses.push_back(std::move(resp));
@@ -338,6 +406,12 @@ void ShardedServer::restore_shard(double now, ShardedServerReport& report) {
   fenced_[s] = 0;
   ++rep.shards_restored;
   rep.fenced_seconds += now - fence_start_[s];
+  if (config_.obs.active()) {
+    if (config_.obs.metrics != nullptr)
+      config_.obs.metrics->counter("fault_shards_restored_total").inc();
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->annotate(now, s, "shard restored: re-imaged and rejoined");
+  }
 }
 
 serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
@@ -352,10 +426,14 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
 
   // Admission shedding for the affected range only: once the CPU oracle
   // is this far behind, answering dropped beats unbounded latency.
+  if (degraded_total_ != nullptr) degraded_total_->inc();
   if (std::max(cpu_free_[s], now) - now > pol.max_backlog) {
     ++rep.degraded_shed;
     resp.dropped = true;
     resp.dispatch = resp.completion = now;
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->stamp(r.id, obs::Stage::kDispatch, now, s,
+                               "degraded shed: cpu backlog full");
     return resp;
   }
 
@@ -379,6 +457,8 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
   rep.degraded_seconds += cost;
   resp.dispatch = begin;
   resp.completion = cpu_free_[s];
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->stamp(r.id, obs::Stage::kDispatch, begin, s, "degraded");
   return resp;
 }
 
@@ -467,7 +547,11 @@ ShardedServerReport ShardedServer::run(RequestSource& source) {
       ++report.arrivals;
       if (r.kind == RequestKind::kUpdate) {
         ++report.admitted;
+        ++report.update_requests;
         pending_updates_.push_back(r);
+        if (config_.obs.trace != nullptr)
+          config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
+                                   obs::TraceRecorder::kNoShard, "update");
       } else {
         admit_query(r, source, report);
       }
@@ -485,6 +569,11 @@ ShardedServerReport ShardedServer::run(RequestSource& source) {
 
   HARMONIA_CHECK(merges_.empty());  // every fan-out reassembled
   report.faults = injector_.report();
+  if (config_.obs.metrics != nullptr) {
+    config_.obs.metrics->gauge("serve_makespan_seconds").set(report.makespan);
+    config_.obs.metrics->gauge("serve_busy_seconds").set(report.busy_seconds);
+  }
+  report.check_invariants();
   return report;
 }
 

@@ -47,6 +47,10 @@ struct ShardedServerConfig {
   /// the exact pre-fault event loop, bit for bit.
   fault::FaultPlan faults;
   fault::MitigationConfig mitigation;
+  /// Optional metrics + request-lifecycle tracing (docs/observability.md):
+  /// every shard's scheduler, the injector, and the fan-out/merge/degraded
+  /// paths stamp the same registry/recorder. Null = zero overhead.
+  obs::Observer obs;
 };
 
 struct ShardedServerReport : serve::ServerReport {
@@ -67,6 +71,14 @@ struct ShardedServerReport : serve::ServerReport {
   /// Device idle time summed over shards while epoch barriers gathered
   /// the slowest shard (the intrinsic cost of atomic cross-shard epochs).
   double barrier_wait_seconds = 0.0;
+
+  /// The single-stream identities plus the per-shard routing sums:
+  ///   sum(shard_admitted) + update_requests == admitted
+  ///   sum(shard_dropped) == dropped
+  ///   sum(shard_batches) == batches
+  /// (shard_queries sums fan-out sub-requests, so it has no stream-level
+  /// twin — see the field comment above.) Throws ContractViolation.
+  void check_invariants() const;
 };
 
 class ShardedServer {
@@ -139,6 +151,10 @@ class ShardedServer {
   std::map<std::uint64_t, std::uint64_t> parent_of_;
   /// Parent request id -> fan-out reassembly state.
   std::map<std::uint64_t, PendingMerge> merges_;
+  /// Cached metric handles (null when unobserved).
+  obs::Counter* split_ranges_total_ = nullptr;
+  obs::Counter* degraded_total_ = nullptr;
+  obs::Counter* epochs_total_ = nullptr;
 };
 
 }  // namespace harmonia::shard

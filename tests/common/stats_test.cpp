@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/expect.hpp"
 
 namespace harmonia {
@@ -48,6 +52,28 @@ TEST(Summary, EmptyThrows) {
   EXPECT_THROW(s.percentile(50), ContractViolation);
 }
 
+TEST(Summary, ConcurrentPercentileReadsAreRaceFree) {
+  // Regression: percentile() used to lazily sort a mutable cache inside
+  // the const method, so two report threads reading the same Summary
+  // raced on the sort (caught by TSan in CI). It now sorts an owned
+  // copy; concurrent reads must be clean and all agree.
+  Summary s;
+  for (int i = 0; i < 10000; ++i) s.add(static_cast<double>(i));
+  const Summary& cs = s;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (cs.percentile(50) != 4999.5) mismatches.fetch_add(1);
+        if (cs.percentile(100) != 9999.0) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(Summary, AddAllSpan) {
   Summary s;
   const double xs[] = {1.0, 2.0, 3.0};
@@ -66,12 +92,34 @@ TEST(Histogram, BucketsAndFractions) {
   EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
 }
 
-TEST(Histogram, OutOfRangeClamps) {
+TEST(Histogram, OutOfRangeCountsSeparately) {
+  // Regression: out-of-range samples used to clamp into the first/last
+  // buckets, silently corrupting both tails. They must land in the
+  // explicit underflow/overflow counts and leave every bucket untouched.
   Histogram h(0.0, 10.0, 2);
   h.add(-5.0);
   h.add(100.0);
-  EXPECT_EQ(h.bucket(0), 1u);
-  EXPECT_EQ(h.bucket(1), 1u);
+  h.add(10.0);  // hi is exclusive: an overflow, not the last bucket
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(1), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, InRangeUnaffectedByOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.9, 9.5}) h.add(x);
+  h.add(-1.0);
+  h.add(11.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 7u);
+  // fraction() is over every sample seen, in-range or not.
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 7.0);
 }
 
 TEST(Histogram, BucketBoundaries) {

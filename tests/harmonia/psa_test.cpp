@@ -66,6 +66,36 @@ TEST(Psa, OverrideBitsRespected) {
   }
 }
 
+TEST(Psa, OverrideBitsEdgeCases) {
+  const auto batch = random_batch(300, 9);
+  const auto spec = gpusim::titan_v();
+  // 0 = no override: the Equation-2 bit count applies.
+  const auto eq2 = psa_prepare(batch, 1ULL << 23, spec, PsaMode::kPartial, 0);
+  EXPECT_EQ(eq2.sorted_bits, 19u);
+  // 64 = the whole key: equivalent to a full sort.
+  const auto full = psa_prepare(batch, 1ULL << 23, spec, PsaMode::kPartial, 64);
+  EXPECT_EQ(full.sorted_bits, 64u);
+  EXPECT_TRUE(std::is_sorted(full.queries.begin(), full.queries.end()));
+  std::vector<Value> restored(batch.size());
+  psa_restore(full, full.queries, restored);
+  EXPECT_EQ(restored, batch);
+}
+
+TEST(Psa, OverrideBitsBeyondKeyWidthThrows) {
+  // Regression: 65 underflowed lo_bit = 64 - sorted_bits, and the
+  // unsigned wrap slipped past radix_sort_pairs_bits' own window check —
+  // an out-of-range shift instead of a diagnosable error.
+  const auto batch = random_batch(64, 10);
+  const auto spec = gpusim::titan_v();
+  EXPECT_THROW(psa_prepare(batch, 1ULL << 23, spec, PsaMode::kPartial, 65),
+               ContractViolation);
+  EXPECT_THROW(psa_prepare(batch, 1ULL << 23, spec, PsaMode::kPartial, 1000),
+               ContractViolation);
+  // The check guards every mode, including ones that ignore the override.
+  EXPECT_THROW(psa_prepare(batch, 1ULL << 23, spec, PsaMode::kNone, 65),
+               ContractViolation);
+}
+
 TEST(Psa, RestoreInvertsPermutation) {
   const auto batch = random_batch(777, 6);
   const auto plan = psa_prepare(batch, 1ULL << 20, gpusim::titan_v(), PsaMode::kFull);

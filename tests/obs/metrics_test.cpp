@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace harmonia::obs {
+namespace {
+
+TEST(Counter, IncrementsAndBulkAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAccumulate) {
+  Gauge g;
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(LatencyHistogram, BucketsByHalfOpenEdgeIntervals) {
+  LatencyHistogram h({1.0, 2.0, 4.0, 8.0});
+  ASSERT_EQ(h.bucket_count(), 3u);
+  h.observe(1.0);  // [1, 2)
+  h.observe(1.9);
+  h.observe(2.0);  // [2, 4)
+  h.observe(7.9);  // [4, 8)
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.9 + 2.0 + 7.9);
+}
+
+TEST(LatencyHistogram, ExplicitUnderOverflow) {
+  // The whole point of the redesign: out-of-range samples must never be
+  // absorbed into the edge buckets.
+  LatencyHistogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // under
+  h.observe(4.0);   // hi edge is exclusive: over
+  h.observe(100.0); // over
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(1), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);  // count/sum still cover every sample
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+}
+
+TEST(LatencyHistogram, RejectsBadEdges) {
+  EXPECT_THROW(LatencyHistogram({}), ContractViolation);
+  EXPECT_THROW(LatencyHistogram({1.0}), ContractViolation);
+  EXPECT_THROW(LatencyHistogram({1.0, 1.0}), ContractViolation);
+  EXPECT_THROW(LatencyHistogram({2.0, 1.0}), ContractViolation);
+}
+
+TEST(LatencyHistogram, ExponentialEdges) {
+  const auto edges = LatencyHistogram::exponential_edges(1e-6, 1.0, 12);
+  ASSERT_EQ(edges.size(), 13u);
+  EXPECT_DOUBLE_EQ(edges.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(edges.back(), 1.0);
+  for (std::size_t i = 1; i < edges.size(); ++i) EXPECT_LT(edges[i - 1], edges[i]);
+  // Geometric spacing: each bucket spans the same ratio.
+  const double r0 = edges[1] / edges[0];
+  for (std::size_t i = 2; i < edges.size(); ++i)
+    EXPECT_NEAR(edges[i] / edges[i - 1], r0, 1e-9);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossRegistrations) {
+  MetricsRegistry m;
+  Counter& a = m.counter("x_total");
+  a.inc(3);
+  // Re-registering the same name returns the same instrument; creating
+  // many other metrics must not move it.
+  for (int i = 0; i < 100; ++i) m.counter("other_" + std::to_string(i));
+  Counter& b = m.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  LatencyHistogram& h1 = m.histogram("h_seconds", {1.0, 2.0});
+  LatencyHistogram& h2 = m.histogram("h_seconds", {5.0, 6.0, 7.0});  // ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bucket_count(), 1u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry m;
+  m.counter("x");
+  EXPECT_THROW(m.gauge("x"), ContractViolation);
+  EXPECT_THROW(m.histogram("x", {1.0, 2.0}), ContractViolation);
+  m.gauge("g");
+  EXPECT_THROW(m.counter("g"), ContractViolation);
+}
+
+TEST(MetricsRegistry, PrometheusTextFormat) {
+  MetricsRegistry m;
+  m.counter("serve_admitted_total{kind=\"point\"}").inc(7);
+  m.counter("serve_admitted_total{kind=\"range\"}").inc(2);
+  m.gauge("serve_makespan_seconds").set(0.5);
+  LatencyHistogram& h = m.histogram("lat_seconds", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(9.0);
+
+  const std::string text = m.prometheus_text();
+  EXPECT_EQ(text,
+            "# TYPE lat_seconds histogram\n"
+            "lat_seconds_bucket{le=\"2\"} 2\n"   // underflow + [1,2)
+            "lat_seconds_bucket{le=\"4\"} 3\n"
+            "lat_seconds_bucket{le=\"+Inf\"} 4\n"
+            "lat_seconds_underflow_total 1\n"
+            "lat_seconds_overflow_total 1\n"
+            "lat_seconds_sum 14\n"
+            "lat_seconds_count 4\n"
+            "# TYPE serve_admitted_total counter\n"
+            "serve_admitted_total{kind=\"point\"} 7\n"
+            "serve_admitted_total{kind=\"range\"} 2\n"
+            "# TYPE serve_makespan_seconds gauge\n"
+            "serve_makespan_seconds 0.5\n");
+  // Determinism: a second render is byte-identical.
+  EXPECT_EQ(text, m.prometheus_text());
+}
+
+TEST(MetricsRegistry, LabelledHistogramSplicesLeLabel) {
+  MetricsRegistry m;
+  m.histogram("h_seconds{shard=\"3\"}", {1.0, 2.0}).observe(1.5);
+  const std::string text = m.prometheus_text();
+  EXPECT_NE(text.find("h_seconds_bucket{shard=\"3\",le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_seconds_bucket{shard=\"3\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentHotPathIsExact) {
+  // The hot path (cached handles, relaxed atomics) must lose no counts
+  // under contention; TSan covers the registry's cold path too.
+  MetricsRegistry m;
+  Counter& c = m.counter("hits_total");
+  LatencyHistogram& h = m.histogram("lat_seconds", {0.0, 1.0, 2.0, 3.0, 4.0});
+  constexpr int kThreads = 4;
+  constexpr int kPer = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        c.inc();
+        h.observe(static_cast<double>((t + i) % 4));
+        if (i % 1000 == 0) m.counter("hits_total");  // cold path under fire
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPer);
+  std::uint64_t in_buckets = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) in_buckets += h.bucket(i);
+  EXPECT_EQ(in_buckets + h.underflow() + h.overflow(), h.count());
+}
+
+}  // namespace
+}  // namespace harmonia::obs

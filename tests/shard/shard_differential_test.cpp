@@ -209,6 +209,56 @@ TEST(ShardDifferential, RangeTruncationMatchesSingleDevice) {
   }
 }
 
+TEST(ShardDifferential, TruncationExactlyAtShardCut) {
+  // The nastiest truncation case: a straddling range whose result cap
+  // lands *exactly* on a partition boundary, so one side of the cut
+  // contributes precisely `limit` results and the other must contribute
+  // none (and, one key later, exactly one). Off-by-one in the fan-out
+  // merge shows up only here — interior caps are covered above.
+  const std::uint64_t seed = 91;
+  const auto keys = queries::make_tree_keys(1 << 11, seed);
+  Fixture f(1 << 11, 16, seed, ShardPlan::sample_balanced(keys, 4));
+  const ShardPlan& plan = f.sharded.plan();
+
+  std::vector<Key> sorted = f.keys;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (unsigned s = 0; s + 1 < plan.num_shards(); ++s) {
+    const Key boundary = plan.lo(s + 1);  // first key owned by shard s+1
+    // The last `m` keys of shard s, in ascending order.
+    const auto cut = std::lower_bound(sorted.begin(), sorted.end(), boundary);
+    const auto left = static_cast<std::size_t>(cut - sorted.begin());
+    const auto right = sorted.size() - left;
+    for (const std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+      if (left < m || right == 0) continue;
+      const Key lo = sorted[left - m];        // span holds exactly m keys
+      const Key hi = *cut;                    // ... plus 1 across the cut
+      ASSERT_EQ(plan.shard_of(lo), s);
+      ASSERT_EQ(plan.shard_of(hi), s + 1);
+      SCOPED_TRACE(testing::Message() << "boundary " << s << "/" << s + 1
+                                      << " m=" << m);
+      std::vector<Key> los{lo, lo, lo};
+      std::vector<Key> his{hi, hi, hi};
+      // Caps of exactly m (truncate precisely at the cut: shard s+1 must
+      // contribute nothing), m-1 (truncate before it), m+1 (exactly one
+      // result crosses it).
+      for (std::size_t q = 0; q < los.size(); ++q) {
+        const auto cap = static_cast<unsigned>(m - 1 + q);
+        if (cap == 0) continue;
+        const std::vector<Key> one_lo{los[q]}, one_hi{his[q]};
+        const auto sharded = f.sharded.range(one_lo, one_hi, cap);
+        const auto single = f.single.range_device(one_lo, one_hi, cap);
+        std::vector<Value> want;
+        for (const auto& e : f.oracle.range(lo, hi, cap)) want.push_back(e.value);
+        ASSERT_EQ(want.size(), std::min<std::size_t>(cap, m + 1));
+        ASSERT_EQ(sharded.values[0], want) << "cap " << cap;
+        ASSERT_EQ(sharded.values[0], single.values[0]) << "cap " << cap;
+        EXPECT_EQ(sharded.straddling, 1u);
+      }
+    }
+  }
+}
+
 TEST(ShardDifferential, UpdatesKeepShardsConsistentWithOracle) {
   // Mixed update batches applied to the sharded index vs the btree
   // oracle; searches must agree after every round, across boundaries.

@@ -10,12 +10,16 @@
 // throughput, and device-busy service rate.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/cli.hpp"
 #include "common/expect.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
 #include "queries/workload.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
@@ -44,8 +48,68 @@ void add_server_flags(Cli& cli) {
       .flag("seed", "workload seed", "1")
       .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
                       "(see docs/fault_tolerance.md)", "")
-      .flag("fault-csv", "write the FaultReport as CSV to this path", "");
+      .flag("fault-csv", "write the FaultReport as CSV to this path", "")
+      .flag("metrics", "print a Prometheus-style metrics dump to stdout", "false")
+      .flag("metrics-out", "write the Prometheus-style metrics dump to this path", "")
+      .flag("trace-out", "write the request-lifecycle trace to this path "
+                         "(CSV, or JSON when the path ends in .json)", "");
 }
+
+/// The tool-owned observability sinks (docs/observability.md). The serving
+/// stack only borrows the registry/recorder for the run; each sink is
+/// enabled only when its flag asks for it, so an unobserved run carries a
+/// null Observer and stays bit-identical to pre-observability behaviour.
+struct ObsSink {
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  bool metrics_stdout = false;
+  std::string metrics_path;
+  std::string trace_path;
+
+  explicit ObsSink(const Cli& cli)
+      : metrics_stdout(cli.get_bool("metrics", false)),
+        metrics_path(cli.get_string("metrics-out", "")),
+        trace_path(cli.get_string("trace-out", "")) {}
+
+  obs::Observer observer() {
+    obs::Observer o;
+    if (metrics_stdout || !metrics_path.empty()) o.metrics = &metrics;
+    if (!trace_path.empty()) o.trace = &trace;
+    return o;
+  }
+
+  void write_text(const std::string& path, const std::string& what,
+                  const auto& emit) const {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    emit(f);
+    if (!f.good()) {
+      std::fprintf(stderr, "error: short write of %s to %s\n", what.c_str(),
+                   path.c_str());
+      std::exit(1);
+    }
+  }
+
+  void dump() const {
+    if (metrics_stdout) {
+      std::printf("\n%s", metrics.prometheus_text().c_str());
+    }
+    if (!metrics_path.empty()) {
+      write_text(metrics_path, "metrics",
+                 [&](std::ostream& os) { os << metrics.prometheus_text(); });
+    }
+    if (!trace_path.empty()) {
+      const bool json = trace_path.size() >= 5 &&
+                        trace_path.compare(trace_path.size() - 5, 5, ".json") == 0;
+      write_text(trace_path, "trace", [&](std::ostream& os) {
+        json ? trace.write_json(os) : trace.write_csv(os);
+      });
+    }
+  }
+};
 
 unsigned shards_flag(const Cli& cli) {
   const std::uint64_t n = cli.get_uint("shards", 1);
@@ -258,21 +322,27 @@ int cmd_open(int argc, const char* const* argv) {
               static_cast<unsigned long long>(spec.count),
               spec.arrivals_per_second / 1e6, spec.update_fraction * 100,
               spec.range_fraction * 100, num_shards, num_shards > 1 ? "s" : "");
+  ObsSink sink(cli);
   if (num_shards == 1) {
     auto built = build_index(cli);
     const auto stream = serve::make_open_loop(built.keys, spec);
-    serve::Server server(*built.index, server_config(cli));
+    serve::ServerConfig cfg = server_config(cli);
+    cfg.obs = sink.observer();
+    serve::Server server(*built.index, cfg);
     const auto rep = server.run(stream);
     print_report(rep);
     maybe_write_fault_csv(cli, rep);
   } else {
     auto sharded = build_sharded(cli, num_shards);
     const auto stream = serve::make_open_loop(sharded.keys, spec);
-    shard::ShardedServer server(*sharded.index, sharded_config(cli));
+    shard::ShardedServerConfig cfg = sharded_config(cli);
+    cfg.obs = sink.observer();
+    shard::ShardedServer server(*sharded.index, cfg);
     const auto rep = server.run(stream);
     print_shard_report(rep);
     maybe_write_fault_csv(cli, rep);
   }
+  sink.dump();
   return 0;
 }
 
@@ -297,21 +367,27 @@ int cmd_closed(int argc, const char* const* argv) {
               spec.clients, spec.think_seconds * 1e6,
               static_cast<unsigned long long>(spec.total_requests), num_shards,
               num_shards > 1 ? "s" : "");
+  ObsSink sink(cli);
   if (num_shards == 1) {
     auto built = build_index(cli);
     serve::ClosedLoopSource source(built.keys, spec);
-    serve::Server server(*built.index, server_config(cli));
+    serve::ServerConfig cfg = server_config(cli);
+    cfg.obs = sink.observer();
+    serve::Server server(*built.index, cfg);
     const auto rep = server.run(source);
     print_report(rep);
     maybe_write_fault_csv(cli, rep);
   } else {
     auto sharded = build_sharded(cli, num_shards);
     serve::ClosedLoopSource source(sharded.keys, spec);
-    shard::ShardedServer server(*sharded.index, sharded_config(cli));
+    shard::ShardedServerConfig cfg = sharded_config(cli);
+    cfg.obs = sink.observer();
+    shard::ShardedServer server(*sharded.index, cfg);
     const auto rep = server.run(source);
     print_shard_report(rep);
     maybe_write_fault_csv(cli, rep);
   }
+  sink.dump();
   return 0;
 }
 
