@@ -13,7 +13,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "serve/workload.hpp"
-#include "shard/sharded_server.hpp"
+#include "shard/backend_factory.hpp"
 
 namespace hb = harmonia::bench;
 using namespace harmonia;
@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
       .flag("fault-rates", "comma list of fault events per virtual second", "0,500,2000,8000")
       .flag("shards", "number of shards", "4")
       .flag("updates", "update fraction of the stream", "0.1")
+      .flag("epoch-mode", "epoch pipeline: quiesce | overlap", "quiesce")
       .flag("fanout", "tree fanout", "64")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("seed", "workload + fault-schedule seed", "1")
@@ -60,15 +61,22 @@ int main(int argc, char** argv) {
   const unsigned shards = static_cast<unsigned>(cli.get_uint("shards", 4));
   const auto fault_rates = hb::parse_log_list(cli.get_string("fault-rates", "0,500,2000,8000"));
   const std::uint64_t seed = cli.get_uint("seed", 1);
+  const bool overlap = cli.get_string("epoch-mode", "quiesce") == "overlap";
 
   hb::print_header("Fault sweep: fault rate x mitigation on/off",
                    "extension E12 (robustness of the serving stack)");
 
-  const auto keys = queries::make_tree_keys(1ULL << lg, seed);
   const bool observe = !cli.get_string("metrics-out", "").empty();
   // Only the mitigated runs feed the registry: the off-rows rerun the same
   // schedule and would double-count every fault event in the sweep totals.
   obs::MetricsRegistry metrics;
+
+  shard::TopologySpec topo;
+  topo.log2_keys = lg;
+  topo.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  topo.shards = shards;
+  topo.seed = seed;
+  topo.device = hb::bench_spec();
 
   Table table({"faults/s", "mitigation", "injected", "retries", "hedges won",
                "degraded", "shed", "dropped", "completed", "p99 (us)",
@@ -86,23 +94,10 @@ int main(int argc, char** argv) {
         shards);
 
     for (const bool mitigate : {true, false}) {
-      shard::ShardedOptions options;
-      options.index.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
-      options.device = hb::bench_spec();
-      options.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
-      shard::ShardedIndex index(hb::entries_for(keys),
-                                shard::ShardPlan::sample_balanced(keys, shards),
-                                options);
-
-      serve::OpenLoopSpec spec;
-      spec.arrivals_per_second = rate;
-      spec.count = requests;
-      spec.update_fraction = cli.get_double("updates", 0.1);
-      spec.seed = seed + 7;
-      const auto stream = serve::make_open_loop(keys, spec);
-
-      shard::ShardedServerConfig cfg;
+      serve::ServeOptions cfg;
       cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+      cfg.epoch.mode =
+          overlap ? serve::EpochMode::kOverlap : serve::EpochMode::kQuiesce;
       cfg.faults = plan;
       if (!mitigate) {
         cfg.mitigation.retry.max_attempts = 1;   // first failure sheds
@@ -111,8 +106,16 @@ int main(int argc, char** argv) {
       }
       if (observe && mitigate) cfg.obs.metrics = &metrics;
 
-      shard::ShardedServer server(index, cfg);
-      const auto rep = server.run(stream);
+      shard::ServingStack stack(topo, cfg);
+
+      serve::OpenLoopSpec spec;
+      spec.arrivals_per_second = rate;
+      spec.count = requests;
+      spec.update_fraction = cli.get_double("updates", 0.1);
+      spec.seed = seed + 7;
+      const auto stream = serve::make_open_loop(stack.keys(), spec);
+
+      const auto rep = stack.backend().run(stream);
       const auto& fr = rep.faults;
 
       table.add(fault_rate, mitigate ? "on" : "off",

@@ -10,8 +10,8 @@
 // sides of the frontier.
 #include "bench_common.hpp"
 
-#include "serve/server.hpp"
 #include "serve/workload.hpp"
+#include "shard/backend_factory.hpp"
 
 namespace hb = harmonia::bench;
 using namespace harmonia;
@@ -39,12 +39,15 @@ int main(int argc, char** argv) {
   }
   const auto rates = hb::parse_log_list(cli.get_string("rates", "5,20"));
   const auto waits = hb::parse_log_list(cli.get_string("waits", "20,50,100,200,500"));
-  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
 
   hb::print_header("Serving sweep: arrival rate x batching deadline",
                    "extension E10 (online dynamic batching frontier)");
 
-  const auto keys = queries::make_tree_keys(1ULL << lg, cli.get_uint("seed", 1));
+  shard::TopologySpec topo;
+  topo.log2_keys = lg;
+  topo.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  topo.seed = cli.get_uint("seed", 1);
+  topo.device = hb::bench_spec();
   const bool observe = !cli.get_string("metrics-out", "").empty();
   obs::MetricsRegistry metrics;
 
@@ -54,26 +57,24 @@ int main(int argc, char** argv) {
 
   for (unsigned rate_mqs : rates) {
     for (unsigned wait_us : waits) {
-      // Fresh device + index per cell: cache state must not leak across
-      // configurations.
-      gpusim::Device dev(hb::bench_spec());
-      auto index = HarmoniaIndex::build(dev, hb::entries_for(keys), {.fanout = fanout});
-
-      serve::OpenLoopSpec spec;
-      spec.arrivals_per_second = rate_mqs * 1e6;
-      spec.count = requests;
-      spec.seed = cli.get_uint("seed", 1) + 7;
-      const auto stream = serve::make_open_loop(keys, spec);
-
-      serve::ServerConfig cfg;
+      serve::ServeOptions cfg;
       cfg.batch.max_batch = cli.get_uint("max-batch", 8192);
       cfg.batch.max_wait = wait_us * 1e-6;
       cfg.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
       cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
       if (observe) cfg.obs.metrics = &metrics;
 
-      serve::Server server(index, cfg);
-      const auto rep = server.run(stream);
+      // Fresh stack (device + index) per cell: cache state must not leak
+      // across configurations.
+      shard::ServingStack stack(topo, cfg);
+
+      serve::OpenLoopSpec spec;
+      spec.arrivals_per_second = rate_mqs * 1e6;
+      spec.count = requests;
+      spec.seed = cli.get_uint("seed", 1) + 7;
+      const auto stream = serve::make_open_loop(stack.keys(), spec);
+
+      const auto rep = stack.backend().run(stream);
 
       table.add(rate_mqs, wait_us, rep.batches, rep.batch_size.mean(),
                 rep.latency.percentile(50) * 1e6, rep.latency.percentile(95) * 1e6,

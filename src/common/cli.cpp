@@ -81,6 +81,22 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   throw std::invalid_argument("bad boolean for --" + name + ": " + v);
 }
 
+std::string Cli::get_choice(const std::string& name,
+                            std::initializer_list<const char*> allowed,
+                            const std::string& fallback) const {
+  const std::string v = get_string(name, fallback);
+  for (const char* a : allowed)
+    if (v == a) return v;
+  std::string choices;
+  for (const char* a : allowed) {
+    if (!choices.empty()) choices += "|";
+    choices += a;
+  }
+  HARMONIA_CHECK_MSG(false, "bad --" << name << ": '" << v << "' (expected "
+                                     << choices << ")");
+  return v;  // unreachable
+}
+
 void Cli::print_usage(const std::string& prog) const {
   std::fprintf(stderr, "usage: %s [flags]\n", prog.c_str());
   for (const auto& [name, decl] : decls_) {

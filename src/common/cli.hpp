@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -26,6 +27,13 @@ class Cli {
   std::uint64_t get_uint(const std::string& name, std::uint64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+  /// An enum-valued flag: returns the value (or `fallback` when unset)
+  /// after checking it against `allowed`; throws ContractViolation naming
+  /// the choices otherwise. Lets option structs validate their flags in
+  /// one place instead of every tool re-checking strings.
+  std::string get_choice(const std::string& name,
+                         std::initializer_list<const char*> allowed,
+                         const std::string& fallback) const;
 
   void print_usage(const std::string& prog) const;
 

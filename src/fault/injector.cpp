@@ -195,6 +195,30 @@ double FaultInjector::audit_and_repair(unsigned shard, HarmoniaIndex& index,
   return seconds;
 }
 
+double FaultInjector::audit_staged(unsigned shard, double upload_seconds,
+                                   double now) {
+  ++report_.audits;
+  if (audits_ != nullptr) audits_->inc();
+  for (State& s : events_) {
+    if (s.ev.kind != FaultKind::kResyncCorruption || s.ev.shard != shard) continue;
+    if (s.ev.at > now || s.remaining == 0) continue;
+    s.remaining = 0;
+    ++report_.corruptions;
+    ++report_.checksum_mismatches;
+    ++report_.reimages;
+    report_.reimage_seconds += upload_seconds;
+    if (obs_.active()) {
+      note_event(corruptions_, now, shard,
+                 "fault staged-image corruption bytes=" + std::to_string(s.ev.bytes));
+      if (mismatches_ != nullptr) mismatches_->inc();
+      note_event(reimages_, now, shard,
+                 "staged audit mismatch: re-uploading, old image keeps serving");
+    }
+    return upload_seconds;
+  }
+  return 0.0;
+}
+
 std::optional<FaultEvent> FaultInjector::take_shard_lost(double now) {
   for (State& s : events_) {
     if (s.ev.kind != FaultKind::kShardLost || s.remaining == 0) continue;

@@ -134,6 +134,16 @@ class FaultInjector {
   double audit_and_repair(unsigned shard, HarmoniaIndex& index,
                           const TransferModel& link, double now);
 
+  /// Staged-image counterpart of maybe_corrupt_resync + audit_and_repair
+  /// for the double-buffered epoch pipeline: the staging buffer is
+  /// audited *before* the swap, so a corruption armed for `shard` (at or
+  /// before `now`) never reaches serving — the old image keeps serving
+  /// and the staged upload is simply redone. Consumes the event, tallies
+  /// one audit (plus corruption/mismatch/re-image on a hit), and returns
+  /// the extra seconds (`upload_seconds`, the re-upload) to add before
+  /// the staged image is swap-ready; 0.0 when the audit comes back clean.
+  double audit_staged(unsigned shard, double upload_seconds, double now);
+
   /// Earliest armed, unconsumed shard-lost event at or before `now`.
   std::optional<FaultEvent> take_shard_lost(double now);
 

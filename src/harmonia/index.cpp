@@ -11,8 +11,8 @@ HarmoniaIndex::HarmoniaIndex(gpusim::Device& device, HarmoniaTree tree,
                              const Options& options)
     : device_(device),
       options_(options),
-      updater_(std::move(tree)),
-      image_(HarmoniaDeviceImage::upload(device, updater_.tree(),
+      updater_(std::make_unique<BatchUpdater>(std::move(tree))),
+      image_(HarmoniaDeviceImage::upload(device, updater_->tree(),
                                          options.const_budget_bytes)) {}
 
 HarmoniaIndex HarmoniaIndex::build(gpusim::Device& device,
@@ -104,16 +104,30 @@ HarmoniaIndex::RangeResult HarmoniaIndex::range_device(std::span<const Key> los,
 
 UpdateStats HarmoniaIndex::update_batch(std::span<const queries::UpdateOp> ops,
                                         unsigned threads) {
-  UpdateStats stats = updater_.apply(ops, threads);
+  UpdateStats stats = updater_->apply(ops, threads);
   sync_device();
   return stats;
+}
+
+HarmoniaIndex::StagedUpdate HarmoniaIndex::stage_update(
+    std::span<const queries::UpdateOp> ops, unsigned threads) {
+  StagedUpdate staged;
+  staged.updater = std::make_unique<BatchUpdater>(updater_->tree());
+  staged.stats = staged.updater->apply(ops, threads);
+  return staged;
+}
+
+void HarmoniaIndex::commit_staged(StagedUpdate&& staged) {
+  HARMONIA_CHECK(staged.updater != nullptr);
+  updater_ = std::move(staged.updater);
+  sync_device();
 }
 
 void HarmoniaIndex::sync_device() {
   WallTimer timer;
   device_.memory().free_all();
   device_.flush_caches();
-  image_ = HarmoniaDeviceImage::upload(device_, updater_.tree(), options_.const_budget_bytes);
+  image_ = HarmoniaDeviceImage::upload(device_, updater_->tree(), options_.const_budget_bytes);
   last_sync_seconds_ = timer.elapsed_seconds();
 }
 

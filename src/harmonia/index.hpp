@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -77,7 +78,7 @@ class HarmoniaIndex {
   /// Wraps an existing host tree.
   HarmoniaIndex(gpusim::Device& device, HarmoniaTree tree, const Options& options = Options{});
 
-  const HarmoniaTree& tree() const { return updater_.tree(); }
+  const HarmoniaTree& tree() const { return updater_->tree(); }
   const HarmoniaDeviceImage& image() const { return image_; }
   gpusim::Device& device() { return device_; }
   const gpusim::Device& device() const { return device_; }
@@ -109,6 +110,30 @@ class HarmoniaIndex {
   /// re-synchronizes the device image.
   UpdateStats update_batch(std::span<const queries::UpdateOp> ops, unsigned threads = 1);
 
+  /// The build half of the double-buffered epoch pipeline
+  /// (docs/serving.md): a batch applied to a *shadow copy* of the host
+  /// tree. The live tree and device image are untouched, so queries keep
+  /// serving snapshot N while image N+1 is built and uploaded in the
+  /// background; commit_staged installs it atomically.
+  struct StagedUpdate {
+    UpdateStats stats;
+    /// Owns the shadow tree (Algorithm-1 lock state and all).
+    std::unique_ptr<BatchUpdater> updater;
+
+    const HarmoniaTree& tree() const { return updater->tree(); }
+  };
+
+  /// Applies `ops` against a shadow of the current host tree and returns
+  /// it without touching the live index. Thread-safe against concurrent
+  /// host-side reads of the live tree (the shadow is a private copy).
+  StagedUpdate stage_update(std::span<const queries::UpdateOp> ops, unsigned threads = 1);
+
+  /// Atomic swap: the shadow tree becomes the host tree and the device
+  /// image is rebuilt from it in one step. The modeled upload time was
+  /// already charged while the old image served, so the caller adds no
+  /// device time here beyond the swap instant it picked.
+  void commit_staged(StagedUpdate&& staged);
+
   /// Wall seconds spent in the last device re-synchronization.
   double last_sync_seconds() const { return last_sync_seconds_; }
 
@@ -123,7 +148,10 @@ class HarmoniaIndex {
 
   gpusim::Device& device_;
   Options options_;
-  BatchUpdater updater_;
+  /// Behind a unique_ptr (BatchUpdater owns mutexes, so it is neither
+  /// movable nor assignable) so commit_staged can install a shadow
+  /// updater wholesale.
+  std::unique_ptr<BatchUpdater> updater_;
   HarmoniaDeviceImage image_;
   double last_sync_seconds_ = 0.0;
 };

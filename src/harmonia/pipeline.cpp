@@ -23,6 +23,12 @@ ChunkTiming dispatch_chunk(HarmoniaIndex& index, std::span<const Key> chunk,
   return t;
 }
 
+std::uint64_t image_bytes(const HarmoniaTree& tree) {
+  return tree.key_region().size() * sizeof(Key) +
+         tree.prefix_sum().size() * sizeof(std::uint32_t) +
+         tree.value_region().size() * sizeof(Value);
+}
+
 double image_resync_seconds(const HarmoniaTree& tree, const TransferModel& link) {
   return link.seconds(tree.key_region().size() * sizeof(Key)) +
          link.seconds(tree.prefix_sum().size() * sizeof(std::uint32_t)) +

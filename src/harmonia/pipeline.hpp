@@ -59,9 +59,15 @@ ChunkTiming dispatch_chunk(HarmoniaIndex& index, std::span<const Key> chunk,
                            const TransferModel& link, const QueryOptions& qopts,
                            std::span<Value> out);
 
+/// Bytes of a tree's whole device image (key region + prefix-sum array +
+/// value region) — what one full re-upload moves over the link.
+std::uint64_t image_bytes(const HarmoniaTree& tree);
+
 /// Virtual seconds to re-upload a tree's whole device image over `link`:
 /// the post-update-epoch resync cost (key region + prefix-sum array +
-/// value region, one transfer each).
+/// value region, one transfer each). In the double-buffered epoch
+/// pipeline this same charge is the *background* upload of the staged
+/// image N+1 while image N keeps serving (docs/serving.md).
 double image_resync_seconds(const HarmoniaTree& tree, const TransferModel& link);
 
 struct PipelineResult {

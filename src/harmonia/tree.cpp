@@ -1,6 +1,7 @@
 #include "harmonia/tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -270,7 +271,11 @@ bool HarmoniaTree::leaf_insert_inplace(std::uint32_t leaf, Key key, Value value)
   }
   slots[pos] = key;
   vals[pos] = value;
-  ++num_keys_;
+  // The updater's fine path holds only the target leaf's lock, so two
+  // threads working different leaves mutate this tree-wide counter
+  // concurrently; the relaxed atomic keeps the total exact without
+  // serializing the leaves (commutative, so still deterministic).
+  std::atomic_ref<std::uint64_t>(num_keys_).fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -292,7 +297,8 @@ bool HarmoniaTree::leaf_erase_inplace(std::uint32_t leaf, Key key) {
   }
   slots[count - 1] = kPadKey;
   vals[count - 1] = Value{0};
-  --num_keys_;
+  // See leaf_insert_inplace: per-leaf locks don't cover this counter.
+  std::atomic_ref<std::uint64_t>(num_keys_).fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 

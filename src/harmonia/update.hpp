@@ -44,6 +44,14 @@ struct UpdateStats {
   bool rebuilt = false;
   double apply_seconds = 0.0;
   double rebuild_seconds = 0.0;
+  /// Filled by the serving epoch paths (src/serve/), not by apply():
+  /// modeled PCIe seconds to upload the rebuilt device image, and how
+  /// long a staged image waited at a batch boundary for its atomic swap
+  /// (0 in quiesce mode, where the device is held through the upload).
+  /// Kept separate from apply/rebuild so the E13 sweep can attribute
+  /// epoch cost stage by stage: build | upload | swap.
+  double upload_seconds = 0.0;
+  double swap_wait_seconds = 0.0;
 
   std::uint64_t total_ops() const { return updates + inserts + deletes; }
   double ops_per_second() const {

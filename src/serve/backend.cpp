@@ -1,0 +1,131 @@
+#include "serve/backend.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/expect.hpp"
+
+namespace harmonia::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+}  // namespace
+
+void ServerReport::check_invariants() const {
+  HARMONIA_CHECK_MSG(arrivals == admitted + dropped,
+                     "serving accounting broken: arrivals=" << arrivals
+                         << " != admitted=" << admitted
+                         << " + dropped=" << dropped);
+  HARMONIA_CHECK_MSG(
+      admitted == completed + shed + update_requests,
+      "serving accounting broken: admitted=" << admitted
+          << " != completed=" << completed << " + shed=" << shed
+          << " + update_requests=" << update_requests);
+  HARMONIA_CHECK_MSG(responses.size() == arrivals,
+                     "serving accounting broken: " << responses.size()
+                         << " responses for " << arrivals << " arrivals");
+  HARMONIA_CHECK_MSG(latency.count() == completed,
+                     "serving accounting broken: " << latency.count()
+                         << " latency samples for " << completed
+                         << " completions");
+  if (shard_batches.empty()) return;
+  HARMONIA_CHECK_MSG(
+      sum(shard_admitted) + update_requests == admitted,
+      "sharded accounting broken: per-shard admissions sum to "
+          << sum(shard_admitted) << " + update_requests=" << update_requests
+          << " but admitted=" << admitted);
+  HARMONIA_CHECK_MSG(sum(shard_dropped) == dropped,
+                     "sharded accounting broken: per-shard drops sum to "
+                         << sum(shard_dropped) << " but dropped=" << dropped);
+  HARMONIA_CHECK_MSG(sum(shard_batches) == batches,
+                     "sharded accounting broken: per-shard batches sum to "
+                         << sum(shard_batches) << " but batches=" << batches);
+}
+
+ServerReport Backend::run(RequestSource& source) {
+  ServerReport report;
+  begin_run(report);
+  double now = 0.0;
+
+  while (true) {
+    const Request* next = source.peek();
+    const double t_arrival = next ? next->arrival : kInf;
+
+    // A batch dispatches when BOTH its trigger (size reached, or oldest
+    // member hit the deadline) has fired AND its device is free. Until
+    // then its members stay in the bounded queue — that is what turns
+    // device saturation into backpressure at admission instead of an
+    // unbounded in-flight backlog.
+    const double t_batch = next_batch_time(now);
+    const double t_epoch = next_epoch_time(now);
+    const double t_swap = next_swap_time();
+
+    if (t_arrival == kInf && t_batch == kInf && t_epoch == kInf &&
+        t_swap == kInf) {
+      // Stream exhausted and no armed trigger (possible only with
+      // infinite deadlines): final drain — queries first, then any staged
+      // epoch, then leftovers of the update buffer as a last epoch.
+      final_drain(now, source, report);
+      if (!source.peek()) break;  // on_complete may have injected arrivals
+      continue;
+    }
+
+    // Fault events cut ahead of same-instant work: a shard lost at t is
+    // fenced before anything else dispatches at t, and a due restore
+    // rejoins its shard before new work routes around it.
+    const double t_work = std::min(std::min(t_arrival, t_batch),
+                                   std::min(t_epoch, t_swap));
+    const double t_fault = next_fault_time();
+    const double t_restore = next_restore_time();
+    if (t_fault <= t_work && t_fault <= t_restore) {
+      now = std::max(now, t_fault);
+      handle_fault(now, source, report);
+      continue;
+    }
+    if (t_restore <= t_work) {
+      now = std::max(now, t_restore);
+      handle_restore(now, report);
+      continue;
+    }
+
+    // A due swap outranks same-instant work: the swap IS the batch
+    // boundary, so a batch triggering at the same instant dispatches
+    // against the fresh image.
+    if (t_swap <= t_arrival && t_swap <= t_batch && t_swap <= t_epoch) {
+      now = std::max(now, t_swap);
+      epoch_commit(now, source, report);
+    } else if (t_arrival <= t_batch && t_arrival <= t_epoch) {
+      now = t_arrival;
+      const Request r = source.pop();
+      ++report.arrivals;
+      if (r.kind == RequestKind::kUpdate) {
+        ++report.admitted;
+        ++report.update_requests;
+        buffer_update(r);  // size trigger fires via t_epoch next round
+      } else {
+        submit(r, source, report);
+      }
+    } else if (t_batch <= t_epoch) {
+      now = t_batch;
+      dispatch_ready_batch(now, source, report);
+    } else {
+      now = t_epoch;
+      epoch_begin(now, source, report);
+    }
+  }
+
+  finish_run(report);
+  report.check_invariants();
+  return report;
+}
+
+ServerReport Backend::run(std::span<const Request> requests) {
+  VectorSource source(std::vector<Request>(requests.begin(), requests.end()));
+  return run(source);
+}
+
+}  // namespace harmonia::serve

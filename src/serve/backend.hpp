@@ -1,0 +1,185 @@
+// serve::Backend — the one serving interface over any topology.
+//
+// `Server` (one device) and `ShardedServer` (range-sharded devices) had
+// drifted into parallel, incompatible surfaces that every tool and bench
+// special-cased. Backend unifies them as a template method: the base
+// class owns the deterministic virtual-clock event loop — next event is
+// the earliest of (arrival, batch trigger, epoch trigger, staged image
+// swap), with fault/restore events cutting ahead of same-instant work —
+// and the subclasses supply the topology-specific hooks (submit a query,
+// dispatch the most urgent batch, begin/commit an epoch, drain).
+//
+// Callers hold a Backend&, run a stream, and read one ServerReport; the
+// per-shard vectors are simply empty on a single-device topology. See
+// the migration note in docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "fault/injector.hpp"
+#include "serve/request.hpp"
+#include "serve/workload.hpp"
+
+namespace harmonia::serve {
+
+struct ServerReport {
+  /// Every request's outcome (including drops), in service order.
+  std::vector<Response> responses;
+
+  /// Seconds, over completed (non-dropped) queries.
+  Summary latency;
+  Summary queue_delay;
+  /// Requests per dispatched query batch.
+  Summary batch_size;
+  /// Scheduler depth sampled at each query admission attempt.
+  Summary queue_depth;
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t completed = 0;  // non-dropped queries served
+  /// Admitted queries later answered `dropped` by a fault mitigation
+  /// (retry budget exhausted / degraded-mode backlog). Kept apart from
+  /// `dropped` so admitted + dropped == arrivals holds under faults.
+  std::uint64_t shed = 0;
+  /// Update *requests* admitted into the epoch buffer (each produces one
+  /// update response; distinct from updates_applied, which counts ops and
+  /// excludes failed ones). Closes the admission identity below.
+  std::uint64_t update_requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_failed = 0;
+
+  /// Virtual time of the last completion.
+  double makespan = 0.0;
+  /// Device-occupied time (batch service + epoch stalls).
+  double busy_seconds = 0.0;
+
+  /// Epoch-pipeline attribution (docs/serving.md#epoch-pipeline), summed
+  /// over epochs: modeled CPU build (Algorithm-1 apply), PCIe image
+  /// upload, staged-image wait for its swap boundary, and device serving
+  /// time lost to epochs. Quiesce mode stalls every device for
+  /// build+upload (stall > 0, swap wait 0); the double-buffered overlap
+  /// mode pays only the swap (stall 0) — the E13 sweep plots the delta.
+  double epoch_build_seconds = 0.0;
+  double epoch_upload_seconds = 0.0;
+  double epoch_swap_wait_seconds = 0.0;
+  double epoch_stall_seconds = 0.0;
+
+  /// Injection/detection/mitigation tallies (all zero on fault-free runs).
+  fault::FaultReport faults;
+
+  // Sharded-topology extras; all empty/zero on a single-device backend.
+
+  /// Query batches dispatched / queries served per shard.
+  std::vector<std::uint64_t> shard_batches;
+  std::vector<std::uint64_t> shard_queries;
+  /// Per-shard admissions and drops, tallied exactly once at the routing
+  /// point: a query counts toward the shard its routing starts at
+  /// (points: the owner shard; ranges: the first shard of the span), so
+  /// each vector sums to its stream-level counter. The schedulers' own
+  /// admitted()/rejected() tallies cannot be aggregated here — they
+  /// count every fan-out sub-request (double-counting straddling
+  /// ranges) and never see all-or-nothing probe drops (omitting them).
+  std::vector<std::uint64_t> shard_admitted;
+  std::vector<std::uint64_t> shard_dropped;
+  /// Range requests that fanned out across >1 shard.
+  std::uint64_t split_ranges = 0;
+  /// Device idle time summed over shards while quiesce epoch barriers
+  /// gathered the slowest shard (0 in overlap mode — no barrier).
+  double barrier_wait_seconds = 0.0;
+
+  /// Completed queries per virtual second, end to end.
+  double query_throughput() const {
+    return makespan > 0.0 ? static_cast<double>(completed) / makespan : 0.0;
+  }
+  /// Completed queries per device-busy second: the capacity the batching
+  /// achieved, independent of how hard the workload pushed.
+  double service_rate() const {
+    return busy_seconds > 0.0 ? static_cast<double>(completed) / busy_seconds : 0.0;
+  }
+
+  /// Accounting identities every fully-drained run must satisfy; run()
+  /// asserts them before returning (two prior serving PRs each shipped a
+  /// silent tally bug such an invariant would have tripped). At close
+  /// nothing is in flight, so:
+  ///   arrivals == admitted + dropped
+  ///   admitted == completed + shed + update_requests
+  ///   responses.size() == arrivals  (every request answered exactly once)
+  /// and, when the backend is sharded (shard vectors non-empty):
+  ///   sum(shard_admitted) + update_requests == admitted
+  ///   sum(shard_dropped) == dropped
+  ///   sum(shard_batches) == batches
+  /// Throws ContractViolation on violation.
+  void check_invariants() const;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Runs the stream to completion (drains all lanes, commits any staged
+  /// epoch, applies leftover updates) and returns the aggregate report
+  /// with its invariants checked.
+  ServerReport run(RequestSource& source);
+  /// Open-loop convenience: serve a pre-built, arrival-sorted stream.
+  ServerReport run(std::span<const Request> requests);
+
+  virtual unsigned num_shards() const = 0;
+
+ protected:
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  /// Called once before the loop (size per-shard report vectors, ...).
+  virtual void begin_run(ServerReport& /*report*/) {}
+
+  /// Earliest instant a closed batch can start on a free device; kNever
+  /// when every scheduler is idle.
+  virtual double next_batch_time(double now) const = 0;
+  /// Dispatches the most urgent ready batch at `now` (the instant
+  /// next_batch_time returned).
+  virtual void dispatch_ready_batch(double now, RequestSource& source,
+                                    ServerReport& report) = 0;
+
+  /// Routes one query arrival (updates never reach this hook — the loop
+  /// buffers them via buffer_update). Accounts admitted/dropped itself.
+  virtual void submit(const Request& r, RequestSource& source,
+                      ServerReport& report) = 0;
+  /// Buffers one update request toward the next epoch.
+  virtual void buffer_update(const Request& r) = 0;
+
+  /// Next epoch trigger; kNever when nothing is buffered (or, in overlap
+  /// mode, while a staged epoch is still in flight).
+  virtual double next_epoch_time(double now) const = 0;
+  /// Quiesce+apply (kQuiesce) or start the staged build (kOverlap).
+  virtual void epoch_begin(double now, RequestSource& source,
+                           ServerReport& report) = 0;
+  /// Next atomic image swap; kNever when no staged epoch is swap-ready.
+  virtual double next_swap_time() const { return kNever; }
+  /// Commits (part of) a staged epoch at `now`, a batch boundary.
+  virtual void epoch_commit(double /*now*/, RequestSource& /*source*/,
+                            ServerReport& /*report*/) {}
+
+  /// Fault hooks: arm times of the next injected fault / due restore.
+  /// They cut ahead of same-instant work. Inert by default.
+  virtual double next_fault_time() const { return kNever; }
+  virtual void handle_fault(double /*now*/, RequestSource& /*source*/,
+                            ServerReport& /*report*/) {}
+  virtual double next_restore_time() const { return kNever; }
+  virtual void handle_restore(double /*now*/, ServerReport& /*report*/) {}
+
+  /// Stream exhausted with no armed trigger: flush remaining batches,
+  /// commit any staged epoch, apply leftover updates as a last epoch.
+  virtual void final_drain(double now, RequestSource& source,
+                           ServerReport& report) = 0;
+  /// After the loop: attach the fault report, export end-of-run gauges,
+  /// assert internal state fully drained.
+  virtual void finish_run(ServerReport& report) = 0;
+};
+
+}  // namespace harmonia::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/expect.hpp"
 
@@ -27,15 +28,14 @@ void EpochUpdater::set_observer(const obs::Observer& obs, unsigned shard) {
   if (obs.metrics == nullptr) return;
   obs::MetricsRegistry& m = *obs.metrics;
   const std::string sl = "{shard=\"" + std::to_string(shard) + "\"}";
+  const auto edges = obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28);
   epochs_total_ = &m.counter("serve_epochs_total" + sl);
   ops_total_ = &m.counter("serve_epoch_ops_total" + sl);
   ops_failed_ = &m.counter("serve_epoch_ops_failed_total" + sl);
-  apply_hist_ =
-      &m.histogram("serve_epoch_apply_seconds" + sl,
-                   obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
-  resync_hist_ =
-      &m.histogram("serve_epoch_resync_seconds" + sl,
-                   obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
+  apply_hist_ = &m.histogram("serve_epoch_apply_seconds" + sl, edges);
+  resync_hist_ = &m.histogram("serve_epoch_resync_seconds" + sl, edges);
+  swap_wait_hist_ = &m.histogram("serve_epoch_swap_wait_seconds" + sl, edges);
+  stall_hist_ = &m.histogram("serve_epoch_stall_seconds" + sl, edges);
 }
 
 double EpochUpdater::next_deadline() const {
@@ -43,12 +43,43 @@ double EpochUpdater::next_deadline() const {
   return pending_.front().arrival + config_.max_wait;
 }
 
+std::vector<queries::UpdateOp> EpochUpdater::drain_ops(
+    const std::vector<Request>& from) const {
+  std::vector<queries::UpdateOp> ops;
+  ops.reserve(from.size());
+  for (const Request& r : from) ops.push_back({r.op, r.key, r.value});
+  return ops;
+}
+
+void EpochUpdater::observe_epoch(const EpochResult& e) {
+  if (obs_.metrics == nullptr) return;
+  epochs_total_->inc();
+  ops_total_->inc(e.stats.total_ops());
+  ops_failed_->inc(e.stats.failed);
+  apply_hist_->observe(e.apply_seconds);
+  resync_hist_->observe(e.resync_seconds);
+  swap_wait_hist_->observe(e.swap_wait_seconds);
+  stall_hist_->observe(e.stall_seconds);
+}
+
+Response EpochUpdater::make_update_response(const Request& r,
+                                            const EpochResult& e) const {
+  Response resp;
+  resp.id = r.id;
+  resp.kind = RequestKind::kUpdate;
+  resp.epoch = e.epoch;
+  resp.arrival = r.arrival;
+  resp.dispatch = e.start;
+  resp.completion = e.finish;
+  return resp;
+}
+
 EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
   HARMONIA_CHECK(!pending_.empty());
+  HARMONIA_CHECK_MSG(!inflight(),
+                     "quiesce apply with a staged epoch in flight — commit it first");
 
-  std::vector<queries::UpdateOp> ops;
-  ops.reserve(pending_.size());
-  for (const Request& r : pending_) ops.push_back({r.op, r.key, r.value});
+  const std::vector<queries::UpdateOp> ops = drain_ops(pending_);
 
   EpochResult e;
   e.stats = index_.update_batch(ops, config_.apply_threads);
@@ -70,31 +101,99 @@ EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
           factor * injector_->audit_and_repair(shard_, index_, link_, resync_end);
   }
   e.finish = e.start + e.apply_seconds + e.resync_seconds;
+  e.stall_seconds = e.finish - e.start;
+  e.stats.upload_seconds = e.resync_seconds;
 
-  if (obs_.metrics != nullptr) {
-    epochs_total_->inc();
-    ops_total_->inc(e.stats.total_ops());
-    ops_failed_->inc(e.stats.failed);
-    apply_hist_->observe(e.apply_seconds);
-    resync_hist_->observe(e.resync_seconds);
-  }
+  observe_epoch(e);
   e.responses.reserve(pending_.size());
   for (const Request& r : pending_) {
-    Response resp;
-    resp.id = r.id;
-    resp.kind = RequestKind::kUpdate;
-    resp.epoch = e.epoch;
-    resp.arrival = r.arrival;
-    resp.dispatch = e.start;
-    resp.completion = e.finish;
     if (obs_.trace != nullptr) {
       obs_.trace->stamp(r.id, obs::Stage::kDispatch, e.start, shard_,
                         "epoch=" + std::to_string(e.epoch));
       obs_.trace->stamp(r.id, obs::Stage::kReply, e.finish, shard_);
     }
-    e.responses.push_back(std::move(resp));
+    e.responses.push_back(make_update_response(r, e));
   }
   pending_.clear();
+  return e;
+}
+
+const EpochUpdater::Staged& EpochUpdater::stage(double at) {
+  HARMONIA_CHECK(!inflight());
+  HARMONIA_CHECK(!pending_.empty());
+
+  const std::vector<queries::UpdateOp> ops = drain_ops(pending_);
+  staged_update_ = index_.stage_update(ops, config_.apply_threads);
+
+  Staged s;
+  s.epoch = epochs_ + 1;
+  s.trigger = at;
+  s.build_seconds = static_cast<double>(ops.size()) * config_.seconds_per_op;
+  s.build_done = at + s.build_seconds;
+  s.upload_seconds = image_resync_seconds(staged_update_.tree(), link_);
+  if (injector_ != nullptr && injector_->active()) {
+    // The background upload is a PCIe transfer too: slowdown windows
+    // stretch it, and the pre-swap CRC32 audit turns an armed corruption
+    // into one extra (re-)upload — never a served corrupt image.
+    const double upload_end = s.build_done + s.upload_seconds;
+    const double factor = injector_->transfer_factor(shard_, upload_end);
+    s.upload_seconds *= factor;
+    s.upload_seconds +=
+        injector_->audit_staged(shard_, s.upload_seconds, s.build_done + s.upload_seconds);
+  }
+  s.ready = s.build_done + s.upload_seconds;
+
+  if (obs_.trace != nullptr) {
+    const std::string tag = " epoch=" + std::to_string(s.epoch);
+    obs_.trace->annotate(s.trigger, shard_,
+                         "epoch build start" + tag +
+                             " ops=" + std::to_string(ops.size()));
+    obs_.trace->annotate(s.build_done, shard_, "epoch upload start" + tag);
+    obs_.trace->annotate(s.ready, shard_, "epoch staged ready" + tag);
+  }
+
+  staged_requests_ = std::move(pending_);
+  pending_.clear();
+  staged_meta_ = s;
+  return *staged_meta_;
+}
+
+EpochUpdater::EpochResult EpochUpdater::commit(double swap_at) {
+  HARMONIA_CHECK(inflight());
+  const Staged s = *staged_meta_;
+  HARMONIA_CHECK_MSG(swap_at >= s.ready,
+                     "epoch swap at " << swap_at << " before the staged image is "
+                                      << "ready at " << s.ready);
+
+  EpochResult e;
+  e.stats = staged_update_.stats;
+  index_.commit_staged(std::move(staged_update_));
+  e.epoch = ++epochs_;
+  HARMONIA_CHECK(e.epoch == s.epoch);
+  e.start = s.trigger;
+  e.finish = swap_at;
+  e.apply_seconds = s.build_seconds;
+  e.resync_seconds = s.upload_seconds;
+  e.swap_wait_seconds = swap_at - s.ready;
+  e.stall_seconds = 0.0;  // the device served straight through
+  e.stats.upload_seconds = s.upload_seconds;
+  e.stats.swap_wait_seconds = e.swap_wait_seconds;
+
+  observe_epoch(e);
+  if (obs_.trace != nullptr)
+    obs_.trace->annotate(swap_at, shard_,
+                         "epoch swap epoch=" + std::to_string(e.epoch));
+  e.responses.reserve(staged_requests_.size());
+  for (const Request& r : staged_requests_) {
+    if (obs_.trace != nullptr) {
+      obs_.trace->stamp(r.id, obs::Stage::kDispatch, e.start, shard_,
+                        "epoch=" + std::to_string(e.epoch) + " staged");
+      obs_.trace->stamp(r.id, obs::Stage::kReply, e.finish, shard_);
+    }
+    e.responses.push_back(make_update_response(r, e));
+  }
+  staged_requests_.clear();
+  staged_meta_.reset();
   return e;
 }
 

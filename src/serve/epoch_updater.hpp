@@ -1,22 +1,29 @@
 // Epoch-based updates: the serving-side wrapper around the paper's
-// phase-based usage model (§3.2).
+// phase-based usage model (§3.2), in one of two modes.
 //
-// Online update requests are buffered, not applied inline: the device
-// image must stay frozen while query batches are in flight. When the
-// buffer reaches max_buffered (or its oldest update has waited max_wait),
-// the server *quiesces* — flushes every pending query batch — and the
-// updater applies the whole buffer through the Algorithm-1 CPU updater
-// (`HarmoniaIndex::update_batch`), which also rebuilds the device image.
-// The virtual clock charges a modeled CPU apply cost plus the PCIe
-// resync of the full image; admission reopens when the resync completes.
-// Queries dispatched before an epoch observe the pre-epoch tree; queries
-// dispatched after observe it with the whole epoch applied — there are
-// no torn states, which is what makes the serving path testable against
-// a snapshot oracle.
+// Quiesce (the original path): online update requests are buffered; when
+// the buffer reaches max_buffered (or its oldest update has waited
+// max_wait), the server *quiesces* — flushes every pending query batch —
+// and the updater applies the whole buffer through the Algorithm-1 CPU
+// updater (`HarmoniaIndex::update_batch`), which also rebuilds the device
+// image. The device is held through the CPU apply and the PCIe resync.
+//
+// Overlap (the double-buffered epoch pipeline, docs/serving.md): the
+// trigger instead *stages* the epoch — the batch is applied to a shadow
+// copy of the host tree and the resulting image N+1 uploads in the
+// background — while queries keep dispatching against live image N. When
+// the staged image is ready, an atomic swap at a batch boundary retires
+// image N; the device never stalls for the build or the upload.
+//
+// In both modes queries observe a whole number of epochs — there are no
+// torn states, which is what makes the serving path testable against a
+// snapshot oracle.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "fault/injector.hpp"
@@ -26,6 +33,15 @@
 #include "serve/request.hpp"
 
 namespace harmonia::serve {
+
+/// How an epoch trigger treats the device (docs/serving.md#epoch-pipeline).
+enum class EpochMode : std::uint8_t {
+  /// Drain the scheduler, hold the device through apply + resync.
+  kQuiesce,
+  /// Stage the epoch on a shadow tree, upload in the background, swap
+  /// atomically at a batch boundary; queries never stop.
+  kOverlap,
+};
 
 struct EpochConfig {
   /// Size trigger: apply an epoch once this many updates are buffered.
@@ -40,6 +56,8 @@ struct EpochConfig {
   /// a per-op charge keeps the whole simulation replayable. The default
   /// is in the range the paper's 28-core Xeon sustains.
   double seconds_per_op = 250e-9;
+  /// kQuiesce preserves the original stall-the-world behaviour exactly.
+  EpochMode mode = EpochMode::kQuiesce;
 };
 
 class EpochUpdater {
@@ -53,7 +71,7 @@ class EpochUpdater {
   /// +inf when nothing is buffered or max_wait is +inf.
   double next_deadline() const;
 
-  /// Update epochs applied so far.
+  /// Update epochs applied (committed) so far.
   unsigned epochs() const { return epochs_; }
 
   struct EpochResult {
@@ -61,35 +79,79 @@ class EpochUpdater {
     unsigned epoch = 0;               // 1-based ordinal of this epoch
     double start = 0.0;
     double finish = 0.0;
-    double apply_seconds = 0.0;   // modeled CPU apply time
-    double resync_seconds = 0.0;  // modeled PCIe image re-upload
+    double apply_seconds = 0.0;   // modeled CPU build (Algorithm-1 apply)
+    double resync_seconds = 0.0;  // modeled PCIe image (re-)upload
+    /// Staged-ready to swap instant (0 in quiesce mode — there is no
+    /// separate swap; admission reopens when the resync completes).
+    double swap_wait_seconds = 0.0;
+    /// Device time lost to this epoch: apply+resync in quiesce mode, 0 in
+    /// overlap mode (the device serves through build and upload).
+    double stall_seconds = 0.0;
     UpdateStats stats;
   };
 
-  /// Applies every buffered update as one epoch. The caller must have
-  /// quiesced (dispatched all pending query batches) first; the epoch
+  /// Quiesce mode: applies every buffered update as one epoch. The caller
+  /// must have drained all pending query batches first; the epoch
   /// occupies [max(at, device_free), finish] on the device timeline.
   EpochResult apply(double at, double device_free);
 
-  /// Arms the fault path for the post-epoch resync: slowdown windows
-  /// scale the re-upload, armed corruption events damage the fresh image,
-  /// and a CRC32 audit repairs (re-images) before admission reopens.
+  /// Overlap mode: a staged epoch in flight between stage() and commit().
+  struct Staged {
+    unsigned epoch = 0;          // ordinal this epoch will commit as
+    double trigger = 0.0;        // build start (the epoch trigger)
+    double build_done = 0.0;     // CPU apply done; background upload starts
+    double ready = 0.0;          // image uploaded + audited, swap-eligible
+    double build_seconds = 0.0;
+    double upload_seconds = 0.0;
+  };
+
+  bool inflight() const { return staged_meta_.has_value(); }
+  const Staged& staged() const { return *staged_meta_; }
+
+  /// Starts the background pipeline for every buffered update: Algorithm-1
+  /// apply on a shadow tree, then the staged image upload (slowdown
+  /// windows stretch it; an armed corruption is caught by the pre-swap
+  /// audit and costs one re-upload — the live image keeps serving either
+  /// way). New updates arriving while this epoch is in flight buffer
+  /// toward the next one. Requires !inflight() and buffered() > 0.
+  const Staged& stage(double at);
+
+  /// Atomic swap at `swap_at` (a batch boundary >= ready): installs the
+  /// shadow tree and staged image as the live snapshot and answers the
+  /// staged updates. The caller charges no device time — the swap is a
+  /// pointer flip; the upload already happened in the background.
+  EpochResult commit(double swap_at);
+
+  /// Arms the fault path for the epoch image transfer (quiesce resync or
+  /// staged background upload): slowdown windows scale it, armed
+  /// corruption events trigger the CRC32 audit + re-image/re-upload.
   void set_fault_context(fault::FaultInjector* injector, unsigned shard) {
     injector_ = injector;
     shard_ = shard;
   }
 
   /// Attaches metrics + tracing: each epoch bumps the epoch/op counters
-  /// and observes apply/resync durations; every buffered update is
-  /// stamped at queue-enter (on buffer) and dispatch/reply (on apply).
+  /// and observes build/upload/swap-wait/stall durations; every buffered
+  /// update is stamped at queue-enter (on buffer) and dispatch/reply (on
+  /// apply or commit). Overlap epochs additionally annotate build-start,
+  /// upload-start, staged-ready, and the swap instant.
   void set_observer(const obs::Observer& obs, unsigned shard);
 
  private:
+  std::vector<queries::UpdateOp> drain_ops(const std::vector<Request>& from) const;
+  void observe_epoch(const EpochResult& e);
+  Response make_update_response(const Request& r, const EpochResult& e) const;
+
   HarmoniaIndex& index_;
   TransferModel link_;
   EpochConfig config_;
   std::vector<Request> pending_;
   unsigned epochs_ = 0;
+  /// Overlap mode: the epoch being built/uploaded in the background, and
+  /// the update requests it will answer at the swap.
+  std::optional<Staged> staged_meta_;
+  HarmoniaIndex::StagedUpdate staged_update_;
+  std::vector<Request> staged_requests_;
   fault::FaultInjector* injector_ = nullptr;
   unsigned shard_ = 0;
   obs::Observer obs_;
@@ -98,6 +160,8 @@ class EpochUpdater {
   obs::Counter* ops_failed_ = nullptr;
   obs::LatencyHistogram* apply_hist_ = nullptr;
   obs::LatencyHistogram* resync_hist_ = nullptr;
+  obs::LatencyHistogram* swap_wait_hist_ = nullptr;
+  obs::LatencyHistogram* stall_hist_ = nullptr;
 };
 
 }  // namespace harmonia::serve

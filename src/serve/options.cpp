@@ -1,0 +1,92 @@
+#include "serve/options.hpp"
+
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace harmonia::serve {
+
+void ServeOptions::validate(unsigned num_shards) const {
+  HARMONIA_CHECK_MSG(num_shards >= 1, "a serving topology needs >= 1 shard");
+
+  HARMONIA_CHECK_MSG(batch.max_batch > 0, "batch.max_batch must be positive");
+  HARMONIA_CHECK_MSG(batch.max_wait > 0.0, "batch.max_wait must be positive");
+  HARMONIA_CHECK_MSG(
+      batch.queue_capacity >= batch.max_batch,
+      "batch.queue_capacity (" << batch.queue_capacity
+                               << ") must cover the size trigger max_batch ("
+                               << batch.max_batch << ")");
+  HARMONIA_CHECK_MSG(batch.max_range_results > 0,
+                     "batch.max_range_results must be positive");
+  HARMONIA_CHECK_MSG(batch.pipeline.chunk_size > 0,
+                     "batch.pipeline.chunk_size must be positive");
+
+  HARMONIA_CHECK_MSG(epoch.max_buffered > 0, "epoch.max_buffered must be positive");
+  HARMONIA_CHECK_MSG(epoch.max_wait > 0.0, "epoch.max_wait must be positive");
+  HARMONIA_CHECK_MSG(epoch.apply_threads > 0, "epoch.apply_threads must be positive");
+  HARMONIA_CHECK_MSG(epoch.seconds_per_op >= 0.0,
+                     "epoch.seconds_per_op may not be negative");
+
+  HARMONIA_CHECK_MSG(link.gigabytes_per_second > 0.0,
+                     "link.gigabytes_per_second must be positive");
+  HARMONIA_CHECK_MSG(link.latency_seconds >= 0.0,
+                     "link.latency_seconds may not be negative");
+
+  HARMONIA_CHECK_MSG(mitigation.retry.max_attempts >= 1,
+                     "mitigation.retry.max_attempts must be >= 1");
+  HARMONIA_CHECK_MSG(mitigation.retry.backoff >= 0.0 &&
+                         mitigation.retry.max_backoff >= 0.0,
+                     "mitigation.retry backoffs may not be negative");
+  HARMONIA_CHECK_MSG(mitigation.retry.backoff_multiplier >= 1.0,
+                     "mitigation.retry.backoff_multiplier must be >= 1");
+  HARMONIA_CHECK_MSG(!mitigation.hedge.enabled || mitigation.hedge.multiplier > 1.0,
+                     "mitigation.hedge.multiplier must exceed 1 when hedging");
+  HARMONIA_CHECK_MSG(mitigation.degraded.seconds_per_point >= 0.0 &&
+                         mitigation.degraded.seconds_per_range >= 0.0 &&
+                         mitigation.degraded.seconds_per_result >= 0.0 &&
+                         mitigation.degraded.max_backlog >= 0.0,
+                     "mitigation.degraded costs may not be negative");
+
+  for (const fault::FaultEvent& e : faults.events) {
+    HARMONIA_CHECK_MSG(e.shard < num_shards,
+                       "fault event targets shard " << e.shard << " but the "
+                           << "topology has " << num_shards << " shard(s)");
+    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kShardLost || num_shards > 1,
+                       "shard-lost faults need a sharded topology "
+                       "(there is no shard to fail over to)");
+  }
+}
+
+void ServeOptions::add_flags(Cli& cli) {
+  cli.flag("max-batch", "batch size trigger", "4096")
+      .flag("max-wait-us", "batch deadline (us)", "100")
+      .flag("queue-cap", "admission queue capacity per lane", "16384")
+      .flag("epoch-updates", "updates buffered per epoch", "4096")
+      .flag("epoch-mode", "epoch pipeline: quiesce (stall-the-world) or "
+                          "overlap (double-buffered image swap)", "quiesce")
+      .flag("apply-threads", "CPU workers for the Algorithm-1 batch apply", "1")
+      .flag("pcie", "link bandwidth in GB/s", "12.0")
+      .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
+                      "(see docs/fault_tolerance.md)", "");
+}
+
+ServeOptions ServeOptions::from_cli(const Cli& cli) {
+  ServeOptions opts;
+  opts.batch.max_batch = cli.get_uint("max-batch", 4096);
+  opts.batch.max_wait =
+      static_cast<double>(cli.get_uint("max-wait-us", 100)) * 1e-6;
+  opts.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
+  opts.epoch.max_buffered = cli.get_uint("epoch-updates", 4096);
+  opts.epoch.mode =
+      cli.get_choice("epoch-mode", {"quiesce", "overlap"}, "quiesce") == "overlap"
+          ? EpochMode::kOverlap
+          : EpochMode::kQuiesce;
+  opts.epoch.apply_threads =
+      static_cast<unsigned>(cli.get_uint("apply-threads", 1));
+  opts.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+  if (const std::string spec = cli.get_string("faults", ""); !spec.empty())
+    opts.faults = fault::FaultPlan::parse(spec);
+  return opts;
+}
+
+}  // namespace harmonia::serve

@@ -1,0 +1,57 @@
+// ServeOptions — the one validated option surface of the serving stack.
+//
+// Every layer used to carry its own config struct (scheduler, epoch,
+// link, faults, mitigation, obs) and every entry point re-validated an
+// ad-hoc subset. ServeOptions keeps the per-layer structs (they are the
+// layers' natural vocabulary) but owns the composition: one struct to
+// fill, one validate() that rejects inconsistent combinations up front,
+// and one CLI entry point (add_flags/from_cli, built on common/cli) that
+// every tool and bench shares instead of re-parsing flags by hand.
+//
+// `serve::ServerConfig` and `shard::ShardedServerConfig` are aliases of
+// this type — see the migration note in docs/serving.md.
+#pragma once
+
+#include "common/cli.hpp"
+#include "fault/injector.hpp"
+#include "harmonia/pipeline.hpp"
+#include "obs/observer.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/epoch_updater.hpp"
+
+namespace harmonia::serve {
+
+struct ServeOptions {
+  /// Per-device scheduler configuration (every shard gets its own lanes
+  /// with this capacity, so aggregate admission scales with shards).
+  BatchConfig batch;
+  /// Epoch trigger thresholds and the epoch mode (quiesce vs the
+  /// double-buffered overlap pipeline, docs/serving.md#epoch-pipeline).
+  EpochConfig epoch;
+  TransferModel link;
+  /// Deterministic fault schedule (empty = fault-free, bit-identical to a
+  /// build without the fault layer) and the mitigation knobs.
+  fault::FaultPlan faults;
+  fault::MitigationConfig mitigation;
+  /// Optional metrics + request-lifecycle tracing (docs/observability.md).
+  /// Both pointers null = zero-overhead, bit-identical to an unobserved
+  /// run. The caller owns the registry/recorder.
+  obs::Observer obs;
+
+  /// Rejects inconsistent combinations with ContractViolation before any
+  /// serving state is built: queue capacity below the batch trigger,
+  /// empty epoch thresholds, non-positive link bandwidth, a mitigation
+  /// with no retry budget, and fault events that do not fit the topology
+  /// (shard-lost needs >1 shard; every event's shard must exist).
+  void validate(unsigned num_shards = 1) const;
+
+  /// Declares the serving flags (batching, epochs, link, faults) on a
+  /// common/cli parser. Pair with from_cli: this is the single CLI entry
+  /// point the tools and ext benches share.
+  static void add_flags(Cli& cli);
+  /// Builds options from flags declared by add_flags. Throws
+  /// ContractViolation on a malformed --faults spec or --epoch-mode.
+  static ServeOptions from_cli(const Cli& cli);
+};
+
+}  // namespace harmonia::serve

@@ -8,39 +8,13 @@
 
 namespace harmonia::serve {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
-
-void ServerReport::check_invariants() const {
-  HARMONIA_CHECK_MSG(arrivals == admitted + dropped,
-                     "serving accounting broken: arrivals=" << arrivals
-                         << " != admitted=" << admitted
-                         << " + dropped=" << dropped);
-  HARMONIA_CHECK_MSG(
-      admitted == completed + shed + update_requests,
-      "serving accounting broken: admitted=" << admitted
-          << " != completed=" << completed << " + shed=" << shed
-          << " + update_requests=" << update_requests);
-  HARMONIA_CHECK_MSG(responses.size() == arrivals,
-                     "serving accounting broken: " << responses.size()
-                         << " responses for " << arrivals << " arrivals");
-  HARMONIA_CHECK_MSG(latency.count() == completed,
-                     "serving accounting broken: " << latency.count()
-                         << " latency samples for " << completed
-                         << " completions");
-}
-
 Server::Server(HarmoniaIndex& index, const ServerConfig& config)
     : index_(index),
       config_(config),
       scheduler_(index, config.link, config.batch),
       updater_(index, config.link, config.epoch),
       injector_(config.faults, config.mitigation, 1) {
-  for (const fault::FaultEvent& e : config.faults.events) {
-    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kShardLost,
-                       "shard-lost faults need a ShardedServer");
-  }
+  config_.validate(1);
   if (injector_.active()) {
     scheduler_.set_fault_context(&injector_, 0);
     updater_.set_fault_context(&injector_, 0);
@@ -76,6 +50,22 @@ void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
   }
 }
 
+void Server::account_epoch(const EpochUpdater::EpochResult& e,
+                           RequestSource& source, ServerReport& report) {
+  ++report.epochs;
+  report.updates_applied += e.stats.total_ops();
+  report.updates_failed += e.stats.failed;
+  report.epoch_build_seconds += e.apply_seconds;
+  report.epoch_upload_seconds += e.resync_seconds;
+  report.epoch_swap_wait_seconds += e.swap_wait_seconds;
+  report.epoch_stall_seconds += e.stall_seconds;
+  for (const Response& resp : e.responses) {
+    report.makespan = std::max(report.makespan, resp.completion);
+    source.on_complete(resp);
+    report.responses.push_back(resp);
+  }
+}
+
 void Server::run_epoch(double at, RequestSource& source, ServerReport& report) {
   // Quiesce: every batch admitted before the epoch trigger is served by
   // the pre-epoch tree. (They dispatch now; the device serializes them
@@ -84,109 +74,107 @@ void Server::run_epoch(double at, RequestSource& source, ServerReport& report) {
     handle_dispatch(scheduler_.dispatch_ready(at, device_free_, updater_.epochs()),
                     source, report);
   }
-  auto e = updater_.apply(at, device_free_);
+  const auto e = updater_.apply(at, device_free_);
   device_free_ = e.finish;
-  ++report.epochs;
-  report.updates_applied += e.stats.total_ops();
-  report.updates_failed += e.stats.failed;
   report.busy_seconds += e.finish - e.start;
-  for (Response& resp : e.responses) {
-    report.makespan = std::max(report.makespan, resp.completion);
-    source.on_complete(resp);
-    report.responses.push_back(std::move(resp));
-  }
+  account_epoch(e, source, report);
 }
 
-ServerReport Server::run(RequestSource& source) {
-  ServerReport report;
-  double now = 0.0;
+double Server::next_batch_time(double now) const {
+  if (scheduler_.empty()) return kNever;
+  const double trigger =
+      scheduler_.size_ready() ? now : scheduler_.next_deadline();
+  return std::max(trigger, device_free_);
+}
 
-  while (true) {
-    const Request* next = source.peek();
-    const double t_arrival = next ? next->arrival : kInf;
+void Server::dispatch_ready_batch(double now, RequestSource& source,
+                                  ServerReport& report) {
+  handle_dispatch(scheduler_.dispatch_ready(now, device_free_, updater_.epochs()),
+                  source, report);
+}
 
-    // A batch dispatches when BOTH its trigger (size reached, or oldest
-    // member hit the deadline) has fired AND the device is free. Until
-    // then its members stay in the bounded queue — that is what turns
-    // device saturation into backpressure at admission instead of an
-    // unbounded in-flight backlog.
-    double t_batch = kInf;
-    if (!scheduler_.empty()) {
-      const double trigger =
-          scheduler_.size_ready() ? now : scheduler_.next_deadline();
-      t_batch = std::max(trigger, device_free_);
-    }
-    const double t_epoch =
-        updater_.buffered() == 0
-            ? kInf
-            : (updater_.size_ready() ? now : updater_.next_deadline());
-
-    if (t_arrival == kInf && t_batch == kInf && t_epoch == kInf) {
-      // Stream exhausted and no armed trigger (possible only with
-      // infinite deadlines): final drain — queries first, then leftovers
-      // of the update buffer as a last epoch.
-      while (!scheduler_.empty()) {
-        handle_dispatch(scheduler_.dispatch_ready(std::max(now, device_free_),
-                                                  device_free_, updater_.epochs()),
-                        source, report);
-      }
-      if (updater_.buffered() > 0)
-        run_epoch(std::max(now, device_free_), source, report);
-      if (!source.peek()) break;  // on_complete may have injected arrivals
-      continue;
-    }
-
-    if (t_arrival <= t_batch && t_arrival <= t_epoch) {
-      now = t_arrival;
-      const Request r = source.pop();
-      ++report.arrivals;
-      if (r.kind == RequestKind::kUpdate) {
-        ++report.admitted;
-        ++report.update_requests;
-        updater_.buffer(r);  // size trigger fires via t_epoch next round
-      } else {
-        report.queue_depth.add(static_cast<double>(scheduler_.depth()));
-        if (!scheduler_.admit(r)) {
-          ++report.dropped;
-          Response resp;
-          resp.id = r.id;
-          resp.kind = r.kind;
-          resp.dropped = true;
-          resp.epoch = updater_.epochs();
-          resp.arrival = resp.dispatch = resp.completion = r.arrival;
-          resp.value = kNotFound;
-          if (config_.obs.trace != nullptr) {
-            config_.obs.trace->stamp(resp.id, obs::Stage::kReply,
-                                     resp.completion, 0, "rejected");
-          }
-          report.makespan = std::max(report.makespan, resp.completion);
-          source.on_complete(resp);
-          report.responses.push_back(std::move(resp));
-        } else {
-          ++report.admitted;
-        }
-      }
-    } else if (t_batch <= t_epoch) {
-      now = t_batch;
-      handle_dispatch(scheduler_.dispatch_ready(now, device_free_, updater_.epochs()),
-                      source, report);
-    } else {
-      now = t_epoch;
-      run_epoch(now, source, report);
-    }
+void Server::submit(const Request& r, RequestSource& source,
+                    ServerReport& report) {
+  report.queue_depth.add(static_cast<double>(scheduler_.depth()));
+  if (scheduler_.admit(r)) {
+    ++report.admitted;
+    return;
   }
+  ++report.dropped;
+  Response resp;
+  resp.id = r.id;
+  resp.kind = r.kind;
+  resp.dropped = true;
+  resp.epoch = updater_.epochs();
+  resp.arrival = resp.dispatch = resp.completion = r.arrival;
+  resp.value = kNotFound;
+  if (config_.obs.trace != nullptr) {
+    config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion, 0,
+                             "rejected");
+  }
+  report.makespan = std::max(report.makespan, resp.completion);
+  source.on_complete(resp);
+  report.responses.push_back(std::move(resp));
+}
+
+double Server::next_epoch_time(double now) const {
+  if (updater_.buffered() == 0) return kNever;
+  // One staging buffer: in overlap mode the next epoch cannot start to
+  // build until the in-flight image swaps.
+  if (config_.epoch.mode == EpochMode::kOverlap && updater_.inflight())
+    return kNever;
+  return updater_.size_ready() ? now : updater_.next_deadline();
+}
+
+void Server::epoch_begin(double now, RequestSource& source,
+                         ServerReport& report) {
+  if (config_.epoch.mode == EpochMode::kQuiesce) {
+    run_epoch(now, source, report);
+    return;
+  }
+  // Overlap: start the background build + upload; queries keep flowing
+  // against the live image until the swap.
+  updater_.stage(now);
+}
+
+double Server::next_swap_time() const {
+  if (!updater_.inflight()) return kNever;
+  // The swap lands on a batch boundary: the earliest instant the staged
+  // image is uploaded AND the device is between batches.
+  return std::max(updater_.staged().ready, device_free_);
+}
+
+void Server::epoch_commit(double now, RequestSource& source,
+                          ServerReport& report) {
+  // The swap itself is a pointer flip on the device: no device time
+  // beyond the instant — that is the whole point of the double buffer.
+  account_epoch(updater_.commit(now), source, report);
+}
+
+void Server::final_drain(double now, RequestSource& source,
+                         ServerReport& report) {
+  while (!scheduler_.empty()) {
+    handle_dispatch(scheduler_.dispatch_ready(std::max(now, device_free_),
+                                              device_free_, updater_.epochs()),
+                    source, report);
+  }
+  if (updater_.inflight()) {
+    const double swap_at =
+        std::max({now, updater_.staged().ready, device_free_});
+    epoch_commit(swap_at, source, report);
+  }
+  // Leftover updates at stream end: nothing is left to overlap with, so
+  // both modes close out with a quiesce-style final epoch.
+  if (updater_.buffered() > 0)
+    run_epoch(std::max(now, device_free_), source, report);
+}
+
+void Server::finish_run(ServerReport& report) {
   report.faults = injector_.report();
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->gauge("serve_makespan_seconds").set(report.makespan);
     config_.obs.metrics->gauge("serve_busy_seconds").set(report.busy_seconds);
   }
-  report.check_invariants();
-  return report;
-}
-
-ServerReport Server::run(std::span<const Request> requests) {
-  VectorSource source(std::vector<Request>(requests.begin(), requests.end()));
-  return run(source);
 }
 
 }  // namespace harmonia::serve

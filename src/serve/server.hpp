@@ -1,121 +1,63 @@
-// The online query-serving front end: one virtual-clock event loop that
-// composes the bounded admission queue, the deadline-driven batch
-// scheduler, and the epoch updater over a single HarmoniaIndex/device.
+// The online query-serving front end over a single HarmoniaIndex/device:
+// the Backend hooks that compose the bounded admission queue, the
+// deadline-driven batch scheduler, and the epoch updater.
 //
-// Event order is deterministic: the next event is the earliest of
-// (next arrival, oldest batch deadline, oldest update deadline); size
-// triggers fire inside the arrival that fills a lane or the update
-// buffer. An update epoch first quiesces (flushes every pending query
-// batch at the trigger time), then applies and resyncs — so every query
-// is served by a tree with a whole number of epochs applied, and each
-// response records which epoch count it observed.
+// Event order is deterministic (see serve/backend.hpp): the next event is
+// the earliest of (next arrival, oldest batch deadline, oldest update
+// deadline, staged image swap); size triggers fire inside the arrival
+// that fills a lane or the update buffer. In quiesce mode an update epoch
+// first drains every pending query batch at the trigger time, then
+// applies and resyncs; in overlap mode the epoch builds and uploads in
+// the background and swaps atomically at a batch boundary — either way
+// every query is served by a tree with a whole number of epochs applied,
+// and each response records which epoch count it observed.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "common/stats.hpp"
-#include "fault/injector.hpp"
 #include "harmonia/index.hpp"
-#include "harmonia/pipeline.hpp"
-#include "obs/observer.hpp"
+#include "serve/backend.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/epoch_updater.hpp"
-#include "serve/workload.hpp"
+#include "serve/options.hpp"
 
 namespace harmonia::serve {
 
-struct ServerConfig {
-  BatchConfig batch;
-  EpochConfig epoch;
-  TransferModel link;
-  /// Deterministic fault schedule (empty = fault-free, bit-identical to a
-  /// build without the fault layer) and the mitigation knobs. Shard-lost
-  /// events need a ShardedServer; a single-device plan may not carry them.
-  fault::FaultPlan faults;
-  fault::MitigationConfig mitigation;
-  /// Optional metrics + request-lifecycle tracing (docs/observability.md).
-  /// Both pointers null = zero-overhead, bit-identical to an unobserved
-  /// run. The caller owns the registry/recorder.
-  obs::Observer obs;
-};
+/// Historical name for the unified option struct (docs/serving.md).
+using ServerConfig = ServeOptions;
 
-struct ServerReport {
-  /// Every request's outcome (including drops), in service order.
-  std::vector<Response> responses;
-
-  /// Seconds, over completed (non-dropped) queries.
-  Summary latency;
-  Summary queue_delay;
-  /// Requests per dispatched query batch.
-  Summary batch_size;
-  /// Scheduler depth sampled at each query admission attempt.
-  Summary queue_depth;
-
-  std::uint64_t arrivals = 0;
-  std::uint64_t admitted = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t completed = 0;  // non-dropped queries served
-  /// Admitted queries later answered `dropped` by a fault mitigation
-  /// (retry budget exhausted / degraded-mode backlog). Kept apart from
-  /// `dropped` so admitted + dropped == arrivals holds under faults.
-  std::uint64_t shed = 0;
-  /// Update *requests* admitted into the epoch buffer (each produces one
-  /// update response; distinct from updates_applied, which counts ops and
-  /// excludes failed ones). Closes the admission identity below.
-  std::uint64_t update_requests = 0;
-  std::uint64_t batches = 0;
-  std::uint64_t epochs = 0;
-  std::uint64_t updates_applied = 0;
-  std::uint64_t updates_failed = 0;
-
-  /// Virtual time of the last completion.
-  double makespan = 0.0;
-  /// Device-occupied time (batch service + epoch apply/resync).
-  double busy_seconds = 0.0;
-
-  /// Injection/detection/mitigation tallies (all zero on fault-free runs).
-  fault::FaultReport faults;
-
-  /// Completed queries per virtual second, end to end.
-  double query_throughput() const {
-    return makespan > 0.0 ? static_cast<double>(completed) / makespan : 0.0;
-  }
-  /// Completed queries per device-busy second: the capacity the batching
-  /// achieved, independent of how hard the workload pushed.
-  double service_rate() const {
-    return busy_seconds > 0.0 ? static_cast<double>(completed) / busy_seconds : 0.0;
-  }
-
-  /// Accounting identities every fully-drained run must satisfy; the
-  /// report builders assert them before returning (two prior serving PRs
-  /// each shipped a silent tally bug such an invariant would have
-  /// tripped). At close nothing is in flight, so:
-  ///   arrivals == admitted + dropped
-  ///   admitted == completed + shed + update_requests
-  ///   responses.size() == arrivals  (every request answered exactly once)
-  /// Throws ContractViolation on violation.
-  void check_invariants() const;
-};
-
-class Server {
+class Server : public Backend {
  public:
   Server(HarmoniaIndex& index, const ServerConfig& config);
 
-  /// Runs the stream to completion (drains all lanes and leftover
-  /// updates) and returns the aggregate report.
-  ServerReport run(RequestSource& source);
-  /// Open-loop convenience: serve a pre-built, arrival-sorted stream.
-  ServerReport run(std::span<const Request> requests);
+  unsigned num_shards() const override { return 1; }
+
+ protected:
+  double next_batch_time(double now) const override;
+  void dispatch_ready_batch(double now, RequestSource& source,
+                            ServerReport& report) override;
+  void submit(const Request& r, RequestSource& source,
+              ServerReport& report) override;
+  void buffer_update(const Request& r) override { updater_.buffer(r); }
+  double next_epoch_time(double now) const override;
+  void epoch_begin(double now, RequestSource& source,
+                   ServerReport& report) override;
+  double next_swap_time() const override;
+  void epoch_commit(double now, RequestSource& source,
+                    ServerReport& report) override;
+  void final_drain(double now, RequestSource& source,
+                   ServerReport& report) override;
+  void finish_run(ServerReport& report) override;
 
  private:
   void handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
                        ServerReport& report);
+  /// Quiesce-mode epoch: drain, then apply + resync on the device clock.
   void run_epoch(double at, RequestSource& source, ServerReport& report);
+  /// Books one finished epoch (either mode) into the report.
+  void account_epoch(const EpochUpdater::EpochResult& e, RequestSource& source,
+                     ServerReport& report);
 
   HarmoniaIndex& index_;
-  ServerConfig config_;
+  ServeOptions config_;
   BatchScheduler scheduler_;
   EpochUpdater updater_;
   fault::FaultInjector injector_;

@@ -1,0 +1,46 @@
+#include "shard/backend_factory.hpp"
+
+#include "btree/btree.hpp"
+#include "common/expect.hpp"
+#include "queries/workload.hpp"
+#include "serve/server.hpp"
+#include "shard/plan.hpp"
+
+namespace harmonia::shard {
+
+ServingStack::ServingStack(const TopologySpec& topo,
+                           const serve::ServeOptions& options) {
+  HARMONIA_CHECK_MSG(topo.shards >= 1 && topo.shards <= ShardPlan::kMaxShards,
+                     "shards must lie in [1, " << ShardPlan::kMaxShards
+                                               << "], got " << topo.shards);
+  keys_ = queries::make_tree_keys(1ULL << topo.log2_keys, topo.seed);
+  std::vector<btree::Entry> entries;
+  entries.reserve(keys_.size());
+  for (Key k : keys_) entries.push_back({k, btree::value_for_key(k)});
+
+  if (topo.shards == 1) {
+    btree::BTree builder(topo.fanout);
+    builder.bulk_load(entries, 0.69);
+    gpusim::DeviceSpec spec = topo.device;
+    spec.global_mem_bytes = topo.device_global_bytes;
+    device_ = std::make_unique<gpusim::Device>(spec);
+    index_ = std::make_unique<HarmoniaIndex>(
+        *device_, HarmoniaTree::from_btree(builder),
+        HarmoniaIndex::Options{.fanout = topo.fanout});
+    backend_ = std::make_unique<serve::Server>(*index_, options);
+    return;
+  }
+
+  ShardedOptions shopts;
+  shopts.index.fanout = topo.fanout;
+  shopts.device = topo.device;
+  shopts.device_global_bytes = topo.device_global_bytes;
+  shopts.link = options.link;
+  // Balanced partition over the served keys: every shard is populated,
+  // which the sharded serving path requires.
+  sharded_ = std::make_unique<ShardedIndex>(
+      entries, ShardPlan::sample_balanced(keys_, topo.shards), shopts);
+  backend_ = std::make_unique<ShardedServer>(*sharded_, options);
+}
+
+}  // namespace harmonia::shard

@@ -1,0 +1,58 @@
+// The one place that turns "how many devices" into a serving Backend.
+//
+// Callers (the server-sim tool, the serving benches) describe the
+// topology — key count, fanout, shard count, device preset — and get back
+// a serve::Backend& plus the served keys; whether that is a single-device
+// Server or a range-sharded ShardedServer is decided here, inside src/,
+// so no tool or bench ever branches on the shard count again (the API
+// redesign's contract, docs/serving.md#migration).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "harmonia/index.hpp"
+#include "serve/backend.hpp"
+#include "serve/options.hpp"
+#include "shard/sharded_index.hpp"
+#include "shard/sharded_server.hpp"
+
+namespace harmonia::shard {
+
+struct TopologySpec {
+  /// log2 of the key count; keys come from queries::make_tree_keys(seed).
+  std::uint64_t log2_keys = 18;
+  unsigned fanout = 64;
+  /// 1 = single-device serve::Server; >1 = range-sharded ShardedServer
+  /// over a sample_balanced partition of the served keys.
+  unsigned shards = 1;
+  std::uint64_t seed = 1;
+  /// Device preset for every simulated device in the topology.
+  gpusim::DeviceSpec device = gpusim::titan_v();
+  std::uint64_t device_global_bytes = 8ULL << 30;
+};
+
+/// Owns the whole serving topology — keys, device(s), index(es), and the
+/// Backend over them — with the lifetimes in the right order. Build one,
+/// then drive `backend()` with a request stream.
+class ServingStack {
+ public:
+  ServingStack(const TopologySpec& topo, const serve::ServeOptions& options);
+
+  serve::Backend& backend() { return *backend_; }
+  const std::vector<Key>& keys() const { return keys_; }
+  unsigned num_shards() const { return backend_->num_shards(); }
+
+ private:
+  std::vector<Key> keys_;
+  // Single-device topology (null when sharded).
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<HarmoniaIndex> index_;
+  // Sharded topology (null when single-device).
+  std::unique_ptr<ShardedIndex> sharded_;
+  std::unique_ptr<serve::Backend> backend_;
+};
+
+}  // namespace harmonia::shard

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <numeric>
 #include <string>
 
 #include "common/expect.hpp"
@@ -11,33 +10,31 @@
 namespace harmonia::shard {
 
 using serve::BatchScheduler;
+using serve::EpochMode;
 using serve::Request;
 using serve::RequestKind;
 using serve::RequestSource;
 using serve::Response;
+using serve::ServerReport;
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-std::uint64_t sum(const std::vector<std::uint64_t>& v) {
-  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+void accumulate(UpdateStats& agg, const UpdateStats& st) {
+  agg.updates += st.updates;
+  agg.inserts += st.inserts;
+  agg.deletes += st.deletes;
+  agg.failed += st.failed;
+  agg.fine_path_ops += st.fine_path_ops;
+  agg.coarse_path_ops += st.coarse_path_ops;
+  agg.coarse_retries += st.coarse_retries;
+  agg.aux_nodes += st.aux_nodes;
+  agg.moved_slots += st.moved_slots;
+  agg.rebuilt = agg.rebuilt || st.rebuilt;
+  agg.apply_seconds += st.apply_seconds;
+  agg.rebuild_seconds += st.rebuild_seconds;
 }
 }  // namespace
-
-void ShardedServerReport::check_invariants() const {
-  ServerReport::check_invariants();
-  HARMONIA_CHECK_MSG(
-      sum(shard_admitted) + update_requests == admitted,
-      "sharded accounting broken: per-shard admissions sum to "
-          << sum(shard_admitted) << " + update_requests=" << update_requests
-          << " but admitted=" << admitted);
-  HARMONIA_CHECK_MSG(sum(shard_dropped) == dropped,
-                     "sharded accounting broken: per-shard drops sum to "
-                         << sum(shard_dropped) << " but dropped=" << dropped);
-  HARMONIA_CHECK_MSG(sum(shard_batches) == batches,
-                     "sharded accounting broken: per-shard batches sum to "
-                         << sum(shard_batches) << " but batches=" << batches);
-}
 
 ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& config)
     : index_(index),
@@ -48,7 +45,10 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
       fenced_(index.num_shards(), 0),
       fence_start_(index.num_shards(), 0.0),
       restore_at_(index.num_shards(), kInf),
-      cpu_free_(index.num_shards(), 0.0) {
+      cpu_free_(index.num_shards(), 0.0),
+      shard_epoch_(index.num_shards(), 0),
+      fence_depth_(index.num_shards(), 0) {
+  config_.validate(index_.num_shards());
   for (unsigned s = 0; s < index_.num_shards(); ++s) {
     HARMONIA_CHECK_MSG(index_.shard(s) != nullptr,
                        "shard " << s << " holds no keys — plan the partition "
@@ -66,6 +66,9 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
       split_ranges_total_ = &m.counter("shard_split_ranges_total");
       degraded_total_ = &m.counter("shard_degraded_requests_total");
       epochs_total_ = &m.counter("serve_epochs_total");
+      const auto edges = obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28);
+      swap_wait_hist_ = &m.histogram("serve_epoch_swap_wait_seconds", edges);
+      stall_hist_ = &m.histogram("serve_epoch_stall_seconds", edges);
     }
   }
 }
@@ -76,15 +79,22 @@ std::size_t ShardedServer::total_depth() const {
   return n;
 }
 
+void ShardedServer::begin_run(ServerReport& report) {
+  report.shard_batches.assign(index_.num_shards(), 0);
+  report.shard_queries.assign(index_.num_shards(), 0);
+  report.shard_admitted.assign(index_.num_shards(), 0);
+  report.shard_dropped.assign(index_.num_shards(), 0);
+}
+
 void ShardedServer::drop(const Request& r, unsigned shard, RequestSource& source,
-                         ShardedServerReport& report) {
+                         ServerReport& report) {
   ++report.dropped;
   ++report.shard_dropped[shard];
   Response resp;
   resp.id = r.id;
   resp.kind = r.kind;
   resp.dropped = true;
-  resp.epoch = epochs_;
+  resp.epoch = shard_epoch_[shard];
   resp.arrival = resp.dispatch = resp.completion = r.arrival;
   resp.value = kNotFound;
   if (config_.obs.trace != nullptr) {
@@ -96,8 +106,36 @@ void ShardedServer::drop(const Request& r, unsigned shard, RequestSource& source
   report.responses.push_back(std::move(resp));
 }
 
-void ShardedServer::admit_query(const Request& r, RequestSource& source,
-                                ShardedServerReport& report) {
+void ShardedServer::submit(const Request& r, RequestSource& source,
+                           ServerReport& report) {
+  // While the shards disagree on their epoch version (between the first
+  // and last staggered swap of a staged epoch), a straddling range has no
+  // single snapshot to read: park it and re-admit after the last swap.
+  // Parking starts as soon as a staged image is swap-ready: admitting
+  // more fan-outs then would keep re-raising the version fence and
+  // starve the swap under a sustained straddler stream.
+  if (r.kind == RequestKind::kRange &&
+      (mixed_version() || swap_pending(r.arrival)) &&
+      index_.plan().shard_of(r.key) != index_.plan().shard_of(r.hi)) {
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
+                               obs::TraceRecorder::kNoShard,
+                               "parked: shards mid-swap");
+    parked_.push_back(r);
+    return;
+  }
+  admit_query(r, r.arrival, source, report);
+}
+
+void ShardedServer::buffer_update(const Request& r) {
+  pending_updates_.push_back(r);
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
+                             obs::TraceRecorder::kNoShard, "update");
+}
+
+void ShardedServer::admit_query(const Request& r, double now,
+                                RequestSource& source, ServerReport& report) {
   report.queue_depth.add(static_cast<double>(total_depth()));
 
   if (r.kind == RequestKind::kPoint) {
@@ -107,7 +145,7 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
       // oracle (or shed if its backlog is full) — other ranges unaffected.
       ++report.admitted;
       ++report.shard_admitted[s];
-      finish(s, degraded_serve(s, r, r.arrival), source, report);
+      finish(s, degraded_serve(s, r, now), source, report);
     } else if (sched_[s]->admit(r)) {
       ++report.admitted;
       ++report.shard_admitted[s];
@@ -126,7 +164,7 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
     if (fenced_[s0]) {
       ++report.admitted;
       ++report.shard_admitted[s0];
-      finish(s0, degraded_serve(s0, r, r.arrival), source, report);
+      finish(s0, degraded_serve(s0, r, now), source, report);
     } else if (sched_[s0]->admit(r)) {
       ++report.admitted;
       ++report.shard_admitted[s0];
@@ -139,7 +177,8 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
   // Straddling: split into per-shard sub-requests with clamped bounds,
   // admitted all-or-nothing so a partially-enqueued fan-out never exists.
   // Fenced shards take their piece degraded, so only live shards' lanes
-  // are probed.
+  // are probed. Each queued piece raises its shard's version fence: the
+  // shard cannot swap a staged epoch image under a fan-out in flight.
   for (unsigned s = s0; s <= s1; ++s) {
     if (!fenced_[s] && sched_[s]->free_slots(RequestKind::kRange) == 0) {
       drop(r, s, source, report);
@@ -167,16 +206,17 @@ void ShardedServer::admit_query(const Request& r, RequestSource& source,
       config_.obs.trace->stamp(r.id, obs::Stage::kShardScatter, r.arrival, s,
                                "sub=" + std::to_string(sub.id));
     if (fenced_[s]) {
-      finish(s, degraded_serve(s, sub, r.arrival), source, report);
+      finish(s, degraded_serve(s, sub, now), source, report);
       continue;
     }
     const bool ok = sched_[s]->admit(sub);
     HARMONIA_CHECK(ok);  // free_slots was probed above
+    ++fence_depth_[s];
   }
 }
 
 void ShardedServer::deliver(Response resp, RequestSource& source,
-                            ShardedServerReport& report) {
+                            ServerReport& report) {
   if (resp.dropped) {
     // A fault mitigation gave up on this admitted query (retry budget or
     // degraded backlog): a shed, not an admission drop.
@@ -197,7 +237,7 @@ void ShardedServer::deliver(Response resp, RequestSource& source,
 }
 
 void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
-                           ShardedServerReport& report) {
+                           ServerReport& report) {
   if (resp.id < kSubIdBase) {
     deliver(std::move(resp), source, report);
     return;
@@ -233,8 +273,9 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
       merged.dropped = true;
       continue;
     }
-    // The cross-shard epoch barrier quiesces every shard before an epoch
-    // applies, so all live pieces of a fan-out observe the same epoch.
+    // The quiesce barrier and the overlap-mode version fence both
+    // guarantee every live piece of a fan-out observed the same epoch —
+    // this check is the torn-snapshot tripwire.
     if (!seen_live) {
       seen_live = true;
       merged.epoch = part.epoch;
@@ -264,24 +305,86 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
 
 void ShardedServer::handle_dispatch(unsigned s, BatchScheduler::Dispatch d,
                                     RequestSource& source,
-                                    ShardedServerReport& report) {
+                                    ServerReport& report) {
   device_free_[s] = d.finish;
   ++report.batches;
   ++report.shard_batches[s];
   report.shard_queries[s] += d.batch_size;
   report.batch_size.add(static_cast<double>(d.batch_size));
   report.busy_seconds += d.service_seconds();
-  for (Response& resp : d.responses) finish(s, std::move(resp), source, report);
+  for (Response& resp : d.responses) {
+    // A dequeued fan-out piece lowers its shard's version fence (shed or
+    // served — either way it no longer pins the shard's snapshot).
+    if (resp.id >= kSubIdBase) {
+      HARMONIA_CHECK(fence_depth_[s] > 0);
+      --fence_depth_[s];
+    }
+    finish(s, std::move(resp), source, report);
+  }
+}
+
+double ShardedServer::next_batch_time(double now) const {
+  double t_batch = kInf;
+  for (unsigned s = 0; s < sched_.size(); ++s) {
+    if (sched_[s]->empty()) continue;
+    const double trigger =
+        sched_[s]->size_ready() ? now : sched_[s]->next_deadline();
+    t_batch = std::min(t_batch, std::max(trigger, device_free_[s]));
+  }
+  return t_batch;
+}
+
+void ShardedServer::dispatch_ready_batch(double now, RequestSource& source,
+                                         ServerReport& report) {
+  // Re-derive the earliest shard at `now` (ties break to the lowest id).
+  unsigned best = 0;
+  double bt = kInf;
+  for (unsigned s = 0; s < sched_.size(); ++s) {
+    if (sched_[s]->empty()) continue;
+    const double trigger =
+        sched_[s]->size_ready() ? now : sched_[s]->next_deadline();
+    const double t = std::max(trigger, device_free_[s]);
+    if (t < bt) {
+      bt = t;
+      best = s;
+    }
+  }
+  HARMONIA_CHECK(bt < kInf);
+  handle_dispatch(best,
+                  sched_[best]->dispatch_ready(now, device_free_[best],
+                                               shard_epoch_[best]),
+                  source, report);
+}
+
+double ShardedServer::next_epoch_time(double now) const {
+  if (pending_updates_.empty()) return kNever;
+  // One staging buffer: in overlap mode the next epoch cannot start to
+  // build until every shard has swapped the in-flight one.
+  if (config_.epoch.mode == EpochMode::kOverlap && inflight_.has_value())
+    return kNever;
+  return pending_updates_.size() >= config_.epoch.max_buffered
+             ? now
+             : pending_updates_.front().arrival + config_.epoch.max_wait;
+}
+
+void ShardedServer::epoch_begin(double now, RequestSource& source,
+                                ServerReport& report) {
+  if (config_.epoch.mode == EpochMode::kQuiesce) {
+    run_epoch(now, source, report);
+    return;
+  }
+  begin_overlap_epoch(now, report);
 }
 
 void ShardedServer::run_epoch(double at, RequestSource& source,
-                              ShardedServerReport& report) {
+                              ServerReport& report) {
   // Quiesce: flush every shard's pending query batches so everything
   // admitted before the trigger is served by pre-epoch trees.
   for (unsigned s = 0; s < sched_.size(); ++s) {
     while (!sched_[s]->empty()) {
-      handle_dispatch(s, sched_[s]->dispatch_ready(at, device_free_[s], epochs_),
-                      source, report);
+      handle_dispatch(
+          s, sched_[s]->dispatch_ready(at, device_free_[s], shard_epoch_[s]),
+          source, report);
     }
   }
 
@@ -333,12 +436,18 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   ++epochs_;
   ++report.epochs;
   if (epochs_total_ != nullptr) epochs_total_->inc();
+  for (unsigned& v : shard_epoch_) v = epochs_;
   report.updates_applied += stats.total_ops();
   report.updates_failed += stats.failed;
+  report.epoch_build_seconds += apply_seconds;
+  report.epoch_upload_seconds += resync_seconds;
   // Every device is held through the epoch: admission reopens on all
   // shards at the same instant (the atomicity the stress tests pin).
-  report.busy_seconds +=
+  const double stall =
       (finish_t - start) * static_cast<double>(device_free_.size());
+  report.epoch_stall_seconds += stall;
+  if (stall_hist_ != nullptr) stall_hist_->observe(stall);
+  report.busy_seconds += stall;
   for (double& f : device_free_) f = finish_t;
 
   for (const Request& r : pending_updates_) {
@@ -363,8 +472,163 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   pending_updates_.clear();
 }
 
+void ShardedServer::begin_overlap_epoch(double now, ServerReport& report) {
+  (void)report;
+  const unsigned n = index_.num_shards();
+  InflightEpoch ep;
+  ep.ordinal = epochs_ + 1;
+  ep.trigger = now;
+  ep.requests = std::move(pending_updates_);
+  pending_updates_.clear();
+
+  // Scatter preserving arrival order within each shard: ops commute
+  // across shards (disjoint key ranges) but not within one.
+  std::vector<std::vector<queries::UpdateOp>> per_shard(n);
+  for (const Request& r : ep.requests)
+    per_shard[index_.plan().shard_of(r.key)].push_back({r.op, r.key, r.value});
+
+  // One host CPU builds every shard's shadow tree back to back, then the
+  // touched images upload concurrently over their own links.
+  ep.build_seconds =
+      static_cast<double>(ep.requests.size()) * config_.epoch.seconds_per_op;
+  ep.build_done = now + ep.build_seconds;
+  ep.shards.resize(n);
+  ep.remaining = n;
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->annotate(
+        now, obs::TraceRecorder::kNoShard,
+        "epoch build start epoch=" + std::to_string(ep.ordinal) +
+            " ops=" + std::to_string(ep.requests.size()));
+  for (unsigned s = 0; s < n; ++s) {
+    ShardStage& st = ep.shards[s];
+    if (per_shard[s].empty()) {
+      // Untouched shard: nothing to upload — it swaps (a version bump)
+      // as soon as the build finishes and its fence is clear.
+      st.ready = ep.build_done;
+      continue;
+    }
+    st.staged = true;
+    st.update = index_.shard(s)->stage_update(per_shard[s],
+                                              config_.epoch.apply_threads);
+    accumulate(ep.stats, st.update.stats);
+    double upload = image_resync_seconds(st.update.tree(), config_.link);
+    if (injector_.active()) {
+      upload *= injector_.transfer_factor(s, ep.build_done + upload);
+      // The staged image is audited (CRC32) before it may swap; a hit
+      // re-uploads while the old image keeps serving.
+      upload += injector_.audit_staged(s, upload, ep.build_done + upload);
+    }
+    st.upload_seconds = upload;
+    st.ready = ep.build_done + upload;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->annotate(ep.build_done, s,
+                                  "epoch upload start epoch=" +
+                                      std::to_string(ep.ordinal));
+      config_.obs.trace->annotate(st.ready, s, "epoch staged ready epoch=" +
+                                                   std::to_string(ep.ordinal));
+    }
+  }
+  inflight_ = std::move(ep);
+}
+
+double ShardedServer::swap_time_for(unsigned s) const {
+  const ShardStage& st = inflight_->shards[s];
+  // A fenced (lost) shard is not serving: its host-side swap needs no
+  // batch boundary. A live shard swaps between batches.
+  return fenced_[s] ? st.ready : std::max(st.ready, device_free_[s]);
+}
+
+double ShardedServer::next_swap_time() const {
+  if (!inflight_.has_value()) return kNever;
+  double t = kNever;
+  for (unsigned s = 0; s < inflight_->shards.size(); ++s) {
+    if (inflight_->shards[s].swapped) continue;
+    if (fence_depth_[s] > 0) continue;  // fan-out pieces pin the snapshot
+    t = std::min(t, swap_time_for(s));
+  }
+  return t;
+}
+
+void ShardedServer::epoch_commit(double now, RequestSource& source,
+                                 ServerReport& report) {
+  HARMONIA_CHECK(inflight_.has_value());
+  // The due shard: earliest swap time among unswapped, unfenced shards
+  // (ties break to the lowest id — deterministic stagger order).
+  unsigned best = 0;
+  double bt = kInf;
+  for (unsigned s = 0; s < inflight_->shards.size(); ++s) {
+    if (inflight_->shards[s].swapped || fence_depth_[s] > 0) continue;
+    const double t = swap_time_for(s);
+    if (t < bt) {
+      bt = t;
+      best = s;
+    }
+  }
+  HARMONIA_CHECK(bt < kInf);
+  ShardStage& st = inflight_->shards[best];
+  if (st.staged) index_.shard(best)->commit_staged(std::move(st.update));
+  st.swapped = true;
+  shard_epoch_[best] = inflight_->ordinal;
+  const double wait = now - st.ready;
+  report.epoch_swap_wait_seconds += wait;
+  if (swap_wait_hist_ != nullptr) swap_wait_hist_->observe(wait);
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->annotate(now, best,
+                                "epoch swap epoch=" +
+                                    std::to_string(inflight_->ordinal));
+  HARMONIA_CHECK(inflight_->remaining > 0);
+  if (--inflight_->remaining == 0) finish_overlap_epoch(now, source, report);
+}
+
+void ShardedServer::finish_overlap_epoch(double now, RequestSource& source,
+                                         ServerReport& report) {
+  InflightEpoch ep = std::move(*inflight_);
+  inflight_.reset();
+  ++epochs_;
+  HARMONIA_CHECK(epochs_ == ep.ordinal);
+  ++report.epochs;
+  if (epochs_total_ != nullptr) epochs_total_->inc();
+  report.updates_applied += ep.stats.total_ops();
+  report.updates_failed += ep.stats.failed;
+  report.epoch_build_seconds += ep.build_seconds;
+  // Touched images upload concurrently: the wall charge is the slowest.
+  double upload_max = 0.0;
+  for (const ShardStage& st : ep.shards)
+    upload_max = std::max(upload_max, st.upload_seconds);
+  report.epoch_upload_seconds += upload_max;
+
+  // The update requests complete at the last shard swap: only then is the
+  // epoch observable everywhere.
+  for (const Request& r : ep.requests) {
+    Response resp;
+    resp.id = r.id;
+    resp.kind = RequestKind::kUpdate;
+    resp.epoch = epochs_;
+    resp.arrival = r.arrival;
+    resp.dispatch = ep.trigger;
+    resp.completion = now;
+    if (config_.obs.trace != nullptr) {
+      config_.obs.trace->stamp(resp.id, obs::Stage::kDispatch, ep.trigger,
+                               obs::TraceRecorder::kNoShard,
+                               "epoch=" + std::to_string(epochs_) + " staged");
+      config_.obs.trace->stamp(resp.id, obs::Stage::kReply, now,
+                               obs::TraceRecorder::kNoShard);
+    }
+    report.makespan = std::max(report.makespan, resp.completion);
+    source.on_complete(resp);
+    report.responses.push_back(std::move(resp));
+  }
+
+  // Versions are uniform again: re-admit the straddlers that arrived
+  // mid-window (original arrival kept, so their deadlines are already
+  // urgent).
+  std::vector<Request> parked = std::move(parked_);
+  parked_.clear();
+  for (const Request& r : parked) admit_query(r, now, source, report);
+}
+
 void ShardedServer::fence_shard(double now, RequestSource& source,
-                                ShardedServerReport& report) {
+                                ServerReport& report) {
   const auto ev = injector_.take_shard_lost(now);
   HARMONIA_CHECK(ev.has_value());
   const unsigned s = ev->shard;
@@ -377,11 +641,25 @@ void ShardedServer::fence_shard(double now, RequestSource& source,
   // The device's in-flight admission queue dies with it. The queued
   // requests are not lost, though: re-route them through the degraded
   // path in arrival order (the CPU backlog bound sheds the excess).
-  for (const Request& r : sched_[s]->evict_all())
+  for (const Request& r : sched_[s]->evict_all()) {
+    if (r.id >= kSubIdBase) {
+      HARMONIA_CHECK(fence_depth_[s] > 0);
+      --fence_depth_[s];
+    }
     finish(s, degraded_serve(s, r, now), source, report);
+  }
 }
 
-void ShardedServer::restore_shard(double now, ShardedServerReport& report) {
+double ShardedServer::next_fault_time() const {
+  return injector_.active() ? injector_.next_shard_lost_time() : kNever;
+}
+
+void ShardedServer::handle_fault(double now, RequestSource& source,
+                                 ServerReport& report) {
+  fence_shard(now, source, report);
+}
+
+void ShardedServer::restore_shard(double now, ServerReport& report) {
   unsigned s = 0;
   for (unsigned i = 1; i < restore_at_.size(); ++i)
     if (restore_at_[i] < restore_at_[s]) s = i;
@@ -414,6 +692,16 @@ void ShardedServer::restore_shard(double now, ShardedServerReport& report) {
   }
 }
 
+double ShardedServer::next_restore_time() const {
+  double t = kInf;
+  for (const double r : restore_at_) t = std::min(t, r);
+  return t;
+}
+
+void ShardedServer::handle_restore(double now, ServerReport& report) {
+  restore_shard(now, report);
+}
+
 serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
                                               double now) {
   const fault::DegradedPolicy& pol = injector_.mitigation().degraded;
@@ -421,7 +709,7 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
   Response resp;
   resp.id = r.id;
   resp.kind = r.kind;
-  resp.epoch = epochs_;
+  resp.epoch = shard_epoch_[s];
   resp.arrival = r.arrival;
 
   // Admission shedding for the affected range only: once the CPU oracle
@@ -462,124 +750,50 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
   return resp;
 }
 
-double ShardedServer::next_restore_time() const {
-  double t = kInf;
-  for (const double r : restore_at_) t = std::min(t, r);
-  return t;
-}
-
-ShardedServerReport ShardedServer::run(RequestSource& source) {
-  ShardedServerReport report;
-  report.shard_batches.assign(index_.num_shards(), 0);
-  report.shard_queries.assign(index_.num_shards(), 0);
-  report.shard_admitted.assign(index_.num_shards(), 0);
-  report.shard_dropped.assign(index_.num_shards(), 0);
-  double now = 0.0;
-
+void ShardedServer::final_drain(double now, RequestSource& source,
+                                ServerReport& report) {
+  // Pending restores complete first (lose events not yet fired are inert
+  // past stream end).
+  while (next_restore_time() < kInf) {
+    now = std::max(now, next_restore_time());
+    restore_shard(now, report);
+  }
   while (true) {
-    const Request* next = source.peek();
-    const double t_arrival = next ? next->arrival : kInf;
-
-    // Earliest dispatchable batch across shards: each shard's trigger
-    // (size full, or oldest deadline) gated on its own device timeline.
-    double t_batch = kInf;
-    unsigned batch_shard = 0;
     for (unsigned s = 0; s < sched_.size(); ++s) {
-      if (sched_[s]->empty()) continue;
-      const double trigger =
-          sched_[s]->size_ready() ? now : sched_[s]->next_deadline();
-      const double t = std::max(trigger, device_free_[s]);
-      if (t < t_batch) {
-        t_batch = t;
-        batch_shard = s;
+      while (!sched_[s]->empty()) {
+        handle_dispatch(s,
+                        sched_[s]->dispatch_ready(std::max(now, device_free_[s]),
+                                                  device_free_[s],
+                                                  shard_epoch_[s]),
+                        source, report);
       }
     }
-    const double t_epoch =
-        pending_updates_.empty()
-            ? kInf
-            : (pending_updates_.size() >= config_.epoch.max_buffered
-                   ? now
-                   : pending_updates_.front().arrival + config_.epoch.max_wait);
-
-    if (t_arrival == kInf && t_batch == kInf && t_epoch == kInf) {
-      // Stream exhausted, no armed trigger: final drain, then leftovers
-      // of the update buffer as a last epoch. Pending restores complete
-      // first (lose events not yet fired are inert past stream end).
-      while (next_restore_time() < kInf) {
-        now = std::max(now, next_restore_time());
-        restore_shard(now, report);
-      }
-      for (unsigned s = 0; s < sched_.size(); ++s) {
-        while (!sched_[s]->empty()) {
-          handle_dispatch(s,
-                          sched_[s]->dispatch_ready(std::max(now, device_free_[s]),
-                                                    device_free_[s], epochs_),
-                          source, report);
-        }
-      }
-      if (!pending_updates_.empty()) run_epoch(now, source, report);
-      if (!source.peek()) break;  // on_complete may have injected arrivals
+    if (inflight_.has_value()) {
+      // Queues are drained, so every fence is clear: take the remaining
+      // staggered swaps in order. The last one re-admits any parked
+      // straddlers, which refill the schedulers — hence the outer loop.
+      const double t = next_swap_time();
+      HARMONIA_CHECK(t < kNever);
+      now = std::max(now, t);
+      epoch_commit(now, source, report);
       continue;
     }
-
-    // Fault events cut ahead of same-instant work: a shard lost at t is
-    // fenced before anything else dispatches at t, and a due restore
-    // rejoins its shard before new work routes around it.
-    if (injector_.active()) {
-      const double t_fault = injector_.next_shard_lost_time();
-      const double t_restore = next_restore_time();
-      const double t_work = std::min(t_arrival, std::min(t_batch, t_epoch));
-      if (t_fault <= t_work && t_fault <= t_restore) {
-        now = std::max(now, t_fault);
-        fence_shard(now, source, report);
-        continue;
-      }
-      if (t_restore <= t_work) {
-        now = std::max(now, t_restore);
-        restore_shard(now, report);
-        continue;
-      }
-    }
-
-    if (t_arrival <= t_batch && t_arrival <= t_epoch) {
-      now = t_arrival;
-      const Request r = source.pop();
-      ++report.arrivals;
-      if (r.kind == RequestKind::kUpdate) {
-        ++report.admitted;
-        ++report.update_requests;
-        pending_updates_.push_back(r);
-        if (config_.obs.trace != nullptr)
-          config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
-                                   obs::TraceRecorder::kNoShard, "update");
-      } else {
-        admit_query(r, source, report);
-      }
-    } else if (t_batch <= t_epoch) {
-      now = t_batch;
-      handle_dispatch(batch_shard,
-                      sched_[batch_shard]->dispatch_ready(now, device_free_[batch_shard],
-                                                          epochs_),
-                      source, report);
-    } else {
-      now = t_epoch;
-      run_epoch(now, source, report);
-    }
+    break;
   }
+  // Leftover updates at stream end: nothing is left to overlap with, so
+  // both modes close out with a quiesce-style final epoch.
+  if (!pending_updates_.empty()) run_epoch(now, source, report);
+}
 
+void ShardedServer::finish_run(ServerReport& report) {
   HARMONIA_CHECK(merges_.empty());  // every fan-out reassembled
+  HARMONIA_CHECK(!inflight_.has_value());
+  HARMONIA_CHECK(parked_.empty());
   report.faults = injector_.report();
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->gauge("serve_makespan_seconds").set(report.makespan);
     config_.obs.metrics->gauge("serve_busy_seconds").set(report.busy_seconds);
   }
-  report.check_invariants();
-  return report;
-}
-
-ShardedServerReport ShardedServer::run(std::span<const Request> requests) {
-  serve::VectorSource source(std::vector<Request>(requests.begin(), requests.end()));
-  return run(source);
 }
 
 }  // namespace harmonia::shard

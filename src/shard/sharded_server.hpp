@@ -1,95 +1,86 @@
-// Online serving over a range-sharded, multi-device index.
-//
-// One virtual-clock event loop drives a per-shard copy of the serving
-// machinery: every shard gets its own bounded admission queues and
+// Online serving over a range-sharded, multi-device index: the Backend
+// hooks (serve/backend.hpp) over a per-shard copy of the serving
+// machinery. Every shard gets its own bounded admission queues and
 // deadline-driven batch scheduler (src/serve/), and its own device
 // timeline, so shards batch and dispatch independently — the whole point
 // of sharding the serving path.
 //
-// Two pieces are genuinely cross-shard:
+// Three pieces are genuinely cross-shard:
 //   Range fan-out  : a range query whose span straddles a partition
 //                    boundary is split into per-shard sub-requests
 //                    (bounds clamped), admitted all-or-nothing, and its
 //                    response is reassembled in shard order when the last
 //                    piece completes.
-//   Epoch barrier  : buffered updates apply as one cross-shard epoch.
-//                    The trigger quiesces every shard (flushes all
-//                    pending query batches), waits for the slowest
-//                    device (the barrier), applies the Algorithm-1
-//                    updater per shard, resyncs every touched image
-//                    (overlapped, one link per device), and reopens
-//                    admission on all shards at the same instant. Every
-//                    query therefore observes a whole number of epochs on
-//                    *every* shard — there are no torn cross-shard
-//                    states, which is what the stress tests pin.
+//   Epoch barrier  : in quiesce mode, buffered updates apply as one
+//                    cross-shard epoch — the trigger quiesces every
+//                    shard, waits for the slowest device (the barrier),
+//                    applies the Algorithm-1 updater per shard, resyncs
+//                    every touched image, and reopens admission on all
+//                    shards at the same instant.
+//   Version fence  : in overlap mode (the double-buffered pipeline,
+//                    docs/serving.md#epoch-pipeline), each shard stages
+//                    image N+1 in the background and swaps at its own
+//                    batch boundary — staggered, no global barrier. The
+//                    fence keeps straddling ranges consistent anyway: a
+//                    shard cannot swap while fan-out pieces are queued on
+//                    it, and new straddlers arriving while shards
+//                    disagree on version are parked until the last swap.
+// Every query therefore observes a whole number of epochs on every shard
+// it touches — there are no torn cross-shard states, which is what the
+// stress tests pin.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <span>
+#include <optional>
 #include <vector>
 
+#include "serve/backend.hpp"
 #include "serve/batch_scheduler.hpp"
-#include "serve/server.hpp"
-#include "serve/workload.hpp"
+#include "serve/options.hpp"
 #include "shard/sharded_index.hpp"
 
 namespace harmonia::shard {
 
-struct ShardedServerConfig {
-  /// Per-shard scheduler configuration (every shard gets its own lanes
-  /// with this capacity, so aggregate admission scales with shards).
-  serve::BatchConfig batch;
-  serve::EpochConfig epoch;
-  TransferModel link;
-  /// Deterministic fault schedule and mitigation knobs. An empty plan is
-  /// the exact pre-fault event loop, bit for bit.
-  fault::FaultPlan faults;
-  fault::MitigationConfig mitigation;
-  /// Optional metrics + request-lifecycle tracing (docs/observability.md):
-  /// every shard's scheduler, the injector, and the fan-out/merge/degraded
-  /// paths stamp the same registry/recorder. Null = zero overhead.
-  obs::Observer obs;
-};
+/// Historical names for the unified option/report types (docs/serving.md):
+/// the sharded stack shares serve::ServeOptions (batch/epoch configs are
+/// per shard) and the unified serve::ServerReport, whose shard_* vectors
+/// it fills.
+using ShardedServerConfig = serve::ServeOptions;
+using ShardedServerReport = serve::ServerReport;
 
-struct ShardedServerReport : serve::ServerReport {
-  /// Query batches dispatched / queries served per shard.
-  std::vector<std::uint64_t> shard_batches;
-  std::vector<std::uint64_t> shard_queries;
-  /// Per-shard admissions and drops, tallied exactly once at the routing
-  /// point: a query counts toward the shard its routing starts at
-  /// (points: the owner shard; ranges: the first shard of the span), so
-  /// each vector sums to its stream-level counter. The schedulers' own
-  /// admitted()/rejected() tallies cannot be aggregated here — they
-  /// count every fan-out sub-request (double-counting straddling
-  /// ranges) and never see all-or-nothing probe drops (omitting them).
-  std::vector<std::uint64_t> shard_admitted;
-  std::vector<std::uint64_t> shard_dropped;
-  /// Range requests that fanned out across >1 shard.
-  std::uint64_t split_ranges = 0;
-  /// Device idle time summed over shards while epoch barriers gathered
-  /// the slowest shard (the intrinsic cost of atomic cross-shard epochs).
-  double barrier_wait_seconds = 0.0;
-
-  /// The single-stream identities plus the per-shard routing sums:
-  ///   sum(shard_admitted) + update_requests == admitted
-  ///   sum(shard_dropped) == dropped
-  ///   sum(shard_batches) == batches
-  /// (shard_queries sums fan-out sub-requests, so it has no stream-level
-  /// twin — see the field comment above.) Throws ContractViolation.
-  void check_invariants() const;
-};
-
-class ShardedServer {
+class ShardedServer : public serve::Backend {
  public:
   /// Every shard of `index` must hold keys (plan the partition from the
   /// served keys, e.g. ShardPlan::sample_balanced) so each shard has a
   /// live device and scheduler for the whole run.
   ShardedServer(ShardedIndex& index, const ShardedServerConfig& config);
 
-  ShardedServerReport run(serve::RequestSource& source);
-  ShardedServerReport run(std::span<const serve::Request> requests);
+  unsigned num_shards() const override { return index_.num_shards(); }
+
+ protected:
+  void begin_run(serve::ServerReport& report) override;
+  double next_batch_time(double now) const override;
+  void dispatch_ready_batch(double now, serve::RequestSource& source,
+                            serve::ServerReport& report) override;
+  void submit(const serve::Request& r, serve::RequestSource& source,
+              serve::ServerReport& report) override;
+  void buffer_update(const serve::Request& r) override;
+  double next_epoch_time(double now) const override;
+  void epoch_begin(double now, serve::RequestSource& source,
+                   serve::ServerReport& report) override;
+  double next_swap_time() const override;
+  void epoch_commit(double now, serve::RequestSource& source,
+                    serve::ServerReport& report) override;
+  double next_fault_time() const override;
+  void handle_fault(double now, serve::RequestSource& source,
+                    serve::ServerReport& report) override;
+  double next_restore_time() const override;
+  void handle_restore(double now, serve::ServerReport& report) override;
+  void final_drain(double now, serve::RequestSource& source,
+                   serve::ServerReport& report) override;
+  void finish_run(serve::ServerReport& report) override;
 
  private:
   /// Sub-request ids live above this bit so they can never collide with
@@ -103,37 +94,83 @@ class ShardedServer {
     serve::Request original;
   };
 
-  void admit_query(const serve::Request& r, serve::RequestSource& source,
-                   ShardedServerReport& report);
+  /// One shard's half-open state inside a staged (overlap-mode) epoch.
+  struct ShardStage {
+    bool staged = false;   // this shard has ops (and a shadow tree)
+    bool swapped = false;  // image N+1 already installed
+    double ready = 0.0;    // staged image uploaded + audited
+    double upload_seconds = 0.0;
+    HarmoniaIndex::StagedUpdate update;
+  };
+
+  /// The one staged epoch in flight between epoch_begin and the last
+  /// per-shard swap (single staging buffer, like the single-device path).
+  struct InflightEpoch {
+    unsigned ordinal = 0;  // epoch number every shard will swap to
+    double trigger = 0.0;
+    double build_seconds = 0.0;
+    double build_done = 0.0;
+    UpdateStats stats;  // summed over shards
+    std::vector<serve::Request> requests;
+    std::vector<ShardStage> shards;
+    unsigned remaining = 0;  // shards not yet swapped
+  };
+
+  void admit_query(const serve::Request& r, double now,
+                   serve::RequestSource& source, serve::ServerReport& report);
   void drop(const serve::Request& r, unsigned shard, serve::RequestSource& source,
-            ShardedServerReport& report);
+            serve::ServerReport& report);
   void handle_dispatch(unsigned s, serve::BatchScheduler::Dispatch d,
-                       serve::RequestSource& source, ShardedServerReport& report);
+                       serve::RequestSource& source, serve::ServerReport& report);
   /// Routes one finished response: sub-responses park in their merge
   /// slot until the fan-out completes; whole responses go to the report.
   void finish(unsigned s, serve::Response resp, serve::RequestSource& source,
-              ShardedServerReport& report);
+              serve::ServerReport& report);
   void deliver(serve::Response resp, serve::RequestSource& source,
-               ShardedServerReport& report);
+               serve::ServerReport& report);
+  /// Quiesce-mode epoch: drain every shard, barrier, apply, resync.
   void run_epoch(double at, serve::RequestSource& source,
-                 ShardedServerReport& report);
+                 serve::ServerReport& report);
+  /// Overlap-mode trigger: stage every touched shard's image N+1.
+  void begin_overlap_epoch(double now, serve::ServerReport& report);
+  /// Instant shard `s` (unswapped, fence clear) can take its swap.
+  double swap_time_for(unsigned s) const;
+  /// Books the finished staged epoch and re-admits parked straddlers.
+  void finish_overlap_epoch(double now, serve::RequestSource& source,
+                            serve::ServerReport& report);
+  /// True while shards disagree on their epoch version (between the
+  /// first and last swap of a staged epoch): new straddling ranges park.
+  bool mixed_version() const {
+    return inflight_.has_value() && inflight_->remaining < index_.num_shards();
+  }
+  /// True once any unswapped shard's staged image is ready at `now`: a
+  /// swap is due, so new straddling ranges must park instead of raising
+  /// the version fence again. Without this the fence never drains under
+  /// a sustained straddler stream and the swap starves (liveness, not
+  /// just consistency).
+  bool swap_pending(double now) const {
+    if (!inflight_.has_value()) return false;
+    for (const ShardStage& st : inflight_->shards) {
+      if (!st.swapped && st.ready <= now) return true;
+    }
+    return false;
+  }
 
   /// Shard-lost handling: fence the shard (its queued work re-routes to
   /// the CPU oracle), serve its key range degraded while the replacement
   /// device re-images, then rejoin it at restore time.
   void fence_shard(double now, serve::RequestSource& source,
-                   ShardedServerReport& report);
-  void restore_shard(double now, ShardedServerReport& report);
+                   serve::ServerReport& report);
+  void restore_shard(double now, serve::ServerReport& report);
   /// Serves one request of a fenced shard's range from the host tree on
   /// the shard's CPU timeline; sheds (dropped response) once the CPU
   /// backlog exceeds the degraded policy's max_backlog.
   serve::Response degraded_serve(unsigned s, const serve::Request& r, double now);
-  double next_restore_time() const;
 
   std::size_t total_depth() const;
 
   ShardedIndex& index_;
-  ShardedServerConfig config_;
+  serve::ServeOptions config_;
   fault::FaultInjector injector_;
   /// One scheduler per shard.
   std::vector<std::unique_ptr<serve::BatchScheduler>> sched_;
@@ -145,7 +182,21 @@ class ShardedServer {
   std::vector<double> restore_at_;
   std::vector<double> cpu_free_;
   std::vector<serve::Request> pending_updates_;
+  /// Fully committed epochs (every shard swapped / quiesce applied).
   unsigned epochs_ = 0;
+  /// Per-shard epoch version: equals epochs_ outside a swap window; the
+  /// shards that already took their staggered swap sit at epochs_ + 1.
+  /// Stamped into every response the shard serves (device or degraded).
+  std::vector<unsigned> shard_epoch_;
+  /// Cross-shard version fence: queued fan-out sub-requests per shard.
+  /// A shard with a non-zero fence cannot swap — its queued pieces were
+  /// admitted against the current snapshot and their siblings may
+  /// already have been served from it.
+  std::vector<std::size_t> fence_depth_;
+  /// Straddling ranges that arrived during a mixed-version window; they
+  /// re-admit (original arrival kept) right after the last swap.
+  std::vector<serve::Request> parked_;
+  std::optional<InflightEpoch> inflight_;
   std::uint64_t next_sub_id_ = kSubIdBase;
   /// Sub-request id -> parent request id.
   std::map<std::uint64_t, std::uint64_t> parent_of_;
@@ -155,6 +206,8 @@ class ShardedServer {
   obs::Counter* split_ranges_total_ = nullptr;
   obs::Counter* degraded_total_ = nullptr;
   obs::Counter* epochs_total_ = nullptr;
+  obs::LatencyHistogram* swap_wait_hist_ = nullptr;
+  obs::LatencyHistogram* stall_hist_ = nullptr;
 };
 
 }  // namespace harmonia::shard

@@ -5,13 +5,17 @@
 //                              --updates=0.05 --ranges=0.02 --max-wait-us=100
 //   harmonia_server_sim closed --size=18 --clients=256 --think-us=20 --requests=20000
 //
+// The topology is just a flag: --shards=1 serves from one device,
+// --shards=N range-shards the key space over N devices — either way the
+// run goes through the same serve::Backend (shard/backend_factory.hpp),
+// and --epoch-mode picks quiesce or the double-buffered overlap pipeline.
+//
 // Prints the aggregate report: admission/drop counts, batch-size and
-// latency distributions (p50/p95/p99), update epochs, achieved
-// throughput, and device-busy service rate.
+// latency distributions (p50/p95/p99), update epochs with per-stage cost
+// attribution, achieved throughput, and device-busy service rate.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <memory>
 #include <string>
 
 #include "common/cli.hpp"
@@ -21,9 +25,9 @@
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
 #include "queries/workload.hpp"
-#include "serve/server.hpp"
+#include "serve/options.hpp"
 #include "serve/workload.hpp"
-#include "shard/sharded_server.hpp"
+#include "shard/backend_factory.hpp"
 
 using namespace harmonia;
 
@@ -40,19 +44,13 @@ void add_server_flags(Cli& cli) {
   cli.flag("size", "log2 tree size", "18")
       .flag("fanout", "tree fanout", "64")
       .flag("shards", "simulated devices (range-sharded serving)", "1")
-      .flag("max-batch", "batch size trigger", "4096")
-      .flag("max-wait-us", "batch deadline (us)", "100")
-      .flag("queue-cap", "admission queue capacity per lane", "16384")
-      .flag("epoch-updates", "updates buffered per epoch", "4096")
-      .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("seed", "workload seed", "1")
-      .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
-                      "(see docs/fault_tolerance.md)", "")
       .flag("fault-csv", "write the FaultReport as CSV to this path", "")
       .flag("metrics", "print a Prometheus-style metrics dump to stdout", "false")
       .flag("metrics-out", "write the Prometheus-style metrics dump to this path", "")
       .flag("trace-out", "write the request-lifecycle trace to this path "
                          "(CSV, or JSON when the path ends in .json)", "");
+  serve::ServeOptions::add_flags(cli);
 }
 
 /// The tool-owned observability sinks (docs/observability.md). The serving
@@ -111,38 +109,19 @@ struct ObsSink {
   }
 };
 
-unsigned shards_flag(const Cli& cli) {
+shard::TopologySpec topology(const Cli& cli) {
   const std::uint64_t n = cli.get_uint("shards", 1);
   if (n < 1 || n > shard::ShardPlan::kMaxShards) {
     std::fprintf(stderr, "error: --shards must lie in [1, %u], got %llu\n",
                  shard::ShardPlan::kMaxShards, static_cast<unsigned long long>(n));
     std::exit(2);
   }
-  return static_cast<unsigned>(n);
-}
-
-serve::ServerConfig server_config(const Cli& cli) {
-  serve::ServerConfig cfg;
-  cfg.batch.max_batch = cli.get_uint("max-batch", 4096);
-  cfg.batch.max_wait = static_cast<double>(cli.get_uint("max-wait-us", 100)) * 1e-6;
-  cfg.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
-  cfg.epoch.max_buffered = cli.get_uint("epoch-updates", 4096);
-  cfg.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
-  if (const std::string spec = cli.get_string("faults", ""); !spec.empty()) {
-    try {
-      cfg.faults = fault::FaultPlan::parse(spec);
-    } catch (const ContractViolation& e) {
-      std::fprintf(stderr, "error: bad --faults spec: %s\n", e.what());
-      std::exit(2);
-    }
-  }
-  if (cfg.batch.queue_capacity < cfg.batch.max_batch) {
-    std::fprintf(stderr, "error: --queue-cap (%llu) must be >= --max-batch (%llu)\n",
-                 static_cast<unsigned long long>(cfg.batch.queue_capacity),
-                 static_cast<unsigned long long>(cfg.batch.max_batch));
-    std::exit(2);
-  }
-  return cfg;
+  shard::TopologySpec topo;
+  topo.log2_keys = cli.get_uint("size", 18);
+  topo.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  topo.shards = static_cast<unsigned>(n);
+  topo.seed = cli.get_uint("seed", 1);
+  return topo;
 }
 
 void print_report(const serve::ServerReport& rep) {
@@ -159,6 +138,12 @@ void print_report(const serve::ServerReport& rep) {
               static_cast<unsigned long long>(rep.epochs),
               static_cast<unsigned long long>(rep.updates_applied),
               static_cast<unsigned long long>(rep.updates_failed));
+  if (rep.epochs > 0) {
+    std::printf("epoch pipeline  : build %.3f ms | upload %.3f ms | "
+                "swap wait %.3f ms | serving stall %.3f ms\n",
+                rep.epoch_build_seconds * 1e3, rep.epoch_upload_seconds * 1e3,
+                rep.epoch_swap_wait_seconds * 1e3, rep.epoch_stall_seconds * 1e3);
+  }
   if (!rep.latency.empty()) {
     std::printf("latency         : p50 %.1f us | p95 %.1f us | p99 %.1f us | max %.1f us\n",
                 rep.latency.percentile(50) * 1e6, rep.latency.percentile(95) * 1e6,
@@ -175,6 +160,19 @@ void print_report(const serve::ServerReport& rep) {
   std::printf("throughput      : %s achieved | %s while busy\n",
               throughput_human(rep.query_throughput()).c_str(),
               throughput_human(rep.service_rate()).c_str());
+  // Sharded topology: the per-shard section of the same report.
+  for (std::size_t s = 0; s < rep.shard_batches.size(); ++s) {
+    std::printf("shard %-2llu        : %llu batches, %llu queries\n",
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(rep.shard_batches[s]),
+                static_cast<unsigned long long>(rep.shard_queries[s]));
+  }
+  if (!rep.shard_batches.empty()) {
+    std::printf("range fan-outs  : %llu split across shards\n",
+                static_cast<unsigned long long>(rep.split_ranges));
+    std::printf("barrier wait    : %.3f ms device idle at epoch barriers\n",
+                rep.barrier_wait_seconds * 1e3);
+  }
   if (rep.faults != fault::FaultReport{}) {
     const fault::FaultReport& f = rep.faults;
     std::printf("faults injected : %llu slowdown windows, %llu dispatch failures, "
@@ -214,83 +212,6 @@ void maybe_write_fault_csv(const Cli& cli, const serve::ServerReport& rep) {
   std::fclose(f);
 }
 
-/// Per-shard counters the single-device report doesn't have.
-void print_shard_report(const shard::ShardedServerReport& rep) {
-  print_report(rep);
-  for (std::size_t s = 0; s < rep.shard_batches.size(); ++s) {
-    std::printf("shard %-2llu        : %llu batches, %llu queries\n",
-                static_cast<unsigned long long>(s),
-                static_cast<unsigned long long>(rep.shard_batches[s]),
-                static_cast<unsigned long long>(rep.shard_queries[s]));
-  }
-  std::printf("range fan-outs  : %llu split across shards\n",
-              static_cast<unsigned long long>(rep.split_ranges));
-  std::printf("barrier wait    : %.3f ms device idle at epoch barriers\n",
-              rep.barrier_wait_seconds * 1e3);
-}
-
-/// Device and index live behind unique_ptrs: HarmoniaIndex references its
-/// Device and is not movable (the updater owns mutexes).
-struct BuiltIndex {
-  std::vector<Key> keys;
-  std::unique_ptr<gpusim::Device> device;
-  std::unique_ptr<HarmoniaIndex> index;
-};
-
-struct BuiltShards {
-  std::vector<Key> keys;
-  std::unique_ptr<shard::ShardedIndex> index;
-};
-
-BuiltShards build_sharded(const Cli& cli, unsigned num_shards) {
-  BuiltShards b;
-  b.keys =
-      queries::make_tree_keys(1ULL << cli.get_uint("size", 18), cli.get_uint("seed", 1));
-  std::vector<btree::Entry> entries;
-  entries.reserve(b.keys.size());
-  for (Key k : b.keys) entries.push_back({k, btree::value_for_key(k)});
-
-  shard::ShardedOptions options;
-  options.index.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
-  options.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
-  // Balanced partition over the served keys: every shard is populated,
-  // which the sharded serving path requires.
-  b.index = std::make_unique<shard::ShardedIndex>(
-      entries, shard::ShardPlan::sample_balanced(b.keys, num_shards), options);
-  return b;
-}
-
-shard::ShardedServerConfig sharded_config(const Cli& cli) {
-  const serve::ServerConfig base = server_config(cli);
-  shard::ShardedServerConfig cfg;
-  cfg.batch = base.batch;
-  cfg.epoch = base.epoch;
-  cfg.link = base.link;
-  cfg.faults = base.faults;
-  cfg.mitigation = base.mitigation;
-  return cfg;
-}
-
-BuiltIndex build_index(const Cli& cli) {
-  BuiltIndex b;
-  b.keys =
-      queries::make_tree_keys(1ULL << cli.get_uint("size", 18), cli.get_uint("seed", 1));
-  std::vector<btree::Entry> entries;
-  entries.reserve(b.keys.size());
-  for (Key k : b.keys) entries.push_back({k, btree::value_for_key(k)});
-
-  const auto fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
-  btree::BTree builder(fanout);
-  builder.bulk_load(entries, 0.69);
-
-  auto spec = gpusim::titan_v();
-  spec.global_mem_bytes = 8ULL << 30;
-  b.device = std::make_unique<gpusim::Device>(spec);
-  b.index = std::make_unique<HarmoniaIndex>(*b.device, HarmoniaTree::from_btree(builder),
-                                            HarmoniaIndex::Options{.fanout = fanout});
-  return b;
-}
-
 int cmd_open(int argc, const char* const* argv) {
   Cli cli;
   add_server_flags(cli);
@@ -301,7 +222,7 @@ int cmd_open(int argc, const char* const* argv) {
       .flag("range-span", "keys per range", "32")
       .flag("dist", "query distribution", "uniform");
   if (!cli.parse(argc, argv)) return 2;
-  const unsigned num_shards = shards_flag(cli);
+  const shard::TopologySpec topo = topology(cli);
 
   serve::OpenLoopSpec spec;
   spec.arrivals_per_second = cli.get_double("rate-mqs", 10.0) * 1e6;
@@ -318,30 +239,19 @@ int cmd_open(int argc, const char* const* argv) {
   spec.seed = cli.get_uint("seed", 1) + 7;
 
   std::printf("open loop: %llu requests at %.1f Mq/s (%.1f%% updates, %.1f%% ranges, "
-              "%u device%s)\n\n",
+              "%u device%s, %s epochs)\n\n",
               static_cast<unsigned long long>(spec.count),
               spec.arrivals_per_second / 1e6, spec.update_fraction * 100,
-              spec.range_fraction * 100, num_shards, num_shards > 1 ? "s" : "");
+              spec.range_fraction * 100, topo.shards, topo.shards > 1 ? "s" : "",
+              cli.get_string("epoch-mode", "quiesce").c_str());
   ObsSink sink(cli);
-  if (num_shards == 1) {
-    auto built = build_index(cli);
-    const auto stream = serve::make_open_loop(built.keys, spec);
-    serve::ServerConfig cfg = server_config(cli);
-    cfg.obs = sink.observer();
-    serve::Server server(*built.index, cfg);
-    const auto rep = server.run(stream);
-    print_report(rep);
-    maybe_write_fault_csv(cli, rep);
-  } else {
-    auto sharded = build_sharded(cli, num_shards);
-    const auto stream = serve::make_open_loop(sharded.keys, spec);
-    shard::ShardedServerConfig cfg = sharded_config(cli);
-    cfg.obs = sink.observer();
-    shard::ShardedServer server(*sharded.index, cfg);
-    const auto rep = server.run(stream);
-    print_shard_report(rep);
-    maybe_write_fault_csv(cli, rep);
-  }
+  serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
+  cfg.obs = sink.observer();
+  shard::ServingStack stack(topo, cfg);
+  const auto stream = serve::make_open_loop(stack.keys(), spec);
+  const auto rep = stack.backend().run(stream);
+  print_report(rep);
+  maybe_write_fault_csv(cli, rep);
   sink.dump();
   return 0;
 }
@@ -354,7 +264,7 @@ int cmd_closed(int argc, const char* const* argv) {
       .flag("requests", "total requests", "20000")
       .flag("dist", "query distribution", "uniform");
   if (!cli.parse(argc, argv)) return 2;
-  const unsigned num_shards = shards_flag(cli);
+  const shard::TopologySpec topo = topology(cli);
 
   serve::ClosedLoopSpec spec;
   spec.clients = static_cast<unsigned>(cli.get_uint("clients", 256));
@@ -365,28 +275,16 @@ int cmd_closed(int argc, const char* const* argv) {
 
   std::printf("closed loop: %u clients, think %.0f us, %llu requests, %u device%s\n\n",
               spec.clients, spec.think_seconds * 1e6,
-              static_cast<unsigned long long>(spec.total_requests), num_shards,
-              num_shards > 1 ? "s" : "");
+              static_cast<unsigned long long>(spec.total_requests), topo.shards,
+              topo.shards > 1 ? "s" : "");
   ObsSink sink(cli);
-  if (num_shards == 1) {
-    auto built = build_index(cli);
-    serve::ClosedLoopSource source(built.keys, spec);
-    serve::ServerConfig cfg = server_config(cli);
-    cfg.obs = sink.observer();
-    serve::Server server(*built.index, cfg);
-    const auto rep = server.run(source);
-    print_report(rep);
-    maybe_write_fault_csv(cli, rep);
-  } else {
-    auto sharded = build_sharded(cli, num_shards);
-    serve::ClosedLoopSource source(sharded.keys, spec);
-    shard::ShardedServerConfig cfg = sharded_config(cli);
-    cfg.obs = sink.observer();
-    shard::ShardedServer server(*sharded.index, cfg);
-    const auto rep = server.run(source);
-    print_shard_report(rep);
-    maybe_write_fault_csv(cli, rep);
-  }
+  serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
+  cfg.obs = sink.observer();
+  shard::ServingStack stack(topo, cfg);
+  serve::ClosedLoopSource source(stack.keys(), spec);
+  const auto rep = stack.backend().run(source);
+  print_report(rep);
+  maybe_write_fault_csv(cli, rep);
   sink.dump();
   return 0;
 }
@@ -402,8 +300,9 @@ int main(int argc, char** argv) try {
   if (mode == "closed") return cmd_closed(sub_argc, sub_argv);
   return usage();
 } catch (const ContractViolation& e) {
-  // e.g. a --faults plan whose events don't fit the run (lose on a
-  // single-device server, shard id out of range).
+  // e.g. an option combination ServeOptions::validate rejects (queue-cap
+  // below max-batch, lose on a single-device topology, bad --epoch-mode)
+  // or a malformed --faults plan.
   std::fprintf(stderr, "error: %s\n", e.what());
   return 2;
 }
