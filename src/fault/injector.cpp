@@ -25,7 +25,8 @@ const char* FaultReport::csv_header() {
          "audits,checksum_mismatches,retries,retry_shed_batches,"
          "retry_shed_requests,reimages,hedges_issued,hedges_won,"
          "degraded_points,degraded_ranges,degraded_shed,shards_restored,"
-         "backoff_us,reimage_us,degraded_us,fenced_us";
+         "backoff_us,reimage_us,degraded_us,fenced_us,"
+         "retry_shed_gold,retry_shed_silver,retry_shed_bronze";
 }
 
 std::string FaultReport::csv_row() const {
@@ -33,7 +34,7 @@ std::string FaultReport::csv_row() const {
   std::snprintf(
       buf, sizeof buf,
       "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%llu,%llu,%.3f,%.3f,%.3f,%.3f",
+      "%llu,%llu,%.3f,%.3f,%.3f,%.3f,%llu,%llu,%llu",
       static_cast<unsigned long long>(slowdown_windows),
       static_cast<unsigned long long>(dispatch_failures),
       static_cast<unsigned long long>(corruptions),
@@ -50,7 +51,10 @@ std::string FaultReport::csv_row() const {
       static_cast<unsigned long long>(degraded_ranges),
       static_cast<unsigned long long>(degraded_shed),
       static_cast<unsigned long long>(shards_restored), backoff_seconds * 1e6,
-      reimage_seconds * 1e6, degraded_seconds * 1e6, fenced_seconds * 1e6);
+      reimage_seconds * 1e6, degraded_seconds * 1e6, fenced_seconds * 1e6,
+      static_cast<unsigned long long>(retry_shed_by_class[0]),
+      static_cast<unsigned long long>(retry_shed_by_class[1]),
+      static_cast<unsigned long long>(retry_shed_by_class[2]));
   return buf;
 }
 

@@ -18,11 +18,13 @@
 // fault-free runs are bit-identical to pre-fault behaviour.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 #include "fault/fault_plan.hpp"
+#include "qos/priority.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
 #include "obs/observer.hpp"
@@ -81,6 +83,9 @@ struct FaultReport {
   std::uint64_t retries = 0;
   std::uint64_t retry_shed_batches = 0;
   std::uint64_t retry_shed_requests = 0;
+  /// retry_shed_requests split by the shed batch's priority class
+  /// (single-class lanes: a shed batch charges exactly one class).
+  std::array<std::uint64_t, qos::kNumClasses> retry_shed_by_class{};
   std::uint64_t reimages = 0;
   std::uint64_t hedges_issued = 0;
   std::uint64_t hedges_won = 0;

@@ -1,5 +1,7 @@
 #include "harmonia/index.hpp"
 
+#include <algorithm>
+
 #include "common/expect.hpp"
 #include "common/timer.hpp"
 #include "harmonia/ntg.hpp"
@@ -98,6 +100,26 @@ HarmoniaIndex::RangeResult HarmoniaIndex::range_device(std::span<const Key> los,
     result.values[q].assign(flat.begin() + static_cast<std::ptrdiff_t>(q * max_results),
                             flat.begin() + static_cast<std::ptrdiff_t>(q * max_results +
                                                                        counts[q]));
+  }
+  return result;
+}
+
+HarmoniaIndex::RangeResult HarmoniaIndex::scan_device(
+    std::span<const Key> los, std::span<const std::uint32_t> ns) {
+  HARMONIA_CHECK(!los.empty());
+  HARMONIA_CHECK(los.size() == ns.size());
+  unsigned maxn = 1;
+  for (std::uint32_t n : ns) maxn = std::max(maxn, n);
+  const std::vector<Key> his(los.size(), kPadKey);
+  RangeResult result = range_device(los, his, maxn);
+  // The kernel ran with the batch-max cap; each query keeps only its own
+  // n and total_results is recomputed so the transfer model charges for
+  // the values actually downloaded.
+  result.total_results = 0;
+  for (std::size_t q = 0; q < ns.size(); ++q) {
+    std::vector<Value>& vals = result.values[q];
+    if (vals.size() > ns[q]) vals.resize(ns[q]);
+    result.total_results += vals.size();
   }
   return result;
 }

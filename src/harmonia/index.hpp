@@ -106,6 +106,19 @@ class HarmoniaIndex {
   RangeResult range_device(std::span<const Key> los, std::span<const Key> his,
                            unsigned max_results = 64);
 
+  /// Batched online scans ([lo, n) semantics): the first ns[i] values
+  /// with key >= los[i], in key order. Runs the range kernel with an
+  /// open upper bound and the batch-max n as the uniform result cap,
+  /// then truncates each query to its own n (total_results reflects the
+  /// truncated counts — only requested values are downloaded).
+  RangeResult scan_device(std::span<const Key> los,
+                          std::span<const std::uint32_t> ns);
+
+  /// Host-side scan oracle: first `n` entries with key >= lo.
+  std::vector<btree::Entry> scan_host(Key lo, std::size_t n) const {
+    return tree().range(lo, kPadKey, n);
+  }
+
   /// Update phase: applies the batch on the CPU (Algorithm 1), then
   /// re-synchronizes the device image.
   UpdateStats update_batch(std::span<const queries::UpdateOp> ops, unsigned threads = 1);

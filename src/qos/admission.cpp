@@ -1,0 +1,44 @@
+#include "qos/admission.hpp"
+
+#include "common/expect.hpp"
+
+namespace harmonia::qos {
+
+void QosConfig::validate() const {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    HARMONIA_CHECK_MSG(classes[c].weight > 0.0,
+                       "qos: class " << to_string(priority_at(c))
+                                     << " weight must be positive");
+    HARMONIA_CHECK_MSG(classes[c].deadline_factor > 0.0,
+                       "qos: class " << to_string(priority_at(c))
+                                     << " deadline_factor must be positive");
+  }
+  HARMONIA_CHECK_MSG(tenant_rate >= 0.0, "qos: tenant_rate may not be negative");
+  HARMONIA_CHECK_MSG(tenant_rate == 0.0 || tenant_burst > 0.0,
+                     "qos: tenant_burst must be positive when throttling");
+}
+
+AdmissionController::AdmissionController(const QosConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+bool AdmissionController::throttling() const {
+  return config_.enabled && config_.tenant_rate > 0.0;
+}
+
+bool AdmissionController::admit(std::uint32_t tenant, double now) {
+  if (!throttling()) return true;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(tenant, TokenBucket(config_.tenant_rate,
+                                          config_.tenant_burst, now))
+             .first;
+  }
+  if (it->second.try_take(now)) return true;
+  ++throttled_;
+  return false;
+}
+
+}  // namespace harmonia::qos

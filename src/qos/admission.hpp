@@ -1,0 +1,76 @@
+// QosConfig — the one knob surface of the multi-tenant front-end — and
+// the per-tenant token-bucket admission controller.
+//
+// The config travels inside serve::ServeOptions so both serving
+// topologies (Server, ShardedServer) apply identical policy:
+//   classes[c].weight          : weighted-fair batch formation share;
+//   classes[c].deadline_factor : the class's batch deadline is
+//                                max_wait * factor (gold 1.0 = the legacy
+//                                deadline; bronze can trade latency for
+//                                batching efficiency);
+//   tenant_rate / tenant_burst : per-tenant token bucket at queue entry.
+// A default-constructed config (enabled == false) is inert: single-class
+// streams serve bit-identically to the pre-QoS scheduler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "qos/priority.hpp"
+#include "qos/token_bucket.hpp"
+
+namespace harmonia::qos {
+
+struct ClassPolicy {
+  /// Weighted-fair share of dispatch slots (relative across classes).
+  double weight = 1.0;
+  /// Batch deadline stretch: this class's deadline trigger fires at
+  /// oldest_arrival + max_wait * deadline_factor.
+  double deadline_factor = 1.0;
+};
+
+struct QosConfig {
+  /// Master switch: false keeps every QoS branch (weighted-fair lane
+  /// selection, eviction, deadline stretch, throttling) inert.
+  bool enabled = false;
+  std::array<ClassPolicy, kNumClasses> classes{};
+  /// Per-tenant admission rate, requests per virtual second (0 = no
+  /// throttling; every tenant gets its own bucket at this rate).
+  double tenant_rate = 0.0;
+  /// Bucket capacity (burst) when tenant_rate > 0.
+  double tenant_burst = 32.0;
+
+  std::array<double, kNumClasses> weights() const {
+    return {classes[0].weight, classes[1].weight, classes[2].weight};
+  }
+
+  /// Throws ContractViolation on non-positive weights/factors or a
+  /// non-positive burst with throttling on.
+  void validate() const;
+};
+
+/// Per-tenant token buckets at the serving queue entry. Buckets are
+/// created lazily on a tenant's first arrival (full, anchored at that
+/// arrival instant), so the tenant population never needs declaring.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const QosConfig& config);
+
+  /// True when arrivals must pass a bucket (enabled && tenant_rate > 0).
+  bool throttling() const;
+
+  /// Charges one token for `tenant` at virtual time `now`. False = over
+  /// rate: the caller answers the request dropped (a `throttled` drop).
+  bool admit(std::uint32_t tenant, double now);
+
+  std::uint64_t throttled() const { return throttled_; }
+  std::size_t tenants_seen() const { return buckets_.size(); }
+
+ private:
+  QosConfig config_;
+  std::map<std::uint32_t, TokenBucket> buckets_;
+  std::uint64_t throttled_ = 0;
+};
+
+}  // namespace harmonia::qos

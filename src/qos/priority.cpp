@@ -1,0 +1,25 @@
+#include "qos/priority.hpp"
+
+#include "common/expect.hpp"
+
+namespace harmonia::qos {
+
+const char* to_string(Priority c) {
+  switch (c) {
+    case Priority::kGold: return "gold";
+    case Priority::kSilver: return "silver";
+    case Priority::kBronze: return "bronze";
+  }
+  return "?";
+}
+
+Priority priority_from_string(std::string_view name) {
+  if (name == "gold") return Priority::kGold;
+  if (name == "silver") return Priority::kSilver;
+  if (name == "bronze") return Priority::kBronze;
+  HARMONIA_CHECK_MSG(false, "unknown priority class '" << name
+                                << "' (expected gold|silver|bronze)");
+  return Priority::kGold;  // unreachable
+}
+
+}  // namespace harmonia::qos

@@ -1,0 +1,45 @@
+// Priority classes for the multi-tenant QoS front-end (src/qos/).
+//
+// Every serving request carries a tenant id and one of three priority
+// classes. The class decides three things downstream:
+//   admission : per-tenant token buckets meter arrivals (admission.hpp);
+//   batching  : the scheduler forms batches weighted-fair across classes
+//               and stretches the deadline trigger by the class's
+//               deadline factor (serve/batch_scheduler.hpp);
+//   overload  : when a kind's admission budget is full, the newest
+//               request of the lowest queued class is shed first.
+// Three classes keep the policy surface small while exercising every
+// interesting ordering (top, middle, sacrificial).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace harmonia::qos {
+
+enum class Priority : std::uint8_t { kGold = 0, kSilver = 1, kBronze = 2 };
+
+inline constexpr std::size_t kNumClasses = 3;
+
+constexpr std::size_t index(Priority c) { return static_cast<std::size_t>(c); }
+
+constexpr Priority priority_at(std::size_t i) {
+  return static_cast<Priority>(static_cast<std::uint8_t>(i));
+}
+
+/// "gold" / "silver" / "bronze".
+const char* to_string(Priority c);
+
+/// Inverse of to_string; throws ContractViolation on an unknown name.
+Priority priority_from_string(std::string_view name);
+
+/// The deterministic tenant -> class mapping shared by the workload
+/// generator, the tools, and the benches: tenant t serves in class
+/// t % kNumClasses, so tenant 0 is always gold and every class is
+/// populated once there are >= 3 tenants.
+constexpr Priority class_of_tenant(std::uint32_t tenant) {
+  return static_cast<Priority>(tenant % kNumClasses);
+}
+
+}  // namespace harmonia::qos

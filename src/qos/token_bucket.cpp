@@ -1,0 +1,33 @@
+#include "qos/token_bucket.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace harmonia::qos {
+
+TokenBucket::TokenBucket(double rate, double burst, double start)
+    : rate_(rate), burst_(burst), tokens_(burst), last_(start) {
+  HARMONIA_CHECK(rate_ >= 0.0);
+  HARMONIA_CHECK(burst_ > 0.0);
+}
+
+void TokenBucket::refill(double now) {
+  if (now <= last_) return;  // same-instant arrivals share one balance
+  tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_take(double now, double tokens) {
+  refill(now);
+  if (tokens_ + 1e-12 < tokens) return false;  // epsilon: refill rounding
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::tokens_at(double now) const {
+  if (now <= last_) return tokens_;
+  return std::min(burst_, tokens_ + (now - last_) * rate_);
+}
+
+}  // namespace harmonia::qos

@@ -1,0 +1,38 @@
+// Deterministic token bucket on the serving layer's virtual clock.
+//
+// Tokens refill continuously at `rate` per virtual second up to `burst`;
+// a take that cannot be covered fails without consuming anything. All
+// arithmetic is a pure function of (rate, burst, take times), so a replay
+// of the same request stream throttles identically — the property the
+// metrics-determinism CI gate pins.
+#pragma once
+
+#include <cstdint>
+
+namespace harmonia::qos {
+
+class TokenBucket {
+ public:
+  /// Starts full (burst tokens) at virtual time `start`.
+  TokenBucket(double rate, double burst, double start = 0.0);
+
+  /// Takes `tokens` at virtual time `now` (monotone per bucket); false =
+  /// insufficient tokens, nothing consumed.
+  bool try_take(double now, double tokens = 1.0);
+
+  /// Balance after refill at `now`, without consuming.
+  double tokens_at(double now) const;
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(double now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_;
+};
+
+}  // namespace harmonia::qos

@@ -1,0 +1,12 @@
+#include "qos/wfq.hpp"
+
+#include "common/expect.hpp"
+
+namespace harmonia::qos {
+
+WeightedFair::WeightedFair(const std::array<double, kNumClasses>& weights)
+    : weight_(weights) {
+  for (const double w : weight_) HARMONIA_CHECK_MSG(w > 0.0, "class weights must be positive");
+}
+
+}  // namespace harmonia::qos

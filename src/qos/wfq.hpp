@@ -1,0 +1,37 @@
+// Weighted-fair service accounting across priority classes.
+//
+// The classic virtual-time formulation stripped to what batch formation
+// needs: each class accrues service units (requests dispatched) and its
+// virtual time is service/weight. The scheduler serves the eligible lane
+// with the smallest virtual time, so over a saturated window class c
+// receives weight[c] / sum(weights) of the dispatch slots — weighted
+// fairness without per-request timestamps.
+#pragma once
+
+#include <array>
+
+#include "qos/priority.hpp"
+
+namespace harmonia::qos {
+
+class WeightedFair {
+ public:
+  explicit WeightedFair(const std::array<double, kNumClasses>& weights);
+
+  /// Virtual time of class `c`: accrued service / weight. Lower = owed.
+  double vtime(Priority c) const {
+    return service_[index(c)] / weight_[index(c)];
+  }
+
+  /// Books `units` of service (dispatched requests) against class `c`.
+  void charge(Priority c, double units) { service_[index(c)] += units; }
+
+  double weight(Priority c) const { return weight_[index(c)]; }
+  double service(Priority c) const { return service_[index(c)]; }
+
+ private:
+  std::array<double, kNumClasses> weight_;
+  std::array<double, kNumClasses> service_{};
+};
+
+}  // namespace harmonia::qos

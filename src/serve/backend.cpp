@@ -32,6 +32,61 @@ void ServerReport::check_invariants() const {
                      "serving accounting broken: " << latency.count()
                          << " latency samples for " << completed
                          << " completions");
+
+  // Per-class splits must reconcile with the stream-level counters and
+  // satisfy the same admission identities class-by-class.
+  const auto csum = [](const std::array<std::uint64_t, qos::kNumClasses>& a) {
+    return std::accumulate(a.begin(), a.end(), std::uint64_t{0});
+  };
+  HARMONIA_CHECK_MSG(csum(class_arrivals) == arrivals,
+                     "class accounting broken: class arrivals sum to "
+                         << csum(class_arrivals) << " but arrivals=" << arrivals);
+  HARMONIA_CHECK_MSG(csum(class_admitted) == admitted,
+                     "class accounting broken: class admissions sum to "
+                         << csum(class_admitted) << " but admitted=" << admitted);
+  HARMONIA_CHECK_MSG(csum(class_dropped) == dropped,
+                     "class accounting broken: class drops sum to "
+                         << csum(class_dropped) << " but dropped=" << dropped);
+  HARMONIA_CHECK_MSG(csum(class_throttled) == throttled,
+                     "class accounting broken: class throttles sum to "
+                         << csum(class_throttled) << " but throttled="
+                         << throttled);
+  HARMONIA_CHECK_MSG(csum(class_completed) == completed,
+                     "class accounting broken: class completions sum to "
+                         << csum(class_completed) << " but completed="
+                         << completed);
+  HARMONIA_CHECK_MSG(csum(class_shed) == shed,
+                     "class accounting broken: class sheds sum to "
+                         << csum(class_shed) << " but shed=" << shed);
+  HARMONIA_CHECK_MSG(csum(class_update_requests) == update_requests,
+                     "class accounting broken: class update requests sum to "
+                         << csum(class_update_requests) << " but update_requests="
+                         << update_requests);
+  for (std::size_t c = 0; c < qos::kNumClasses; ++c) {
+    const char* name = qos::to_string(qos::priority_at(c));
+    HARMONIA_CHECK_MSG(
+        class_arrivals[c] == class_admitted[c] + class_dropped[c],
+        "class accounting broken (" << name << "): arrivals="
+            << class_arrivals[c] << " != admitted=" << class_admitted[c]
+            << " + dropped=" << class_dropped[c]);
+    HARMONIA_CHECK_MSG(
+        class_admitted[c] ==
+            class_completed[c] + class_shed[c] + class_update_requests[c],
+        "class accounting broken (" << name << "): admitted="
+            << class_admitted[c] << " != completed=" << class_completed[c]
+            << " + shed=" << class_shed[c] << " + update_requests="
+            << class_update_requests[c]);
+    HARMONIA_CHECK_MSG(class_throttled[c] <= class_dropped[c],
+                       "class accounting broken (" << name << "): throttled="
+                           << class_throttled[c] << " > dropped="
+                           << class_dropped[c]);
+    HARMONIA_CHECK_MSG(class_latency[c].count() == class_completed[c],
+                       "class accounting broken (" << name << "): "
+                           << class_latency[c].count()
+                           << " latency samples for " << class_completed[c]
+                           << " completions");
+  }
+
   if (shard_batches.empty()) return;
   HARMONIA_CHECK_MSG(
       sum(shard_admitted) + update_requests == admitted,
@@ -102,9 +157,12 @@ ServerReport Backend::run(RequestSource& source) {
       now = t_arrival;
       const Request r = source.pop();
       ++report.arrivals;
+      ++report.class_arrivals[qos::index(r.klass)];
       if (r.kind == RequestKind::kUpdate) {
         ++report.admitted;
         ++report.update_requests;
+        ++report.class_admitted[qos::index(r.klass)];
+        ++report.class_update_requests[qos::index(r.klass)];
         buffer_update(r);  // size trigger fires via t_epoch next round
       } else {
         submit(r, source, report);

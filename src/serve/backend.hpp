@@ -19,8 +19,11 @@
 #include <span>
 #include <vector>
 
+#include <array>
+
 #include "common/stats.hpp"
 #include "fault/injector.hpp"
+#include "qos/priority.hpp"
 #include "serve/request.hpp"
 #include "serve/workload.hpp"
 
@@ -50,10 +53,29 @@ struct ServerReport {
   /// update response; distinct from updates_applied, which counts ops and
   /// excludes failed ones). Closes the admission identity below.
   std::uint64_t update_requests = 0;
+  /// Admission rejects due to per-tenant token-bucket throttling (a
+  /// subset of `dropped`: a throttled request is answered dropped, it is
+  /// just dropped *before* the queue rather than by backpressure).
+  std::uint64_t throttled = 0;
   std::uint64_t batches = 0;
   std::uint64_t epochs = 0;
   std::uint64_t updates_applied = 0;
   std::uint64_t updates_failed = 0;
+
+  /// Per-priority-class splits of the stream-level counters above
+  /// (indexed by qos::index). Each array sums to its scalar counterpart;
+  /// single-class streams put everything in gold. class_shed includes
+  /// both fault shedding and QoS overload eviction.
+  std::array<std::uint64_t, qos::kNumClasses> class_arrivals{};
+  std::array<std::uint64_t, qos::kNumClasses> class_admitted{};
+  std::array<std::uint64_t, qos::kNumClasses> class_dropped{};
+  std::array<std::uint64_t, qos::kNumClasses> class_throttled{};
+  std::array<std::uint64_t, qos::kNumClasses> class_completed{};
+  std::array<std::uint64_t, qos::kNumClasses> class_shed{};
+  std::array<std::uint64_t, qos::kNumClasses> class_update_requests{};
+  /// Seconds over completed queries, split by class (class_latency[c]
+  /// has exactly class_completed[c] samples).
+  std::array<Summary, qos::kNumClasses> class_latency{};
 
   /// Virtual time of the last completion.
   double makespan = 0.0;
@@ -90,6 +112,8 @@ struct ServerReport {
   std::vector<std::uint64_t> shard_dropped;
   /// Range requests that fanned out across >1 shard.
   std::uint64_t split_ranges = 0;
+  /// Scan requests whose [lo, n) coverage straddled >1 shard.
+  std::uint64_t split_scans = 0;
   /// Device idle time summed over shards while quiesce epoch barriers
   /// gathered the slowest shard (0 in overlap mode — no barrier).
   double barrier_wait_seconds = 0.0;
@@ -111,6 +135,12 @@ struct ServerReport {
   ///   arrivals == admitted + dropped
   ///   admitted == completed + shed + update_requests
   ///   responses.size() == arrivals  (every request answered exactly once)
+  /// per priority class (for each counter with a class_* split):
+  ///   class_x[c] sums to x;  class_arrivals[c] == class_admitted[c] +
+  ///   class_dropped[c];  class_admitted[c] == class_completed[c] +
+  ///   class_shed[c] + class_update_requests[c];
+  ///   class_latency[c].count() == class_completed[c];
+  ///   class_throttled[c] <= class_dropped[c]
   /// and, when the backend is sharded (shard vectors non-empty):
   ///   sum(shard_admitted) + update_requests == admitted
   ///   sum(shard_dropped) == dropped

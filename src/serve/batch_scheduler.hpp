@@ -1,17 +1,31 @@
 // Deadline-driven dynamic batching: the piece inference servers add
 // between a request stream and a batch-oriented accelerator.
 //
-// Point and range queries wait in per-kind lanes (one bounded admission
-// budget across both). A lane's batch closes on whichever fires first:
+// Queries wait in kind x class lanes: one lane per request kind (point /
+// range / scan) and priority class, with one bounded admission budget per
+// kind shared across its classes. A lane's batch closes on whichever
+// fires first:
 //   size trigger     : the lane holds max_batch requests;
-//   deadline trigger : the lane's oldest request has waited max_wait.
+//   deadline trigger : the lane's oldest request has waited
+//                      max_wait * the class's deadline factor.
+// Among lanes due at the same instant the scheduler picks weighted-fair:
+// the eligible lane whose class has the smallest virtual time
+// (service/weight, qos/wfq.hpp), so under saturation dispatch slots
+// divide by class weight. When a kind's budget is full, an arriving
+// request may evict the newest queued request of a strictly lower class
+// (lowest class first) — the evicted request is answered dropped and
+// accounted as shed. With QoS disabled (the default config) single-class
+// streams behave bit-identically to the pre-QoS two-lane scheduler.
+//
 // A closed batch is dispatched through the PCIe pipeline scheduler
 // (`pipelined_search` / the device range kernel), starting when both the
 // batch is closed and the device is free; every member request completes
 // when the batch's results finish downloading.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -19,6 +33,8 @@
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
 #include "obs/observer.hpp"
+#include "qos/admission.hpp"
+#include "qos/wfq.hpp"
 #include "serve/request_queue.hpp"
 
 namespace harmonia::serve {
@@ -27,12 +43,15 @@ struct BatchConfig {
   /// Size trigger: close a lane's batch at this many requests.
   std::size_t max_batch = 2048;
   /// Deadline trigger: close when the oldest request has waited this long
-  /// (virtual seconds).
+  /// (virtual seconds; stretched per class by qos deadline factors).
   double max_wait = 200e-6;
-  /// Bounded admission per lane; requests beyond it are rejected
-  /// (backpressure), so waiting never grows unboundedly under overload.
+  /// Bounded admission per kind (shared across that kind's class lanes);
+  /// requests beyond it are rejected (backpressure) or — with QoS on —
+  /// evict a lower-class request, so waiting never grows unboundedly
+  /// under overload.
   std::size_t queue_capacity = 1 << 14;
-  /// Per-query result cap for the device range kernel.
+  /// Per-query result cap for the device range kernel (scans clamp their
+  /// scan_n to this too).
   unsigned max_range_results = 64;
   /// Chunking + query options for dispatch. NTG auto-profiling is off by
   /// default: re-profiling every small online batch would dominate its
@@ -45,20 +64,35 @@ struct BatchConfig {
 class BatchScheduler {
  public:
   BatchScheduler(HarmoniaIndex& index, const TransferModel& link,
-                 const BatchConfig& config);
+                 const BatchConfig& config,
+                 const qos::QosConfig& qos = qos::QosConfig{});
 
-  /// Admits a point/range request into its lane. False = backpressure.
-  bool admit(const Request& r);
+  /// Outcome of one admission. Converts to bool (admitted?) so legacy
+  /// call sites keep reading naturally; `evicted` carries the
+  /// lower-class request shed to make room (the caller answers it
+  /// dropped and books it as shed — it *was* admitted).
+  struct Admit {
+    bool admitted = false;
+    std::optional<Request> evicted;
+    operator bool() const { return admitted; }  // NOLINT(google-explicit-*)
+  };
 
-  std::size_t depth() const { return point_.size() + range_.size(); }
-  bool empty() const { return point_.empty() && range_.empty(); }
+  /// Admits a point/range/scan request into its kind x class lane.
+  /// Not admitted = backpressure (no eviction candidate was available).
+  Admit admit(const Request& r);
 
-  /// Free admission slots in a lane. The sharded fan-out path probes
-  /// every involved shard before splitting a straddling range, so the
-  /// split is admitted all-or-nothing.
+  std::size_t depth() const;
+  bool empty() const { return depth() == 0; }
+
+  /// Free admission slots in a kind's budget. The sharded fan-out path
+  /// probes every involved shard before splitting a straddling range or
+  /// scan, so the split is admitted all-or-nothing.
   std::size_t free_slots(RequestKind kind) const;
+  /// Slots an arrival of (kind, klass) could claim: free budget plus
+  /// queued strictly-lower-class requests it may evict (QoS on).
+  std::size_t admissible_slots(RequestKind kind, qos::Priority klass) const;
 
-  /// Earliest deadline over both lanes; +inf when idle.
+  /// Earliest deadline over all lanes; +inf when idle.
   double next_deadline() const;
   /// True when some lane reached max_batch and must close now.
   bool size_ready() const;
@@ -66,6 +100,8 @@ class BatchScheduler {
   struct Dispatch {
     std::vector<Response> responses;
     RequestKind kind = RequestKind::kPoint;
+    /// Batches are single-class: the lane's priority class.
+    qos::Priority klass = qos::Priority::kGold;
     std::size_t batch_size = 0;
     /// Batch close time (trigger), device start, and download-done time.
     double close = 0.0;
@@ -78,13 +114,18 @@ class BatchScheduler {
     double service_seconds() const { return finish - start; }
   };
 
-  /// Closes and dispatches the most urgent lane: a size-full lane first,
-  /// otherwise the lane with the earliest deadline. Dispatch starts at
-  /// max(close_time, device_free). Requires !empty().
+  /// Closes and dispatches the most urgent lane: among size-full lanes
+  /// the one whose class has the smallest weighted-fair virtual time,
+  /// otherwise the lane with the earliest (class-stretched) deadline.
+  /// Dispatch starts at max(close_time, device_free). Requires !empty().
   Dispatch dispatch_ready(double close_time, double device_free, unsigned epoch);
 
-  std::uint64_t admitted() const { return point_.admitted() + range_.admitted(); }
-  std::uint64_t rejected() const { return point_.rejected() + range_.rejected(); }
+  std::uint64_t admitted() const;
+  std::uint64_t rejected() const;
+  /// Requests shed by QoS eviction, per class.
+  const std::array<std::uint64_t, qos::kNumClasses>& evicted_by_class() const {
+    return evicted_;
+  }
 
   /// Arms the fault path: dispatches on this scheduler consult `injector`
   /// as shard `shard` for slowdown windows and transient failures. A null
@@ -95,7 +136,7 @@ class BatchScheduler {
     shard_ = shard;
   }
 
-  /// Drains both lanes (fencing a lost shard re-routes its queued work).
+  /// Drains every lane (fencing a lost shard re-routes its queued work).
   /// Returned in arrival order; admission counters are unchanged.
   std::vector<Request> evict_all();
 
@@ -108,14 +149,31 @@ class BatchScheduler {
   void set_observer(const obs::Observer& obs, unsigned shard);
 
  private:
-  Dispatch dispatch_point(double close_time, double device_free, unsigned epoch);
-  Dispatch dispatch_range(double close_time, double device_free, unsigned epoch);
+  /// Lane kinds that queue here (updates buffer in the epoch updater).
+  static constexpr std::size_t kKinds = 3;  // point, range, scan
+  static std::size_t kind_index(RequestKind kind);
+  std::size_t lane_at(std::size_t kind, std::size_t klass) const {
+    return kind * qos::kNumClasses + klass;
+  }
+  RequestQueue& lane(std::size_t kind, std::size_t klass) {
+    return lanes_[lane_at(kind, klass)];
+  }
+  const RequestQueue& lane(std::size_t kind, std::size_t klass) const {
+    return lanes_[lane_at(kind, klass)];
+  }
+  /// Queued requests across a kind's class lanes (its budget use).
+  std::size_t kind_depth(std::size_t kind) const;
+  /// This lane's deadline: oldest arrival + class-stretched max_wait.
+  double lane_deadline(std::size_t kind, std::size_t klass) const;
+
+  Dispatch dispatch_lane(std::size_t kind, std::size_t klass, double close_time,
+                         double device_free, unsigned epoch);
   double faulted_finish(double start, double base_service,
                         double transfer_seconds, Dispatch& d);
   /// Metrics + trace stamps for one dispatched batch.
   void observe_dispatch(const Dispatch& d, std::span<const Request> members);
 
-  /// Per-lane cached metric handles (null when unobserved).
+  /// Per-kind cached metric handles (null when unobserved).
   struct LaneMetrics {
     obs::Counter* admitted = nullptr;
     obs::Counter* rejected = nullptr;
@@ -126,13 +184,16 @@ class BatchScheduler {
   HarmoniaIndex& index_;
   TransferModel link_;
   BatchConfig config_;
-  RequestQueue point_;
-  RequestQueue range_;
+  qos::QosConfig qos_;
+  qos::WeightedFair wfq_;
+  /// kKinds x kNumClasses bounded lanes, kind-major (lane_at).
+  std::vector<RequestQueue> lanes_;
+  std::array<std::uint64_t, qos::kNumClasses> evicted_{};
   fault::FaultInjector* injector_ = nullptr;
   unsigned shard_ = 0;
   obs::Observer obs_;
-  LaneMetrics point_metrics_;
-  LaneMetrics range_metrics_;
+  std::array<LaneMetrics, kKinds> kind_metrics_{};
+  std::array<obs::Counter*, qos::kNumClasses> evicted_metrics_{};
   obs::LatencyHistogram* batch_size_hist_ = nullptr;
   obs::LatencyHistogram* service_hist_ = nullptr;
   obs::LatencyHistogram* queue_wait_hist_ = nullptr;

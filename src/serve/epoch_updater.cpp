@@ -64,11 +64,8 @@ void EpochUpdater::observe_epoch(const EpochResult& e) {
 
 Response EpochUpdater::make_update_response(const Request& r,
                                             const EpochResult& e) const {
-  Response resp;
-  resp.id = r.id;
-  resp.kind = RequestKind::kUpdate;
+  Response resp = response_to(r);
   resp.epoch = e.epoch;
-  resp.arrival = r.arrival;
   resp.dispatch = e.start;
   resp.completion = e.finish;
   return resp;

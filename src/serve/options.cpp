@@ -1,10 +1,42 @@
 #include "serve/options.hpp"
 
+#include <cstddef>
 #include <string>
 
 #include "common/expect.hpp"
 
 namespace harmonia::serve {
+
+namespace {
+
+/// Parses a "g,s,b" comma triple (one value per priority class).
+std::array<double, qos::kNumClasses> parse_class_triple(
+    const std::string& spec, const char* flag) {
+  std::array<double, qos::kNumClasses> out{};
+  std::size_t pos = 0;
+  for (std::size_t c = 0; c < qos::kNumClasses; ++c) {
+    const std::size_t comma = spec.find(',', pos);
+    const bool last = c + 1 == qos::kNumClasses;
+    HARMONIA_CHECK_MSG(last == (comma == std::string::npos),
+                       "--" << flag << " wants exactly " << qos::kNumClasses
+                            << " comma-separated values (gold,silver,bronze), "
+                               "got '" << spec << "'");
+    const std::string field =
+        spec.substr(pos, last ? std::string::npos : comma - pos);
+    try {
+      std::size_t used = 0;
+      out[c] = std::stod(field, &used);
+      HARMONIA_CHECK(used == field.size());
+    } catch (const std::exception&) {
+      HARMONIA_CHECK_MSG(false, "--" << flag << ": '" << field
+                                     << "' is not a number in '" << spec << "'");
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 void ServeOptions::validate(unsigned num_shards) const {
   HARMONIA_CHECK_MSG(num_shards >= 1, "a serving topology needs >= 1 shard");
@@ -47,6 +79,8 @@ void ServeOptions::validate(unsigned num_shards) const {
                          mitigation.degraded.max_backlog >= 0.0,
                      "mitigation.degraded costs may not be negative");
 
+  qos.validate();
+
   for (const fault::FaultEvent& e : faults.events) {
     HARMONIA_CHECK_MSG(e.shard < num_shards,
                        "fault event targets shard " << e.shard << " but the "
@@ -67,7 +101,15 @@ void ServeOptions::add_flags(Cli& cli) {
       .flag("apply-threads", "CPU workers for the Algorithm-1 batch apply", "1")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
-                      "(see docs/fault_tolerance.md)", "");
+                      "(see docs/fault_tolerance.md)", "")
+      .flag("class-weights", "weighted-fair dispatch shares as "
+                             "gold,silver,bronze (enables QoS)", "")
+      .flag("class-deadlines", "batch-deadline stretch factors as "
+                               "gold,silver,bronze (enables QoS)", "")
+      .flag("tenant-rate", "per-tenant admission rate in requests per "
+                           "virtual second, 0 = no throttling (enables QoS)",
+            "0")
+      .flag("tenant-burst", "per-tenant token-bucket burst capacity", "32");
 }
 
 ServeOptions ServeOptions::from_cli(const Cli& cli) {
@@ -86,6 +128,23 @@ ServeOptions ServeOptions::from_cli(const Cli& cli) {
   opts.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
   if (const std::string spec = cli.get_string("faults", ""); !spec.empty())
     opts.faults = fault::FaultPlan::parse(spec);
+  if (const std::string spec = cli.get_string("class-weights", "");
+      !spec.empty()) {
+    const auto w = parse_class_triple(spec, "class-weights");
+    for (std::size_t c = 0; c < qos::kNumClasses; ++c)
+      opts.qos.classes[c].weight = w[c];
+    opts.qos.enabled = true;
+  }
+  if (const std::string spec = cli.get_string("class-deadlines", "");
+      !spec.empty()) {
+    const auto f = parse_class_triple(spec, "class-deadlines");
+    for (std::size_t c = 0; c < qos::kNumClasses; ++c)
+      opts.qos.classes[c].deadline_factor = f[c];
+    opts.qos.enabled = true;
+  }
+  opts.qos.tenant_rate = cli.get_double("tenant-rate", 0.0);
+  opts.qos.tenant_burst = cli.get_double("tenant-burst", 32.0);
+  if (opts.qos.tenant_rate > 0.0) opts.qos.enabled = true;
   return opts;
 }
 

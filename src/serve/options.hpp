@@ -16,6 +16,7 @@
 #include "fault/injector.hpp"
 #include "harmonia/pipeline.hpp"
 #include "obs/observer.hpp"
+#include "qos/admission.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/epoch_updater.hpp"
 
@@ -37,6 +38,10 @@ struct ServeOptions {
   /// Both pointers null = zero-overhead, bit-identical to an unobserved
   /// run. The caller owns the registry/recorder.
   obs::Observer obs;
+  /// Multi-tenant QoS policy: class weights/deadline stretches for batch
+  /// formation, overload eviction order, and per-tenant token-bucket
+  /// throttling (docs/serving.md#multi-tenant-qos). Default = inert.
+  qos::QosConfig qos;
 
   /// Rejects inconsistent combinations with ContractViolation before any
   /// serving state is built: queue capacity below the batch trigger,

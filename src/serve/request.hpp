@@ -13,11 +13,15 @@
 
 #include "harmonia/tree.hpp"
 #include "harmonia/search.hpp"
+#include "qos/priority.hpp"
 #include "queries/batch.hpp"
 
 namespace harmonia::serve {
 
-enum class RequestKind : std::uint8_t { kPoint, kRange, kUpdate };
+/// kScan is the online range-scan: the first scan_n values with key >=
+/// `key` ([lo, n) semantics, the KVell btree_find_n shape), served by the
+/// device range kernel scanning leaf-level to the result cap.
+enum class RequestKind : std::uint8_t { kPoint, kRange, kUpdate, kScan };
 
 const char* to_string(RequestKind kind);
 
@@ -26,10 +30,17 @@ struct Request {
   RequestKind kind = RequestKind::kPoint;
   /// Arrival time in virtual seconds (monotone within a stream).
   double arrival = 0.0;
-  /// Point target / range lower bound / update target.
+  /// Point target / range and scan lower bound / update target.
   Key key = 0;
   /// Range upper bound (inclusive); unused otherwise.
   Key hi = 0;
+  /// Scan result count ([lo, n)); unused otherwise.
+  std::uint32_t scan_n = 0;
+  /// Multi-tenant identity: the issuing tenant and its priority class.
+  /// Defaults (tenant 0, gold) make single-tenant streams bit-identical
+  /// to the pre-QoS serving path.
+  std::uint32_t tenant = 0;
+  qos::Priority klass = qos::Priority::kGold;
   /// Update payload; unused for queries.
   queries::OpKind op = queries::OpKind::kUpdate;
   Value value = 0;
@@ -38,6 +49,9 @@ struct Request {
 struct Response {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kPoint;
+  /// Echoed tenant identity (per-class accounting keys off these).
+  std::uint32_t tenant = 0;
+  qos::Priority klass = qos::Priority::kGold;
   /// Rejected by backpressure: never dispatched, completion == arrival.
   bool dropped = false;
   /// Update epochs applied before this request was served. A query with
@@ -52,11 +66,25 @@ struct Response {
   double completion = 0.0;
   /// Point result (kNotFound for misses); unused for ranges/updates.
   Value value = kNotFound;
-  /// Range results, ascending, truncated at the scheduler's max_results.
+  /// Range/scan results, ascending, truncated at the scheduler's
+  /// max_results (ranges) or the request's scan_n (scans).
   std::vector<Value> range_values;
 
   double latency() const { return completion - arrival; }
   double queue_delay() const { return dispatch - arrival; }
 };
+
+/// Seeds a response from its request: identity (id/kind/tenant/class) and
+/// arrival. Every layer that answers a request goes through this so the
+/// tenant identity is never dropped on some path.
+inline Response response_to(const Request& r) {
+  Response resp;
+  resp.id = r.id;
+  resp.kind = r.kind;
+  resp.tenant = r.tenant;
+  resp.klass = r.klass;
+  resp.arrival = r.arrival;
+  return resp;
+}
 
 }  // namespace harmonia::serve

@@ -7,6 +7,7 @@ const char* to_string(RequestKind kind) {
     case RequestKind::kPoint: return "point";
     case RequestKind::kRange: return "range";
     case RequestKind::kUpdate: return "update";
+    case RequestKind::kScan: return "scan";
   }
   return "?";
 }
@@ -24,6 +25,12 @@ bool RequestQueue::try_push(const Request& r) {
 Request RequestQueue::pop() {
   Request r = pending_.front();
   pending_.pop_front();
+  return r;
+}
+
+Request RequestQueue::pop_back() {
+  Request r = pending_.back();
+  pending_.pop_back();
   return r;
 }
 

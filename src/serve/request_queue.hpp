@@ -24,6 +24,14 @@ class RequestQueue {
 
   const Request& front() const { return pending_.front(); }
   Request pop();
+  /// Removes and returns the *newest* waiting request (QoS overload
+  /// eviction sheds the request that has invested the least waiting).
+  Request pop_back();
+
+  /// Books a rejection decided by the caller (the scheduler enforces a
+  /// shared per-kind budget across class lanes, so a lane can be refused
+  /// while below its own capacity).
+  void note_rejected() { ++rejected_; }
 
   bool empty() const { return pending_.empty(); }
   std::size_t size() const { return pending_.size(); }

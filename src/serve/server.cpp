@@ -11,9 +11,10 @@ namespace harmonia::serve {
 Server::Server(HarmoniaIndex& index, const ServerConfig& config)
     : index_(index),
       config_(config),
-      scheduler_(index, config.link, config.batch),
+      scheduler_(index, config.link, config.batch, config.qos),
       updater_(index, config.link, config.epoch),
-      injector_(config.faults, config.mitigation, 1) {
+      injector_(config.faults, config.mitigation, 1),
+      admission_(config.qos) {
   config_.validate(1);
   if (injector_.active()) {
     scheduler_.set_fault_context(&injector_, 0);
@@ -24,6 +25,23 @@ Server::Server(HarmoniaIndex& index, const ServerConfig& config)
     updater_.set_observer(config_.obs, 0);
     injector_.set_observer(config_.obs);
   }
+  if (config_.obs.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.obs.metrics;
+    for (std::size_t c = 0; c < qos::kNumClasses; ++c) {
+      const std::string labels =
+          std::string{"{class=\""} + qos::to_string(qos::priority_at(c)) + "\"}";
+      class_metrics_[c].completed =
+          &m.counter("serve_class_completed_total" + labels);
+      class_metrics_[c].shed = &m.counter("serve_class_shed_total" + labels);
+      class_metrics_[c].dropped =
+          &m.counter("serve_class_dropped_total" + labels);
+      class_metrics_[c].throttled =
+          &m.counter("serve_class_throttled_total" + labels);
+      class_metrics_[c].latency = &m.histogram(
+          "serve_class_latency_seconds" + labels,
+          obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
+    }
+  }
 }
 
 void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
@@ -33,12 +51,21 @@ void Server::handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
   report.batch_size.add(static_cast<double>(d.batch_size));
   report.busy_seconds += d.service_seconds();
   for (Response& resp : d.responses) {
+    const std::size_t c = qos::index(resp.klass);
     if (resp.dropped) {
       ++report.shed;  // retry budget exhausted: admitted but not served
+      ++report.class_shed[c];
+      if (class_metrics_[c].shed != nullptr) class_metrics_[c].shed->inc();
     } else {
       ++report.completed;
       report.latency.add(resp.latency());
       report.queue_delay.add(resp.queue_delay());
+      ++report.class_completed[c];
+      report.class_latency[c].add(resp.latency());
+      if (class_metrics_[c].completed != nullptr) {
+        class_metrics_[c].completed->inc();
+        class_metrics_[c].latency->observe(resp.latency());
+      }
     }
     if (config_.obs.trace != nullptr) {
       config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion, 0,
@@ -93,28 +120,61 @@ void Server::dispatch_ready_batch(double now, RequestSource& source,
                   source, report);
 }
 
-void Server::submit(const Request& r, RequestSource& source,
-                    ServerReport& report) {
-  report.queue_depth.add(static_cast<double>(scheduler_.depth()));
-  if (scheduler_.admit(r)) {
-    ++report.admitted;
-    return;
-  }
-  ++report.dropped;
-  Response resp;
-  resp.id = r.id;
-  resp.kind = r.kind;
+void Server::answer_dropped(const Request& r, double now, const char* note,
+                            RequestSource& source, ServerReport& report) {
+  Response resp = response_to(r);
   resp.dropped = true;
   resp.epoch = updater_.epochs();
-  resp.arrival = resp.dispatch = resp.completion = r.arrival;
-  resp.value = kNotFound;
+  resp.dispatch = resp.completion = now;
   if (config_.obs.trace != nullptr) {
     config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion, 0,
-                             "rejected");
+                             note);
   }
   report.makespan = std::max(report.makespan, resp.completion);
   source.on_complete(resp);
   report.responses.push_back(std::move(resp));
+}
+
+void Server::submit(const Request& r, RequestSource& source,
+                    ServerReport& report) {
+  report.queue_depth.add(static_cast<double>(scheduler_.depth()));
+  const std::size_t c = qos::index(r.klass);
+
+  // Per-tenant token buckets gate the queue: a tenant pushing past its
+  // provisioned rate is answered dropped before it can displace anyone.
+  if (admission_.throttling() && !admission_.admit(r.tenant, r.arrival)) {
+    ++report.dropped;
+    ++report.throttled;
+    ++report.class_dropped[c];
+    ++report.class_throttled[c];
+    if (class_metrics_[c].dropped != nullptr) {
+      class_metrics_[c].dropped->inc();
+      class_metrics_[c].throttled->inc();
+    }
+    answer_dropped(r, r.arrival, "throttled", source, report);
+    return;
+  }
+
+  const BatchScheduler::Admit a = scheduler_.admit(r);
+  if (a) {
+    ++report.admitted;
+    ++report.class_admitted[c];
+    if (a.evicted.has_value()) {
+      // The evicted request *was* admitted (its admission already
+      // counted); overload policy now answers it dropped — that is a
+      // shed, keeping arrivals == admitted + dropped intact.
+      const std::size_t ec = qos::index(a.evicted->klass);
+      ++report.shed;
+      ++report.class_shed[ec];
+      if (class_metrics_[ec].shed != nullptr) class_metrics_[ec].shed->inc();
+      answer_dropped(*a.evicted, r.arrival, "evicted", source, report);
+    }
+    return;
+  }
+  ++report.dropped;
+  ++report.class_dropped[c];
+  if (class_metrics_[c].dropped != nullptr) class_metrics_[c].dropped->inc();
+  answer_dropped(r, r.arrival, "rejected", source, report);
 }
 
 double Server::next_epoch_time(double now) const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "harmonia/index.hpp"
+#include "qos/admission.hpp"
 #include "serve/backend.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/epoch_updater.hpp"
@@ -50,17 +51,34 @@ class Server : public Backend {
  private:
   void handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
                        ServerReport& report);
+  /// Answers `r` dropped at `now` without dispatching it. The caller has
+  /// already booked the drop/shed counters; `note` goes to the trace
+  /// ("rejected" / "throttled" / "evicted").
+  void answer_dropped(const Request& r, double now, const char* note,
+                      RequestSource& source, ServerReport& report);
   /// Quiesce-mode epoch: drain, then apply + resync on the device clock.
   void run_epoch(double at, RequestSource& source, ServerReport& report);
   /// Books one finished epoch (either mode) into the report.
   void account_epoch(const EpochUpdater::EpochResult& e, RequestSource& source,
                      ServerReport& report);
 
+  /// Per-class cached metric handles (null when unobserved).
+  struct ClassMetrics {
+    obs::Counter* completed = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* throttled = nullptr;
+    obs::LatencyHistogram* latency = nullptr;
+  };
+
   HarmoniaIndex& index_;
   ServeOptions config_;
   BatchScheduler scheduler_;
   EpochUpdater updater_;
   fault::FaultInjector injector_;
+  /// Per-tenant token-bucket throttling at the admission edge.
+  qos::AdmissionController admission_;
+  std::array<ClassMetrics, qos::kNumClasses> class_metrics_{};
   double device_free_ = 0.0;
 };
 

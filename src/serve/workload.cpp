@@ -19,7 +19,9 @@ std::vector<Request> make_open_loop(const std::vector<Key>& tree_keys,
                                     const OpenLoopSpec& spec) {
   HARMONIA_CHECK(!tree_keys.empty());
   HARMONIA_CHECK(spec.arrivals_per_second > 0.0);
-  HARMONIA_CHECK(spec.update_fraction + spec.range_fraction <= 1.0);
+  HARMONIA_CHECK(spec.update_fraction + spec.range_fraction +
+                     spec.scan_fraction <=
+                 1.0);
 
   Xoshiro256 rng(spec.seed);
 
@@ -36,6 +38,9 @@ std::vector<Request> make_open_loop(const std::vector<Key>& tree_keys,
     } else if (u < spec.update_fraction + spec.range_fraction) {
       kinds.push_back(RequestKind::kRange);
       ++ranges;
+    } else if (u < spec.update_fraction + spec.range_fraction +
+                       spec.scan_fraction) {
+      kinds.push_back(RequestKind::kScan);
     } else {
       kinds.push_back(RequestKind::kPoint);
       ++points;
@@ -81,6 +86,12 @@ std::vector<Request> make_open_loop(const std::vector<Key>& tree_keys,
                                                  tree_keys.size() - 1)];
         break;
       }
+      case RequestKind::kScan: {
+        const std::uint64_t start = rng.next_below(tree_keys.size());
+        r.key = tree_keys[start];
+        r.scan_n = std::max<std::uint32_t>(1, spec.scan_n);
+        break;
+      }
       case RequestKind::kUpdate: {
         const auto& op = ops[next_op++];
         r.op = op.kind;
@@ -88,6 +99,12 @@ std::vector<Request> make_open_loop(const std::vector<Key>& tree_keys,
         r.value = op.value;
         break;
       }
+    }
+    // Tenant identity last, and only in multi-tenant specs: single-tenant
+    // streams draw nothing extra and stay bit-identical to pre-QoS ones.
+    if (spec.tenants > 1) {
+      r.tenant = static_cast<std::uint32_t>(rng.next_below(spec.tenants));
+      r.klass = qos::class_of_tenant(r.tenant);
     }
     out.push_back(r);
   }

@@ -52,8 +52,17 @@ struct OpenLoopSpec {
   /// Request-kind mix (the remainder are point lookups).
   double update_fraction = 0.0;
   double range_fraction = 0.0;
+  /// Online scans ([lo, n) semantics, RequestKind::kScan).
+  double scan_fraction = 0.0;
   /// Ranges span this many consecutive tree keys.
   std::uint64_t range_span = 32;
+  /// Result count each scan asks for.
+  std::uint32_t scan_n = 16;
+  /// Tenant population; > 1 draws a tenant per request and derives its
+  /// priority class via qos::class_of_tenant. 0/1 leaves every request on
+  /// the default identity (tenant 0, gold) — and, by drawing nothing
+  /// extra from the RNG, keeps legacy streams bit-identical.
+  std::uint32_t tenants = 0;
   /// Mix *within* the update stream (rest are value updates).
   double insert_fraction = 0.3;
   double delete_fraction = 0.1;

@@ -226,6 +226,89 @@ ShardedIndex::RangeResult ShardedIndex::range(std::span<const Key> los,
   return result;
 }
 
+unsigned ShardedIndex::scan_end_shard(Key lo, std::uint32_t n) const {
+  const std::uint32_t want = std::max<std::uint32_t>(n, 1);
+  unsigned s = plan_.shard_of(lo);
+  std::uint64_t have = 0;
+  if (shards_[s].index != nullptr) {
+    have = shards_[s]
+               .index
+               ->range_host(std::max(lo, plan_.lo(s)), plan_.hi(s), want)
+               .size();
+  }
+  while (have < want && s + 1 < num_shards()) {
+    ++s;
+    have += shard_key_count(s);
+  }
+  return s;
+}
+
+ShardedIndex::RangeResult ShardedIndex::scan(std::span<const Key> los,
+                                             std::span<const std::uint32_t> ns) {
+  HARMONIA_CHECK(los.size() == ns.size());
+  HARMONIA_CHECK(!los.empty());
+
+  RangeResult result;
+  result.values.resize(los.size());
+
+  // Fan out: each scan contributes one clamped sub-scan to every shard
+  // its coverage reaches. Each sub-scan asks for the full n — earlier
+  // shards may hold fewer tail keys than counted on — and the merge
+  // truncates.
+  std::vector<std::vector<Key>> sub_lo(num_shards());
+  std::vector<std::vector<std::uint32_t>> sub_n(num_shards());
+  std::vector<std::vector<std::size_t>> sub_query(num_shards());
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    const std::uint32_t n = std::max<std::uint32_t>(ns[i], 1);
+    const unsigned s0 = plan_.shard_of(los[i]);
+    const unsigned s1 = scan_end_shard(los[i], n);
+    if (s1 > s0) {
+      ++result.straddling;
+      if (straddling_ != nullptr) straddling_->inc();
+    }
+    for (unsigned s = s0; s <= s1; ++s) {
+      if (!shards_[s].index) continue;
+      sub_lo[s].push_back(std::max(los[i], plan_.lo(s)));
+      sub_n[s].push_back(n);
+      sub_query[s].push_back(i);
+    }
+  }
+
+  // Shards in ascending order: a scan's per-shard pieces append in key
+  // order, so the merged list is ascending without a sort.
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    if (sub_lo[s].empty()) continue;
+    const auto r = shards_[s].index->scan_device(sub_lo[s], sub_n[s]);
+    const double service =
+        options_.link.seconds(sub_lo[s].size() *
+                              (sizeof(Key) + sizeof(std::uint32_t))) +
+        r.kernel_seconds + options_.link.seconds(r.total_results * sizeof(Value));
+    result.total_seconds = std::max(result.total_seconds, service);
+    for (std::size_t j = 0; j < sub_query[s].size(); ++j) {
+      const std::size_t i = sub_query[s][j];
+      auto& out = result.values[i];
+      for (Value v : r.values[j]) {
+        if (out.size() >= std::max<std::uint32_t>(ns[i], 1)) break;
+        out.push_back(v);
+        ++result.total_results;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<btree::Entry> ShardedIndex::scan_host(Key lo, std::size_t n) const {
+  std::vector<btree::Entry> out;
+  for (unsigned s = plan_.shard_of(lo); s < num_shards() && out.size() < n;
+       ++s) {
+    if (!shards_[s].index) continue;
+    const auto part = shards_[s].index->range_host(
+        std::max(lo, plan_.lo(s)), plan_.hi(s), n - out.size());
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
 UpdateStats ShardedIndex::update_batch(std::span<const queries::UpdateOp> ops,
                                        unsigned threads) {
   // Scatter preserving arrival order within each shard: ops commute across

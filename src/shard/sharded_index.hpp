@@ -117,6 +117,23 @@ class ShardedIndex {
   RangeResult range(std::span<const Key> los, std::span<const Key> his,
                     unsigned max_results = 64);
 
+  /// Batched online scans ([lo, n): the first ns[i] values with key >=
+  /// los[i]). A scan fans out to every shard its coverage reaches (see
+  /// scan_end_shard); per-shard pieces merge in shard order and truncate
+  /// at ns[i] — byte-identical to a single-device scan_device.
+  RangeResult scan(std::span<const Key> los, std::span<const std::uint32_t> ns);
+
+  /// The last shard a scan of `n` results starting at `lo` can touch:
+  /// extends from shard_of(lo) — whose contribution is host-counted, cost
+  /// bounded by n — through whole-shard key counts until coverage >= n
+  /// (or the last shard). The serving fan-out and the version fence both
+  /// key off this span.
+  unsigned scan_end_shard(Key lo, std::uint32_t n) const;
+
+  /// Host-side scan oracle: first `n` entries with key >= lo, across
+  /// shard boundaries.
+  std::vector<btree::Entry> scan_host(Key lo, std::size_t n) const;
+
   /// Scatters ops by target shard and applies each sub-batch with the
   /// Algorithm-1 updater (`threads` workers per shard), then resyncs each
   /// touched shard's device image. Aggregated stats across shards.

@@ -40,6 +40,7 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
     : index_(index),
       config_(config),
       injector_(config.faults, config.mitigation, index.num_shards()),
+      admission_(config.qos),
       sched_(index.num_shards()),
       device_free_(index.num_shards(), 0.0),
       fenced_(index.num_shards(), 0),
@@ -54,7 +55,7 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
                        "shard " << s << " holds no keys — plan the partition "
                                 << "from the served keys (sample_balanced)");
     sched_[s] = std::make_unique<BatchScheduler>(*index_.shard(s), config_.link,
-                                                 config_.batch);
+                                                 config_.batch, config_.qos);
     if (injector_.active()) sched_[s]->set_fault_context(&injector_, s);
     if (config_.obs.active()) sched_[s]->set_observer(config_.obs, s);
   }
@@ -64,8 +65,23 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
     if (config_.obs.metrics != nullptr) {
       obs::MetricsRegistry& m = *config_.obs.metrics;
       split_ranges_total_ = &m.counter("shard_split_ranges_total");
+      split_scans_total_ = &m.counter("shard_split_scans_total");
       degraded_total_ = &m.counter("shard_degraded_requests_total");
       epochs_total_ = &m.counter("serve_epochs_total");
+      for (std::size_t c = 0; c < qos::kNumClasses; ++c) {
+        const std::string labels = std::string{"{class=\""} +
+                                   qos::to_string(qos::priority_at(c)) + "\"}";
+        class_metrics_[c].completed =
+            &m.counter("serve_class_completed_total" + labels);
+        class_metrics_[c].shed = &m.counter("serve_class_shed_total" + labels);
+        class_metrics_[c].dropped =
+            &m.counter("serve_class_dropped_total" + labels);
+        class_metrics_[c].throttled =
+            &m.counter("serve_class_throttled_total" + labels);
+        class_metrics_[c].latency = &m.histogram(
+            "serve_class_latency_seconds" + labels,
+            obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28));
+      }
       const auto edges = obs::LatencyHistogram::exponential_edges(1e-7, 1.0, 28);
       swap_wait_hist_ = &m.histogram("serve_epoch_swap_wait_seconds", edges);
       stall_hist_ = &m.histogram("serve_epoch_stall_seconds", edges);
@@ -87,36 +103,61 @@ void ShardedServer::begin_run(ServerReport& report) {
 }
 
 void ShardedServer::drop(const Request& r, unsigned shard, RequestSource& source,
-                         ServerReport& report) {
+                         ServerReport& report, const char* note) {
   ++report.dropped;
   ++report.shard_dropped[shard];
-  Response resp;
-  resp.id = r.id;
-  resp.kind = r.kind;
+  const std::size_t c = qos::index(r.klass);
+  ++report.class_dropped[c];
+  if (class_metrics_[c].dropped != nullptr) class_metrics_[c].dropped->inc();
+  Response resp = serve::response_to(r);
   resp.dropped = true;
   resp.epoch = shard_epoch_[shard];
-  resp.arrival = resp.dispatch = resp.completion = r.arrival;
-  resp.value = kNotFound;
+  resp.dispatch = resp.completion = r.arrival;
   if (config_.obs.trace != nullptr) {
     config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion, shard,
-                             "rejected");
+                             note);
   }
   report.makespan = std::max(report.makespan, resp.completion);
   source.on_complete(resp);
   report.responses.push_back(std::move(resp));
 }
 
+std::uint32_t ShardedServer::clamped_scan_n(const Request& r) const {
+  return std::min<std::uint32_t>(std::max<std::uint32_t>(r.scan_n, 1),
+                                 config_.batch.max_range_results);
+}
+
+bool ShardedServer::straddles(const Request& r) const {
+  if (r.kind == RequestKind::kRange)
+    return index_.plan().shard_of(r.key) != index_.plan().shard_of(r.hi);
+  if (r.kind == RequestKind::kScan)
+    return index_.scan_end_shard(r.key, clamped_scan_n(r)) !=
+           index_.plan().shard_of(r.key);
+  return false;
+}
+
 void ShardedServer::submit(const Request& r, RequestSource& source,
                            ServerReport& report) {
+  // Per-tenant token buckets gate everything shard routing would see: a
+  // tenant pushing past its provisioned rate is answered dropped before
+  // it can displace anyone. Booked against the owner/first shard.
+  if (admission_.throttling() && !admission_.admit(r.tenant, r.arrival)) {
+    ++report.throttled;
+    const std::size_t c = qos::index(r.klass);
+    ++report.class_throttled[c];
+    if (class_metrics_[c].throttled != nullptr)
+      class_metrics_[c].throttled->inc();
+    drop(r, index_.plan().shard_of(r.key), source, report, "throttled");
+    return;
+  }
+
   // While the shards disagree on their epoch version (between the first
-  // and last staggered swap of a staged epoch), a straddling range has no
-  // single snapshot to read: park it and re-admit after the last swap.
-  // Parking starts as soon as a staged image is swap-ready: admitting
-  // more fan-outs then would keep re-raising the version fence and
-  // starve the swap under a sustained straddler stream.
-  if (r.kind == RequestKind::kRange &&
-      (mixed_version() || swap_pending(r.arrival)) &&
-      index_.plan().shard_of(r.key) != index_.plan().shard_of(r.hi)) {
+  // and last staggered swap of a staged epoch), a straddling range or
+  // scan has no single snapshot to read: park it and re-admit after the
+  // last swap. Parking starts as soon as a staged image is swap-ready:
+  // admitting more fan-outs then would keep re-raising the version fence
+  // and starve the swap under a sustained straddler stream.
+  if ((mixed_version() || swap_pending(r.arrival)) && straddles(r)) {
     if (config_.obs.trace != nullptr)
       config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
                                obs::TraceRecorder::kNoShard,
@@ -134,42 +175,65 @@ void ShardedServer::buffer_update(const Request& r) {
                              obs::TraceRecorder::kNoShard, "update");
 }
 
+void ShardedServer::handle_evicted(unsigned s, Request victim, double now,
+                                   RequestSource& source,
+                                   ServerReport& report) {
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->annotate(
+        now, s,
+        "evicted id=" + std::to_string(victim.id) + " class=" +
+            qos::to_string(victim.klass));
+  Response resp = serve::response_to(victim);
+  resp.dropped = true;
+  resp.epoch = shard_epoch_[s];
+  resp.dispatch = resp.completion = now;
+  // An evicted fan-out piece no longer pins the shard's snapshot; its
+  // dropped response poisons the parent merge (finish handles both).
+  if (resp.id >= kSubIdBase) {
+    HARMONIA_CHECK(fence_depth_[s] > 0);
+    --fence_depth_[s];
+  }
+  finish(s, std::move(resp), source, report);
+}
+
 void ShardedServer::admit_query(const Request& r, double now,
                                 RequestSource& source, ServerReport& report) {
   report.queue_depth.add(static_cast<double>(total_depth()));
 
-  if (r.kind == RequestKind::kPoint) {
-    const unsigned s = index_.plan().shard_of(r.key);
-    if (fenced_[s]) {
+  Request q = r;
+  if (q.kind == RequestKind::kScan) q.scan_n = clamped_scan_n(q);
+
+  // Resolve the request's shard span: one shard for points, the bounds'
+  // shards for ranges, the count-based coverage for scans.
+  unsigned s0 = index_.plan().shard_of(q.key);
+  unsigned s1 = s0;
+  if (q.kind == RequestKind::kRange) {
+    HARMONIA_CHECK(q.key <= q.hi);
+    s1 = index_.plan().shard_of(q.hi);
+  } else if (q.kind == RequestKind::kScan) {
+    s1 = index_.scan_end_shard(q.key, q.scan_n);
+  }
+
+  if (s0 == s1) {
+    // Whole request inside one shard: an ordinary lane admission.
+    if (fenced_[s0]) {
       // The owner shard is fenced: serve the query degraded from the CPU
       // oracle (or shed if its backlog is full) — other ranges unaffected.
       ++report.admitted;
-      ++report.shard_admitted[s];
-      finish(s, degraded_serve(s, r, now), source, report);
-    } else if (sched_[s]->admit(r)) {
-      ++report.admitted;
-      ++report.shard_admitted[s];
-    } else {
-      drop(r, s, source, report);
+      ++report.shard_admitted[s0];
+      ++report.class_admitted[qos::index(q.klass)];
+      finish(s0, degraded_serve(s0, q, now), source, report);
+      return;
     }
-    return;
-  }
-
-  HARMONIA_CHECK(r.kind == RequestKind::kRange);
-  HARMONIA_CHECK(r.key <= r.hi);
-  const unsigned s0 = index_.plan().shard_of(r.key);
-  const unsigned s1 = index_.plan().shard_of(r.hi);
-  if (s0 == s1) {
-    // Whole span inside one shard: an ordinary range request.
-    if (fenced_[s0]) {
+    const BatchScheduler::Admit a = sched_[s0]->admit(q);
+    if (a.admitted) {
       ++report.admitted;
       ++report.shard_admitted[s0];
-      finish(s0, degraded_serve(s0, r, now), source, report);
-    } else if (sched_[s0]->admit(r)) {
-      ++report.admitted;
-      ++report.shard_admitted[s0];
+      ++report.class_admitted[qos::index(q.klass)];
+      if (a.evicted.has_value())
+        handle_evicted(s0, *a.evicted, now, source, report);
     } else {
-      drop(r, s0, source, report);
+      drop(q, s0, source, report);
     }
     return;
   }
@@ -177,54 +241,75 @@ void ShardedServer::admit_query(const Request& r, double now,
   // Straddling: split into per-shard sub-requests with clamped bounds,
   // admitted all-or-nothing so a partially-enqueued fan-out never exists.
   // Fenced shards take their piece degraded, so only live shards' lanes
-  // are probed. Each queued piece raises its shard's version fence: the
-  // shard cannot swap a staged epoch image under a fan-out in flight.
+  // are probed — admissible_slots counts evictable lower-class requests
+  // too, so under QoS a full lane is still admissible to a higher class.
+  // Each queued piece raises its shard's version fence: the shard cannot
+  // swap a staged epoch image under a fan-out in flight.
   for (unsigned s = s0; s <= s1; ++s) {
-    if (!fenced_[s] && sched_[s]->free_slots(RequestKind::kRange) == 0) {
-      drop(r, s, source, report);
+    if (!fenced_[s] && sched_[s]->admissible_slots(q.kind, q.klass) == 0) {
+      drop(q, s, source, report);
       return;
     }
   }
   ++report.admitted;
   ++report.shard_admitted[s0];
-  ++report.split_ranges;
-  if (split_ranges_total_ != nullptr) split_ranges_total_->inc();
+  ++report.class_admitted[qos::index(q.klass)];
+  if (q.kind == RequestKind::kScan) {
+    ++report.split_scans;
+    if (split_scans_total_ != nullptr) split_scans_total_->inc();
+  } else {
+    ++report.split_ranges;
+    if (split_ranges_total_ != nullptr) split_ranges_total_->inc();
+  }
   if (config_.obs.trace != nullptr)
-    config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival, s0,
+    config_.obs.trace->stamp(q.id, obs::Stage::kQueueEnter, q.arrival, s0,
                              "fan-out shards=" + std::to_string(s1 - s0 + 1));
   PendingMerge merge;
   merge.parts_expected = s1 - s0 + 1;
-  merge.original = r;
-  merges_.emplace(r.id, std::move(merge));
+  merge.original = q;
+  merges_.emplace(q.id, std::move(merge));
   for (unsigned s = s0; s <= s1; ++s) {
-    Request sub = r;
+    Request sub = q;
     sub.id = next_sub_id_++;
-    sub.key = std::max(r.key, index_.plan().lo(s));
-    sub.hi = std::min(r.hi, index_.plan().hi(s));
-    parent_of_.emplace(sub.id, r.id);
+    sub.key = std::max(q.key, index_.plan().lo(s));
+    if (q.kind == RequestKind::kRange)
+      sub.hi = std::min(q.hi, index_.plan().hi(s));
+    // Scan pieces keep the full scan_n: earlier shards may hold fewer
+    // tail keys than the span estimate counted on; the merge truncates.
+    parent_of_.emplace(sub.id, q.id);
     if (config_.obs.trace != nullptr)
-      config_.obs.trace->stamp(r.id, obs::Stage::kShardScatter, r.arrival, s,
+      config_.obs.trace->stamp(q.id, obs::Stage::kShardScatter, q.arrival, s,
                                "sub=" + std::to_string(sub.id));
     if (fenced_[s]) {
       finish(s, degraded_serve(s, sub, now), source, report);
       continue;
     }
-    const bool ok = sched_[s]->admit(sub);
-    HARMONIA_CHECK(ok);  // free_slots was probed above
+    const BatchScheduler::Admit a = sched_[s]->admit(sub);
+    HARMONIA_CHECK(a.admitted);  // admissible_slots was probed above
     ++fence_depth_[s];
+    if (a.evicted.has_value()) handle_evicted(s, *a.evicted, now, source, report);
   }
 }
 
 void ShardedServer::deliver(Response resp, RequestSource& source,
                             ServerReport& report) {
+  const std::size_t c = qos::index(resp.klass);
   if (resp.dropped) {
-    // A fault mitigation gave up on this admitted query (retry budget or
-    // degraded backlog): a shed, not an admission drop.
+    // A fault mitigation or QoS eviction gave up on this admitted query:
+    // a shed, not an admission drop.
     ++report.shed;
+    ++report.class_shed[c];
+    if (class_metrics_[c].shed != nullptr) class_metrics_[c].shed->inc();
   } else {
     ++report.completed;
     report.latency.add(resp.latency());
     report.queue_delay.add(resp.queue_delay());
+    ++report.class_completed[c];
+    report.class_latency[c].add(resp.latency());
+    if (class_metrics_[c].completed != nullptr) {
+      class_metrics_[c].completed->inc();
+      class_metrics_[c].latency->observe(resp.latency());
+    }
   }
   if (config_.obs.trace != nullptr) {
     config_.obs.trace->stamp(resp.id, obs::Stage::kReply, resp.completion,
@@ -258,10 +343,7 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
   // in its range would be silently wrong, so the merge answers dropped.
   std::sort(merge.parts.begin(), merge.parts.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  Response merged;
-  merged.id = parent;
-  merged.kind = RequestKind::kRange;
-  merged.arrival = merge.original.arrival;
+  Response merged = serve::response_to(merge.original);
   merged.epoch = epochs_;
   merged.dispatch = kInf;
   bool seen_live = false;
@@ -285,10 +367,15 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
   if (merged.dropped) {
     merged.range_values.clear();
   } else {
+    // Ranges truncate at the scheduler's cap, scans at the request's own
+    // (already clamped) scan_n.
+    const std::size_t limit = merge.original.kind == RequestKind::kScan
+                                  ? merge.original.scan_n
+                                  : config_.batch.max_range_results;
     for (const auto& [shard_ord, part] : merge.parts) {
       (void)shard_ord;
       for (Value v : part.range_values) {
-        if (merged.range_values.size() >= config_.batch.max_range_results) break;
+        if (merged.range_values.size() >= limit) break;
         merged.range_values.push_back(v);
       }
     }
@@ -451,11 +538,8 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   for (double& f : device_free_) f = finish_t;
 
   for (const Request& r : pending_updates_) {
-    Response resp;
-    resp.id = r.id;
-    resp.kind = RequestKind::kUpdate;
+    Response resp = serve::response_to(r);
     resp.epoch = epochs_;
-    resp.arrival = r.arrival;
     resp.dispatch = start;
     resp.completion = finish_t;
     if (config_.obs.trace != nullptr) {
@@ -600,11 +684,8 @@ void ShardedServer::finish_overlap_epoch(double now, RequestSource& source,
   // The update requests complete at the last shard swap: only then is the
   // epoch observable everywhere.
   for (const Request& r : ep.requests) {
-    Response resp;
-    resp.id = r.id;
-    resp.kind = RequestKind::kUpdate;
+    Response resp = serve::response_to(r);
     resp.epoch = epochs_;
-    resp.arrival = r.arrival;
     resp.dispatch = ep.trigger;
     resp.completion = now;
     if (config_.obs.trace != nullptr) {
@@ -706,11 +787,8 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
                                               double now) {
   const fault::DegradedPolicy& pol = injector_.mitigation().degraded;
   fault::FaultReport& rep = injector_.report();
-  Response resp;
-  resp.id = r.id;
-  resp.kind = r.kind;
+  Response resp = serve::response_to(r);
   resp.epoch = shard_epoch_[s];
-  resp.arrival = r.arrival;
 
   // Admission shedding for the affected range only: once the CPU oracle
   // is this far behind, answering dropped beats unbounded latency.
@@ -731,10 +809,16 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
     if (const auto v = index_.shard(s)->search_host(r.key)) resp.value = *v;
     cost = pol.seconds_per_point;
   } else {
+    // Ranges and scans both walk the host tree; a scan piece reads this
+    // shard's tail from its clamped lower bound up to its scan_n.
     ++rep.degraded_ranges;
-    const auto entries = index_.shard(s)->range_host(
-        std::max(r.key, index_.plan().lo(s)), std::min(r.hi, index_.plan().hi(s)),
-        config_.batch.max_range_results);
+    const auto entries =
+        r.kind == RequestKind::kScan
+            ? index_.shard(s)->scan_host(std::max(r.key, index_.plan().lo(s)),
+                                         r.scan_n)
+            : index_.shard(s)->range_host(std::max(r.key, index_.plan().lo(s)),
+                                          std::min(r.hi, index_.plan().hi(s)),
+                                          config_.batch.max_range_results);
     resp.range_values.reserve(entries.size());
     for (const auto& e : entries) resp.range_values.push_back(e.value);
     cost = pol.seconds_per_range +

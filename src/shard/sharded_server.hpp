@@ -36,6 +36,7 @@
 #include <optional>
 #include <vector>
 
+#include "qos/admission.hpp"
 #include "serve/backend.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/options.hpp"
@@ -119,7 +120,18 @@ class ShardedServer : public serve::Backend {
   void admit_query(const serve::Request& r, double now,
                    serve::RequestSource& source, serve::ServerReport& report);
   void drop(const serve::Request& r, unsigned shard, serve::RequestSource& source,
-            serve::ServerReport& report);
+            serve::ServerReport& report, const char* note = "rejected");
+  /// Answers a request evicted from shard `s` by QoS overload policy: it
+  /// was admitted, so it sheds (a dropped response). An evicted fan-out
+  /// piece lowers the shard's version fence and poisons its merge.
+  void handle_evicted(unsigned s, serve::Request victim, double now,
+                      serve::RequestSource& source, serve::ServerReport& report);
+  /// A scan's cap, clamped like the scheduler clamps it (so fan-out span,
+  /// merge truncation, and the device all agree on one n).
+  std::uint32_t clamped_scan_n(const serve::Request& r) const;
+  /// True when the request's span/coverage crosses a shard boundary (the
+  /// parking predicate for mixed-version windows).
+  bool straddles(const serve::Request& r) const;
   void handle_dispatch(unsigned s, serve::BatchScheduler::Dispatch d,
                        serve::RequestSource& source, serve::ServerReport& report);
   /// Routes one finished response: sub-responses park in their merge
@@ -169,9 +181,21 @@ class ShardedServer : public serve::Backend {
 
   std::size_t total_depth() const;
 
+  /// Per-class cached metric handles (null when unobserved).
+  struct ClassMetrics {
+    obs::Counter* completed = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* throttled = nullptr;
+    obs::LatencyHistogram* latency = nullptr;
+  };
+
   ShardedIndex& index_;
   serve::ServeOptions config_;
   fault::FaultInjector injector_;
+  /// Per-tenant token-bucket throttling at the admission edge (stream
+  /// level: one bucket per tenant, not per shard).
+  qos::AdmissionController admission_;
   /// One scheduler per shard.
   std::vector<std::unique_ptr<serve::BatchScheduler>> sched_;
   std::vector<double> device_free_;
@@ -204,6 +228,8 @@ class ShardedServer : public serve::Backend {
   std::map<std::uint64_t, PendingMerge> merges_;
   /// Cached metric handles (null when unobserved).
   obs::Counter* split_ranges_total_ = nullptr;
+  obs::Counter* split_scans_total_ = nullptr;
+  std::array<ClassMetrics, qos::kNumClasses> class_metrics_{};
   obs::Counter* degraded_total_ = nullptr;
   obs::Counter* epochs_total_ = nullptr;
   obs::LatencyHistogram* swap_wait_hist_ = nullptr;

@@ -261,8 +261,16 @@ TEST(Observability, ViolatedInvariantThrowsWithDiagnostic) {
   report.dropped = 1;
   report.completed = 9;
   report.responses.resize(10);
+  // The per-class ledgers must reconcile with the totals too.
+  report.class_arrivals[0] = 10;
+  report.class_admitted[0] = 9;
+  report.class_dropped[0] = 1;
+  report.class_completed[0] = 9;
   EXPECT_THROW(report.check_invariants(), ContractViolation);  // no latencies
-  for (int i = 0; i < 9; ++i) report.latency.add(1e-6 * (i + 1));
+  for (int i = 0; i < 9; ++i) {
+    report.latency.add(1e-6 * (i + 1));
+    report.class_latency[0].add(1e-6 * (i + 1));
+  }
   EXPECT_NO_THROW(report.check_invariants());
   report.shed = 1;  // completed + shed + update_requests > admitted
   EXPECT_THROW(report.check_invariants(), ContractViolation);
@@ -274,7 +282,13 @@ TEST(Observability, ShardedInvariantCatchesBrokenPerShardSums) {
   report.admitted = 4;
   report.completed = 4;
   report.responses.resize(4);
-  for (int i = 0; i < 4; ++i) report.latency.add(1e-6 * (i + 1));
+  report.class_arrivals[0] = 4;
+  report.class_admitted[0] = 4;
+  report.class_completed[0] = 4;
+  for (int i = 0; i < 4; ++i) {
+    report.latency.add(1e-6 * (i + 1));
+    report.class_latency[0].add(1e-6 * (i + 1));
+  }
   report.shard_admitted = {2, 1};  // sums to 3, not 4
   report.shard_dropped = {0, 0};
   report.shard_batches = {0, 0};

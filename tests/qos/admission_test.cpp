@@ -1,0 +1,105 @@
+// Unit tests of QosConfig validation, the priority-class helpers, and
+// the per-tenant AdmissionController (lazy bucket creation, rate
+// isolation between tenants, and the throttled tally).
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "qos/admission.hpp"
+
+namespace harmonia::qos {
+namespace {
+
+TEST(Priority, NamesRoundTrip) {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const Priority p = priority_at(c);
+    EXPECT_EQ(priority_from_string(to_string(p)), p);
+  }
+  EXPECT_STREQ(to_string(Priority::kGold), "gold");
+  EXPECT_STREQ(to_string(Priority::kSilver), "silver");
+  EXPECT_STREQ(to_string(Priority::kBronze), "bronze");
+  EXPECT_THROW(priority_from_string("platinum"), ContractViolation);
+}
+
+TEST(Priority, TenantClassMappingCoversEveryClass) {
+  EXPECT_EQ(class_of_tenant(0), Priority::kGold);
+  EXPECT_EQ(class_of_tenant(1), Priority::kSilver);
+  EXPECT_EQ(class_of_tenant(2), Priority::kBronze);
+  EXPECT_EQ(class_of_tenant(3), Priority::kGold);  // wraps
+}
+
+TEST(QosConfig, DefaultIsInertAndValid) {
+  QosConfig cfg;
+  EXPECT_FALSE(cfg.enabled);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_FALSE(AdmissionController(cfg).throttling());
+}
+
+TEST(QosConfig, ValidationRejectsBadPolicies) {
+  QosConfig cfg;
+  cfg.enabled = true;
+  EXPECT_NO_THROW(cfg.validate());  // defaults: all weights/factors 1
+  cfg.classes[1].weight = 0.0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.classes[1].weight = 3.0;
+  cfg.classes[2].deadline_factor = -1.0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.classes[2].deadline_factor = 4.0;
+  cfg.tenant_rate = 100.0;
+  cfg.tenant_burst = 0.0;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg.tenant_burst = 8.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+QosConfig throttled_config(double rate, double burst) {
+  QosConfig cfg;
+  cfg.enabled = true;
+  cfg.tenant_rate = rate;
+  cfg.tenant_burst = burst;
+  return cfg;
+}
+
+TEST(AdmissionController, ThrottlingRequiresEnabledAndRate) {
+  EXPECT_FALSE(AdmissionController(QosConfig{}).throttling());
+  QosConfig off = throttled_config(100.0, 4.0);
+  off.enabled = false;
+  EXPECT_FALSE(AdmissionController(off).throttling());
+  EXPECT_TRUE(AdmissionController(throttled_config(100.0, 4.0)).throttling());
+}
+
+TEST(AdmissionController, BucketsAreLazyAndPerTenant) {
+  AdmissionController ctl(throttled_config(1000.0, 2.0));
+  EXPECT_EQ(ctl.tenants_seen(), 0u);
+  // Tenant 7's first arrival creates its bucket full at that instant.
+  EXPECT_TRUE(ctl.admit(7, 0.010));
+  EXPECT_TRUE(ctl.admit(7, 0.010));
+  EXPECT_FALSE(ctl.admit(7, 0.010));  // burst of 2 spent
+  // A different tenant at the same instant has its own untouched bucket.
+  EXPECT_TRUE(ctl.admit(3, 0.010));
+  EXPECT_EQ(ctl.tenants_seen(), 2u);
+  EXPECT_EQ(ctl.throttled(), 1u);
+}
+
+TEST(AdmissionController, RefillRestoresAdmissionAtTenantRate) {
+  AdmissionController ctl(throttled_config(1000.0, 1.0));
+  EXPECT_TRUE(ctl.admit(0, 0.0));
+  EXPECT_FALSE(ctl.admit(0, 0.0005));  // half a token
+  EXPECT_TRUE(ctl.admit(0, 0.001));    // one full token at 1 ms
+  EXPECT_EQ(ctl.throttled(), 1u);
+}
+
+TEST(AdmissionController, SteadyOverRateTenantAdmitsAtBucketRate) {
+  // A tenant arriving at 4x its rate keeps roughly rate/arrival_rate of
+  // its traffic (after the initial burst drains).
+  AdmissionController ctl(throttled_config(1000.0, 1.0));
+  int admitted = 0;
+  const int arrivals = 4000;
+  for (int i = 0; i < arrivals; ++i) {
+    if (ctl.admit(0, i * 0.00025)) ++admitted;  // 4000/s vs rate 1000/s
+  }
+  EXPECT_NEAR(admitted, arrivals / 4, 8);
+  EXPECT_EQ(ctl.throttled(), static_cast<std::uint64_t>(arrivals - admitted));
+}
+
+}  // namespace
+}  // namespace harmonia::qos

@@ -1,0 +1,81 @@
+// Unit tests of the weighted-fair virtual-time accounting: serving the
+// smallest-vtime class converges every class's share to weight/sum — the
+// property the batch scheduler's lane selection inherits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qos/wfq.hpp"
+
+namespace harmonia::qos {
+namespace {
+
+Priority argmin_vtime(const WeightedFair& w) {
+  Priority best = Priority::kGold;
+  for (std::size_t c = 1; c < kNumClasses; ++c) {
+    if (w.vtime(priority_at(c)) < w.vtime(best)) best = priority_at(c);
+  }
+  return best;
+}
+
+TEST(WeightedFair, VtimeIsServiceOverWeight) {
+  WeightedFair w({8.0, 3.0, 1.0});
+  w.charge(Priority::kGold, 16.0);
+  w.charge(Priority::kSilver, 3.0);
+  EXPECT_DOUBLE_EQ(w.vtime(Priority::kGold), 2.0);
+  EXPECT_DOUBLE_EQ(w.vtime(Priority::kSilver), 1.0);
+  EXPECT_DOUBLE_EQ(w.vtime(Priority::kBronze), 0.0);
+}
+
+TEST(WeightedFair, SmallestVtimeServiceConvergesToWeightedShares) {
+  const std::array<double, kNumClasses> weights = {8.0, 3.0, 1.0};
+  WeightedFair w(weights);
+  // Saturated window: always dispatch one unit to the owed class.
+  const int rounds = 12000;
+  std::array<int, kNumClasses> served{};
+  for (int i = 0; i < rounds; ++i) {
+    const Priority c = argmin_vtime(w);
+    w.charge(c, 1.0);
+    ++served[index(c)];
+  }
+  const double total_weight = 12.0;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const double want = rounds * weights[c] / total_weight;
+    EXPECT_NEAR(served[c], want, rounds * 0.01)
+        << "class " << c << " share off by >1%";
+  }
+}
+
+TEST(WeightedFair, UnevenBatchSizesStillConverge) {
+  // Charges arrive in batch-sized lumps (the scheduler charges per
+  // dispatched batch, not per request) — shares must still converge.
+  const std::array<double, kNumClasses> weights = {4.0, 2.0, 1.0};
+  WeightedFair w(weights);
+  const double batch[kNumClasses] = {32.0, 7.0, 13.0};
+  std::array<double, kNumClasses> served{};
+  for (int i = 0; i < 20000; ++i) {
+    const Priority c = argmin_vtime(w);
+    w.charge(c, batch[index(c)]);
+    served[index(c)] += batch[index(c)];
+  }
+  const double total = served[0] + served[1] + served[2];
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    EXPECT_NEAR(served[c] / total, weights[c] / 7.0, 0.02) << "class " << c;
+  }
+}
+
+TEST(WeightedFair, EqualWeightsRoundRobin) {
+  WeightedFair w({1.0, 1.0, 1.0});
+  std::array<int, kNumClasses> served{};
+  for (int i = 0; i < 9; ++i) {
+    const Priority c = argmin_vtime(w);
+    w.charge(c, 1.0);
+    ++served[index(c)];
+  }
+  EXPECT_EQ(served[0], 3);
+  EXPECT_EQ(served[1], 3);
+  EXPECT_EQ(served[2], 3);
+}
+
+}  // namespace
+}  // namespace harmonia::qos

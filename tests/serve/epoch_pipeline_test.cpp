@@ -149,6 +149,20 @@ TEST(EpochPipeline, OverlapDifferentialOracleAcrossEpochs) {
             << "range request " << resp.id << " epoch " << resp.epoch;
         break;
       }
+      case RequestKind::kScan: {
+        const Request& req = stream[resp.id];
+        std::size_t limit = req.scan_n ? req.scan_n : 1;
+        if (limit > cfg.batch.max_range_results)
+          limit = cfg.batch.max_range_results;
+        std::vector<Value> want;
+        for (auto it = oracle.lower_bound(req.key);
+             it != oracle.end() && want.size() < limit; ++it) {
+          want.push_back(it->second);
+        }
+        ASSERT_EQ(resp.range_values, want)
+            << "scan request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
       case RequestKind::kUpdate:
         EXPECT_GE(resp.completion, resp.arrival);
         EXPECT_GE(resp.epoch, 1u);

@@ -2,6 +2,7 @@
 // deadline/size triggers, dispatch timing, and the epoch updater.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "queries/workload.hpp"
@@ -145,6 +146,43 @@ TEST(BatchScheduler, RangeLaneMatchesHostOracle) {
   for (std::size_t i = 0; i < ranges.size(); ++i) {
     const auto want = f.index.range_host(ranges[i].first, ranges[i].second, 16);
     ASSERT_EQ(d.responses[i].range_values.size(), want.size()) << "range " << i;
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(d.responses[i].range_values[j], want[j].value);
+    }
+  }
+}
+
+TEST(BatchScheduler, ScanLaneMatchesHostOracle) {
+  ServeFixture f;
+  BatchConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_range_results = 24;
+  BatchScheduler s(f.index, f.link, cfg);
+
+  // Mixed caps, including 0 (clamps up to 1) and 500 (clamps down to the
+  // max_range_results budget); lo alternates exact keys and gaps.
+  const std::uint32_t asked[] = {0, 1, 5, 24, 500, 16, 3, 100};
+  std::vector<Key> los;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Request r;
+    r.id = i;
+    r.kind = RequestKind::kScan;
+    r.arrival = 1e-6 * static_cast<double>(i);
+    r.key = f.keys[i * 900] + (i % 2);
+    r.scan_n = asked[i];
+    los.push_back(r.key);
+    ASSERT_TRUE(s.admit(r));
+  }
+  ASSERT_TRUE(s.size_ready());
+  const auto d = s.dispatch_ready(1e-5, 0.0, 0);
+  ASSERT_EQ(d.responses.size(), 8u);
+  EXPECT_EQ(d.kind, RequestKind::kScan);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t limit =
+        std::min<std::size_t>(std::max<std::uint32_t>(asked[i], 1),
+                              cfg.max_range_results);
+    const auto want = f.index.scan_host(los[i], limit);
+    ASSERT_EQ(d.responses[i].range_values.size(), want.size()) << "scan " << i;
     for (std::size_t j = 0; j < want.size(); ++j) {
       EXPECT_EQ(d.responses[i].range_values[j], want[j].value);
     }

@@ -172,6 +172,18 @@ void check_against_snapshots(
             << "range request " << resp.id << " epoch " << resp.epoch;
         break;
       }
+      case serve::RequestKind::kScan: {
+        std::size_t limit = req.scan_n ? req.scan_n : 1;
+        if (limit > max_range_results) limit = max_range_results;
+        std::vector<Value> want;
+        for (auto it = oracle.lower_bound(req.key);
+             it != oracle.end() && want.size() < limit; ++it) {
+          want.push_back(it->second);
+        }
+        ASSERT_EQ(resp.range_values, want)
+            << "scan request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
       case serve::RequestKind::kUpdate:
         EXPECT_GE(resp.completion, resp.arrival);
         EXPECT_GE(resp.epoch, 1u);

@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
+#include "qos/priority.hpp"
 #include "queries/workload.hpp"
 #include "serve/options.hpp"
 #include "serve/workload.hpp"
@@ -160,6 +161,25 @@ void print_report(const serve::ServerReport& rep) {
   std::printf("throughput      : %s achieved | %s while busy\n",
               throughput_human(rep.query_throughput()).c_str(),
               throughput_human(rep.service_rate()).c_str());
+  // Multi-tenant QoS: the per-class ledger, printed once any class beyond
+  // the default sees traffic or the admission edge throttles a tenant.
+  if (rep.class_arrivals[1] + rep.class_arrivals[2] > 0 || rep.throttled > 0) {
+    std::printf("throttled       : %llu dropped at the per-tenant admission edge\n",
+                static_cast<unsigned long long>(rep.throttled));
+    for (std::size_t c = 0; c < qos::kNumClasses; ++c) {
+      const auto& lat = rep.class_latency[c];
+      std::printf("class %-6s    : %llu arrivals | %llu done | %llu shed | "
+                  "%llu dropped (%llu throttled) | p50 %.1f us | p99 %.1f us\n",
+                  qos::to_string(qos::priority_at(c)),
+                  static_cast<unsigned long long>(rep.class_arrivals[c]),
+                  static_cast<unsigned long long>(rep.class_completed[c]),
+                  static_cast<unsigned long long>(rep.class_shed[c]),
+                  static_cast<unsigned long long>(rep.class_dropped[c]),
+                  static_cast<unsigned long long>(rep.class_throttled[c]),
+                  lat.empty() ? 0.0 : lat.percentile(50) * 1e6,
+                  lat.empty() ? 0.0 : lat.percentile(99) * 1e6);
+    }
+  }
   // Sharded topology: the per-shard section of the same report.
   for (std::size_t s = 0; s < rep.shard_batches.size(); ++s) {
     std::printf("shard %-2llu        : %llu batches, %llu queries\n",
@@ -168,8 +188,9 @@ void print_report(const serve::ServerReport& rep) {
                 static_cast<unsigned long long>(rep.shard_queries[s]));
   }
   if (!rep.shard_batches.empty()) {
-    std::printf("range fan-outs  : %llu split across shards\n",
-                static_cast<unsigned long long>(rep.split_ranges));
+    std::printf("range fan-outs  : %llu ranges, %llu scans split across shards\n",
+                static_cast<unsigned long long>(rep.split_ranges),
+                static_cast<unsigned long long>(rep.split_scans));
     std::printf("barrier wait    : %.3f ms device idle at epoch barriers\n",
                 rep.barrier_wait_seconds * 1e3);
   }
@@ -220,6 +241,10 @@ int cmd_open(int argc, const char* const* argv) {
       .flag("updates", "update fraction", "0.0")
       .flag("ranges", "range fraction", "0.0")
       .flag("range-span", "keys per range", "32")
+      .flag("scan-frac", "online-scan fraction ([lo, n) scans)", "0.0")
+      .flag("scan-n", "results each scan asks for", "16")
+      .flag("tenants", "tenant population (>1 draws a tenant per request; "
+                       "class = tenant % 3)", "0")
       .flag("dist", "query distribution", "uniform");
   if (!cli.parse(argc, argv)) return 2;
   const shard::TopologySpec topo = topology(cli);
@@ -229,20 +254,27 @@ int cmd_open(int argc, const char* const* argv) {
   spec.count = cli.get_uint("requests", 50000);
   spec.update_fraction = cli.get_double("updates", 0.0);
   spec.range_fraction = cli.get_double("ranges", 0.0);
+  spec.scan_fraction = cli.get_double("scan-frac", 0.0);
   if (spec.update_fraction < 0 || spec.range_fraction < 0 ||
-      spec.update_fraction + spec.range_fraction > 1.0) {
-    std::fprintf(stderr, "error: --updates + --ranges must lie in [0, 1]\n");
+      spec.scan_fraction < 0 ||
+      spec.update_fraction + spec.range_fraction + spec.scan_fraction > 1.0) {
+    std::fprintf(stderr,
+                 "error: --updates + --ranges + --scan-frac must lie in [0, 1]\n");
     return 2;
   }
   spec.range_span = cli.get_uint("range-span", 32);
+  spec.scan_n = static_cast<std::uint32_t>(cli.get_uint("scan-n", 16));
+  spec.tenants = static_cast<std::uint32_t>(cli.get_uint("tenants", 0));
   spec.dist = queries::distribution_from_string(cli.get_string("dist", "uniform"));
   spec.seed = cli.get_uint("seed", 1) + 7;
 
   std::printf("open loop: %llu requests at %.1f Mq/s (%.1f%% updates, %.1f%% ranges, "
-              "%u device%s, %s epochs)\n\n",
+              "%.1f%% scans, %u tenant%s, %u device%s, %s epochs)\n\n",
               static_cast<unsigned long long>(spec.count),
               spec.arrivals_per_second / 1e6, spec.update_fraction * 100,
-              spec.range_fraction * 100, topo.shards, topo.shards > 1 ? "s" : "",
+              spec.range_fraction * 100, spec.scan_fraction * 100,
+              spec.tenants, spec.tenants == 1 ? "" : "s", topo.shards,
+              topo.shards > 1 ? "s" : "",
               cli.get_string("epoch-mode", "quiesce").c_str());
   ObsSink sink(cli);
   serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
