@@ -1,0 +1,38 @@
+# Pins the CSV schema of ext_update_overlap_sweep (E13): downstream
+# scripts (and the EXPERIMENTS.md tables) parse these columns by name —
+# including the incremental-mode patch/compaction split — so a header
+# change must be a deliberate, test-visible act.
+#
+# Usage: cmake -DCSV=<path> -P check_overlap_csv.cmake
+if(NOT DEFINED CSV)
+  message(FATAL_ERROR "pass -DCSV=<path to csv>")
+endif()
+if(NOT EXISTS "${CSV}")
+  message(FATAL_ERROR "csv not written: ${CSV}")
+endif()
+
+file(STRINGS "${CSV}" lines)
+list(LENGTH lines num_lines)
+if(num_lines LESS 2)
+  message(FATAL_ERROR "csv has no data rows: ${CSV}")
+endif()
+
+list(GET lines 0 header)
+set(expected "updates,mode,epochs,completed,p50 (us),p99 (us),build (ms),upload (ms),swap wait (ms),stall (ms),patch ep,compact ep,patch build (ms),patch upload (ms),achieved (Mq/s)")
+if(NOT header STREQUAL expected)
+  message(FATAL_ERROR "csv schema changed:\n  expected: ${expected}\n  got:      ${header}")
+endif()
+
+# Every data row has exactly as many fields as the header.
+string(REPLACE "," ";" header_fields "${header}")
+list(LENGTH header_fields num_cols)
+math(EXPR last "${num_lines} - 1")
+foreach(i RANGE 1 ${last})
+  list(GET lines ${i} row)
+  string(REPLACE "," ";" row_fields "${row}")
+  list(LENGTH row_fields row_cols)
+  if(NOT row_cols EQUAL num_cols)
+    message(FATAL_ERROR "row ${i} has ${row_cols} fields, header has ${num_cols}: ${row}")
+  endif()
+endforeach()
+message(STATUS "overlap csv schema ok: ${num_lines} lines, ${num_cols} columns")

@@ -13,6 +13,27 @@
 
 namespace harmonia {
 
+/// Bounded device-resident delta overlay (docs/serving.md#epoch-pipeline):
+/// a small sorted array of (key, value, tombstone) patches consulted by
+/// the search/range kernels before the base image. A live entry serves
+/// `value` for a key absent from (or shadowing) the base key region; a
+/// tombstone hides a key still physically present in the base. The host
+/// keeps the authoritative mirror (HarmoniaIndex); the arrays here are
+/// rewritten wholesale by commit_patch when the mirror is dirty.
+struct DeltaOverlayImage {
+  gpusim::DevPtr<Key> keys;
+  gpusim::DevPtr<Value> values;
+  gpusim::DevPtr<std::uint8_t> tombstones;
+  std::uint32_t count = 0;
+  std::uint32_t capacity = 0;
+
+  std::uint64_t key_addr(std::uint32_t i) const { return keys.element_addr(i); }
+  std::uint64_t value_addr(std::uint32_t i) const { return values.element_addr(i); }
+  std::uint64_t tombstone_addr(std::uint32_t i) const {
+    return tombstones.element_addr(i);
+  }
+};
+
 struct HarmoniaDeviceImage {
   unsigned fanout = 0;
   unsigned height = 0;
@@ -26,6 +47,11 @@ struct HarmoniaDeviceImage {
   gpusim::DevPtr<std::uint32_t> ps_const;
   gpusim::DevPtr<std::uint32_t> ps_global;
   std::uint32_t ps_const_count = 0;
+
+  /// Incremental-update patches layered over the base regions. Empty
+  /// (count == 0) unless the owning index enabled an overlay capacity;
+  /// kernels skip the probe entirely in that case.
+  DeltaOverlayImage overlay;
 
   unsigned keys_per_node() const { return fanout - 1; }
 

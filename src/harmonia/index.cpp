@@ -1,6 +1,7 @@
 #include "harmonia/index.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/expect.hpp"
 #include "common/timer.hpp"
@@ -13,9 +14,11 @@ HarmoniaIndex::HarmoniaIndex(gpusim::Device& device, HarmoniaTree tree,
                              const Options& options)
     : device_(device),
       options_(options),
-      updater_(std::make_unique<BatchUpdater>(std::move(tree))),
+      updater_(std::make_unique<BatchUpdater>(std::move(tree), options.fill_factor)),
       image_(HarmoniaDeviceImage::upload(device, updater_->tree(),
-                                         options.const_budget_bytes)) {}
+                                         options.const_budget_bytes)) {
+  if (options_.overlay_capacity > 0) upload_overlay();
+}
 
 HarmoniaIndex HarmoniaIndex::build(gpusim::Device& device,
                                    std::span<const btree::Entry> entries,
@@ -126,7 +129,18 @@ HarmoniaIndex::RangeResult HarmoniaIndex::scan_device(
 
 UpdateStats HarmoniaIndex::update_batch(std::span<const queries::UpdateOp> ops,
                                         unsigned threads) {
-  UpdateStats stats = updater_->apply(ops, threads);
+  UpdateStats stats;
+  if (!overlay_.empty()) {
+    // Fold the overlay into the batch ahead of the caller's ops: the full
+    // rebuild + resync below subsumes every patch, so the overlay empties.
+    std::vector<queries::UpdateOp> fold = overlay_as_ops();
+    fold.insert(fold.end(), ops.begin(), ops.end());
+    overlay_.clear();
+    stats = updater_->apply(fold, threads);
+  } else {
+    stats = updater_->apply(ops, threads);
+  }
+  discard_patch();  // superseded by the full resync
   sync_device();
   return stats;
 }
@@ -134,15 +148,248 @@ UpdateStats HarmoniaIndex::update_batch(std::span<const queries::UpdateOp> ops,
 HarmoniaIndex::StagedUpdate HarmoniaIndex::stage_update(
     std::span<const queries::UpdateOp> ops, unsigned threads) {
   StagedUpdate staged;
-  staged.updater = std::make_unique<BatchUpdater>(updater_->tree());
+  staged.updater =
+      std::make_unique<BatchUpdater>(updater_->tree(), options_.fill_factor);
   staged.stats = staged.updater->apply(ops, threads);
   return staged;
 }
 
 void HarmoniaIndex::commit_staged(StagedUpdate&& staged) {
   HARMONIA_CHECK(staged.updater != nullptr);
-  updater_ = std::move(staged.updater);
+  static_assert(std::is_nothrow_move_assignable_v<StagedUpdate> &&
+                    std::is_nothrow_move_constructible_v<StagedUpdate>,
+                "StagedUpdate moves must not throw mid-install");
+  // The install proper cannot throw: a failure between the tree swap and
+  // the state clear would leave the serving image half-swapped.
+  const auto install = [&]() noexcept {
+    updater_ = std::move(staged.updater);
+    overlay_.clear();
+    dirty_key_leaves_.clear();
+    dirty_value_leaves_.clear();
+    overlay_dirty_ = false;
+  };
+  install();
   sync_device();
+}
+
+HarmoniaIndex::PatchResult HarmoniaIndex::patch_update(
+    std::span<const queries::UpdateOp> ops) {
+  using queries::OpKind;
+  PatchResult result;
+  HarmoniaTree& t = updater_->tree_for_patch();
+
+  for (const queries::UpdateOp& op : ops) {
+    const auto it = overlay_find(op.key);
+    const bool shadowed = it != overlay_.end() && it->key == op.key;
+
+    switch (op.kind) {
+      case OpKind::kUpdate: {
+        ++result.stats.updates;
+        if (shadowed) {
+          if (it->tombstone) {
+            ++result.stats.failed;  // key is deleted
+          } else {
+            it->value = op.value;
+            overlay_dirty_ = true;
+          }
+        } else {
+          const std::uint32_t leaf = t.find_leaf(op.key);
+          if (t.leaf_update_inplace(leaf, op.key, op.value)) {
+            dirty_value_leaves_.insert(leaf);
+          } else {
+            ++result.stats.failed;
+          }
+        }
+        break;
+      }
+
+      case OpKind::kInsert: {
+        if (shadowed) {
+          // Upsert of a patched key, or an un-delete flipping a tombstone
+          // back to a live entry (the stale base slot stays shadowed).
+          it->value = op.value;
+          it->tombstone = false;
+          overlay_dirty_ = true;
+          ++result.stats.inserts;
+        } else {
+          const std::uint32_t leaf = t.find_leaf(op.key);
+          if (t.leaf_insert_inplace(leaf, op.key, op.value)) {
+            dirty_key_leaves_.insert(leaf);
+            ++result.stats.inserts;
+          } else if (overlay_.size() < options_.overlay_capacity) {
+            // Leaf gaps exhausted: absorb into the overlay.
+            overlay_.insert(it, OverlayEntry{op.key, op.value, false});
+            overlay_dirty_ = true;
+            ++result.stats.inserts;
+          } else {
+            result.exhausted = true;  // needs a compaction epoch
+          }
+        }
+        break;
+      }
+
+      case OpKind::kDelete: {
+        if (shadowed) {
+          ++result.stats.deletes;
+          if (it->tombstone) {
+            ++result.stats.failed;  // already deleted
+          } else if (t.search(op.key).has_value()) {
+            // The key also sits (stale) in the base — e.g. after an
+            // un-delete. Removing the entry would resurrect it, so
+            // re-tombstone instead.
+            it->value = Value{0};
+            it->tombstone = true;
+            overlay_dirty_ = true;
+          } else {
+            overlay_.erase(it);
+            overlay_dirty_ = true;
+          }
+        } else {
+          const std::uint32_t leaf = t.find_leaf(op.key);
+          if (!t.search(op.key).has_value()) {
+            ++result.stats.deletes;
+            ++result.stats.failed;
+          } else if (t.node_key_count(leaf) > 1) {
+            t.leaf_erase_inplace(leaf, op.key);
+            dirty_key_leaves_.insert(leaf);
+            ++result.stats.deletes;
+          } else if (overlay_.size() < options_.overlay_capacity) {
+            // Erasing would empty the leaf (a merge): tombstone the key
+            // instead — it stays in the base region but traversal hides it.
+            overlay_.insert(it, OverlayEntry{op.key, Value{0}, true});
+            overlay_dirty_ = true;
+            ++result.stats.deletes;
+          } else {
+            result.exhausted = true;
+          }
+        }
+        break;
+      }
+    }
+
+    if (result.exhausted) break;
+    ++result.absorbed;
+  }
+
+  result.patch_bytes = pending_patch_bytes();
+  return result;
+}
+
+void HarmoniaIndex::commit_patch() {
+  const HarmoniaTree& t = tree();
+  const unsigned kpn = t.keys_per_node();
+  auto& mem = device_.memory();
+
+  for (const std::uint32_t leaf : dirty_key_leaves_) {
+    const std::uint64_t key_base = static_cast<std::uint64_t>(leaf) * kpn;
+    mem.write_bytes(image_.node_key_addr(leaf, 0),
+                    t.key_region().data() + key_base, kpn * sizeof(Key));
+    mem.write_bytes(image_.value_addr(leaf, 0),
+                    t.value_region().data() + t.value_slot(leaf, 0),
+                    kpn * sizeof(Value));
+  }
+  for (const std::uint32_t leaf : dirty_value_leaves_) {
+    if (dirty_key_leaves_.count(leaf) != 0) continue;
+    mem.write_bytes(image_.value_addr(leaf, 0),
+                    t.value_region().data() + t.value_slot(leaf, 0),
+                    kpn * sizeof(Value));
+  }
+  if (overlay_dirty_) {
+    HARMONIA_CHECK_MSG(!image_.overlay.keys.is_null(),
+                       "overlay patches queued without a device overlay "
+                       "allocation (set_overlay_capacity was never called)");
+    for (std::size_t i = 0; i < overlay_.size(); ++i) {
+      mem.write<Key>(image_.overlay.key_addr(static_cast<std::uint32_t>(i)),
+                     overlay_[i].key);
+      mem.write<Value>(image_.overlay.value_addr(static_cast<std::uint32_t>(i)),
+                       overlay_[i].value);
+      mem.write<std::uint8_t>(
+          image_.overlay.tombstone_addr(static_cast<std::uint32_t>(i)),
+          overlay_[i].tombstone ? std::uint8_t{1} : std::uint8_t{0});
+    }
+    image_.overlay.count = static_cast<std::uint32_t>(overlay_.size());
+  }
+  // The patched regions bypass the simulated caches' coherence.
+  if (patch_pending()) device_.flush_caches();
+  dirty_key_leaves_.clear();
+  dirty_value_leaves_.clear();
+  overlay_dirty_ = false;
+}
+
+void HarmoniaIndex::discard_patch() {
+  dirty_key_leaves_.clear();
+  dirty_value_leaves_.clear();
+  overlay_dirty_ = false;
+}
+
+std::vector<queries::UpdateOp> HarmoniaIndex::overlay_as_ops() const {
+  std::vector<queries::UpdateOp> ops;
+  ops.reserve(overlay_.size());
+  for (const OverlayEntry& e : overlay_) {
+    ops.push_back(e.tombstone
+                      ? queries::UpdateOp{queries::OpKind::kDelete, e.key, Value{0}}
+                      : queries::UpdateOp{queries::OpKind::kInsert, e.key, e.value});
+  }
+  return ops;
+}
+
+std::size_t HarmoniaIndex::overlay_live_count() const {
+  std::size_t live = 0;
+  for (const OverlayEntry& e : overlay_) live += e.tombstone ? 0 : 1;
+  return live;
+}
+
+void HarmoniaIndex::set_overlay_capacity(std::size_t capacity) {
+  HARMONIA_CHECK_MSG(capacity >= overlay_.size(),
+                     "overlay capacity " << capacity << " below current size "
+                                         << overlay_.size());
+  options_.overlay_capacity = capacity;
+  upload_overlay();
+}
+
+std::optional<Value> HarmoniaIndex::search_host(Key key) const {
+  const auto it = std::lower_bound(
+      overlay_.begin(), overlay_.end(), key,
+      [](const OverlayEntry& e, Key k) { return e.key < k; });
+  if (it != overlay_.end() && it->key == key) {
+    if (it->tombstone) return std::nullopt;
+    return it->value;
+  }
+  return tree().search(key);
+}
+
+std::vector<btree::Entry> HarmoniaIndex::range_host(Key lo, Key hi,
+                                                    std::size_t limit) const {
+  if (overlay_.empty()) return tree().range(lo, hi, limit);
+  // Tombstones can only remove overlay_size entries, so a base scan of
+  // limit + overlay_size is always enough to fill `limit` merged results.
+  const std::size_t base_limit = limit == 0 ? 0 : limit + overlay_.size();
+  const std::vector<btree::Entry> base = tree().range(lo, hi, base_limit);
+
+  std::vector<btree::Entry> merged;
+  auto oit = std::lower_bound(
+      overlay_.begin(), overlay_.end(), lo,
+      [](const OverlayEntry& e, Key k) { return e.key < k; });
+  const auto full = [&] { return limit != 0 && merged.size() >= limit; };
+  for (const btree::Entry& e : base) {
+    while (oit != overlay_.end() && oit->key < e.key && !full()) {
+      if (!oit->tombstone) merged.push_back({oit->key, oit->value});
+      ++oit;
+    }
+    if (full()) return merged;
+    if (oit != overlay_.end() && oit->key == e.key) {
+      if (!oit->tombstone) merged.push_back({e.key, oit->value});
+      ++oit;  // tombstone: the base entry is hidden
+    } else {
+      merged.push_back(e);
+    }
+    if (full()) return merged;
+  }
+  while (oit != overlay_.end() && oit->key <= hi && !full()) {
+    if (!oit->tombstone) merged.push_back({oit->key, oit->value});
+    ++oit;
+  }
+  return merged;
 }
 
 void HarmoniaIndex::sync_device() {
@@ -150,7 +397,64 @@ void HarmoniaIndex::sync_device() {
   device_.memory().free_all();
   device_.flush_caches();
   image_ = HarmoniaDeviceImage::upload(device_, updater_->tree(), options_.const_budget_bytes);
+  // A full re-upload subsumes any queued patch writes, and the overlay
+  // mirror (kept by fault-repair resyncs, emptied by commits) re-uploads
+  // so patched keys survive the rebuild.
+  discard_patch();
+  upload_overlay();
   last_sync_seconds_ = timer.elapsed_seconds();
+}
+
+void HarmoniaIndex::upload_overlay() {
+  if (options_.overlay_capacity == 0) {
+    image_.overlay = DeltaOverlayImage{};
+    return;
+  }
+  auto& mem = device_.memory();
+  DeltaOverlayImage ov;
+  ov.capacity = static_cast<std::uint32_t>(options_.overlay_capacity);
+  ov.keys = mem.malloc<Key>(ov.capacity);
+  ov.values = mem.malloc<Value>(ov.capacity);
+  ov.tombstones = mem.malloc<std::uint8_t>(ov.capacity);
+  if (!overlay_.empty()) {
+    std::vector<Key> keys(overlay_.size());
+    std::vector<Value> values(overlay_.size());
+    std::vector<std::uint8_t> tombs(overlay_.size());
+    for (std::size_t i = 0; i < overlay_.size(); ++i) {
+      keys[i] = overlay_[i].key;
+      values[i] = overlay_[i].value;
+      tombs[i] = overlay_[i].tombstone ? 1 : 0;
+    }
+    mem.copy_to_device(ov.keys, std::span<const Key>(keys));
+    mem.copy_to_device(ov.values, std::span<const Value>(values));
+    mem.copy_to_device(ov.tombstones, std::span<const std::uint8_t>(tombs));
+  }
+  ov.count = static_cast<std::uint32_t>(overlay_.size());
+  image_.overlay = ov;
+  overlay_dirty_ = false;
+}
+
+std::vector<HarmoniaIndex::OverlayEntry>::iterator HarmoniaIndex::overlay_find(
+    Key key) {
+  return std::lower_bound(overlay_.begin(), overlay_.end(), key,
+                          [](const OverlayEntry& e, Key k) { return e.key < k; });
+}
+
+std::uint64_t HarmoniaIndex::pending_patch_bytes() const {
+  const unsigned kpn = tree().keys_per_node();
+  std::uint64_t value_only = 0;
+  for (const std::uint32_t leaf : dirty_value_leaves_) {
+    value_only += dirty_key_leaves_.count(leaf) == 0 ? 1u : 0u;
+  }
+  std::uint64_t bytes =
+      static_cast<std::uint64_t>(dirty_key_leaves_.size()) * kpn *
+          (sizeof(Key) + sizeof(Value)) +
+      value_only * kpn * sizeof(Value);
+  if (overlay_dirty_) {
+    bytes += overlay_.size() * (sizeof(Key) + sizeof(Value) + 1) +
+             sizeof(std::uint32_t);
+  }
+  return bytes;
 }
 
 }  // namespace harmonia

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -30,9 +31,16 @@ namespace harmonia {
 
 struct IndexOptions {
   unsigned fanout = 64;
+  /// Bulk-load AND compaction-rebuild fill target: every leaf keeps
+  /// (1 - fill_factor) of its slots as gaps for the incremental patch
+  /// path to absorb later in-place inserts.
   double fill_factor = 0.69;
   /// Cap on constant-memory use for the prefix-sum top levels.
   std::uint64_t const_budget_bytes = 60 << 10;
+  /// Device-side delta-overlay bound (entries). 0 = no overlay: every
+  /// structural op forces a compaction epoch. set_overlay_capacity can
+  /// raise it after construction (the serving layer does).
+  std::size_t overlay_capacity = 0;
 };
 
 struct QueryOptions {
@@ -88,10 +96,10 @@ class HarmoniaIndex {
   QueryResult search(std::span<const Key> batch, const QueryOptions& qopts = QueryOptions{});
 
   /// Host-side point lookup / range scan (used by tests and examples).
-  std::optional<Value> search_host(Key key) const { return tree().search(key); }
-  std::vector<btree::Entry> range_host(Key lo, Key hi, std::size_t limit = 0) const {
-    return tree().range(lo, hi, limit);
-  }
+  /// Overlay-aware: patched keys and tombstones are merged over the base
+  /// tree, mirroring what the device kernels serve after commit_patch.
+  std::optional<Value> search_host(Key key) const;
+  std::vector<btree::Entry> range_host(Key lo, Key hi, std::size_t limit = 0) const;
 
   struct RangeResult {
     /// values[i] holds up to max_results entries for query i, in order.
@@ -114,14 +122,75 @@ class HarmoniaIndex {
   RangeResult scan_device(std::span<const Key> los,
                           std::span<const std::uint32_t> ns);
 
-  /// Host-side scan oracle: first `n` entries with key >= lo.
+  /// Host-side scan oracle: first `n` entries with key >= lo
+  /// (overlay-aware, like range_host).
   std::vector<btree::Entry> scan_host(Key lo, std::size_t n) const {
-    return tree().range(lo, kPadKey, n);
+    return range_host(lo, kPadKey, n);
   }
 
   /// Update phase: applies the batch on the CPU (Algorithm 1), then
-  /// re-synchronizes the device image.
+  /// re-synchronizes the device image. A non-empty delta overlay is
+  /// folded into the batch first (replayed ahead of `ops`), so the full
+  /// resync never loses patched keys.
   UpdateStats update_batch(std::span<const queries::UpdateOp> ops, unsigned threads = 1);
+
+  // --- Incremental update path (docs/serving.md#epoch-pipeline):
+  // non-structural ops patch the committed image in place through the
+  // leaf gaps; structural ops are absorbed by the bounded delta overlay;
+  // when neither can absorb, the caller falls back to a compaction epoch
+  // via stage_update/commit_staged. ---
+
+  struct PatchResult {
+    /// Stats for the absorbed prefix ops[0 .. absorbed) only.
+    UpdateStats stats;
+    /// Ops absorbed (host tree + overlay mirror patched, device writes
+    /// queued for commit_patch). On exhaustion, ops[absorbed ..] remain
+    /// unapplied and must go through a compaction batch.
+    std::size_t absorbed = 0;
+    bool exhausted = false;
+    /// Device bytes commit_patch will move for everything queued so far
+    /// (dirty leaf records + the overlay arrays when dirty) — what the
+    /// serving layer feeds the PCIe transfer model instead of a full
+    /// image upload.
+    std::uint64_t patch_bytes = 0;
+  };
+
+  /// Applies as long a prefix of `ops` as the gaps and overlay can
+  /// absorb. The host tree and overlay mirror change immediately; the
+  /// device image does NOT — queued leaf/overlay writes land atomically
+  /// at commit_patch, so in-flight device queries keep the old epoch's
+  /// view until the caller picks the swap instant.
+  PatchResult patch_update(std::span<const queries::UpdateOp> ops);
+
+  /// Flushes the queued patch writes into the live device image (dirty
+  /// leaf key/value records + the overlay arrays). No image rebuild, no
+  /// allocation churn; safe to call with nothing pending.
+  void commit_patch();
+
+  /// Drops queued device writes without touching the host tree or the
+  /// overlay mirror — the exhaustion path: the absorbed prefix is already
+  /// in the host tree, so the compaction's shadow copy (stage_update)
+  /// carries it, and commit_staged's full resync supersedes the queued
+  /// partial writes.
+  void discard_patch();
+
+  bool patch_pending() const {
+    return !dirty_key_leaves_.empty() || !dirty_value_leaves_.empty() ||
+           overlay_dirty_;
+  }
+
+  /// The overlay's contents as an op batch (tombstones -> deletes, live
+  /// entries -> inserts, key order). A compaction batch prepends these so
+  /// the rebuilt image subsumes the overlay; commit_staged then clears it.
+  std::vector<queries::UpdateOp> overlay_as_ops() const;
+
+  std::size_t overlay_size() const { return overlay_.size(); }
+  std::size_t overlay_live_count() const;
+  std::size_t overlay_tombstone_count() const { return overlay_.size() - overlay_live_count(); }
+  std::size_t overlay_capacity() const { return options_.overlay_capacity; }
+  /// Sets the overlay bound and (re)allocates the device-side arrays.
+  /// Shrinking below the current overlay size is a contract violation.
+  void set_overlay_capacity(std::size_t capacity);
 
   /// The build half of the double-buffered epoch pipeline
   /// (docs/serving.md): a batch applied to a *shadow copy* of the host
@@ -134,6 +203,13 @@ class HarmoniaIndex {
     std::unique_ptr<BatchUpdater> updater;
 
     const HarmoniaTree& tree() const { return updater->tree(); }
+
+    // Moves are explicitly noexcept: commit_staged installs a staged
+    // update at a serving batch boundary, and a throwing move there would
+    // leave the image half-swapped.
+    StagedUpdate() = default;
+    StagedUpdate(StagedUpdate&&) noexcept = default;
+    StagedUpdate& operator=(StagedUpdate&&) noexcept = default;
   };
 
   /// Applies `ops` against a shadow of the current host tree and returns
@@ -145,19 +221,40 @@ class HarmoniaIndex {
   /// image is rebuilt from it in one step. The modeled upload time was
   /// already charged while the old image served, so the caller adds no
   /// device time here beyond the swap instant it picked.
+  ///
+  /// The install itself (pointer swap + overlay/patch-state clear) runs
+  /// in a noexcept block — it cannot throw mid-swap. Contract: a staged
+  /// batch committed while the overlay is non-empty must have included
+  /// overlay_as_ops() (the serving layer's compaction epochs do); the
+  /// commit clears the overlay.
   void commit_staged(StagedUpdate&& staged);
 
   /// Wall seconds spent in the last device re-synchronization.
   double last_sync_seconds() const { return last_sync_seconds_; }
 
   /// Rebuilds the device image from the host tree (frees device memory,
-  /// flushes caches, re-uploads). update_batch does this automatically;
-  /// the fault layer calls it directly to repair a corrupted or freshly
-  /// restored device image.
+  /// flushes caches, re-uploads — including the overlay mirror, so a
+  /// fault-repair resync never drops patched keys). update_batch does
+  /// this automatically; the fault layer calls it directly to repair a
+  /// corrupted or freshly restored device image. Queued patch writes are
+  /// subsumed by the full re-upload and cleared.
   void resync_device() { sync_device(); }
 
  private:
+  /// One overlay patch in the host mirror (sorted by key). A live entry
+  /// shadows the base with `value`; a tombstone hides a key still
+  /// physically present in the base key region.
+  struct OverlayEntry {
+    Key key;
+    Value value;
+    bool tombstone;
+  };
+
   void sync_device();
+  /// (Re)allocates the device overlay arrays and uploads the mirror.
+  void upload_overlay();
+  std::vector<OverlayEntry>::iterator overlay_find(Key key);
+  std::uint64_t pending_patch_bytes() const;
 
   gpusim::Device& device_;
   Options options_;
@@ -167,6 +264,16 @@ class HarmoniaIndex {
   std::unique_ptr<BatchUpdater> updater_;
   HarmoniaDeviceImage image_;
   double last_sync_seconds_ = 0.0;
+
+  /// Host mirror of the delta overlay (authoritative; device arrays are
+  /// rewritten from it when dirty).
+  std::vector<OverlayEntry> overlay_;
+  /// Deferred device writes queued by patch_update: leaves whose key
+  /// region changed (keys + values re-upload) vs value-only updates, plus
+  /// whether the overlay arrays need a rewrite. Flushed by commit_patch.
+  std::set<std::uint32_t> dirty_key_leaves_;
+  std::set<std::uint32_t> dirty_value_leaves_;
+  bool overlay_dirty_ = false;
 };
 
 }  // namespace harmonia

@@ -73,6 +73,81 @@ SearchStats search_batch(gpusim::Device& device, const HarmoniaDeviceImage& imag
 
     for (unsigned g = 0; g < nq; ++g) node[g] = 0;
 
+    // Delta-overlay probe (incremental updates): before traversal, each
+    // group's leader binary-searches the small sorted patch array in
+    // lockstep — one leader-lane gather per probe step, log2(count)
+    // steps. A hit resolves the query right here (live entry -> its
+    // value, tombstone -> not-found) and the group skips the tree walk.
+    std::array<bool, 32> resolved{};
+    std::array<Value, 32> res_val{};
+    const DeltaOverlayImage& ov = image.overlay;
+    if (ov.count > 0) {
+      std::array<std::uint32_t, 32> olo{};
+      std::array<std::uint32_t, 32> ohi{};
+      for (unsigned g = 0; g < nq; ++g) {
+        olo[g] = 0;
+        ohi[g] = ov.count;
+      }
+      for (;;) {
+        LaneMask mask = 0;
+        for (unsigned g = 0; g < nq; ++g) {
+          if (olo[g] >= ohi[g]) continue;
+          mask |= gpusim::lane_bit(g * gs);
+          addrs[g * gs] = ov.key_addr((olo[g] + ohi[g]) / 2);
+        }
+        if (mask == 0) break;
+        w.gather<Key>(mask, std::span(addrs.data(), warp), lane_keys);
+        w.compute(mask);
+        for (unsigned g = 0; g < nq; ++g) {
+          if (olo[g] >= ohi[g]) continue;
+          const std::uint32_t mid = (olo[g] + ohi[g]) / 2;
+          if (lane_keys[g * gs] < target[g]) {
+            olo[g] = mid + 1;
+          } else {
+            ohi[g] = mid;
+          }
+        }
+      }
+      // Equality probe at the lower bound, then tombstone + value fetch
+      // for the hit groups.
+      LaneMask probe = 0;
+      for (unsigned g = 0; g < nq; ++g) {
+        if (olo[g] >= ov.count) continue;
+        probe |= gpusim::lane_bit(g * gs);
+        addrs[g * gs] = ov.key_addr(olo[g]);
+      }
+      if (probe != 0) {
+        w.gather<Key>(probe, std::span(addrs.data(), warp), lane_keys);
+        w.compute(probe);
+        LaneMask hitm = 0;
+        for (unsigned g = 0; g < nq; ++g) {
+          if (olo[g] >= ov.count || lane_keys[g * gs] != target[g]) continue;
+          hitm |= gpusim::lane_bit(g * gs);
+          addrs[g * gs] = ov.tombstone_addr(olo[g]);
+        }
+        if (hitm != 0) {
+          std::array<std::uint8_t, 32> tombs{};
+          w.gather<std::uint8_t>(hitm, std::span(addrs.data(), warp), tombs);
+          LaneMask livem = 0;
+          for (unsigned g = 0; g < nq; ++g) {
+            if (!gpusim::lane_active(hitm, g * gs) || tombs[g * gs] != 0) continue;
+            livem |= gpusim::lane_bit(g * gs);
+            addrs[g * gs] = ov.value_addr(olo[g]);
+          }
+          std::array<Value, 32> ovals{};
+          if (livem != 0) {
+            w.gather<Value>(livem, std::span(addrs.data(), warp), ovals);
+          }
+          w.compute(hitm);
+          for (unsigned g = 0; g < nq; ++g) {
+            if (!gpusim::lane_active(hitm, g * gs)) continue;
+            resolved[g] = true;
+            res_val[g] = tombs[g * gs] != 0 ? kNotFound : ovals[g * gs];
+          }
+        }
+      }
+    }
+
     for (unsigned level = 0; level < image.height; ++level) {
       const bool leaf_level = (level + 1 == image.height);
       for (unsigned g = 0; g < nq; ++g) {
@@ -84,7 +159,7 @@ SearchStats search_batch(gpusim::Device& device, const HarmoniaDeviceImage& imag
       for (unsigned chunk = 0; chunk < chunks_per_node; ++chunk) {
         LaneMask mask = 0;
         for (unsigned g = 0; g < nq; ++g) {
-          if (config.early_exit && group_done[g]) continue;
+          if (resolved[g] || (config.early_exit && group_done[g])) continue;
           for (unsigned j = 0; j < gs; ++j) {
             const unsigned slot = chunk * gs + j;
             if (slot >= kpn) break;
@@ -99,7 +174,7 @@ SearchStats search_batch(gpusim::Device& device, const HarmoniaDeviceImage& imag
         ++chunk_steps_total;
 
         for (unsigned g = 0; g < nq; ++g) {
-          if (config.early_exit && group_done[g]) continue;
+          if (resolved[g] || (config.early_exit && group_done[g])) continue;
           for (unsigned j = 0; j < gs; ++j) {
             const unsigned slot = chunk * gs + j;
             if (slot >= kpn) {
@@ -137,15 +212,19 @@ SearchStats search_batch(gpusim::Device& device, const HarmoniaDeviceImage& imag
         // top levels, read-only cache below).
         LaneMask mask = 0;
         for (unsigned g = 0; g < nq; ++g) {
+          if (resolved[g]) continue;
           mask |= gpusim::lane_bit(g * gs);
           addrs[g * gs] = image.ps_addr(node[g]);
         }
-        std::array<std::uint32_t, 32> ps_vals{};
-        w.gather<std::uint32_t>(mask, std::span(addrs.data(), warp), ps_vals);
-        w.compute(mask);  // index arithmetic
-        for (unsigned g = 0; g < nq; ++g) {
-          ps[g] = ps_vals[g * gs];
-          node[g] = ps[g] + sep_leq[g];
+        if (mask != 0) {
+          std::array<std::uint32_t, 32> ps_vals{};
+          w.gather<std::uint32_t>(mask, std::span(addrs.data(), warp), ps_vals);
+          w.compute(mask);  // index arithmetic
+          for (unsigned g = 0; g < nq; ++g) {
+            if (resolved[g]) continue;
+            ps[g] = ps_vals[g * gs];
+            node[g] = ps[g] + sep_leq[g];
+          }
         }
       }
     }
@@ -168,7 +247,8 @@ SearchStats search_batch(gpusim::Device& device, const HarmoniaDeviceImage& imag
       const unsigned lane = g * gs;
       out_mask |= gpusim::lane_bit(lane);
       addrs[lane] = out_values.element_addr(base + g);
-      out_vals[lane] = found[g] ? vals[lane] : kNotFound;
+      out_vals[lane] =
+          resolved[g] ? res_val[g] : (found[g] ? vals[lane] : kNotFound);
     }
     w.scatter<Value>(out_mask, std::span(addrs.data(), warp),
                      std::span<const Value>(out_vals.data(), warp));

@@ -12,7 +12,10 @@ namespace harmonia {
 using queries::OpKind;
 using queries::UpdateOp;
 
-BatchUpdater::BatchUpdater(HarmoniaTree tree) : tree_(std::move(tree)) {
+BatchUpdater::BatchUpdater(HarmoniaTree tree, double rebuild_fill)
+    : tree_(std::move(tree)), rebuild_fill_(rebuild_fill) {
+  HARMONIA_CHECK_MSG(rebuild_fill > 0.0 && rebuild_fill <= 1.0,
+                     "rebuild fill factor must be in (0, 1]");
   aux_.resize(tree_.num_leaves());
   fine_ = std::make_unique<std::mutex[]>(tree_.num_leaves());
 }
@@ -218,7 +221,8 @@ UpdateStats BatchUpdater::apply(std::span<const UpdateOp> ops, unsigned threads)
 void BatchUpdater::rebuild(UpdateStats& stats) {
   const unsigned kpn = tree_.keys_per_node();
   const auto target = std::clamp<std::size_t>(
-      static_cast<std::size_t>(std::lround(static_cast<double>(kpn) * 0.69)), 1, kpn);
+      static_cast<std::size_t>(std::lround(static_cast<double>(kpn) * rebuild_fill_)),
+      1, kpn);
 
   std::vector<std::vector<btree::Entry>> leaves;
   leaves.reserve(tree_.num_leaves());

@@ -62,9 +62,18 @@ struct UpdateStats {
 
 class BatchUpdater {
  public:
-  explicit BatchUpdater(HarmoniaTree tree);
+  /// `rebuild_fill` sets the target fill factor the deferred movement
+  /// leaves in rebuilt leaves — i.e. how much gap each leaf keeps for the
+  /// incremental patch path to absorb later in-place inserts (the paper's
+  /// bulk-load fill, 0.69, by default).
+  explicit BatchUpdater(HarmoniaTree tree, double rebuild_fill = 0.69);
 
   const HarmoniaTree& tree() const { return tree_; }
+
+  /// Mutable tree access for the incremental patch path
+  /// (HarmoniaIndex::patch_update): in-place leaf mutations between
+  /// batches, under the same no-concurrent-batch contract as apply().
+  HarmoniaTree& tree_for_patch() { return tree_; }
 
   /// Applies one batch with `threads` workers (ops are striped across
   /// workers), then performs the deferred movement. Returns statistics.
@@ -88,6 +97,7 @@ class BatchUpdater {
   void rebuild(UpdateStats& stats);
 
   HarmoniaTree tree_;
+  double rebuild_fill_ = 0.69;
   std::vector<std::unique_ptr<AuxNode>> aux_;  // indexed by leaf ordinal
   std::unique_ptr<std::mutex[]> fine_;
   std::mutex coarse_;

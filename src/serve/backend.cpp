@@ -1,6 +1,7 @@
 #include "serve/backend.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/expect.hpp"
@@ -86,6 +87,30 @@ void ServerReport::check_invariants() const {
                            << " latency samples for " << class_completed[c]
                            << " completions");
   }
+
+  // Patch/compaction split: every epoch books into exactly one side, and
+  // the per-side build/upload sums reassemble the totals (a relative
+  // epsilon absorbs the different fp accumulation order).
+  HARMONIA_CHECK_MSG(patch_epochs + compaction_epochs == epochs,
+                     "epoch accounting broken: patch_epochs=" << patch_epochs
+                         << " + compaction_epochs=" << compaction_epochs
+                         << " != epochs=" << epochs);
+  const auto close = [](double split, double total) {
+    const double scale = std::max({std::abs(split), std::abs(total), 1.0});
+    return std::abs(split - total) <= 1e-9 * scale;
+  };
+  HARMONIA_CHECK_MSG(
+      close(epoch_patch_build_seconds + epoch_compaction_build_seconds,
+            epoch_build_seconds),
+      "epoch accounting broken: patch+compaction build seconds "
+          << epoch_patch_build_seconds + epoch_compaction_build_seconds
+          << " != epoch_build_seconds=" << epoch_build_seconds);
+  HARMONIA_CHECK_MSG(
+      close(epoch_patch_upload_seconds + epoch_compaction_upload_seconds,
+            epoch_upload_seconds),
+      "epoch accounting broken: patch+compaction upload seconds "
+          << epoch_patch_upload_seconds + epoch_compaction_upload_seconds
+          << " != epoch_upload_seconds=" << epoch_upload_seconds);
 
   if (shard_batches.empty()) return;
   HARMONIA_CHECK_MSG(

@@ -93,6 +93,18 @@ struct ServerReport {
   double epoch_swap_wait_seconds = 0.0;
   double epoch_stall_seconds = 0.0;
 
+  /// Incremental-mode split of the epoch totals above: an epoch books as
+  /// "patch" when it edited the committed image in place (every staged
+  /// shard patched), as "compaction" when any shard rebuilt a full image
+  /// — which includes all quiesce and overlap epochs. The pairs sum to
+  /// epochs / epoch_build_seconds / epoch_upload_seconds exactly.
+  std::uint64_t patch_epochs = 0;
+  std::uint64_t compaction_epochs = 0;
+  double epoch_patch_build_seconds = 0.0;
+  double epoch_patch_upload_seconds = 0.0;
+  double epoch_compaction_build_seconds = 0.0;
+  double epoch_compaction_upload_seconds = 0.0;
+
   /// Injection/detection/mitigation tallies (all zero on fault-free runs).
   fault::FaultReport faults;
 

@@ -13,6 +13,10 @@ EpochUpdater::EpochUpdater(HarmoniaIndex& index, const TransferModel& link,
     : index_(index), link_(link), config_(config) {
   HARMONIA_CHECK(config_.max_buffered > 0);
   HARMONIA_CHECK(config_.apply_threads > 0);
+  if (config_.mode == EpochMode::kIncremental &&
+      index_.overlay_capacity() < config_.overlay_capacity) {
+    index_.set_overlay_capacity(config_.overlay_capacity);
+  }
 }
 
 void EpochUpdater::buffer(const Request& r) {
@@ -36,6 +40,12 @@ void EpochUpdater::set_observer(const obs::Observer& obs, unsigned shard) {
   resync_hist_ = &m.histogram("serve_epoch_resync_seconds" + sl, edges);
   swap_wait_hist_ = &m.histogram("serve_epoch_swap_wait_seconds" + sl, edges);
   stall_hist_ = &m.histogram("serve_epoch_stall_seconds" + sl, edges);
+  patch_build_hist_ = &m.histogram("serve_epoch_patch_build_seconds" + sl, edges);
+  patch_upload_hist_ = &m.histogram("serve_epoch_patch_upload_seconds" + sl, edges);
+  compaction_build_hist_ =
+      &m.histogram("serve_epoch_compaction_build_seconds" + sl, edges);
+  compaction_upload_hist_ =
+      &m.histogram("serve_epoch_compaction_upload_seconds" + sl, edges);
 }
 
 double EpochUpdater::next_deadline() const {
@@ -60,6 +70,13 @@ void EpochUpdater::observe_epoch(const EpochResult& e) {
   resync_hist_->observe(e.resync_seconds);
   swap_wait_hist_->observe(e.swap_wait_seconds);
   stall_hist_->observe(e.stall_seconds);
+  if (e.patch) {
+    patch_build_hist_->observe(e.apply_seconds);
+    patch_upload_hist_->observe(e.resync_seconds);
+  } else {
+    compaction_build_hist_->observe(e.apply_seconds);
+    compaction_upload_hist_->observe(e.resync_seconds);
+  }
 }
 
 Response EpochUpdater::make_update_response(const Request& r,
@@ -78,12 +95,24 @@ EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
 
   const std::vector<queries::UpdateOp> ops = drain_ops(pending_);
 
+  // A live overlay (incremental-mode leftovers) folds into the batch:
+  // update_batch replays it ahead of `ops`. The replays are real CPU work
+  // (charged below) but not client ops — back them out of the stats so
+  // updates_applied counts each request exactly once (replays never fail:
+  // a live entry re-inserts, a tombstone deletes a key still in the base).
+  const std::uint64_t replay_live = index_.overlay_live_count();
+  const std::uint64_t replay_tomb = index_.overlay_tombstone_count();
+
   EpochResult e;
   e.stats = index_.update_batch(ops, config_.apply_threads);
+  HARMONIA_CHECK(e.stats.inserts >= replay_live && e.stats.deletes >= replay_tomb);
+  e.stats.inserts -= replay_live;
+  e.stats.deletes -= replay_tomb;
   e.epoch = ++epochs_;
   e.start = std::max(at, device_free);
   e.apply_seconds =
-      static_cast<double>(ops.size()) * config_.seconds_per_op;
+      static_cast<double>(ops.size() + replay_live + replay_tomb) *
+      config_.seconds_per_op;
   e.resync_seconds = image_resync_seconds(index_.tree(), link_);
   if (injector_ != nullptr && injector_->active()) {
     // The resync is a PCIe transfer like any other: active slowdown
@@ -120,14 +149,65 @@ const EpochUpdater::Staged& EpochUpdater::stage(double at) {
   HARMONIA_CHECK(!pending_.empty());
 
   const std::vector<queries::UpdateOp> ops = drain_ops(pending_);
-  staged_update_ = index_.stage_update(ops, config_.apply_threads);
 
   Staged s;
   s.epoch = epochs_ + 1;
   s.trigger = at;
-  s.build_seconds = static_cast<double>(ops.size()) * config_.seconds_per_op;
-  s.build_done = at + s.build_seconds;
-  s.upload_seconds = image_resync_seconds(staged_update_.tree(), link_);
+
+  double patch_attempt_seconds = 0.0;
+  std::vector<queries::UpdateOp> fold;
+  UpdateStats prefix_stats;
+  std::uint64_t replay_live = 0;
+  std::uint64_t replay_tomb = 0;
+  if (config_.mode == EpochMode::kIncremental) {
+    const auto pr = index_.patch_update(ops);
+    if (!pr.exhausted) {
+      // Patch epoch: the host tree + overlay mirror are already updated;
+      // commit flushes only the queued leaf records and overlay arrays —
+      // pr.patch_bytes on the link instead of a full image upload, and no
+      // shadow-tree build at all.
+      s.patch = true;
+      s.build_seconds =
+          static_cast<double>(ops.size()) * config_.seconds_per_patch_op;
+      s.build_done = at + s.build_seconds;
+      s.upload_seconds = link_.seconds(pr.patch_bytes);
+      patch_stats_ = pr.stats;
+    } else {
+      // Gaps/overlay exhausted: compaction fallback. The absorbed prefix
+      // is already in the host tree (the shadow copy carries it); the
+      // overlay replays ahead of the unabsorbed tail so the rebuilt image
+      // subsumes it. Replays are charged as build work but backed out of
+      // the stats — they are not client ops and never fail.
+      patch_attempt_seconds =
+          static_cast<double>(pr.absorbed) * config_.seconds_per_patch_op;
+      replay_live = index_.overlay_live_count();
+      replay_tomb = index_.overlay_tombstone_count();
+      fold = index_.overlay_as_ops();
+      fold.insert(fold.end(), ops.begin() + static_cast<std::ptrdiff_t>(pr.absorbed),
+                  ops.end());
+      index_.discard_patch();
+      prefix_stats = pr.stats;
+    }
+  } else {
+    fold = ops;
+  }
+
+  if (!s.patch) {
+    staged_update_ = index_.stage_update(fold, config_.apply_threads);
+    HARMONIA_CHECK(staged_update_.stats.inserts >= replay_live &&
+                   staged_update_.stats.deletes >= replay_tomb);
+    staged_update_.stats.inserts -= replay_live;
+    staged_update_.stats.deletes -= replay_tomb;
+    staged_update_.stats.updates += prefix_stats.updates;
+    staged_update_.stats.inserts += prefix_stats.inserts;
+    staged_update_.stats.deletes += prefix_stats.deletes;
+    staged_update_.stats.failed += prefix_stats.failed;
+    s.build_seconds =
+        patch_attempt_seconds +
+        static_cast<double>(fold.size()) * config_.seconds_per_op;
+    s.build_done = at + s.build_seconds;
+    s.upload_seconds = image_resync_seconds(staged_update_.tree(), link_);
+  }
   if (injector_ != nullptr && injector_->active()) {
     // The background upload is a PCIe transfer too: slowdown windows
     // stretch it, and the pre-swap CRC32 audit turns an armed corruption
@@ -141,7 +221,8 @@ const EpochUpdater::Staged& EpochUpdater::stage(double at) {
   s.ready = s.build_done + s.upload_seconds;
 
   if (obs_.trace != nullptr) {
-    const std::string tag = " epoch=" + std::to_string(s.epoch);
+    const std::string tag =
+        " epoch=" + std::to_string(s.epoch) + (s.patch ? " patch" : "");
     obs_.trace->annotate(s.trigger, shard_,
                          "epoch build start" + tag +
                              " ops=" + std::to_string(ops.size()));
@@ -163,8 +244,16 @@ EpochUpdater::EpochResult EpochUpdater::commit(double swap_at) {
                                       << "ready at " << s.ready);
 
   EpochResult e;
-  e.stats = staged_update_.stats;
-  index_.commit_staged(std::move(staged_update_));
+  e.patch = s.patch;
+  if (s.patch) {
+    // Flush the queued leaf/overlay writes into the live image; like the
+    // staged swap this lands whole at the boundary the caller picked.
+    e.stats = patch_stats_;
+    index_.commit_patch();
+  } else {
+    e.stats = staged_update_.stats;
+    index_.commit_staged(std::move(staged_update_));
+  }
   e.epoch = ++epochs_;
   HARMONIA_CHECK(e.epoch == s.epoch);
   e.start = s.trigger;
@@ -179,7 +268,8 @@ EpochUpdater::EpochResult EpochUpdater::commit(double swap_at) {
   observe_epoch(e);
   if (obs_.trace != nullptr)
     obs_.trace->annotate(swap_at, shard_,
-                         "epoch swap epoch=" + std::to_string(e.epoch));
+                         "epoch swap epoch=" + std::to_string(e.epoch) +
+                             (e.patch ? " patch" : ""));
   e.responses.reserve(staged_requests_.size());
   for (const Request& r : staged_requests_) {
     if (obs_.trace != nullptr) {

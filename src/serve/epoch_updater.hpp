@@ -15,7 +15,15 @@
 // the staged image is ready, an atomic swap at a batch boundary retires
 // image N; the device never stalls for the build or the upload.
 //
-// In both modes queries observe a whole number of epochs — there are no
+// Incremental (--epoch-mode delta, docs/serving.md#epoch-pipeline): the
+// trigger first tries to *patch* the committed image in place — value
+// updates and gap-absorbed inserts edit leaf records, structural ops land
+// in the bounded device-side delta overlay — so only the dirty leaf
+// records and overlay arrays cross PCIe at the swap instant. When gaps or
+// the overlay exhaust, the epoch falls back to an overlap-style
+// compaction that folds the overlay into a rebuilt image.
+//
+// In every mode queries observe a whole number of epochs — there are no
 // torn states, which is what makes the serving path testable against a
 // snapshot oracle.
 #pragma once
@@ -41,6 +49,13 @@ enum class EpochMode : std::uint8_t {
   /// Stage the epoch on a shadow tree, upload in the background, swap
   /// atomically at a batch boundary; queries never stop.
   kOverlap,
+  /// Incremental ("delta"): non-structural ops patch the committed image
+  /// in place through the leaf gaps, structural ops land in the bounded
+  /// device-side delta overlay; only the dirty leaf records + overlay
+  /// arrays cross PCIe. When gaps or the overlay exhaust, the epoch falls
+  /// back to an overlap-style compaction that folds the overlay into a
+  /// rebuilt image. Queries never stop in either case.
+  kIncremental,
 };
 
 struct EpochConfig {
@@ -56,6 +71,13 @@ struct EpochConfig {
   /// a per-op charge keeps the whole simulation replayable. The default
   /// is in the range the paper's 28-core Xeon sustains.
   double seconds_per_op = 250e-9;
+  /// Modeled CPU cost per op on the incremental patch path: an in-place
+  /// leaf edit or a bounded overlay upsert — no shadow-tree copy, no
+  /// Algorithm-1 lock traffic, so much cheaper than seconds_per_op.
+  double seconds_per_patch_op = 50e-9;
+  /// Delta-overlay bound (entries) installed on the index when mode is
+  /// kIncremental; ignored otherwise.
+  std::size_t overlay_capacity = 1024;
   /// kQuiesce preserves the original stall-the-world behaviour exactly.
   EpochMode mode = EpochMode::kQuiesce;
 };
@@ -87,6 +109,11 @@ class EpochUpdater {
     /// Device time lost to this epoch: apply+resync in quiesce mode, 0 in
     /// overlap mode (the device serves through build and upload).
     double stall_seconds = 0.0;
+    /// True when this epoch patched the committed image in place
+    /// (incremental mode, gaps/overlay absorbed everything); false for
+    /// every full-image epoch — quiesce, overlap, and incremental-mode
+    /// compaction fallbacks alike.
+    bool patch = false;
     UpdateStats stats;
   };
 
@@ -103,6 +130,9 @@ class EpochUpdater {
     double ready = 0.0;          // image uploaded + audited, swap-eligible
     double build_seconds = 0.0;
     double upload_seconds = 0.0;
+    /// Incremental mode: this epoch is an in-place patch (commit flushes
+    /// the queued leaf/overlay writes instead of swapping a new image).
+    bool patch = false;
   };
 
   bool inflight() const { return staged_meta_.has_value(); }
@@ -151,6 +181,9 @@ class EpochUpdater {
   /// the update requests it will answer at the swap.
   std::optional<Staged> staged_meta_;
   HarmoniaIndex::StagedUpdate staged_update_;
+  /// Incremental mode: stats of the in-flight patch epoch (the queued
+  /// writes live inside the index until commit_patch).
+  UpdateStats patch_stats_;
   std::vector<Request> staged_requests_;
   fault::FaultInjector* injector_ = nullptr;
   unsigned shard_ = 0;
@@ -162,6 +195,12 @@ class EpochUpdater {
   obs::LatencyHistogram* resync_hist_ = nullptr;
   obs::LatencyHistogram* swap_wait_hist_ = nullptr;
   obs::LatencyHistogram* stall_hist_ = nullptr;
+  /// Patch-vs-compaction splits of build/upload (every epoch lands in
+  /// exactly one pair; quiesce and overlap epochs book as compaction).
+  obs::LatencyHistogram* patch_build_hist_ = nullptr;
+  obs::LatencyHistogram* patch_upload_hist_ = nullptr;
+  obs::LatencyHistogram* compaction_build_hist_ = nullptr;
+  obs::LatencyHistogram* compaction_upload_hist_ = nullptr;
 };
 
 }  // namespace harmonia::serve

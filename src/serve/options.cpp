@@ -58,6 +58,11 @@ void ServeOptions::validate(unsigned num_shards) const {
   HARMONIA_CHECK_MSG(epoch.apply_threads > 0, "epoch.apply_threads must be positive");
   HARMONIA_CHECK_MSG(epoch.seconds_per_op >= 0.0,
                      "epoch.seconds_per_op may not be negative");
+  HARMONIA_CHECK_MSG(epoch.seconds_per_patch_op >= 0.0,
+                     "epoch.seconds_per_patch_op may not be negative");
+  HARMONIA_CHECK_MSG(epoch.mode != EpochMode::kIncremental ||
+                         epoch.overlay_capacity > 0,
+                     "incremental epoch mode needs a positive overlay capacity");
 
   HARMONIA_CHECK_MSG(link.gigabytes_per_second > 0.0,
                      "link.gigabytes_per_second must be positive");
@@ -96,8 +101,12 @@ void ServeOptions::add_flags(Cli& cli) {
       .flag("max-wait-us", "batch deadline (us)", "100")
       .flag("queue-cap", "admission queue capacity per lane", "16384")
       .flag("epoch-updates", "updates buffered per epoch", "4096")
-      .flag("epoch-mode", "epoch pipeline: quiesce (stall-the-world) or "
-                          "overlap (double-buffered image swap)", "quiesce")
+      .flag("epoch-mode", "epoch pipeline: quiesce (stall-the-world), "
+                          "overlap (double-buffered image swap), or delta "
+                          "(in-place patches + device overlay, compaction "
+                          "fallback)", "quiesce")
+      .flag("overlay-cap", "delta-mode device overlay bound in entries "
+                           "(per shard)", "1024")
       .flag("apply-threads", "CPU workers for the Algorithm-1 batch apply", "1")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
@@ -119,10 +128,12 @@ ServeOptions ServeOptions::from_cli(const Cli& cli) {
       static_cast<double>(cli.get_uint("max-wait-us", 100)) * 1e-6;
   opts.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
   opts.epoch.max_buffered = cli.get_uint("epoch-updates", 4096);
-  opts.epoch.mode =
-      cli.get_choice("epoch-mode", {"quiesce", "overlap"}, "quiesce") == "overlap"
-          ? EpochMode::kOverlap
-          : EpochMode::kQuiesce;
+  const std::string mode =
+      cli.get_choice("epoch-mode", {"quiesce", "overlap", "delta"}, "quiesce");
+  opts.epoch.mode = mode == "overlap"  ? EpochMode::kOverlap
+                    : mode == "delta" ? EpochMode::kIncremental
+                                      : EpochMode::kQuiesce;
+  opts.epoch.overlay_capacity = cli.get_uint("overlay-cap", 1024);
   opts.epoch.apply_threads =
       static_cast<unsigned>(cli.get_uint("apply-threads", 1));
   opts.link.gigabytes_per_second = cli.get_double("pcie", 12.0);

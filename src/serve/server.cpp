@@ -86,6 +86,15 @@ void Server::account_epoch(const EpochUpdater::EpochResult& e,
   report.epoch_upload_seconds += e.resync_seconds;
   report.epoch_swap_wait_seconds += e.swap_wait_seconds;
   report.epoch_stall_seconds += e.stall_seconds;
+  if (e.patch) {
+    ++report.patch_epochs;
+    report.epoch_patch_build_seconds += e.apply_seconds;
+    report.epoch_patch_upload_seconds += e.resync_seconds;
+  } else {
+    ++report.compaction_epochs;
+    report.epoch_compaction_build_seconds += e.apply_seconds;
+    report.epoch_compaction_upload_seconds += e.resync_seconds;
+  }
   for (const Response& resp : e.responses) {
     report.makespan = std::max(report.makespan, resp.completion);
     source.on_complete(resp);
@@ -179,9 +188,9 @@ void Server::submit(const Request& r, RequestSource& source,
 
 double Server::next_epoch_time(double now) const {
   if (updater_.buffered() == 0) return kNever;
-  // One staging buffer: in overlap mode the next epoch cannot start to
-  // build until the in-flight image swaps.
-  if (config_.epoch.mode == EpochMode::kOverlap && updater_.inflight())
+  // One staging buffer: in the overlapped modes the next epoch cannot
+  // start to build (or patch) until the in-flight one commits.
+  if (config_.epoch.mode != EpochMode::kQuiesce && updater_.inflight())
     return kNever;
   return updater_.size_ready() ? now : updater_.next_deadline();
 }
@@ -192,8 +201,8 @@ void Server::epoch_begin(double now, RequestSource& source,
     run_epoch(now, source, report);
     return;
   }
-  // Overlap: start the background build + upload; queries keep flowing
-  // against the live image until the swap.
+  // Overlap/incremental: start the background build (or in-place patch);
+  // queries keep flowing against the live image until the commit.
   updater_.stage(now);
 }
 

@@ -58,6 +58,12 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
                                                  config_.batch, config_.qos);
     if (injector_.active()) sched_[s]->set_fault_context(&injector_, s);
     if (config_.obs.active()) sched_[s]->set_observer(config_.obs, s);
+    // Incremental mode: every shard needs its own device overlay arrays
+    // (only grow — a caller may have pre-sized a larger bound).
+    if (config_.epoch.mode == EpochMode::kIncremental &&
+        index_.shard(s)->overlay_capacity() < config_.epoch.overlay_capacity) {
+      index_.shard(s)->set_overlay_capacity(config_.epoch.overlay_capacity);
+    }
   }
   if (config_.obs.active()) {
     injector_.set_observer(config_.obs);
@@ -445,9 +451,10 @@ void ShardedServer::dispatch_ready_batch(double now, RequestSource& source,
 
 double ShardedServer::next_epoch_time(double now) const {
   if (pending_updates_.empty()) return kNever;
-  // One staging buffer: in overlap mode the next epoch cannot start to
-  // build until every shard has swapped the in-flight one.
-  if (config_.epoch.mode == EpochMode::kOverlap && inflight_.has_value())
+  // One staging buffer: in the overlapped modes the next epoch cannot
+  // start to build (or patch) until every shard has swapped the
+  // in-flight one.
+  if (config_.epoch.mode != EpochMode::kQuiesce && inflight_.has_value())
     return kNever;
   return pending_updates_.size() >= config_.epoch.max_buffered
              ? now
@@ -490,21 +497,38 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   std::vector<queries::UpdateOp> ops;
   ops.reserve(pending_updates_.size());
   for (const Request& r : pending_updates_) ops.push_back({r.op, r.key, r.value});
-  const UpdateStats stats =
-      index_.update_batch(ops, config_.epoch.apply_threads);
+  std::vector<char> touched(index_.num_shards(), 0);
+  for (const auto& op : ops) touched[index_.plan().shard_of(op.key)] = 1;
+
+  // Incremental leftovers: each touched shard's update_batch replays its
+  // committed overlay ahead of the batch (untouched shards keep theirs).
+  // The replays are real CPU work (charged below) but not client ops —
+  // back them out of the stats so updates_applied counts each request
+  // exactly once (replays never fail: a live entry re-inserts, a
+  // tombstone deletes a key still in the base).
+  std::uint64_t replay_live = 0;
+  std::uint64_t replay_tomb = 0;
+  for (unsigned s = 0; s < index_.num_shards(); ++s) {
+    if (!touched[s] || index_.shard(s) == nullptr) continue;
+    replay_live += index_.shard(s)->overlay_live_count();
+    replay_tomb += index_.shard(s)->overlay_tombstone_count();
+  }
+  UpdateStats stats = index_.update_batch(ops, config_.epoch.apply_threads);
+  HARMONIA_CHECK(stats.inserts >= replay_live && stats.deletes >= replay_tomb);
+  stats.inserts -= replay_live;
+  stats.deletes -= replay_tomb;
 
   // One host CPU applies the whole epoch; per-shard image resyncs overlap
   // on their own links, so the resync charge is the slowest shard's.
   const double apply_seconds =
-      static_cast<double>(ops.size()) * config_.epoch.seconds_per_op;
+      static_cast<double>(ops.size() + replay_live + replay_tomb) *
+      config_.epoch.seconds_per_op;
   double resync_seconds = index_.last_resync_seconds();
   if (injector_.active()) {
     // Recompute the resync charge per touched shard so each pays its own
     // slowdown windows, and give armed corruption events their shot at
     // the fresh images — the CRC32 audit catches and re-images before
     // admission reopens, so a corrupt image is never served.
-    std::vector<char> touched(index_.num_shards(), 0);
-    for (const auto& op : ops) touched[index_.plan().shard_of(op.key)] = 1;
     resync_seconds = 0.0;
     const double resync_at = start + apply_seconds;
     for (unsigned s = 0; s < index_.num_shards(); ++s) {
@@ -528,6 +552,11 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   report.updates_failed += stats.failed;
   report.epoch_build_seconds += apply_seconds;
   report.epoch_upload_seconds += resync_seconds;
+  // A quiesce epoch rebuilds and re-uploads full images: by definition a
+  // compaction, never a patch (incremental final drains land here too).
+  ++report.compaction_epochs;
+  report.epoch_compaction_build_seconds += apply_seconds;
+  report.epoch_compaction_upload_seconds += resync_seconds;
   // Every device is held through the epoch: admission reopens on all
   // shards at the same instant (the atomicity the stress tests pin).
   const double stall =
@@ -556,9 +585,44 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   pending_updates_.clear();
 }
 
+void ShardedServer::stage_with_fold(unsigned s,
+                                    std::span<const queries::UpdateOp> ops,
+                                    std::size_t absorbed,
+                                    const UpdateStats& prefix,
+                                    InflightEpoch& ep) {
+  HarmoniaIndex& idx = *index_.shard(s);
+  ShardStage& st = ep.shards[s];
+  ep.patch = false;
+  // The shard's committed overlay replays ahead of the unabsorbed tail so
+  // the rebuilt image subsumes it (commit_staged clears the overlay).
+  // Replays are real build work (charged by the caller via fold.size())
+  // but not client ops — back them out of the stats so updates_applied
+  // counts each request exactly once (replays never fail: a live entry
+  // re-inserts, a tombstone deletes a key still in the base).
+  const std::uint64_t replay_live = idx.overlay_live_count();
+  const std::uint64_t replay_tomb = idx.overlay_tombstone_count();
+  std::vector<queries::UpdateOp> fold = idx.overlay_as_ops();
+  fold.insert(fold.end(), ops.begin() + static_cast<std::ptrdiff_t>(absorbed),
+              ops.end());
+  idx.discard_patch();
+  st.update = idx.stage_update(fold, config_.epoch.apply_threads);
+  HARMONIA_CHECK(st.update.stats.inserts >= replay_live &&
+                 st.update.stats.deletes >= replay_tomb);
+  st.update.stats.inserts -= replay_live;
+  st.update.stats.deletes -= replay_tomb;
+  st.update.stats.updates += prefix.updates;
+  st.update.stats.inserts += prefix.inserts;
+  st.update.stats.deletes += prefix.deletes;
+  st.update.stats.failed += prefix.failed;
+  accumulate(ep.stats, st.update.stats);
+  ep.build_seconds +=
+      static_cast<double>(fold.size()) * config_.epoch.seconds_per_op;
+}
+
 void ShardedServer::begin_overlap_epoch(double now, ServerReport& report) {
   (void)report;
   const unsigned n = index_.num_shards();
+  const bool incremental = config_.epoch.mode == EpochMode::kIncremental;
   InflightEpoch ep;
   ep.ordinal = epochs_ + 1;
   ep.trigger = now;
@@ -571,45 +635,73 @@ void ShardedServer::begin_overlap_epoch(double now, ServerReport& report) {
   for (const Request& r : ep.requests)
     per_shard[index_.plan().shard_of(r.key)].push_back({r.op, r.key, r.value});
 
-  // One host CPU builds every shard's shadow tree back to back, then the
-  // touched images upload concurrently over their own links.
-  ep.build_seconds =
-      static_cast<double>(ep.requests.size()) * config_.epoch.seconds_per_op;
-  ep.build_done = now + ep.build_seconds;
   ep.shards.resize(n);
   ep.remaining = n;
+  ep.patch = true;  // stage_with_fold clears it on any shadow build
+
+  // One host CPU works the touched shards back to back (the build charge
+  // sums), then the touched images upload concurrently over their own
+  // links. In incremental mode the per-shard cost depends on the path it
+  // took: in-place patch ops are much cheaper than an Algorithm-1 shadow
+  // build, and a shard that exhausts its gaps/overlay pays its absorbed
+  // patch prefix plus the fold-compaction build.
+  for (unsigned s = 0; s < n; ++s) {
+    if (per_shard[s].empty()) continue;
+    ShardStage& st = ep.shards[s];
+    st.staged = true;
+    if (incremental && !fenced_[s]) {
+      const auto pr = index_.shard(s)->patch_update(per_shard[s]);
+      if (!pr.exhausted) {
+        st.patched = true;
+        st.patch_bytes = pr.patch_bytes;
+        accumulate(ep.stats, pr.stats);
+        ep.build_seconds += static_cast<double>(per_shard[s].size()) *
+                            config_.epoch.seconds_per_patch_op;
+        continue;
+      }
+      // This shard's gaps/overlay are exhausted: compaction fallback.
+      ep.build_seconds += static_cast<double>(pr.absorbed) *
+                          config_.epoch.seconds_per_patch_op;
+      stage_with_fold(s, per_shard[s], pr.absorbed, pr.stats, ep);
+      continue;
+    }
+    // Plain staged build: overlap mode, or a fenced shard (its device is
+    // gone — no image to patch; the host-side rebuild still folds any
+    // committed overlay, which is empty outside incremental mode).
+    stage_with_fold(s, per_shard[s], 0, UpdateStats{}, ep);
+  }
+  ep.build_done = now + ep.build_seconds;
+
   if (config_.obs.trace != nullptr)
     config_.obs.trace->annotate(
         now, obs::TraceRecorder::kNoShard,
         "epoch build start epoch=" + std::to_string(ep.ordinal) +
-            " ops=" + std::to_string(ep.requests.size()));
+            " ops=" + std::to_string(ep.requests.size()) +
+            (ep.patch ? " patch" : ""));
   for (unsigned s = 0; s < n; ++s) {
     ShardStage& st = ep.shards[s];
-    if (per_shard[s].empty()) {
+    if (!st.staged) {
       // Untouched shard: nothing to upload — it swaps (a version bump)
       // as soon as the build finishes and its fence is clear.
       st.ready = ep.build_done;
       continue;
     }
-    st.staged = true;
-    st.update = index_.shard(s)->stage_update(per_shard[s],
-                                              config_.epoch.apply_threads);
-    accumulate(ep.stats, st.update.stats);
-    double upload = image_resync_seconds(st.update.tree(), config_.link);
+    double upload = st.patched
+                        ? config_.link.seconds(st.patch_bytes)
+                        : image_resync_seconds(st.update.tree(), config_.link);
     if (injector_.active()) {
       upload *= injector_.transfer_factor(s, ep.build_done + upload);
-      // The staged image is audited (CRC32) before it may swap; a hit
-      // re-uploads while the old image keeps serving.
+      // The staged image (or patch burst) is audited (CRC32) before it
+      // may commit; a hit re-uploads while the old image keeps serving.
       upload += injector_.audit_staged(s, upload, ep.build_done + upload);
     }
     st.upload_seconds = upload;
     st.ready = ep.build_done + upload;
     if (config_.obs.trace != nullptr) {
-      config_.obs.trace->annotate(ep.build_done, s,
-                                  "epoch upload start epoch=" +
-                                      std::to_string(ep.ordinal));
-      config_.obs.trace->annotate(st.ready, s, "epoch staged ready epoch=" +
-                                                   std::to_string(ep.ordinal));
+      const std::string tag = "epoch=" + std::to_string(ep.ordinal) +
+                              (st.patched ? " patch" : "");
+      config_.obs.trace->annotate(ep.build_done, s, "epoch upload start " + tag);
+      config_.obs.trace->annotate(st.ready, s, "epoch staged ready " + tag);
     }
   }
   inflight_ = std::move(ep);
@@ -650,7 +742,15 @@ void ShardedServer::epoch_commit(double now, RequestSource& source,
   }
   HARMONIA_CHECK(bt < kInf);
   ShardStage& st = inflight_->shards[best];
-  if (st.staged) index_.shard(best)->commit_staged(std::move(st.update));
+  if (st.staged) {
+    // Patched shards flush their queued leaf/overlay writes into the live
+    // image; compacted shards swap in the shadow tree. Either way the
+    // change lands whole at this batch boundary.
+    if (st.patched)
+      index_.shard(best)->commit_patch();
+    else
+      index_.shard(best)->commit_staged(std::move(st.update));
+  }
   st.swapped = true;
   shard_epoch_[best] = inflight_->ordinal;
   const double wait = now - st.ready;
@@ -659,7 +759,8 @@ void ShardedServer::epoch_commit(double now, RequestSource& source,
   if (config_.obs.trace != nullptr)
     config_.obs.trace->annotate(now, best,
                                 "epoch swap epoch=" +
-                                    std::to_string(inflight_->ordinal));
+                                    std::to_string(inflight_->ordinal) +
+                                    (st.patched ? " patch" : ""));
   HARMONIA_CHECK(inflight_->remaining > 0);
   if (--inflight_->remaining == 0) finish_overlap_epoch(now, source, report);
 }
@@ -680,6 +781,18 @@ void ShardedServer::finish_overlap_epoch(double now, RequestSource& source,
   for (const ShardStage& st : ep.shards)
     upload_max = std::max(upload_max, st.upload_seconds);
   report.epoch_upload_seconds += upload_max;
+  // An epoch books as "patch" only when every staged shard patched in
+  // place; one compacting shard dominates the cost, so it tips the whole
+  // epoch into the compaction bucket.
+  if (ep.patch) {
+    ++report.patch_epochs;
+    report.epoch_patch_build_seconds += ep.build_seconds;
+    report.epoch_patch_upload_seconds += upload_max;
+  } else {
+    ++report.compaction_epochs;
+    report.epoch_compaction_build_seconds += ep.build_seconds;
+    report.epoch_compaction_upload_seconds += upload_max;
+  }
 
   // The update requests complete at the last shard swap: only then is the
   // epoch observable everywhere.

@@ -25,6 +25,15 @@
 //                    shard cannot swap while fan-out pieces are queued on
 //                    it, and new straddlers arriving while shards
 //                    disagree on version are parked until the last swap.
+//
+// Incremental (delta) mode rides the same fence: each touched shard
+// first tries to patch the committed image in place (gap fills + device
+// overlay, see harmonia/index.hpp), and only a shard whose gaps or
+// overlay are exhausted falls back to a full shadow build — so shard A
+// can take a cheap patch commit while shard B compacts, each at its own
+// batch boundary, with per-shard overlays compacting independently. The
+// commit (leaf flush or image swap alike) still waits for the shard's
+// fence to clear, so straddlers never observe a torn version.
 // Every query therefore observes a whole number of epochs on every shard
 // it touches — there are no torn cross-shard states, which is what the
 // stress tests pin.
@@ -34,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "qos/admission.hpp"
@@ -98,9 +108,12 @@ class ShardedServer : public serve::Backend {
   /// One shard's half-open state inside a staged (overlap-mode) epoch.
   struct ShardStage {
     bool staged = false;   // this shard has ops (and a shadow tree)
+    bool patched = false;  // incremental: in-place patch, no shadow tree
     bool swapped = false;  // image N+1 already installed
     double ready = 0.0;    // staged image uploaded + audited
     double upload_seconds = 0.0;
+    /// Device bytes the patch commit will move (patched shards only).
+    std::uint64_t patch_bytes = 0;
     HarmoniaIndex::StagedUpdate update;
   };
 
@@ -111,6 +124,9 @@ class ShardedServer : public serve::Backend {
     double trigger = 0.0;
     double build_seconds = 0.0;
     double build_done = 0.0;
+    /// True when every staged shard patched in place (the epoch books as
+    /// a patch epoch); any shadow build makes it a compaction epoch.
+    bool patch = false;
     UpdateStats stats;  // summed over shards
     std::vector<serve::Request> requests;
     std::vector<ShardStage> shards;
@@ -143,8 +159,17 @@ class ShardedServer : public serve::Backend {
   /// Quiesce-mode epoch: drain every shard, barrier, apply, resync.
   void run_epoch(double at, serve::RequestSource& source,
                  serve::ServerReport& report);
-  /// Overlap-mode trigger: stage every touched shard's image N+1.
+  /// Overlap-mode trigger: stage every touched shard's image N+1. In
+  /// incremental mode each touched shard patches in place when its gaps
+  /// and overlay suffice, else falls back to a staged compaction build.
   void begin_overlap_epoch(double now, serve::ServerReport& report);
+  /// Compaction build for shard `s`: folds the shard's committed overlay
+  /// ahead of ops[absorbed..] into one staged shadow build, backs the
+  /// replays out of the stats, and merges `prefix` (the stats of an
+  /// absorbed in-place patch prefix, zero when no patch was attempted).
+  void stage_with_fold(unsigned s, std::span<const queries::UpdateOp> ops,
+                       std::size_t absorbed, const UpdateStats& prefix,
+                       InflightEpoch& ep);
   /// Instant shard `s` (unswapped, fence clear) can take its swap.
   double swap_time_for(unsigned s) const;
   /// Books the finished staged epoch and re-admits parked straddlers.

@@ -8,7 +8,8 @@
 // The topology is just a flag: --shards=1 serves from one device,
 // --shards=N range-shards the key space over N devices — either way the
 // run goes through the same serve::Backend (shard/backend_factory.hpp),
-// and --epoch-mode picks quiesce or the double-buffered overlap pipeline.
+// and --epoch-mode picks quiesce, the double-buffered overlap pipeline,
+// or delta (in-place patches with a compaction fallback).
 //
 // Prints the aggregate report: admission/drop counts, batch-size and
 // latency distributions (p50/p95/p99), update epochs with per-stage cost
@@ -144,6 +145,18 @@ void print_report(const serve::ServerReport& rep) {
                 "swap wait %.3f ms | serving stall %.3f ms\n",
                 rep.epoch_build_seconds * 1e3, rep.epoch_upload_seconds * 1e3,
                 rep.epoch_swap_wait_seconds * 1e3, rep.epoch_stall_seconds * 1e3);
+    // Incremental mode splits epochs into in-place patches and full-image
+    // compactions; elsewhere every epoch books as a compaction.
+    if (rep.patch_epochs > 0) {
+      std::printf("  patch         : %llu epochs | build %.3f ms | upload %.3f ms\n",
+                  static_cast<unsigned long long>(rep.patch_epochs),
+                  rep.epoch_patch_build_seconds * 1e3,
+                  rep.epoch_patch_upload_seconds * 1e3);
+      std::printf("  compaction    : %llu epochs | build %.3f ms | upload %.3f ms\n",
+                  static_cast<unsigned long long>(rep.compaction_epochs),
+                  rep.epoch_compaction_build_seconds * 1e3,
+                  rep.epoch_compaction_upload_seconds * 1e3);
+    }
   }
   if (!rep.latency.empty()) {
     std::printf("latency         : p50 %.1f us | p95 %.1f us | p99 %.1f us | max %.1f us\n",
