@@ -16,34 +16,55 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDispatchFailure: return "fail";
     case FaultKind::kResyncCorruption: return "corrupt";
     case FaultKind::kShardLost: return "lose";
+    case FaultKind::kProcessRestart: return "restart";
   }
   return "?";
 }
 
 void FaultPlan::validate() const {
-  for (const FaultEvent& e : events) {
-    HARMONIA_CHECK_MSG(e.at >= 0.0, "fault event time must be >= 0");
-    HARMONIA_CHECK_MSG(e.duration >= 0.0, "fault duration must be >= 0");
+  // Every message names the offending event (index + kind) and the
+  // offending field, so a 40-event generated plan is debuggable from
+  // the exception alone.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    HARMONIA_CHECK_MSG(e.at >= 0.0, "fault event #" << i << " (" << ::harmonia::fault::to_string(e.kind)
+                                                    << "): field 'at' must be >= 0, got " << e.at);
+    HARMONIA_CHECK_MSG(e.duration >= 0.0,
+                       "fault event #" << i << " (" << ::harmonia::fault::to_string(e.kind)
+                                       << "): field 'duration' must be >= 0, got " << e.duration);
     switch (e.kind) {
       case FaultKind::kTransferSlowdown:
-        HARMONIA_CHECK_MSG(e.factor >= 1.0, "slowdown factor must be >= 1");
-        HARMONIA_CHECK_MSG(e.duration > 0.0, "slowdown needs duration > 0");
+        HARMONIA_CHECK_MSG(e.factor >= 1.0, "fault event #" << i
+                                                << " (slow): field 'factor' must be >= 1, got "
+                                                << e.factor);
+        HARMONIA_CHECK_MSG(e.duration > 0.0,
+                           "fault event #" << i << " (slow): field 'duration' must be > 0");
         break;
       case FaultKind::kDispatchFailure:
-        HARMONIA_CHECK_MSG(e.count > 0, "fail event needs count > 0");
+        HARMONIA_CHECK_MSG(e.count > 0,
+                           "fault event #" << i << " (fail): field 'count' must be > 0");
         break;
       case FaultKind::kResyncCorruption:
-        HARMONIA_CHECK_MSG(e.bytes > 0, "corrupt event needs bytes > 0");
+        HARMONIA_CHECK_MSG(e.bytes > 0,
+                           "fault event #" << i << " (corrupt): field 'bytes' must be > 0");
         break;
       case FaultKind::kShardLost:
-        HARMONIA_CHECK_MSG(e.duration > 0.0, "lose event needs repair > 0");
+        HARMONIA_CHECK_MSG(e.duration > 0.0,
+                           "fault event #" << i << " (lose): field 'repair' must be > 0");
+        break;
+      case FaultKind::kProcessRestart:
+        // duration (downtime) may be 0 — an instant restart — and bytes
+        // (torn) may be 0 — a crash that cut cleanly between writes.
         break;
     }
   }
-  HARMONIA_CHECK_MSG(
-      std::is_sorted(events.begin(), events.end(),
-                     [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; }),
-      "fault events must be sorted by time");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    HARMONIA_CHECK_MSG(events[i - 1].at <= events[i].at,
+                       "fault event #" << i << " (" << ::harmonia::fault::to_string(events[i].kind)
+                                       << "): field 'at' (" << events[i].at
+                                       << ") precedes event #" << i - 1 << " ("
+                                       << events[i - 1].at << ") — events must be sorted");
+  }
 }
 
 namespace {
@@ -53,8 +74,9 @@ FaultKind kind_from(const std::string& name) {
   if (name == "fail") return FaultKind::kDispatchFailure;
   if (name == "corrupt") return FaultKind::kResyncCorruption;
   if (name == "lose") return FaultKind::kShardLost;
+  if (name == "restart") return FaultKind::kProcessRestart;
   HARMONIA_CHECK_MSG(false, "unknown fault kind '" << name
-                            << "' (want slow|fail|corrupt|lose)");
+                            << "' (want slow|fail|corrupt|lose|restart)");
   return FaultKind::kTransferSlowdown;
 }
 
@@ -119,11 +141,11 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
           e.shard = static_cast<unsigned>(parse_uint(val));
         } else if (key == "factor") {
           e.factor = parse_double(val);
-        } else if (key == "duration" || key == "repair") {
+        } else if (key == "duration" || key == "repair" || key == "down") {
           e.duration = parse_double(val);
         } else if (key == "count") {
           e.count = static_cast<unsigned>(parse_uint(val));
-        } else if (key == "bytes") {
+        } else if (key == "bytes" || key == "torn") {
           e.bytes = static_cast<unsigned>(parse_uint(val));
         } else {
           HARMONIA_CHECK_MSG(false, "unknown fault option '" << key << "'");
@@ -160,6 +182,10 @@ std::string FaultPlan::to_string() const {
         std::snprintf(buf, sizeof buf, "lose@%g:shard=%u,repair=%g", e.at, e.shard,
                       e.duration);
         break;
+      case FaultKind::kProcessRestart:
+        std::snprintf(buf, sizeof buf, "restart@%g:shard=%u,down=%g,torn=%u", e.at,
+                      e.shard, e.duration, e.bytes);
+        break;
     }
     out += buf;
   }
@@ -174,8 +200,8 @@ FaultPlan FaultPlan::random(const RandomSpec& spec, std::uint64_t seed) {
   if (spec.events_per_second == 0.0) return plan;
 
   Xoshiro256 rng(seed);
-  const double total_weight =
-      spec.weights[0] + spec.weights[1] + spec.weights[2] + spec.weights[3];
+  double total_weight = 0.0;
+  for (const double w : spec.weights) total_weight += w;
   HARMONIA_CHECK_MSG(total_weight > 0.0, "all fault-kind weights are zero");
 
   double t = 0.0;
@@ -188,7 +214,8 @@ FaultPlan FaultPlan::random(const RandomSpec& spec, std::uint64_t seed) {
     e.shard = static_cast<unsigned>(rng.next_below(spec.num_shards));
     double pick = rng.next_double() * total_weight;
     unsigned kind = 0;
-    while (kind < 3 && pick >= spec.weights[kind]) pick -= spec.weights[kind], ++kind;
+    while (kind + 1 < kNumFaultKinds && pick >= spec.weights[kind])
+      pick -= spec.weights[kind], ++kind;
     e.kind = static_cast<FaultKind>(kind);
     switch (e.kind) {
       case FaultKind::kTransferSlowdown:
@@ -203,6 +230,10 @@ FaultPlan FaultPlan::random(const RandomSpec& spec, std::uint64_t seed) {
         break;
       case FaultKind::kShardLost:
         e.duration = spec.repair_seconds;
+        break;
+      case FaultKind::kProcessRestart:
+        e.duration = spec.restart_down_seconds;
+        e.bytes = spec.restart_torn_bytes;
         break;
     }
     plan.events.push_back(e);

@@ -16,6 +16,11 @@
 //             flips `bytes` bytes of the freshly uploaded device image.
 //   lose    : `shard` drops off the bus at `at`; its device comes back
 //             `duration` (repair) seconds later and must be re-imaged.
+//   restart : the whole process dies at `at` and comes back `duration`
+//             (down) seconds later; `bytes` (torn) bytes are chopped off
+//             `shard`'s last durable write (torn log append / snapshot).
+//             Consumed by the restart harness (shard/restart_harness),
+//             never by a backend — a server cannot restart itself.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +34,12 @@ enum class FaultKind : std::uint8_t {
   kDispatchFailure,
   kResyncCorruption,
   kShardLost,
+  kProcessRestart,
 };
+
+/// Number of FaultKind values (keep in sync with the enum; the
+/// to_string exhaustiveness test walks [0, kNumFaultKinds)).
+inline constexpr unsigned kNumFaultKinds = 5;
 
 const char* to_string(FaultKind kind);
 
@@ -44,7 +54,9 @@ struct FaultEvent {
   double factor = 1.0;
   /// Consecutive dispatch failures injected by a `fail` event.
   unsigned count = 1;
-  /// Bytes flipped in the device image by a `corrupt` event.
+  /// Bytes flipped in the device image by a `corrupt` event, or bytes
+  /// torn off the last durable write by a `restart` event (0 = the
+  /// crash cut cleanly between writes).
   unsigned bytes = 1;
 };
 
@@ -61,8 +73,9 @@ struct FaultPlan {
   ///   kind@seconds[:key=value,...]
   /// e.g. "slow@0.001:shard=1,factor=4,duration=0.002;
   ///       fail@0:shard=0,count=3;corrupt@0.004:shard=2,bytes=8;
-  ///       lose@0.003:shard=1,repair=0.002"
-  /// (`repair` is an alias for duration on lose events). Throws
+  ///       lose@0.003:shard=1,repair=0.002;
+  ///       restart@0.005:shard=0,down=0.001,torn=64"
+  /// (`repair`/`down` alias duration; `torn` aliases bytes). Throws
   /// ContractViolation with a message naming the bad token.
   static FaultPlan parse(const std::string& spec);
 
@@ -75,14 +88,18 @@ struct FaultPlan {
     /// Mean fault events per virtual second (Poisson arrivals).
     double events_per_second = 500.0;
     unsigned num_shards = 1;
-    /// Relative weights of the four kinds, in enum order. A zero weight
-    /// disables that kind (e.g. shard-lost for single-device runs).
-    double weights[4] = {1.0, 1.0, 1.0, 0.25};
+    /// Relative weights of the kinds, in enum order. A zero weight
+    /// disables that kind (e.g. shard-lost for single-device runs;
+    /// restart defaults to 0 because only the restart harness — not a
+    /// backend — can honor it).
+    double weights[kNumFaultKinds] = {1.0, 1.0, 1.0, 0.25, 0.0};
     double slowdown_factor = 4.0;
     double slowdown_duration = 200e-6;
     unsigned fail_count = 2;
     unsigned corrupt_bytes = 4;
     double repair_seconds = 1e-3;
+    double restart_down_seconds = 1e-3;
+    unsigned restart_torn_bytes = 64;
   };
 
   /// Seeded Poisson schedule over the horizon. Deterministic in

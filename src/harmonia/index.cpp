@@ -333,6 +333,16 @@ std::vector<queries::UpdateOp> HarmoniaIndex::overlay_as_ops() const {
   return ops;
 }
 
+TreeSnapshotExtras HarmoniaIndex::snapshot_extras() const {
+  TreeSnapshotExtras ex;
+  ex.fill_factor = options_.fill_factor;
+  ex.overlay.reserve(overlay_.size());
+  for (const OverlayEntry& e : overlay_) {
+    ex.overlay.push_back({e.key, e.value, static_cast<std::uint8_t>(e.tombstone ? 1 : 0)});
+  }
+  return ex;
+}
+
 std::size_t HarmoniaIndex::overlay_live_count() const {
   std::size_t live = 0;
   for (const OverlayEntry& e : overlay_) live += e.tombstone ? 0 : 1;

@@ -184,6 +184,11 @@ class HarmoniaIndex {
   /// the rebuilt image subsumes the overlay; commit_staged then clears it.
   std::vector<queries::UpdateOp> overlay_as_ops() const;
 
+  /// The v2 persistence sidecar for this index: fill target + current
+  /// overlay contents. Paired with tree() it captures everything a cold
+  /// start needs to resume serving this exact logical state.
+  TreeSnapshotExtras snapshot_extras() const;
+
   std::size_t overlay_size() const { return overlay_.size(); }
   std::size_t overlay_live_count() const;
   std::size_t overlay_tombstone_count() const { return overlay_.size() - overlay_live_count(); }

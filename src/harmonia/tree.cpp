@@ -315,7 +315,7 @@ std::vector<btree::Entry> HarmoniaTree::leaf_entries(std::uint32_t leaf) const {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x484D5254;  // "HMRT"
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 
 /// FNV-1a over a byte range, accumulated into `h`.
 void fnv1a(std::uint64_t& h, const void* data, std::size_t n) {
@@ -349,9 +349,16 @@ T read_pod(std::istream& is, std::uint64_t& h) {
   return v;
 }
 
+/// Reads a vector whose length is already implied by validated header
+/// fields. The stored count must match `expect` — an unguarded count
+/// from a bit-flipped image would otherwise drive a huge allocation
+/// instead of a clean ContractViolation.
 template <typename T>
-std::vector<T> read_vec(std::istream& is, std::uint64_t& h) {
+std::vector<T> read_vec_expect(std::istream& is, std::uint64_t& h, std::uint64_t expect,
+                               const char* what) {
   const auto n = read_pod<std::uint64_t>(is, h);
+  HARMONIA_CHECK_MSG(n == expect, "corrupt Harmonia image: " << what << " holds " << n
+                                      << " entries, header implies " << expect);
   std::vector<T> v(n);
   is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
   HARMONIA_CHECK_MSG(is.good(), "truncated Harmonia image");
@@ -361,7 +368,9 @@ std::vector<T> read_vec(std::istream& is, std::uint64_t& h) {
 
 }  // namespace
 
-void HarmoniaTree::save(std::ostream& os) const {
+void HarmoniaTree::save(std::ostream& os) const { save(os, TreeSnapshotExtras{}); }
+
+void HarmoniaTree::save(std::ostream& os, const TreeSnapshotExtras& extras) const {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
   write_pod(os, h, kMagic);
   write_pod(os, h, kFormatVersion);
@@ -373,31 +382,86 @@ void HarmoniaTree::save(std::ostream& os) const {
   write_vec(os, h, key_region_);
   write_vec(os, h, prefix_sum_);
   write_vec(os, h, value_region_);
+  // v2 extras section, under the same running checksum. Overlay records
+  // are written field by field so the on-disk layout is packed (17 bytes
+  // per record) and independent of struct padding.
+  write_pod(os, h, extras.fill_factor);
+  write_pod(os, h, static_cast<std::uint64_t>(extras.overlay.size()));
+  for (const auto& rec : extras.overlay) {
+    write_pod(os, h, rec.key);
+    write_pod(os, h, rec.value);
+    write_pod(os, h, rec.tombstone);
+  }
   os.write(reinterpret_cast<const char*>(&h), sizeof h);  // checksum trailer
   HARMONIA_CHECK_MSG(os.good(), "write failure while saving Harmonia image");
 }
 
-HarmoniaTree HarmoniaTree::load(std::istream& is) {
+HarmoniaTree HarmoniaTree::load(std::istream& is, TreeSnapshotExtras* extras) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   HARMONIA_CHECK_MSG(read_pod<std::uint32_t>(is, h) == kMagic,
                      "not a Harmonia tree image (bad magic)");
-  HARMONIA_CHECK_MSG(read_pod<std::uint32_t>(is, h) == kFormatVersion,
-                     "unsupported Harmonia image version");
+  const auto version = read_pod<std::uint32_t>(is, h);
+  HARMONIA_CHECK_MSG(version == 1 || version == kFormatVersion,
+                     "unsupported Harmonia image version " << version);
   HarmoniaTree out;
   out.fanout_ = read_pod<unsigned>(is, h);
   out.num_nodes_ = read_pod<std::uint32_t>(is, h);
   out.first_leaf_ = read_pod<std::uint32_t>(is, h);
   out.num_keys_ = read_pod<std::uint64_t>(is, h);
-  out.level_start_ = read_vec<std::uint32_t>(is, h);
-  out.key_region_ = read_vec<Key>(is, h);
-  out.prefix_sum_ = read_vec<std::uint32_t>(is, h);
-  out.value_region_ = read_vec<Value>(is, h);
+  // Validate the header before it sizes any allocation: a bit flip in a
+  // count field must throw, not drive a multi-gigabyte vector resize.
+  HARMONIA_CHECK_MSG(out.fanout_ >= 3 && out.fanout_ <= 4096,
+                     "corrupt Harmonia image: fanout " << out.fanout_);
+  HARMONIA_CHECK_MSG(out.num_nodes_ > 0, "corrupt Harmonia image: zero nodes");
+  HARMONIA_CHECK_MSG(out.first_leaf_ < out.num_nodes_,
+                     "corrupt Harmonia image: first_leaf " << out.first_leaf_
+                                                           << " >= num_nodes " << out.num_nodes_);
+  const auto kpn = static_cast<std::uint64_t>(out.fanout_ - 1);
+  HARMONIA_CHECK_MSG(out.num_keys_ <= (out.num_nodes_ - out.first_leaf_) * kpn,
+                     "corrupt Harmonia image: num_keys " << out.num_keys_
+                                                         << " exceeds leaf capacity");
+  const auto levels = read_pod<std::uint64_t>(is, h);
+  HARMONIA_CHECK_MSG(levels >= 1 && levels <= 64,
+                     "corrupt Harmonia image: " << levels << " levels");
+  out.level_start_.resize(levels);
+  is.read(reinterpret_cast<char*>(out.level_start_.data()),
+          static_cast<std::streamsize>(levels * sizeof(std::uint32_t)));
+  HARMONIA_CHECK_MSG(is.good(), "truncated Harmonia image");
+  fnv1a(h, out.level_start_.data(), levels * sizeof(std::uint32_t));
+  out.key_region_ = read_vec_expect<Key>(is, h, out.num_nodes_ * kpn, "key region");
+  out.prefix_sum_ = read_vec_expect<std::uint32_t>(is, h, out.num_nodes_ + std::uint64_t{1},
+                                                   "prefix-sum region");
+  out.value_region_ = read_vec_expect<Value>(
+      is, h, (out.num_nodes_ - out.first_leaf_) * kpn, "value region");
+
+  TreeSnapshotExtras ex;
+  if (version >= 2) {
+    ex.fill_factor = read_pod<double>(is, h);
+    HARMONIA_CHECK_MSG(ex.fill_factor > 0.0 && ex.fill_factor <= 1.0,
+                       "corrupt Harmonia image: fill_factor " << ex.fill_factor);
+    const auto overlay_count = read_pod<std::uint64_t>(is, h);
+    HARMONIA_CHECK_MSG(overlay_count <= out.num_keys_ + (std::uint64_t{1} << 20),
+                       "corrupt Harmonia image: overlay holds " << overlay_count << " records");
+    ex.overlay.resize(overlay_count);
+    for (std::uint64_t i = 0; i < overlay_count; ++i) {
+      auto& rec = ex.overlay[i];
+      rec.key = read_pod<Key>(is, h);
+      rec.value = read_pod<Value>(is, h);
+      rec.tombstone = read_pod<std::uint8_t>(is, h);
+      HARMONIA_CHECK_MSG(rec.key != kPadKey, "corrupt Harmonia image: pad key in overlay");
+      HARMONIA_CHECK_MSG(rec.tombstone <= 1,
+                         "corrupt Harmonia image: overlay tombstone flag " << +rec.tombstone);
+      HARMONIA_CHECK_MSG(i == 0 || ex.overlay[i - 1].key < rec.key,
+                         "corrupt Harmonia image: overlay keys not strictly ascending");
+    }
+  }
 
   std::uint64_t stored = 0;
   is.read(reinterpret_cast<char*>(&stored), sizeof stored);
   HARMONIA_CHECK_MSG(is.good(), "truncated Harmonia image (missing checksum)");
   HARMONIA_CHECK_MSG(stored == h, "Harmonia image checksum mismatch");
   out.validate();  // never trust bytes from disk
+  if (extras != nullptr) *extras = std::move(ex);
   return out;
 }
 

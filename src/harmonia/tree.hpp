@@ -35,6 +35,24 @@ using Value = std::uint64_t;
 /// never count as "separator <= target" and never match an equality probe.
 inline constexpr Key kPadKey = ~Key{0};
 
+/// Serving-layer sidecar carried by a v2 tree image: everything beyond
+/// the raw regions a cold start must restore to resume serving exactly
+/// where the crashed process stopped — the bulk-load/compaction fill
+/// target (the gapped key region's headroom) and the delta-overlay
+/// contents (patched keys and tombstones not yet folded into the base).
+/// v1 images decode with the defaults below (no overlay, default fill).
+struct TreeSnapshotExtras {
+  struct OverlayRecord {
+    Key key = 0;
+    Value value = 0;
+    std::uint8_t tombstone = 0;  // 1 = key hidden, 0 = value shadows base
+  };
+
+  double fill_factor = 0.69;
+  /// Strictly ascending by key; never contains kPadKey.
+  std::vector<OverlayRecord> overlay;
+};
+
 class HarmoniaTree {
  public:
   /// Serializes a regular B+tree (Figure 4a -> 4b): same nodes, same key
@@ -105,9 +123,15 @@ class HarmoniaTree {
 
   // --- Persistence: versioned binary image with a checksum trailer.
   // A database/file-system index must survive restarts; the format stores
-  // the regions verbatim, so load is one validate() away from use. ---
+  // the regions verbatim, so load is one validate() away from use.
+  // Format v2 (docs/persistence_format.md) appends a TreeSnapshotExtras
+  // section under the same FNV checksum; v1 images still load (extras
+  // take their defaults). Every header field and section length is
+  // validated before use, so a truncated or bit-flipped image always
+  // throws ContractViolation — load never partially constructs a tree. ---
   void save(std::ostream& os) const;
-  static HarmoniaTree load(std::istream& is);
+  void save(std::ostream& os, const TreeSnapshotExtras& extras) const;
+  static HarmoniaTree load(std::istream& is, TreeSnapshotExtras* extras = nullptr);
 
  private:
   HarmoniaTree() = default;

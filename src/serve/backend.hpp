@@ -105,6 +105,12 @@ struct ServerReport {
   double epoch_compaction_build_seconds = 0.0;
   double epoch_compaction_upload_seconds = 0.0;
 
+  /// Durability tallies (zero when no durability domain is wired):
+  /// write-ahead log appends and snapshot images written, summed over
+  /// shards. Purely additive — no serving identity involves them.
+  std::uint64_t log_batches = 0;
+  std::uint64_t snapshots_written = 0;
+
   /// Injection/detection/mitigation tallies (all zero on fault-free runs).
   fault::FaultReport faults;
 

@@ -94,6 +94,10 @@ EpochUpdater::EpochResult EpochUpdater::apply(double at, double device_free) {
                      "quiesce apply with a staged epoch in flight — commit it first");
 
   const std::vector<queries::UpdateOp> ops = drain_ops(pending_);
+  // Write-ahead: the batch reaches the log before it touches the index,
+  // so a crash after this line replays it, and a crash during the append
+  // loses at most this (unapplied, unacknowledged) batch's tail record.
+  if (durability_ != nullptr) durability_->log_batch(epochs_ + 1, ops, at);
 
   // A live overlay (incremental-mode leftovers) folds into the batch:
   // update_batch replays it ahead of `ops`. The replays are real CPU work
@@ -149,6 +153,8 @@ const EpochUpdater::Staged& EpochUpdater::stage(double at) {
   HARMONIA_CHECK(!pending_.empty());
 
   const std::vector<queries::UpdateOp> ops = drain_ops(pending_);
+  // Write-ahead, same contract as the quiesce path: log before stage.
+  if (durability_ != nullptr) durability_->log_batch(epochs_ + 1, ops, at);
 
   Staged s;
   s.epoch = epochs_ + 1;

@@ -38,6 +38,7 @@
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
 #include "obs/observer.hpp"
+#include "persist/durability.hpp"
 #include "serve/request.hpp"
 
 namespace harmonia::serve {
@@ -160,6 +161,12 @@ class EpochUpdater {
     shard_ = shard;
   }
 
+  /// Attaches the write-ahead durability sink: each epoch's batch is
+  /// appended to `shard`'s update log at the trigger instant, *before*
+  /// the apply/stage touches the in-memory index, so the on-disk log is
+  /// never behind the committed state. Null (the default) = no logging.
+  void set_durability(persist::ShardDurability* durability) { durability_ = durability; }
+
   /// Attaches metrics + tracing: each epoch bumps the epoch/op counters
   /// and observes build/upload/swap-wait/stall durations; every buffered
   /// update is stamped at queue-enter (on buffer) and dispatch/reply (on
@@ -187,6 +194,7 @@ class EpochUpdater {
   std::vector<Request> staged_requests_;
   fault::FaultInjector* injector_ = nullptr;
   unsigned shard_ = 0;
+  persist::ShardDurability* durability_ = nullptr;
   obs::Observer obs_;
   obs::Counter* epochs_total_ = nullptr;
   obs::Counter* ops_total_ = nullptr;

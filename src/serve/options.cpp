@@ -86,13 +86,24 @@ void ServeOptions::validate(unsigned num_shards) const {
 
   qos.validate();
 
-  for (const fault::FaultEvent& e : faults.events) {
+  HARMONIA_CHECK_MSG(!persist.recover || persist.enabled(),
+                     "persist.recover needs persist.dir (--snapshot-dir) set");
+  HARMONIA_CHECK_MSG(persist.retain >= 1, "persist.retain must be >= 1");
+
+  for (std::size_t i = 0; i < faults.events.size(); ++i) {
+    const fault::FaultEvent& e = faults.events[i];
     HARMONIA_CHECK_MSG(e.shard < num_shards,
-                       "fault event targets shard " << e.shard << " but the "
-                           << "topology has " << num_shards << " shard(s)");
+                       "fault event #" << i << " (" << fault::to_string(e.kind)
+                           << "): field 'shard' (" << e.shard << ") exceeds the "
+                           << "topology's " << num_shards << " shard(s)");
     HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kShardLost || num_shards > 1,
-                       "shard-lost faults need a sharded topology "
-                       "(there is no shard to fail over to)");
+                       "fault event #" << i << " (lose): shard-lost faults need a "
+                       "sharded topology (there is no shard to fail over to)");
+    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kProcessRestart,
+                       "fault event #" << i << " (restart): process-restart faults "
+                       "are consumed by the restart harness, never by a backend — "
+                       "a server cannot restart itself (run through "
+                       "shard::run_with_restarts)");
   }
 }
 
@@ -118,7 +129,15 @@ void ServeOptions::add_flags(Cli& cli) {
       .flag("tenant-rate", "per-tenant admission rate in requests per "
                            "virtual second, 0 = no throttling (enables QoS)",
             "0")
-      .flag("tenant-burst", "per-tenant token-bucket burst capacity", "32");
+      .flag("tenant-burst", "per-tenant token-bucket burst capacity", "32")
+      .flag("snapshot-dir", "durable snapshot + update-log directory "
+                            "(empty = persistence off)", "")
+      .flag("snapshot-every", "logged epochs between cadence snapshots "
+                              "(0 = only compaction-forced snapshots)", "8")
+      .flag("snapshot-retain", "snapshots retained per shard", "2")
+      .flag("recover", "cold-start from --snapshot-dir (newest valid "
+                       "snapshot + log replay) instead of bulk building",
+            "false");
 }
 
 ServeOptions ServeOptions::from_cli(const Cli& cli) {
@@ -156,6 +175,10 @@ ServeOptions ServeOptions::from_cli(const Cli& cli) {
   opts.qos.tenant_rate = cli.get_double("tenant-rate", 0.0);
   opts.qos.tenant_burst = cli.get_double("tenant-burst", 32.0);
   if (opts.qos.tenant_rate > 0.0) opts.qos.enabled = true;
+  opts.persist.dir = cli.get_string("snapshot-dir", "");
+  opts.persist.snapshot_every = cli.get_uint("snapshot-every", 8);
+  opts.persist.retain = cli.get_uint("snapshot-retain", 2);
+  opts.persist.recover = cli.get_bool("recover", false);
   return opts;
 }
 

@@ -16,6 +16,7 @@
 #include "fault/injector.hpp"
 #include "harmonia/pipeline.hpp"
 #include "obs/observer.hpp"
+#include "persist/durability.hpp"
 #include "qos/admission.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/epoch_updater.hpp"
@@ -42,6 +43,14 @@ struct ServeOptions {
   /// formation, overload eviction order, and per-tenant token-bucket
   /// throttling (docs/serving.md#multi-tenant-qos). Default = inert.
   qos::QosConfig qos;
+  /// Durability knobs (docs/persistence_format.md): snapshot directory,
+  /// cadence, retention, and whether construction cold-starts from disk.
+  /// Default (empty dir) = no persistence, bit-identical to before.
+  persist::DurabilityConfig persist;
+  /// Wired by the owner of the durability domain (ServingStack, or a
+  /// test). Non-owning; null = no durable writes even when persist.dir
+  /// is set (the backend only ever writes through this pointer).
+  persist::DurabilityDomain* durability = nullptr;
 
   /// Rejects inconsistent combinations with ContractViolation before any
   /// serving state is built: queue capacity below the batch trigger,

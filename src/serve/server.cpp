@@ -20,6 +20,10 @@ Server::Server(HarmoniaIndex& index, const ServerConfig& config)
     scheduler_.set_fault_context(&injector_, 0);
     updater_.set_fault_context(&injector_, 0);
   }
+  if (config_.durability != nullptr) {
+    durability_ = config_.durability->shard(0);
+    updater_.set_durability(durability_);
+  }
   if (config_.obs.active()) {
     scheduler_.set_observer(config_.obs, 0);
     updater_.set_observer(config_.obs, 0);
@@ -99,6 +103,16 @@ void Server::account_epoch(const EpochUpdater::EpochResult& e,
     report.makespan = std::max(report.makespan, resp.completion);
     source.on_complete(resp);
     report.responses.push_back(resp);
+  }
+  if (durability_ != nullptr) {
+    // Snapshot point: the epoch just committed, so the image on disk is
+    // a whole number of epochs. A delta-mode compaction forces one (the
+    // full image was just rebuilt anyway — the natural snapshot);
+    // otherwise the cadence decides. Modeled as an async background
+    // write: no device/serving time is charged.
+    const bool force =
+        config_.epoch.mode == EpochMode::kIncremental && !e.patch;
+    durability_->maybe_snapshot(e.epoch, index_, force, e.finish);
   }
 }
 
@@ -240,6 +254,16 @@ void Server::final_drain(double now, RequestSource& source,
 
 void Server::finish_run(ServerReport& report) {
   report.faults = injector_.report();
+  if (durability_ != nullptr) {
+    report.log_batches = durability_->log_batches();
+    report.snapshots_written = durability_->snapshots_written();
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->gauge("persist_log_batches").set(
+          static_cast<double>(report.log_batches));
+      config_.obs.metrics->gauge("persist_snapshots_written").set(
+          static_cast<double>(report.snapshots_written));
+    }
+  }
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->gauge("serve_makespan_seconds").set(report.makespan);
     config_.obs.metrics->gauge("serve_busy_seconds").set(report.busy_seconds);

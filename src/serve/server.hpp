@@ -78,6 +78,8 @@ class Server : public Backend {
   fault::FaultInjector injector_;
   /// Per-tenant token-bucket throttling at the admission edge.
   qos::AdmissionController admission_;
+  /// Shard 0 of the wired durability domain (null = no persistence).
+  persist::ShardDurability* durability_ = nullptr;
   std::array<ClassMetrics, qos::kNumClasses> class_metrics_{};
   double device_free_ = 0.0;
 };

@@ -14,6 +14,8 @@
 
 #include "gpusim/device.hpp"
 #include "harmonia/index.hpp"
+#include "persist/durability.hpp"
+#include "persist/recovery.hpp"
 #include "serve/backend.hpp"
 #include "serve/options.hpp"
 #include "shard/sharded_index.hpp"
@@ -34,9 +36,19 @@ struct TopologySpec {
   std::uint64_t device_global_bytes = 8ULL << 30;
 };
 
-/// Owns the whole serving topology — keys, device(s), index(es), and the
-/// Backend over them — with the lifetimes in the right order. Build one,
-/// then drive `backend()` with a request stream.
+/// Owns the whole serving topology — keys, device(s), index(es), the
+/// optional durability domain, and the Backend over them — with the
+/// lifetimes in the right order. Build one, then drive `backend()` with
+/// a request stream.
+///
+/// When `options.persist` is enabled the stack wires a DurabilityDomain
+/// through the backend (write-ahead epoch logs + cadence snapshots, one
+/// directory per shard). With `options.persist.recover` additionally
+/// set, construction cold-starts every shard from disk: newest-valid
+/// snapshot (overlay sidecar folded back in), log replay past it, and a
+/// checkpoint — falling back to a bulk rebuild from the topology's keys
+/// for a shard with no decodable snapshot. `recoveries()` reports what
+/// each shard did.
 class ServingStack {
  public:
   ServingStack(const TopologySpec& topo, const serve::ServeOptions& options);
@@ -45,6 +57,14 @@ class ServingStack {
   const std::vector<Key>& keys() const { return keys_; }
   unsigned num_shards() const { return backend_->num_shards(); }
 
+  /// The wired durability domain, or null when persistence is off.
+  persist::DurabilityDomain* durability() { return durability_.get(); }
+  /// One report per shard when the stack recovered at construction;
+  /// empty otherwise.
+  const std::vector<persist::RecoveryReport>& recoveries() const {
+    return recoveries_;
+  }
+
  private:
   std::vector<Key> keys_;
   // Single-device topology (null when sharded).
@@ -52,6 +72,8 @@ class ServingStack {
   std::unique_ptr<HarmoniaIndex> index_;
   // Sharded topology (null when single-device).
   std::unique_ptr<ShardedIndex> sharded_;
+  std::unique_ptr<persist::DurabilityDomain> durability_;
+  std::vector<persist::RecoveryReport> recoveries_;
   std::unique_ptr<serve::Backend> backend_;
 };
 

@@ -1,0 +1,102 @@
+#include "shard/restart_harness.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace harmonia::shard {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+RestartReport run_with_restarts(const TopologySpec& topo,
+                                const serve::ServeOptions& options,
+                                std::span<const serve::Request> stream) {
+  HARMONIA_CHECK_MSG(options.persist.enabled(),
+                     "restart harness needs persistence (set persist.dir): "
+                     "there is nothing to recover from otherwise");
+
+  // Split the plan: restart events drive the harness, everything else
+  // rides along inside the generation whose window covers it.
+  std::vector<fault::FaultEvent> restarts;
+  std::vector<fault::FaultEvent> inner;
+  for (const fault::FaultEvent& e : options.faults.events) {
+    (e.kind == fault::FaultKind::kProcessRestart ? restarts : inner)
+        .push_back(e);
+  }
+  HARMONIA_CHECK_MSG(!restarts.empty(),
+                     "restart harness: the fault plan holds no restart events");
+
+  RestartReport out;
+  out.cycles.reserve(restarts.size());
+  std::size_t cursor = 0;
+  double resume = 0.0;  // earliest admit instant for this generation
+  for (std::size_t g = 0; g <= restarts.size(); ++g) {
+    const bool final_gen = g == restarts.size();
+    const double gen_start = g == 0 ? 0.0 : restarts[g - 1].at;
+    const double crash = final_gen ? kInf : restarts[g].at;
+    HARMONIA_CHECK_MSG(crash > gen_start || final_gen,
+                       "restart events must be strictly increasing in time");
+
+    serve::ServeOptions gen = options;
+    gen.faults.events.clear();
+    for (const fault::FaultEvent& e : inner) {
+      if (e.at >= gen_start && e.at < crash) gen.faults.events.push_back(e);
+    }
+    // Generation 0 starts however the caller asked (usually a bulk
+    // build); every later generation cold-starts from the crash's disk.
+    gen.persist.recover = g > 0 || options.persist.recover;
+
+    ServingStack stack(topo, gen);
+    if (g > 0) {
+      // The stack just recovered: close out the cycle the crash opened.
+      RestartCycle& cycle = out.cycles.back();
+      cycle.recoveries = stack.recoveries();
+      for (const persist::RecoveryReport& r : cycle.recoveries) {
+        cycle.recovery_seconds =
+            std::max(cycle.recovery_seconds, r.modeled_seconds);
+      }
+      cycle.resume_time =
+          cycle.crash_time + cycle.down_seconds + cycle.recovery_seconds;
+      resume = cycle.resume_time;
+    }
+    if (!final_gen) stack.durability()->set_crash_time(crash);
+
+    // This generation's slice: everything arriving before the crash,
+    // with arrivals during the down+recovery window deferred to the
+    // instant the process came back (they queued at the front door).
+    std::vector<serve::Request> seg;
+    for (; cursor < stream.size() && stream[cursor].arrival < crash; ++cursor) {
+      serve::Request r = stream[cursor];
+      r.arrival = std::max(r.arrival, resume);
+      seg.push_back(r);
+    }
+    out.segments.push_back(stack.backend().run(seg));
+
+    if (g > 0) {
+      RestartCycle& cycle = out.cycles.back();
+      cycle.first_reply = kInf;
+      for (const serve::Response& resp : out.segments.back().responses) {
+        if (!resp.dropped)
+          cycle.first_reply = std::min(cycle.first_reply, resp.completion);
+      }
+    }
+    if (!final_gen) {
+      // Seal the crash: in-memory state past `crash` is gone; the torn
+      // write models the append/snapshot the process died inside.
+      stack.durability()->apply_crash(restarts[g].shard, restarts[g].bytes);
+      RestartCycle cycle;
+      cycle.event = restarts[g];
+      cycle.crash_time = restarts[g].at;
+      cycle.down_seconds = restarts[g].duration;
+      out.cycles.push_back(std::move(cycle));
+    }
+  }
+  return out;
+}
+
+}  // namespace harmonia::shard

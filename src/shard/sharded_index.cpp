@@ -39,6 +39,22 @@ void ShardedIndex::build_shard(unsigned s, std::span<const btree::Entry> entries
       options_.index);
 }
 
+void ShardedIndex::install_shard(unsigned s, HarmoniaTree tree) {
+  HARMONIA_CHECK(s < shards_.size());
+  // shard_of is monotone over contiguous planned ranges, so counting the
+  // entries inside [lo(s), hi(s)] catches any out-of-range key.
+  HARMONIA_CHECK_MSG(
+      tree.range(plan_.lo(s), plan_.hi(s)).size() == tree.num_keys(),
+      "recovered tree holds keys outside shard " << s << "'s range");
+  auto spec = options_.device;
+  spec.global_mem_bytes = options_.device_global_bytes;
+  spec.name = options_.device.name + " shard" + std::to_string(s);
+  shards_[s].device = std::make_unique<gpusim::Device>(spec);
+  shards_[s].index = std::make_unique<HarmoniaIndex>(*shards_[s].device,
+                                                     std::move(tree),
+                                                     options_.index);
+}
+
 HarmoniaIndex* ShardedIndex::shard(unsigned s) {
   HARMONIA_CHECK(s < shards_.size());
   return shards_[s].index.get();

@@ -63,6 +63,11 @@ class ShardedIndex {
   unsigned num_shards() const { return plan_.num_shards(); }
   const ShardedOptions& options() const { return options_; }
 
+  /// Replaces shard `s` with a fresh device imaged from `tree` (recovery:
+  /// a snapshot-loaded host tree becomes the shard's live index). Every
+  /// key of `tree` must fall inside the shard's planned range.
+  void install_shard(unsigned s, HarmoniaTree tree);
+
   /// The shard's index, or nullptr while its range holds no keys.
   HarmoniaIndex* shard(unsigned s);
   const HarmoniaIndex* shard(unsigned s) const;

@@ -50,6 +50,12 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
       shard_epoch_(index.num_shards(), 0),
       fence_depth_(index.num_shards(), 0) {
   config_.validate(index_.num_shards());
+  if (config_.durability != nullptr) {
+    HARMONIA_CHECK(config_.durability->num_shards() == index_.num_shards());
+    durability_.resize(index_.num_shards());
+    for (unsigned s = 0; s < index_.num_shards(); ++s)
+      durability_[s] = config_.durability->shard(s);
+  }
   for (unsigned s = 0; s < index_.num_shards(); ++s) {
     HARMONIA_CHECK_MSG(index_.shard(s) != nullptr,
                        "shard " << s << " holds no keys — plan the partition "
@@ -500,6 +506,19 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   std::vector<char> touched(index_.num_shards(), 0);
   for (const auto& op : ops) touched[index_.plan().shard_of(op.key)] = 1;
 
+  // Write-ahead: each touched shard logs its sub-batch at the barrier,
+  // before the apply mutates any in-memory tree — the on-disk log is
+  // never behind the committed state.
+  if (!durability_.empty()) {
+    std::vector<std::vector<queries::UpdateOp>> log_split(index_.num_shards());
+    for (const auto& op : ops)
+      log_split[index_.plan().shard_of(op.key)].push_back(op);
+    for (unsigned s = 0; s < index_.num_shards(); ++s) {
+      if (!log_split[s].empty())
+        durability_[s]->log_batch(epochs_ + 1, log_split[s], start);
+    }
+  }
+
   // Incremental leftovers: each touched shard's update_batch replays its
   // committed overlay ahead of the batch (untouched shards keep theirs).
   // The replays are real CPU work (charged below) but not client ops —
@@ -565,6 +584,19 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   if (stall_hist_ != nullptr) stall_hist_->observe(stall);
   report.busy_seconds += stall;
   for (double& f : device_free_) f = finish_t;
+
+  // Snapshot points: a quiesce epoch rebuilt every touched shard's full
+  // image, so in delta mode (where these are the rare compactions) each
+  // forces a snapshot; otherwise the per-shard cadence decides. Modeled
+  // as async background writes — no device time is charged.
+  if (!durability_.empty()) {
+    const bool force = config_.epoch.mode == EpochMode::kIncremental;
+    for (unsigned s = 0; s < index_.num_shards(); ++s) {
+      if (touched[s] && index_.shard(s) != nullptr)
+        durability_[s]->maybe_snapshot(epochs_, *index_.shard(s), force,
+                                       finish_t);
+    }
+  }
 
   for (const Request& r : pending_updates_) {
     Response resp = serve::response_to(r);
@@ -634,6 +666,15 @@ void ShardedServer::begin_overlap_epoch(double now, ServerReport& report) {
   std::vector<std::vector<queries::UpdateOp>> per_shard(n);
   for (const Request& r : ep.requests)
     per_shard[index_.plan().shard_of(r.key)].push_back({r.op, r.key, r.value});
+
+  // Write-ahead: each touched shard logs its sub-batch at the trigger,
+  // before any patch or shadow build mutates in-memory state.
+  if (!durability_.empty()) {
+    for (unsigned s = 0; s < n; ++s) {
+      if (!per_shard[s].empty())
+        durability_[s]->log_batch(ep.ordinal, per_shard[s], now);
+    }
+  }
 
   ep.shards.resize(n);
   ep.remaining = n;
@@ -753,6 +794,16 @@ void ShardedServer::epoch_commit(double now, RequestSource& source,
   }
   st.swapped = true;
   shard_epoch_[best] = inflight_->ordinal;
+  if (!durability_.empty() && st.staged) {
+    // Snapshot point after this shard's swap. A delta-mode compaction
+    // forces one (the shard's image was just rebuilt — the natural
+    // snapshot); patch commits and plain overlap swaps follow the
+    // per-shard cadence. Async background write: no device time charged.
+    const bool force =
+        config_.epoch.mode == EpochMode::kIncremental && !st.patched;
+    durability_[best]->maybe_snapshot(inflight_->ordinal, *index_.shard(best),
+                                      force, now);
+  }
   const double wait = now - st.ready;
   report.epoch_swap_wait_seconds += wait;
   if (swap_wait_hist_ != nullptr) swap_wait_hist_->observe(wait);
@@ -987,6 +1038,16 @@ void ShardedServer::finish_run(ServerReport& report) {
   HARMONIA_CHECK(!inflight_.has_value());
   HARMONIA_CHECK(parked_.empty());
   report.faults = injector_.report();
+  for (persist::ShardDurability* d : durability_) {
+    report.log_batches += d->log_batches();
+    report.snapshots_written += d->snapshots_written();
+  }
+  if (!durability_.empty() && config_.obs.metrics != nullptr) {
+    config_.obs.metrics->gauge("persist_log_batches")
+        .set(static_cast<double>(report.log_batches));
+    config_.obs.metrics->gauge("persist_snapshots_written")
+        .set(static_cast<double>(report.snapshots_written));
+  }
   if (config_.obs.metrics != nullptr) {
     config_.obs.metrics->gauge("serve_makespan_seconds").set(report.makespan);
     config_.obs.metrics->gauge("serve_busy_seconds").set(report.busy_seconds);

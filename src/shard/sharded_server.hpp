@@ -218,6 +218,10 @@ class ShardedServer : public serve::Backend {
   ShardedIndex& index_;
   serve::ServeOptions config_;
   fault::FaultInjector injector_;
+  /// Per-shard durability writers (empty = no persistence): each shard
+  /// write-ahead logs its own epoch sub-batches and snapshots on its own
+  /// cadence, so shards recover independently.
+  std::vector<persist::ShardDurability*> durability_;
   /// Per-tenant token-bucket throttling at the admission edge (stream
   /// level: one bucket per tenant, not per shard).
   qos::AdmissionController admission_;

@@ -2,6 +2,9 @@
 // validation, and seeded random plans (deterministic by construction).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "common/expect.hpp"
 #include "fault/fault_plan.hpp"
 
@@ -87,6 +90,110 @@ TEST(FaultPlan, RandomIsDeterministicInSeed) {
   for (const FaultEvent& e : a.events) {
     EXPECT_LT(e.at, spec.horizon);
     EXPECT_LT(e.shard, spec.num_shards);
+  }
+}
+
+// Every enum value must print a real mnemonic: the "?" fallback firing
+// means someone added a FaultKind without teaching to_string (and the
+// spec grammar) about it.
+TEST(FaultPlan, ToStringCoversEveryKind) {
+  std::set<std::string> names;
+  for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+    const std::string name = to_string(static_cast<FaultKind>(k));
+    EXPECT_NE(name, "?") << "FaultKind " << k << " has no mnemonic";
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  // Mnemonics are the spec grammar's keywords — they must be distinct.
+  EXPECT_EQ(names.size(), kNumFaultKinds);
+  // Each mnemonic parses back to its own kind (grammar round-trip).
+  for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    FaultEvent e;
+    e.kind = kind;
+    e.at = 0.001;
+    e.duration = 0.001;
+    FaultPlan plan;
+    plan.events.push_back(e);
+    const auto reparsed = FaultPlan::parse(plan.to_string());
+    ASSERT_EQ(reparsed.events.size(), 1u) << to_string(kind);
+    EXPECT_EQ(reparsed.events[0].kind, kind);
+  }
+}
+
+// validate() diagnostics must name the offending event's index and
+// field, so a 40-event generated plan is debuggable from the exception
+// message alone.
+TEST(FaultPlan, ValidateNamesEventIndexAndField) {
+  const auto message_of = [](const FaultPlan& plan) -> std::string {
+    try {
+      plan.validate();
+    } catch (const ContractViolation& e) {
+      return e.what();
+    }
+    return {};
+  };
+
+  FaultPlan bad_factor;
+  bad_factor.events.push_back({FaultKind::kTransferSlowdown, 0.0, 0, 1e-3, 1.0, 1, 1});
+  bad_factor.events.push_back({FaultKind::kTransferSlowdown, 1.0, 0, 1e-3, 0.5, 1, 1});
+  std::string msg = message_of(bad_factor);
+  EXPECT_NE(msg.find("#1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'factor'"), std::string::npos) << msg;
+
+  FaultPlan bad_count;
+  bad_count.events.push_back({FaultKind::kDispatchFailure, 0.0, 0, 0.0, 1.0, 0, 1});
+  msg = message_of(bad_count);
+  EXPECT_NE(msg.find("#0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'count'"), std::string::npos) << msg;
+
+  FaultPlan bad_at;
+  bad_at.events.push_back({FaultKind::kResyncCorruption, -2.0, 0, 0.0, 1.0, 1, 4});
+  msg = message_of(bad_at);
+  EXPECT_NE(msg.find("#0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'at'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("corrupt"), std::string::npos) << msg;
+
+  FaultPlan unsorted;
+  unsorted.events.push_back({FaultKind::kDispatchFailure, 2.0, 0, 0.0, 1.0, 1, 1});
+  unsorted.events.push_back({FaultKind::kShardLost, 1.0, 0, 1e-3, 1.0, 1, 1});
+  msg = message_of(unsorted);
+  EXPECT_NE(msg.find("#1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("sorted"), std::string::npos) << msg;
+}
+
+TEST(FaultPlan, RestartParsesAndRoundTrips) {
+  const auto plan =
+      FaultPlan::parse("restart@0.005:shard=1,down=0.002,torn=64");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kProcessRestart);
+  EXPECT_DOUBLE_EQ(plan.events[0].at, 0.005);
+  EXPECT_EQ(plan.events[0].shard, 1u);
+  EXPECT_DOUBLE_EQ(plan.events[0].duration, 0.002);  // down aliases duration
+  EXPECT_EQ(plan.events[0].bytes, 64u);              // torn aliases bytes
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+
+  // A clean-cut instant restart is legal: down=0, torn=0.
+  const auto clean = FaultPlan::parse("restart@0.001:down=0,torn=0");
+  EXPECT_EQ(clean.events[0].bytes, 0u);
+  EXPECT_DOUBLE_EQ(clean.events[0].duration, 0.0);
+  clean.validate();
+}
+
+TEST(FaultPlan, RandomCanEmitRestarts) {
+  FaultPlan::RandomSpec spec;
+  spec.horizon = 20e-3;
+  spec.events_per_second = 2000;
+  spec.num_shards = 2;
+  for (double& w : spec.weights) w = 0.0;
+  spec.weights[static_cast<int>(FaultKind::kProcessRestart)] = 1.0;
+  const auto plan = FaultPlan::random(spec, 5);
+  ASSERT_FALSE(plan.empty());
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.kind, FaultKind::kProcessRestart);
+    EXPECT_DOUBLE_EQ(e.duration, spec.restart_down_seconds);
+    EXPECT_EQ(e.bytes, spec.restart_torn_bytes);
   }
 }
 

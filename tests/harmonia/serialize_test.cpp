@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "btree/btree.hpp"
 #include "common/expect.hpp"
@@ -13,6 +15,24 @@ namespace {
 HarmoniaTree sample_tree(std::uint64_t n = 2000, unsigned fanout = 16) {
   const auto keys = queries::make_tree_keys(n, 1);
   return HarmoniaTree::from_btree(btree::make_tree(keys, fanout));
+}
+
+std::string image_bytes(const HarmoniaTree& tree,
+                        const TreeSnapshotExtras& extras = {}) {
+  std::stringstream buf;
+  tree.save(buf, extras);
+  return buf.str();
+}
+
+/// FNV-1a 64 over `data`, matching the image trailer (re-implemented
+/// here so the v1-compat test can seal a hand-built v1 image).
+std::uint64_t fnv64(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 TEST(Serialize, RoundTripPreservesEverything) {
@@ -76,6 +96,133 @@ TEST(Serialize, SingleLeafTree) {
   const auto loaded = HarmoniaTree::load(buf);
   EXPECT_EQ(loaded.num_keys(), 5u);
   EXPECT_EQ(loaded.height(), 1u);
+}
+
+// Exhaustive torn-write model: a crash can cut the image at any byte.
+// Every strict prefix must throw — across every field boundary (magic,
+// version, header counts, each region's length word and payload, the
+// extras section, the checksum trailer), load never returns a tree
+// built from a partial image.
+TEST(Serialize, TruncationAtEveryByteThrows) {
+  TreeSnapshotExtras extras;
+  extras.fill_factor = 0.8;
+  extras.overlay = {{3, 7, 0}, {9, 0, 1}};
+  const std::string bytes = image_bytes(sample_tree(40, 8), extras);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream truncated(bytes.substr(0, len));
+    EXPECT_THROW(HarmoniaTree::load(truncated), ContractViolation)
+        << "prefix of " << len << "/" << bytes.size() << " bytes loaded";
+  }
+  std::stringstream whole(bytes);
+  EXPECT_NO_THROW(HarmoniaTree::load(whole));
+}
+
+// Exhaustive corruption model: a flip anywhere — header, counts, region
+// payloads, extras, or the trailer itself — must throw. Count-field
+// flips must fail via the header bounds or expected-length checks, not
+// a runaway allocation.
+TEST(Serialize, BitFlipAtEveryByteThrows) {
+  TreeSnapshotExtras extras;
+  extras.fill_factor = 0.8;
+  extras.overlay = {{3, 7, 0}, {9, 0, 1}};
+  const std::string bytes = image_bytes(sample_tree(40, 8), extras);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x10);
+    std::stringstream corrupted(flipped);
+    EXPECT_THROW(HarmoniaTree::load(corrupted), ContractViolation)
+        << "flip at byte " << pos << " loaded";
+  }
+}
+
+TEST(Serialize, FailedLoadNeverTouchesExtrasOut) {
+  // load only writes through the extras out-param after the checksum
+  // verifies: a caller's defaults survive every failed load.
+  const std::string bytes = image_bytes(sample_tree(40, 8));
+  std::string torn = bytes.substr(0, bytes.size() - 3);
+  TreeSnapshotExtras extras;
+  extras.fill_factor = 0.123;
+  extras.overlay = {{42, 42, 0}};
+  std::stringstream is(torn);
+  EXPECT_THROW(HarmoniaTree::load(is, &extras), ContractViolation);
+  EXPECT_DOUBLE_EQ(extras.fill_factor, 0.123);
+  ASSERT_EQ(extras.overlay.size(), 1u);
+  EXPECT_EQ(extras.overlay[0].key, 42u);
+}
+
+TEST(Serialize, ExtrasRoundTrip) {
+  const auto tree = sample_tree(200, 8);
+  TreeSnapshotExtras extras;
+  extras.fill_factor = 0.75;
+  extras.overlay = {{2, 11, 0}, {5, 0, 1}, {8, 33, 0}};
+  std::stringstream buf;
+  tree.save(buf, extras);
+  TreeSnapshotExtras out;
+  const auto loaded = HarmoniaTree::load(buf, &out);
+  loaded.validate();
+  EXPECT_DOUBLE_EQ(out.fill_factor, 0.75);
+  ASSERT_EQ(out.overlay.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.overlay[i].key, extras.overlay[i].key);
+    EXPECT_EQ(out.overlay[i].value, extras.overlay[i].value);
+    EXPECT_EQ(out.overlay[i].tombstone, extras.overlay[i].tombstone);
+  }
+}
+
+TEST(Serialize, V1ImageLoadsWithDefaultExtras) {
+  // A v1 image is the v2 layout minus the extras section, sealed with
+  // its own checksum. Build one from a v2 image: strip extras (16 bytes
+  // for fill + empty-overlay count) and the trailer, set version = 1,
+  // reseal. v1 archives written before the extras section must keep
+  // loading forever.
+  const auto tree = sample_tree(120, 8);
+  const std::string v2 = image_bytes(tree);
+  ASSERT_GT(v2.size(), 24u);
+  std::string v1 = v2.substr(0, v2.size() - 24);  // drop extras + trailer
+  const std::uint32_t version = 1;
+  std::memcpy(v1.data() + 4, &version, sizeof version);  // after the magic
+  const std::uint64_t h = fnv64(v1);
+  v1.append(reinterpret_cast<const char*>(&h), sizeof h);
+
+  TreeSnapshotExtras extras;
+  std::stringstream is(v1);
+  const auto loaded = HarmoniaTree::load(is, &extras);
+  loaded.validate();
+  EXPECT_EQ(loaded.num_keys(), tree.num_keys());
+  EXPECT_DOUBLE_EQ(extras.fill_factor, 0.69);  // v1 default
+  EXPECT_TRUE(extras.overlay.empty());
+}
+
+TEST(Serialize, RejectsMalformedExtras) {
+  const auto tree = sample_tree(60, 8);
+  {
+    TreeSnapshotExtras bad;
+    bad.fill_factor = 1.5;  // outside (0, 1]
+    std::stringstream buf;
+    tree.save(buf, bad);
+    EXPECT_THROW(HarmoniaTree::load(buf), ContractViolation);
+  }
+  {
+    TreeSnapshotExtras bad;
+    bad.overlay = {{9, 1, 0}, {4, 1, 0}};  // keys not ascending
+    std::stringstream buf;
+    tree.save(buf, bad);
+    EXPECT_THROW(HarmoniaTree::load(buf), ContractViolation);
+  }
+  {
+    TreeSnapshotExtras bad;
+    bad.overlay = {{4, 1, 2}};  // tombstone flag out of range
+    std::stringstream buf;
+    tree.save(buf, bad);
+    EXPECT_THROW(HarmoniaTree::load(buf), ContractViolation);
+  }
+  {
+    TreeSnapshotExtras bad;
+    bad.overlay = {{kPadKey, 1, 0}};  // pad key can never be overlaid
+    std::stringstream buf;
+    tree.save(buf, bad);
+    EXPECT_THROW(HarmoniaTree::load(buf), ContractViolation);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// SnapshotStore + Manifest: the newest-valid fallback chain. A torn or
+// bit-flipped image must never load; a torn manifest must fall back to
+// the directory scan; load_newest must walk past damaged epochs and
+// land on the newest image that decodes cleanly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "btree/btree.hpp"
+#include "harmonia/tree.hpp"
+#include "persist/snapshot_store.hpp"
+#include "queries/workload.hpp"
+
+namespace harmonia::persist {
+namespace {
+
+HarmoniaTree sample_tree(std::uint64_t n, std::uint64_t seed) {
+  const auto keys = queries::make_tree_keys(n, seed);
+  return HarmoniaTree::from_btree(btree::make_tree(keys, 8));
+}
+
+void write_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+class SnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "harmonia_snapshot_store_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotStoreTest, ManifestEncodeParseRoundTrip) {
+  Manifest m;
+  m.shard = 3;
+  m.snapshots = {17, 9, 4};
+  write_file(dir_ / "MANIFEST", Manifest::encode(m));
+  const auto parsed = Manifest::parse_file(dir_ / "MANIFEST");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->shard, 3u);
+  EXPECT_EQ(parsed->snapshots, (std::vector<std::uint64_t>{17, 9, 4}));
+}
+
+TEST_F(SnapshotStoreTest, ManifestMissingIsNullopt) {
+  EXPECT_FALSE(Manifest::parse_file(dir_ / "MANIFEST").has_value());
+}
+
+// Every strict prefix of a manifest — the on-disk state a crash mid-
+// rewrite leaves behind — must fail to parse, never yield a stale or
+// partial snapshot list.
+TEST_F(SnapshotStoreTest, ManifestTornAtEveryByteIsNullopt) {
+  Manifest m;
+  m.shard = 1;
+  m.snapshots = {12, 8};
+  const std::string bytes = Manifest::encode(m);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_file(dir_ / "MANIFEST", bytes.substr(0, len));
+    EXPECT_FALSE(Manifest::parse_file(dir_ / "MANIFEST").has_value())
+        << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST_F(SnapshotStoreTest, ManifestBitFlipAtEveryByteIsNullopt) {
+  Manifest m;
+  m.shard = 0;
+  m.snapshots = {5};
+  const std::string bytes = Manifest::encode(m);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x08);
+    write_file(dir_ / "MANIFEST", flipped);
+    EXPECT_FALSE(Manifest::parse_file(dir_ / "MANIFEST").has_value())
+        << "flip at byte " << pos << " parsed";
+  }
+}
+
+TEST_F(SnapshotStoreTest, ListPrefersManifestOrder) {
+  SnapshotStore store(dir_);
+  store.write(4, sample_tree(50, 1), {});
+  store.write(9, sample_tree(50, 2), {});
+  store.write_manifest(0, {9, 4});
+  bool fallback = true;
+  const auto epochs = store.list(&fallback);
+  EXPECT_FALSE(fallback);
+  EXPECT_EQ(epochs, (std::vector<std::uint64_t>{9, 4}));
+}
+
+TEST_F(SnapshotStoreTest, ListFallsBackToDirectoryScanOnTornManifest) {
+  SnapshotStore store(dir_);
+  store.write(4, sample_tree(50, 1), {});
+  store.write(9, sample_tree(50, 2), {});
+  write_file(store.manifest_path(), "harmonia-shard-manifest v1\nsha");  // torn
+  bool fallback = false;
+  const auto epochs = store.list(&fallback);
+  EXPECT_TRUE(fallback);
+  EXPECT_EQ(epochs, (std::vector<std::uint64_t>{9, 4}));
+}
+
+TEST_F(SnapshotStoreTest, LoadNewestRoundTripsTreeAndExtras) {
+  const auto tree = sample_tree(120, 3);
+  TreeSnapshotExtras extras;
+  extras.fill_factor = 0.77;
+  extras.overlay = {{5, 99, 0}, {11, 0, 1}};
+  SnapshotStore store(dir_);
+  store.write(6, tree, extras);
+  store.write_manifest(2, {6});
+
+  const auto loaded = store.load_newest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 6u);
+  EXPECT_EQ(loaded->discarded, 0u);
+  EXPECT_FALSE(loaded->manifest_fallback);
+  EXPECT_GT(loaded->bytes, 0u);
+  EXPECT_DOUBLE_EQ(loaded->extras.fill_factor, 0.77);
+  ASSERT_EQ(loaded->extras.overlay.size(), 2u);
+  EXPECT_EQ(loaded->extras.overlay[0].key, 5u);
+  EXPECT_EQ(loaded->extras.overlay[0].value, 99u);
+  EXPECT_EQ(loaded->extras.overlay[1].tombstone, 1);
+  EXPECT_EQ(loaded->tree.num_keys(), tree.num_keys());
+  loaded->tree.validate();
+}
+
+TEST_F(SnapshotStoreTest, LoadNewestWalksPastTornImage) {
+  SnapshotStore store(dir_);
+  store.write(3, sample_tree(80, 1), {});
+  store.write(7, sample_tree(90, 2), {});
+  store.write_manifest(0, {7, 3});
+  // Tear the newest image mid-write.
+  const std::string bytes = read_file(store.path_for(7));
+  write_file(store.path_for(7), bytes.substr(0, bytes.size() / 3));
+
+  const auto loaded = store.load_newest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 3u);
+  EXPECT_EQ(loaded->discarded, 1u);
+  EXPECT_EQ(loaded->tree.num_keys(), 80u);
+}
+
+TEST_F(SnapshotStoreTest, LoadNewestWalksPastMissingManifestEntry) {
+  // Manifest names an epoch whose image never finished (crash between
+  // manifest write and a later prune, or a deleted file): skip it.
+  SnapshotStore store(dir_);
+  store.write(2, sample_tree(60, 1), {});
+  store.write_manifest(0, {8, 2});
+  const auto loaded = store.load_newest();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 2u);
+  EXPECT_EQ(loaded->discarded, 1u);
+}
+
+TEST_F(SnapshotStoreTest, AllImagesTornIsNullopt) {
+  SnapshotStore store(dir_);
+  store.write(1, sample_tree(60, 1), {});
+  store.write(2, sample_tree(60, 2), {});
+  store.write_manifest(0, {2, 1});
+  for (const std::uint64_t e : {std::uint64_t{1}, std::uint64_t{2}}) {
+    const std::string bytes = read_file(store.path_for(e));
+    write_file(store.path_for(e), bytes.substr(0, bytes.size() - 5));
+  }
+  EXPECT_FALSE(store.load_newest().has_value());
+}
+
+TEST_F(SnapshotStoreTest, EmptyDirectoryIsNullopt) {
+  SnapshotStore store(dir_);
+  EXPECT_FALSE(store.load_newest().has_value());
+  EXPECT_TRUE(store.list().empty());
+}
+
+TEST_F(SnapshotStoreTest, PruneKeepsNewestByDirectoryScan) {
+  SnapshotStore store(dir_);
+  for (std::uint64_t e = 1; e <= 5; ++e) store.write(e, sample_tree(40, e), {});
+  store.prune(2);
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(1)));
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(2)));
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(3)));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for(4)));
+  EXPECT_TRUE(std::filesystem::exists(store.path_for(5)));
+  store.prune(0);
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(4)));
+  EXPECT_FALSE(std::filesystem::exists(store.path_for(5)));
+}
+
+TEST_F(SnapshotStoreTest, ForeignFilesAreIgnored) {
+  SnapshotStore store(dir_);
+  store.write(3, sample_tree(40, 1), {});
+  write_file(dir_ / "update.log", "not a snapshot");
+  write_file(dir_ / "snap-junk.img", "not a snapshot either");
+  const auto epochs = store.list();
+  EXPECT_EQ(epochs, (std::vector<std::uint64_t>{3}));
+  store.prune(1);  // must not trip over the foreign names
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "update.log"));
+}
+
+}  // namespace
+}  // namespace harmonia::persist

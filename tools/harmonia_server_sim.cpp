@@ -14,10 +14,12 @@
 // Prints the aggregate report: admission/drop counts, batch-size and
 // latency distributions (p50/p95/p99), update epochs with per-stage cost
 // attribution, achieved throughput, and device-busy service rate.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/expect.hpp"
@@ -25,11 +27,13 @@
 #include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "obs/trace.hpp"
+#include "persist/recovery.hpp"
 #include "qos/priority.hpp"
 #include "queries/workload.hpp"
 #include "serve/options.hpp"
 #include "serve/workload.hpp"
 #include "shard/backend_factory.hpp"
+#include "shard/restart_harness.hpp"
 
 using namespace harmonia;
 
@@ -48,6 +52,7 @@ void add_server_flags(Cli& cli) {
       .flag("shards", "simulated devices (range-sharded serving)", "1")
       .flag("seed", "workload seed", "1")
       .flag("fault-csv", "write the FaultReport as CSV to this path", "")
+      .flag("recovery-csv", "write per-shard RecoveryReports as CSV to this path", "")
       .flag("metrics", "print a Prometheus-style metrics dump to stdout", "false")
       .flag("metrics-out", "write the Prometheus-style metrics dump to this path", "")
       .flag("trace-out", "write the request-lifecycle trace to this path "
@@ -233,6 +238,43 @@ void print_report(const serve::ServerReport& rep) {
   }
 }
 
+void print_recoveries(const std::vector<persist::RecoveryReport>& recs) {
+  for (const auto& r : recs) {
+    std::printf("recovery shard %-2u: %s epoch %llu%s%s | replayed %llu overlay "
+                "+ %llu log ops (%llu batches)%s | %llu + %llu bytes | "
+                "modeled %.3f ms\n",
+                r.shard, r.rebuilt ? "rebuilt to" : "snapshot at",
+                static_cast<unsigned long long>(r.snapshot_epoch),
+                r.snapshots_discarded > 0 ? " (discarded newer)" : "",
+                r.manifest_fallback ? " (manifest torn, dir scan)" : "",
+                static_cast<unsigned long long>(r.overlay_replayed),
+                static_cast<unsigned long long>(r.ops_replayed),
+                static_cast<unsigned long long>(r.batches_replayed),
+                r.log_torn_tail ? " (torn tail truncated)" : "",
+                static_cast<unsigned long long>(r.snapshot_bytes),
+                static_cast<unsigned long long>(r.log_bytes),
+                r.modeled_seconds * 1e3);
+  }
+}
+
+void maybe_write_recovery_csv(const Cli& cli,
+                              const std::vector<persist::RecoveryReport>& recs) {
+  const std::string path = cli.get_string("recovery-csv", "");
+  if (path.empty()) return;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  f << persist::RecoveryReport::csv_header() << "\n";
+  for (const auto& r : recs) f << r.csv_row() << "\n";
+  if (!f.good()) {
+    std::fprintf(stderr, "error: short write of recovery CSV to %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+}
+
 void maybe_write_fault_csv(const Cli& cli, const serve::ServerReport& rep) {
   const std::string path = cli.get_string("fault-csv", "");
   if (path.empty()) return;
@@ -292,7 +334,47 @@ int cmd_open(int argc, const char* const* argv) {
   ObsSink sink(cli);
   serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
   cfg.obs = sink.observer();
+
+  // A plan with restart events runs through the crash-restart harness:
+  // a backend cannot restart itself (ServeOptions::validate rejects the
+  // events), so the harness serves each generation, seals the crash, and
+  // cold-starts the next from disk.
+  const bool has_restart = std::any_of(
+      cfg.faults.events.begin(), cfg.faults.events.end(),
+      [](const fault::FaultEvent& e) {
+        return e.kind == fault::FaultKind::kProcessRestart;
+      });
+  if (has_restart) {
+    const auto keys = queries::make_tree_keys(1ULL << topo.log2_keys, topo.seed);
+    const auto stream = serve::make_open_loop(keys, spec);
+    const shard::RestartReport rr = shard::run_with_restarts(topo, cfg, stream);
+    std::vector<persist::RecoveryReport> all;
+    for (std::size_t i = 0; i < rr.cycles.size(); ++i) {
+      const shard::RestartCycle& c = rr.cycles[i];
+      std::printf("restart %-2llu      : crash %.3f ms | down %.3f ms | "
+                  "recovery %.3f ms | TTFR %.3f ms\n",
+                  static_cast<unsigned long long>(i), c.crash_time * 1e3,
+                  c.down_seconds * 1e3, c.recovery_seconds * 1e3,
+                  c.ttfr_seconds() * 1e3);
+      print_recoveries(c.recoveries);
+      all.insert(all.end(), c.recoveries.begin(), c.recoveries.end());
+    }
+    for (std::size_t g = 0; g < rr.segments.size(); ++g) {
+      std::printf("\n--- generation %llu ---\n",
+                  static_cast<unsigned long long>(g));
+      print_report(rr.segments[g]);
+    }
+    maybe_write_recovery_csv(cli, all);
+    sink.dump();
+    return 0;
+  }
+
   shard::ServingStack stack(topo, cfg);
+  if (!stack.recoveries().empty()) {
+    print_recoveries(stack.recoveries());
+    std::printf("\n");
+  }
+  maybe_write_recovery_csv(cli, stack.recoveries());
   const auto stream = serve::make_open_loop(stack.keys(), spec);
   const auto rep = stack.backend().run(stream);
   print_report(rep);
@@ -326,6 +408,11 @@ int cmd_closed(int argc, const char* const* argv) {
   serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
   cfg.obs = sink.observer();
   shard::ServingStack stack(topo, cfg);
+  if (!stack.recoveries().empty()) {
+    print_recoveries(stack.recoveries());
+    std::printf("\n");
+  }
+  maybe_write_recovery_csv(cli, stack.recoveries());
   serve::ClosedLoopSource source(stack.keys(), spec);
   const auto rep = stack.backend().run(source);
   print_report(rep);
