@@ -1,0 +1,37 @@
+# Pins the CSV schema of ext_reshard_sweep: downstream scripts (and the
+# EXPERIMENTS.md tables) parse these columns by name, so a header change
+# must be a deliberate, test-visible act.
+#
+# Usage: cmake -DCSV=<path> -P check_reshard_csv.cmake
+if(NOT DEFINED CSV)
+  message(FATAL_ERROR "pass -DCSV=<path to csv>")
+endif()
+if(NOT EXISTS "${CSV}")
+  message(FATAL_ERROR "csv not written: ${CSV}")
+endif()
+
+file(STRINGS "${CSV}" lines)
+list(LENGTH lines num_lines)
+if(num_lines LESS 2)
+  message(FATAL_ERROR "csv has no data rows: ${CSV}")
+endif()
+
+list(GET lines 0 header)
+set(expected "scenario,K,migrations,plan ver,moved keys,p50 (us),p99 (us),degraded,shed,repl lost,rejoined,catchup ops,achieved (Mq/s)")
+if(NOT header STREQUAL expected)
+  message(FATAL_ERROR "csv schema changed:\n  expected: ${expected}\n  got:      ${header}")
+endif()
+
+# Every data row has exactly as many fields as the header.
+string(REPLACE "," ";" header_fields "${header}")
+list(LENGTH header_fields num_cols)
+math(EXPR last "${num_lines} - 1")
+foreach(i RANGE 1 ${last})
+  list(GET lines ${i} row)
+  string(REPLACE "," ";" row_fields "${row}")
+  list(LENGTH row_fields row_cols)
+  if(NOT row_cols EQUAL num_cols)
+    message(FATAL_ERROR "row ${i} has ${row_cols} fields, header has ${num_cols}: ${row}")
+  endif()
+endforeach()
+message(STATUS "reshard csv schema ok: ${num_lines} lines, ${num_cols} columns")

@@ -1,0 +1,179 @@
+// Extension E16: zipfian split-and-migrate sweep — what live resharding
+// and replica groups buy under skew.
+//
+// Four scenarios over the same zipfian arrival stream:
+//
+//   steady      split off, K=1 — the skewed baseline (hot shard caps it)
+//   split       hot-range splitting on — a mid-run migration halves the
+//               hot shard into its colder neighbor at a swap boundary
+//   k3          K=3 replica groups, no faults — replication overhead row
+//   failover    K=3 plus a replica-lost fault on the hot shard — the
+//               survivors serve, the replica rejoins from the log tail
+//
+// --check enforces the two acceptance gates from the issue: the split
+// run's p99 must stay within 2x the steady-state p99 (the flip parks
+// straddlers, it never stalls the world), and the failover run must
+// absorb the loss with *zero* CPU-oracle degraded queries.
+#include "bench_common.hpp"
+
+#include "fault/fault_plan.hpp"
+#include "serve/workload.hpp"
+#include "shard/backend_factory.hpp"
+
+namespace hb = harmonia::bench;
+using namespace harmonia;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "log2 tree size", "18")
+      .flag("requests", "requests per run", "40000")
+      .flag("rate", "arrival rate (Mq/s)", "6")
+      .flag("shards", "number of shards", "4")
+      .flag("replicas", "replica group size K for the replicated rows", "3")
+      .flag("updates", "update fraction of the stream", "0.05")
+      .flag("hot-factor", "split threshold vs fleet-mean window load", "1.3")
+      .flag("min-window", "min routed queries per detection window", "64")
+      .flag("detect-every-us", "detection cadence (us)", "200")
+      .flag("fanout", "tree fanout", "64")
+      .flag("seed", "workload seed", "1")
+      .flag("check", "fail unless the split + failover gates hold", "false")
+      .flag("csv", "also write the table as CSV to this path", "(off)");
+  hb::add_metrics_flag(cli);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const unsigned lg = static_cast<unsigned>(cli.get_uint("size", 18));
+  const std::uint64_t requests = cli.get_uint("requests", 40000);
+  const double rate = cli.get_double("rate", 6) * 1e6;
+  const unsigned shards = static_cast<unsigned>(cli.get_uint("shards", 4));
+  const unsigned replicas = static_cast<unsigned>(cli.get_uint("replicas", 3));
+  const std::uint64_t seed = cli.get_uint("seed", 1);
+  const bool check = cli.get_bool("check", false);
+  const double horizon = static_cast<double>(requests) / rate;
+
+  hb::print_header("Reshard sweep: hot-range splitting x replica groups",
+                   "extension E16 (live resharding under zipfian skew)");
+
+  const bool observe = !cli.get_string("metrics-out", "").empty();
+  obs::MetricsRegistry metrics;
+
+  shard::TopologySpec topo;
+  topo.log2_keys = lg;
+  topo.fanout = static_cast<unsigned>(cli.get_uint("fanout", 64));
+  topo.shards = shards;
+  topo.seed = seed;
+  topo.device = hb::bench_spec();
+
+  Table table({"scenario", "K", "migrations", "plan ver", "moved keys",
+               "p50 (us)", "p99 (us)", "degraded", "shed", "repl lost",
+               "rejoined", "catchup ops", "achieved (Mq/s)"});
+
+  struct Row {
+    serve::ServerReport rep;
+  };
+  std::vector<std::pair<std::string, Row>> rows;
+
+  const struct Scenario {
+    const char* name;
+    bool split;
+    unsigned k;
+    bool fault;
+  } scenarios[] = {
+      {"steady", false, 1, false},
+      {"split", true, 1, false},
+      {"k3", false, replicas, false},
+      {"failover", false, replicas, true},
+  };
+
+  for (const Scenario& sc : scenarios) {
+    serve::ServeOptions cfg;
+    cfg.replicas = sc.k;
+    cfg.reshard.split_hot = sc.split;
+    cfg.reshard.hot_factor = cli.get_double("hot-factor", 1.3);
+    cfg.reshard.min_window_queries = cli.get_uint("min-window", 64);
+    cfg.reshard.detect_every = cli.get_double("detect-every-us", 200) * 1e-6;
+    if (sc.fault) {
+      // Lose one replica of the hot (low-key) shard a quarter in; it
+      // rejoins after another quarter and catches up from the log tail.
+      char spec[96];
+      std::snprintf(spec, sizeof spec,
+                    "replica-lost@%.9g:shard=0,replica=0,repair=%.9g",
+                    0.25 * horizon, 0.25 * horizon);
+      cfg.faults = fault::FaultPlan::parse(spec);
+    }
+    if (observe && sc.split) cfg.obs.metrics = &metrics;
+
+    shard::ServingStack stack(topo, cfg);
+
+    serve::OpenLoopSpec spec;
+    spec.arrivals_per_second = rate;
+    spec.count = requests;
+    spec.update_fraction = cli.get_double("updates", 0.05);
+    spec.dist = queries::Distribution::kZipfian;
+    spec.seed = seed + 7;
+    const auto stream = serve::make_open_loop(stack.keys(), spec);
+
+    const auto rep = stack.backend().run(stream);
+    const auto& fr = rep.faults;
+    table.add(sc.name, sc.k, rep.migrations, rep.plan_version,
+              rep.migrated_keys, rep.latency.percentile(50) * 1e6,
+              rep.latency.percentile(99) * 1e6,
+              fr.degraded_points + fr.degraded_ranges + fr.degraded_shed,
+              rep.shed, fr.replicas_lost, fr.replicas_rejoined, fr.catchup_ops,
+              rep.query_throughput() / 1e6);
+    rows.emplace_back(sc.name, Row{rep});
+  }
+
+  hb::emit(cli, table);
+  hb::maybe_dump_metrics(cli, metrics);
+  std::cout << "\nexpected: the split row commits >= 1 migration with p99 within"
+            << " 2x of steady (the flip only parks straddlers); the failover"
+            << " row absorbs the replica loss with zero degraded queries\n";
+
+  if (check) {
+    const auto find = [&](const char* name) -> const serve::ServerReport& {
+      for (const auto& [n, r] : rows)
+        if (n == name) return r.rep;
+      std::cerr << "FAIL: missing scenario " << name << "\n";
+      std::exit(1);
+    };
+    const auto& steady = find("steady");
+    const auto& split = find("split");
+    const auto& failover = find("failover");
+
+    if (split.migrations < 1) {
+      std::cerr << "FAIL: split run committed no migration (hot shard never"
+                << " crossed the threshold)\n";
+      return 1;
+    }
+    if (split.plan_version != 1 + split.migrations) {
+      std::cerr << "FAIL: plan_version " << split.plan_version << " != 1 + "
+                << split.migrations << " migrations\n";
+      return 1;
+    }
+    const double p99_steady = steady.latency.percentile(99);
+    const double p99_split = split.latency.percentile(99);
+    if (p99_split > 2.0 * p99_steady) {
+      std::cerr << "FAIL: p99 through the split " << p99_split * 1e6
+                << " us > 2x steady-state " << p99_steady * 1e6 << " us\n";
+      return 1;
+    }
+    const auto& fr = failover.faults;
+    if (fr.replicas_lost < 1 || fr.replicas_rejoined < 1) {
+      std::cerr << "FAIL: failover run lost " << fr.replicas_lost
+                << " / rejoined " << fr.replicas_rejoined
+                << " replicas (want >= 1 each)\n";
+      return 1;
+    }
+    if (fr.degraded_points + fr.degraded_ranges + fr.degraded_shed != 0) {
+      std::cerr << "FAIL: failover run served degraded ("
+                << fr.degraded_points << " pt, " << fr.degraded_ranges
+                << " rg, " << fr.degraded_shed << " shed) — the survivors"
+                << " should have absorbed the loss\n";
+      return 1;
+    }
+    std::cout << "check passed: split p99 " << p99_split * 1e6 << " us <= 2x "
+              << p99_steady * 1e6 << " us steady; failover absorbed with zero"
+              << " degraded\n";
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kResyncCorruption: return "corrupt";
     case FaultKind::kShardLost: return "lose";
     case FaultKind::kProcessRestart: return "restart";
+    case FaultKind::kReplicaLost: return "replica-lost";
   }
   return "?";
 }
@@ -56,6 +57,11 @@ void FaultPlan::validate() const {
         // duration (downtime) may be 0 — an instant restart — and bytes
         // (torn) may be 0 — a crash that cut cleanly between writes.
         break;
+      case FaultKind::kReplicaLost:
+        HARMONIA_CHECK_MSG(e.duration > 0.0,
+                           "fault event #" << i
+                                           << " (replica-lost): field 'repair' must be > 0");
+        break;
     }
   }
   for (std::size_t i = 1; i < events.size(); ++i) {
@@ -75,8 +81,9 @@ FaultKind kind_from(const std::string& name) {
   if (name == "corrupt") return FaultKind::kResyncCorruption;
   if (name == "lose") return FaultKind::kShardLost;
   if (name == "restart") return FaultKind::kProcessRestart;
+  if (name == "replica-lost") return FaultKind::kReplicaLost;
   HARMONIA_CHECK_MSG(false, "unknown fault kind '" << name
-                            << "' (want slow|fail|corrupt|lose|restart)");
+                            << "' (want slow|fail|corrupt|lose|restart|replica-lost)");
   return FaultKind::kTransferSlowdown;
 }
 
@@ -139,6 +146,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         const std::string val = kv.substr(eq + 1);
         if (key == "shard") {
           e.shard = static_cast<unsigned>(parse_uint(val));
+        } else if (key == "replica") {
+          e.replica = static_cast<unsigned>(parse_uint(val));
         } else if (key == "factor") {
           e.factor = parse_double(val);
         } else if (key == "duration" || key == "repair" || key == "down") {
@@ -179,12 +188,22 @@ std::string FaultPlan::to_string() const {
                       e.bytes);
         break;
       case FaultKind::kShardLost:
-        std::snprintf(buf, sizeof buf, "lose@%g:shard=%u,repair=%g", e.at, e.shard,
-                      e.duration);
+        if (e.replica != 0) {
+          std::snprintf(buf, sizeof buf, "lose@%g:shard=%u,replica=%u,repair=%g",
+                        e.at, e.shard, e.replica, e.duration);
+        } else {
+          std::snprintf(buf, sizeof buf, "lose@%g:shard=%u,repair=%g", e.at,
+                        e.shard, e.duration);
+        }
         break;
       case FaultKind::kProcessRestart:
         std::snprintf(buf, sizeof buf, "restart@%g:shard=%u,down=%g,torn=%u", e.at,
                       e.shard, e.duration, e.bytes);
+        break;
+      case FaultKind::kReplicaLost:
+        std::snprintf(buf, sizeof buf,
+                      "replica-lost@%g:shard=%u,replica=%u,repair=%g", e.at,
+                      e.shard, e.replica, e.duration);
         break;
     }
     out += buf;
@@ -234,6 +253,11 @@ FaultPlan FaultPlan::random(const RandomSpec& spec, std::uint64_t seed) {
       case FaultKind::kProcessRestart:
         e.duration = spec.restart_down_seconds;
         e.bytes = spec.restart_torn_bytes;
+        break;
+      case FaultKind::kReplicaLost:
+        e.duration = spec.repair_seconds;
+        e.replica = static_cast<unsigned>(
+            rng.next_below(std::max(spec.num_replicas, 1u)));
         break;
     }
     plan.events.push_back(e);

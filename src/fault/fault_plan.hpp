@@ -16,6 +16,12 @@
 //             flips `bytes` bytes of the freshly uploaded device image.
 //   lose    : `shard` drops off the bus at `at`; its device comes back
 //             `duration` (repair) seconds later and must be re-imaged.
+//             With K-way replica groups the event takes `replica` too:
+//             only that group member is lost, and surviving replicas
+//             keep serving the range (failover instead of degradation).
+//   replica-lost : alias kind for a replica-targeted loss — identical
+//             handling to `lose`, but requires a replicated topology
+//             (K > 1), making the failover intent explicit in specs.
 //   restart : the whole process dies at `at` and comes back `duration`
 //             (down) seconds later; `bytes` (torn) bytes are chopped off
 //             `shard`'s last durable write (torn log append / snapshot).
@@ -35,11 +41,12 @@ enum class FaultKind : std::uint8_t {
   kResyncCorruption,
   kShardLost,
   kProcessRestart,
+  kReplicaLost,
 };
 
 /// Number of FaultKind values (keep in sync with the enum; the
 /// to_string exhaustiveness test walks [0, kNumFaultKinds)).
-inline constexpr unsigned kNumFaultKinds = 5;
+inline constexpr unsigned kNumFaultKinds = 6;
 
 const char* to_string(FaultKind kind);
 
@@ -48,6 +55,10 @@ struct FaultEvent {
   /// Virtual second the event arms.
   double at = 0.0;
   unsigned shard = 0;
+  /// Replica slot within `shard`'s group targeted by `lose` /
+  /// `replica-lost` (ignored by the other kinds; must be < the
+  /// topology's replication factor).
+  unsigned replica = 0;
   /// Slowdown window length / shard repair time (seconds).
   double duration = 0.0;
   /// Transfer-cost multiplier while a slowdown window is active (>= 1).
@@ -88,11 +99,15 @@ struct FaultPlan {
     /// Mean fault events per virtual second (Poisson arrivals).
     double events_per_second = 500.0;
     unsigned num_shards = 1;
+    /// Replicas per shard group; `replica-lost` events draw a slot
+    /// uniformly from [0, num_replicas).
+    unsigned num_replicas = 1;
     /// Relative weights of the kinds, in enum order. A zero weight
     /// disables that kind (e.g. shard-lost for single-device runs;
     /// restart defaults to 0 because only the restart harness — not a
-    /// backend — can honor it).
-    double weights[kNumFaultKinds] = {1.0, 1.0, 1.0, 0.25, 0.0};
+    /// backend — can honor it, and replica-lost defaults to 0 because it
+    /// needs a replicated topology).
+    double weights[kNumFaultKinds] = {1.0, 1.0, 1.0, 0.25, 0.0, 0.0};
     double slowdown_factor = 4.0;
     double slowdown_duration = 200e-6;
     unsigned fail_count = 2;

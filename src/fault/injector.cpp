@@ -25,6 +25,7 @@ const char* FaultReport::csv_header() {
          "audits,checksum_mismatches,retries,retry_shed_batches,"
          "retry_shed_requests,reimages,hedges_issued,hedges_won,"
          "degraded_points,degraded_ranges,degraded_shed,shards_restored,"
+         "replicas_lost,replicas_rejoined,catchup_ops,catchup_us,"
          "backoff_us,reimage_us,degraded_us,fenced_us,"
          "retry_shed_gold,retry_shed_silver,retry_shed_bronze";
 }
@@ -34,7 +35,7 @@ std::string FaultReport::csv_row() const {
   std::snprintf(
       buf, sizeof buf,
       "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-      "%llu,%llu,%.3f,%.3f,%.3f,%.3f,%llu,%llu,%llu",
+      "%llu,%llu,%llu,%llu,%llu,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%llu,%llu",
       static_cast<unsigned long long>(slowdown_windows),
       static_cast<unsigned long long>(dispatch_failures),
       static_cast<unsigned long long>(corruptions),
@@ -50,8 +51,12 @@ std::string FaultReport::csv_row() const {
       static_cast<unsigned long long>(degraded_points),
       static_cast<unsigned long long>(degraded_ranges),
       static_cast<unsigned long long>(degraded_shed),
-      static_cast<unsigned long long>(shards_restored), backoff_seconds * 1e6,
-      reimage_seconds * 1e6, degraded_seconds * 1e6, fenced_seconds * 1e6,
+      static_cast<unsigned long long>(shards_restored),
+      static_cast<unsigned long long>(replicas_lost),
+      static_cast<unsigned long long>(replicas_rejoined),
+      static_cast<unsigned long long>(catchup_ops), catchup_seconds * 1e6,
+      backoff_seconds * 1e6, reimage_seconds * 1e6, degraded_seconds * 1e6,
+      fenced_seconds * 1e6,
       static_cast<unsigned long long>(retry_shed_by_class[0]),
       static_cast<unsigned long long>(retry_shed_by_class[1]),
       static_cast<unsigned long long>(retry_shed_by_class[2]));
@@ -59,10 +64,13 @@ std::string FaultReport::csv_row() const {
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, const MitigationConfig& mitigation,
-                             unsigned num_shards)
-    : mitigation_(mitigation), num_shards_(num_shards) {
+                             unsigned num_shards, unsigned num_replicas)
+    : mitigation_(mitigation),
+      num_shards_(num_shards),
+      num_replicas_(num_replicas) {
   plan.validate();
   HARMONIA_CHECK(num_shards_ > 0);
+  HARMONIA_CHECK(num_replicas_ > 0);
   HARMONIA_CHECK(mitigation_.retry.max_attempts > 0);
   HARMONIA_CHECK(mitigation_.retry.backoff >= 0.0);
   HARMONIA_CHECK(mitigation_.hedge.multiplier > 1.0);
@@ -71,6 +79,16 @@ FaultInjector::FaultInjector(FaultPlan plan, const MitigationConfig& mitigation,
     HARMONIA_CHECK_MSG(e.shard < num_shards_,
                        "fault event targets shard " << e.shard << " but the run has "
                        << num_shards_ << " shard(s)");
+    if (e.kind == FaultKind::kShardLost || e.kind == FaultKind::kReplicaLost) {
+      HARMONIA_CHECK_MSG(e.replica < num_replicas_,
+                         "fault event targets replica " << e.replica
+                         << " but the run has " << num_replicas_
+                         << " replica(s) per shard");
+      HARMONIA_CHECK_MSG(
+          e.kind != FaultKind::kReplicaLost || num_replicas_ > 1,
+          "replica-lost event needs a replicated topology (replicas > 1); "
+          "use 'lose' for unreplicated shards");
+    }
     events_.push_back(
         {e, e.kind == FaultKind::kDispatchFailure ? e.count : 1u, false});
   }
@@ -87,6 +105,7 @@ void FaultInjector::set_observer(const obs::Observer& obs) {
   mismatches_ = &m.counter("fault_checksum_mismatches_total");
   reimages_ = &m.counter("fault_reimages_total");
   losses_ = &m.counter("fault_shards_lost_total");
+  replica_losses_ = &m.counter("fault_replicas_lost_total");
 }
 
 void FaultInjector::note_event(obs::Counter* counter, double at, unsigned shard,
@@ -225,11 +244,21 @@ double FaultInjector::audit_staged(unsigned shard, double upload_seconds,
 
 std::optional<FaultEvent> FaultInjector::take_shard_lost(double now) {
   for (State& s : events_) {
-    if (s.ev.kind != FaultKind::kShardLost || s.remaining == 0) continue;
-    if (s.ev.at > now) continue;
+    if (s.ev.kind != FaultKind::kShardLost &&
+        s.ev.kind != FaultKind::kReplicaLost)
+      continue;
+    if (s.remaining == 0 || s.ev.at > now) continue;
     s.remaining = 0;
-    ++report_.shards_lost;
-    if (obs_.active()) note_event(losses_, now, s.ev.shard, "shard lost");
+    if (s.ev.kind == FaultKind::kReplicaLost) {
+      ++report_.replicas_lost;
+      if (obs_.active()) {
+        note_event(replica_losses_, now, s.ev.shard,
+                   "replica lost slot=" + std::to_string(s.ev.replica));
+      }
+    } else {
+      ++report_.shards_lost;
+      if (obs_.active()) note_event(losses_, now, s.ev.shard, "shard lost");
+    }
     return s.ev;
   }
   return std::nullopt;
@@ -238,7 +267,10 @@ std::optional<FaultEvent> FaultInjector::take_shard_lost(double now) {
 double FaultInjector::next_shard_lost_time() const {
   double t = kInf;
   for (const State& s : events_) {
-    if (s.ev.kind != FaultKind::kShardLost || s.remaining == 0) continue;
+    if (s.ev.kind != FaultKind::kShardLost &&
+        s.ev.kind != FaultKind::kReplicaLost)
+      continue;
+    if (s.remaining == 0) continue;
     t = std::min(t, s.ev.at);
   }
   return t;

@@ -93,6 +93,12 @@ struct FaultReport {
   std::uint64_t degraded_ranges = 0;
   std::uint64_t degraded_shed = 0;
   std::uint64_t shards_restored = 0;
+  // Replica groups (K > 1): losses absorbed by failover instead of
+  // fencing, and log-shipped catch-up work on rejoin.
+  std::uint64_t replicas_lost = 0;
+  std::uint64_t replicas_rejoined = 0;
+  std::uint64_t catchup_ops = 0;
+  double catchup_seconds = 0.0;
   double backoff_seconds = 0.0;
   double reimage_seconds = 0.0;
   double degraded_seconds = 0.0;
@@ -107,9 +113,12 @@ struct FaultReport {
 class FaultInjector {
  public:
   /// `num_shards` bounds the shard ids events may target (shard 0 for a
-  /// single-device Server). Throws on an out-of-range event.
+  /// single-device Server) and `num_replicas` the replica slots a
+  /// lose/replica-lost event may name (1 for unreplicated topologies —
+  /// `replica-lost` events then require num_replicas > 1). Throws on an
+  /// out-of-range event.
   FaultInjector(FaultPlan plan, const MitigationConfig& mitigation,
-                unsigned num_shards);
+                unsigned num_shards, unsigned num_replicas = 1);
 
   /// False for an empty plan: callers skip every fault branch, keeping
   /// fault-free runs bit-identical to pre-fault behaviour.
@@ -149,10 +158,14 @@ class FaultInjector {
   /// the staged image is swap-ready; 0.0 when the audit comes back clean.
   double audit_staged(unsigned shard, double upload_seconds, double now);
 
-  /// Earliest armed, unconsumed shard-lost event at or before `now`.
+  /// Earliest armed, unconsumed loss event (`lose` or `replica-lost`) at
+  /// or before `now`. The caller reads `kind`/`replica` off the returned
+  /// event to decide between replica failover and full-shard fencing;
+  /// the injector only tallies the per-kind injected counter
+  /// (shards_lost / replicas_lost).
   std::optional<FaultEvent> take_shard_lost(double now);
 
-  /// Arm time of the next unconsumed shard-lost event (+inf when none):
+  /// Arm time of the next unconsumed loss event (+inf when none):
   /// the extra wakeup the sharded event loop schedules.
   double next_shard_lost_time() const;
 
@@ -175,6 +188,7 @@ class FaultInjector {
   std::vector<State> events_;
   MitigationConfig mitigation_;
   unsigned num_shards_;
+  unsigned num_replicas_;
   FaultReport report_;
   obs::Observer obs_;
   obs::Counter* slowdowns_ = nullptr;
@@ -184,6 +198,7 @@ class FaultInjector {
   obs::Counter* mismatches_ = nullptr;
   obs::Counter* reimages_ = nullptr;
   obs::Counter* losses_ = nullptr;
+  obs::Counter* replica_losses_ = nullptr;
 };
 
 }  // namespace harmonia::fault

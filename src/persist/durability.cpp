@@ -80,11 +80,13 @@ bool ShardDurability::maybe_snapshot(std::uint64_t epoch, const HarmoniaIndex& i
   if (retained_.size() > config_.retain) retained_.resize(config_.retain);
   // Manifest and prune ride the same crash filter: a crash right after
   // the image write leaves a stale manifest, which the recovery path's
-  // directory-scan fallback covers.
+  // directory-scan fallback covers. The manifest write comes first so
+  // prune (which re-asserts the manifest-before-delete order itself)
+  // never deletes an image a surviving manifest still names.
   if (crash_ == nullptr || !crash_->dead(at)) {
-    store_.prune(config_.retain);
     durable_write(store_.manifest_path(), Manifest::encode({shard_, retained_}),
                   /*append=*/false, at);
+    store_.prune(config_.retain);
   }
   return true;
 }

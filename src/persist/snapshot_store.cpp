@@ -150,6 +150,17 @@ void SnapshotStore::prune(std::size_t keep) {
     if (const auto e = epoch_of(entry.path().filename().string())) epochs.push_back(*e);
   }
   std::sort(epochs.rbegin(), epochs.rend());
+  if (epochs.size() <= keep) return;
+  // Rewrite the manifest to name only the survivors BEFORE deleting any
+  // image: recovery prefers the manifest, so a crash mid-prune must never
+  // leave it pinning an image that is already gone. (The converse order —
+  // manifest naming survivors while pruned files linger — is harmless:
+  // lingering files are ignored or re-pruned next time.)
+  if (const auto m = Manifest::parse_file(manifest_path())) {
+    write_manifest(m->shard,
+                   {epochs.begin(),
+                    epochs.begin() + static_cast<std::ptrdiff_t>(keep)});
+  }
   for (std::size_t i = keep; i < epochs.size(); ++i) {
     std::filesystem::remove(path_for(epochs[i]), ec);
   }

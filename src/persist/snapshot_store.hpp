@@ -72,7 +72,10 @@ class SnapshotStore {
   std::optional<Loaded> load_newest() const;
 
   /// Deletes the oldest snapshots until at most `keep` remain (by
-  /// directory scan, so stale generations are pruned too).
+  /// directory scan, so stale generations are pruned too). When a valid
+  /// manifest exists it is rewritten to name only the survivors *before*
+  /// any file is deleted: a crash mid-prune can leave extra files on
+  /// disk, never a manifest pinning a deleted snapshot.
   void prune(std::size_t keep);
 
   /// Rewrites the manifest to name the given epochs (newest first).

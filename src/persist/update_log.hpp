@@ -50,6 +50,12 @@ class UpdateLog {
 
   const std::filesystem::path& path() const { return path_; }
 
+  /// Framed record sizing (the layout above): magic+crc+epoch+count per
+  /// record, kind+key+value per op. The replica catch-up path uses these
+  /// to cost log-tail shipping over the transfer model.
+  static constexpr std::uint64_t kRecordFixedBytes = 20;
+  static constexpr std::uint64_t kOpBytes = 17;
+
   /// Serializes one record; what append() writes and replay() decodes.
   static std::string encode(std::uint64_t epoch, std::span<const queries::UpdateOp> ops);
 
@@ -61,6 +67,13 @@ class UpdateLog {
   /// Decodes the longest valid prefix of the log. Missing file = empty
   /// replay (a fresh shard has no log yet).
   static LogReplay replay(const std::filesystem::path& path);
+
+  /// Log-tail shipping: replay() restricted to records with
+  /// epoch > `after_epoch` — what a rejoining replica that last applied
+  /// `after_epoch` must catch up on. valid_bytes/total_bytes/torn_tail
+  /// still describe the whole file; `ops` counts only the tail.
+  static LogReplay replay_tail(const std::filesystem::path& path,
+                               std::uint64_t after_epoch);
 
   /// Chops the file to its valid prefix (post-replay repair).
   static void truncate(const std::filesystem::path& path, std::uint64_t valid_bytes);

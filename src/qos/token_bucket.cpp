@@ -20,9 +20,15 @@ void TokenBucket::refill(double now) {
 
 bool TokenBucket::try_take(double now, double tokens) {
   refill(now);
-  if (tokens_ + 1e-12 < tokens) return false;  // epsilon: refill rounding
+  if (tokens_ + kEpsilon < tokens) return false;
   tokens_ -= tokens;
   return true;
+}
+
+bool TokenBucket::can_take(double now, double tokens) const {
+  // tokens_at computes the identical std::min expression refill() would
+  // store, so this is bitwise the same comparison try_take makes.
+  return !(tokens_at(now) + kEpsilon < tokens);
 }
 
 double TokenBucket::tokens_at(double now) const {

@@ -13,12 +13,22 @@ namespace harmonia::qos {
 
 class TokenBucket {
  public:
+  /// The one acceptance tolerance (refill rounding): a take of t succeeds
+  /// iff balance + kEpsilon >= t. Every preview (`can_take`) and the take
+  /// itself (`try_take`) share it, so a preview at an instant can never
+  /// disagree with the take that follows at the same instant.
+  static constexpr double kEpsilon = 1e-12;
+
   /// Starts full (burst tokens) at virtual time `start`.
   TokenBucket(double rate, double burst, double start = 0.0);
 
   /// Takes `tokens` at virtual time `now` (monotone per bucket); false =
   /// insufficient tokens, nothing consumed.
   bool try_take(double now, double tokens = 1.0);
+
+  /// Preview of try_take at `now`, without consuming: uses the same
+  /// refill arithmetic and the same kEpsilon, so the answers agree.
+  bool can_take(double now, double tokens = 1.0) const;
 
   /// Balance after refill at `now`, without consuming.
   double tokens_at(double now) const;

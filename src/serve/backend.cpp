@@ -124,6 +124,28 @@ void ServerReport::check_invariants() const {
   HARMONIA_CHECK_MSG(sum(shard_batches) == batches,
                      "sharded accounting broken: per-shard batches sum to "
                          << sum(shard_batches) << " but batches=" << batches);
+  if (!replica_batches.empty()) {
+    HARMONIA_CHECK_MSG(
+        sum(replica_batches) == batches,
+        "replica accounting broken: per-replica batches sum to "
+            << sum(replica_batches) << " but batches=" << batches);
+    HARMONIA_CHECK_MSG(replica_batches.size() % shard_batches.size() == 0,
+                       "replica accounting broken: " << replica_batches.size()
+                           << " replica slots over " << shard_batches.size()
+                           << " shards is not a whole group size");
+    const std::size_t k = replica_batches.size() / shard_batches.size();
+    for (std::size_t s = 0; s < shard_batches.size(); ++s) {
+      std::uint64_t group = 0;
+      for (std::size_t r = 0; r < k; ++r) group += replica_batches[s * k + r];
+      HARMONIA_CHECK_MSG(group == shard_batches[s],
+                         "replica accounting broken: shard " << s
+                             << "'s group serves " << group
+                             << " batches but shard_batches=" << shard_batches[s]);
+    }
+  }
+  HARMONIA_CHECK_MSG(plan_version == 1 + migrations,
+                     "reshard accounting broken: plan_version=" << plan_version
+                         << " != 1 + migrations=" << migrations);
 }
 
 ServerReport Backend::run(RequestSource& source) {

@@ -136,6 +136,24 @@ struct ServerReport {
   /// gathered the slowest shard (0 in overlap mode — no barrier).
   double barrier_wait_seconds = 0.0;
 
+  /// Replica-group extras (docs/sharding.md#replica-groups): batches per
+  /// replica slot, flattened shard-major ([shard * K + replica]). Empty
+  /// on a single-device backend; sums to `batches` when populated, and
+  /// each shard's K slots sum to its shard_batches entry.
+  std::vector<std::uint64_t> replica_batches;
+
+  /// Live-resharding extras (docs/sharding.md#live-resharding). The plan
+  /// version starts at 1 on a sharded backend (0 = unsharded) and bumps
+  /// once per committed migration, so plan_version == 1 + migrations.
+  unsigned plan_version = 1;
+  std::uint64_t migrations = 0;
+  /// Keys moved across the split boundary, summed over migrations.
+  std::uint64_t migrated_keys = 0;
+  /// Modeled host CPU building the two post-split images / concurrent
+  /// PCIe upload of the staged pair (slowest side per migration).
+  double migration_build_seconds = 0.0;
+  double migration_upload_seconds = 0.0;
+
   /// Completed queries per virtual second, end to end.
   double query_throughput() const {
     return makespan > 0.0 ? static_cast<double>(completed) / makespan : 0.0;
@@ -163,6 +181,9 @@ struct ServerReport {
   ///   sum(shard_admitted) + update_requests == admitted
   ///   sum(shard_dropped) == dropped
   ///   sum(shard_batches) == batches
+  ///   sum(replica_batches) == batches, with each shard's K slots
+  ///   summing to its shard_batches entry (when replica_batches is
+  ///   populated);  plan_version == 1 + migrations
   /// Throws ContractViolation on violation.
   void check_invariants() const;
 };

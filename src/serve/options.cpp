@@ -40,6 +40,22 @@ std::array<double, qos::kNumClasses> parse_class_triple(
 
 void ServeOptions::validate(unsigned num_shards) const {
   HARMONIA_CHECK_MSG(num_shards >= 1, "a serving topology needs >= 1 shard");
+  HARMONIA_CHECK_MSG(replicas >= 1 && replicas <= 8,
+                     "replicas must be in [1, 8], got " << replicas);
+  HARMONIA_CHECK_MSG(replicas == 1 || num_shards >= 2,
+                     "replica groups ride the range-sharded serving path "
+                     "(--shards >= 2); a single-device topology has no "
+                     "scatter/gather to pick replicas in");
+  if (reshard.split_hot) {
+    HARMONIA_CHECK_MSG(reshard.detect_every > 0.0,
+                       "reshard.detect_every must be positive");
+    HARMONIA_CHECK_MSG(reshard.hot_factor > 1.0,
+                       "reshard.hot_factor must exceed 1 (a shard at the mean "
+                       "is not hot)");
+    HARMONIA_CHECK_MSG(num_shards >= 2,
+                       "hot-range splitting moves a partition boundary between "
+                       "adjacent shards — it needs >= 2 shards");
+  }
 
   HARMONIA_CHECK_MSG(batch.max_batch > 0, "batch.max_batch must be positive");
   HARMONIA_CHECK_MSG(batch.max_wait > 0.0, "batch.max_wait must be positive");
@@ -96,9 +112,22 @@ void ServeOptions::validate(unsigned num_shards) const {
                        "fault event #" << i << " (" << fault::to_string(e.kind)
                            << "): field 'shard' (" << e.shard << ") exceeds the "
                            << "topology's " << num_shards << " shard(s)");
-    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kShardLost || num_shards > 1,
+    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kShardLost ||
+                           num_shards > 1 || replicas > 1,
                        "fault event #" << i << " (lose): shard-lost faults need a "
-                       "sharded topology (there is no shard to fail over to)");
+                       "sharded or replicated topology (there is nothing to "
+                       "fail over to)");
+    HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kReplicaLost || replicas > 1,
+                       "fault event #" << i << " (replica-lost): replica faults "
+                       "need a replica group (--replicas > 1); use 'lose' for "
+                       "unreplicated shards");
+    if (e.kind == fault::FaultKind::kShardLost ||
+        e.kind == fault::FaultKind::kReplicaLost) {
+      HARMONIA_CHECK_MSG(e.replica < replicas,
+                         "fault event #" << i << " (" << fault::to_string(e.kind)
+                             << "): field 'replica' (" << e.replica
+                             << ") exceeds the group size " << replicas);
+    }
     HARMONIA_CHECK_MSG(e.kind != fault::FaultKind::kProcessRestart,
                        "fault event #" << i << " (restart): process-restart faults "
                        "are consumed by the restart harness, never by a backend — "
@@ -120,6 +149,16 @@ void ServeOptions::add_flags(Cli& cli) {
                            "(per shard)", "1024")
       .flag("apply-threads", "CPU workers for the Algorithm-1 batch apply", "1")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
+      .flag("replicas", "replica group size K per shard (1 = unreplicated)",
+            "1")
+      .flag("split-hot", "enable hot-range splitting + live resharding",
+            "false")
+      .flag("hot-factor", "shard hotness threshold as a multiple of the "
+                          "fleet-mean window load", "2.0")
+      .flag("detect-every-us", "hot-range detection cadence (us)", "1000")
+      .flag("max-migrations", "live migrations allowed per run", "4")
+      .flag("min-window", "minimum routed queries in a detection window "
+                          "before a shard may trigger a split", "256")
       .flag("faults", "fault spec, kind@sec:key=val,... joined by ';' "
                       "(see docs/fault_tolerance.md)", "")
       .flag("class-weights", "weighted-fair dispatch shares as "
@@ -156,6 +195,14 @@ ServeOptions ServeOptions::from_cli(const Cli& cli) {
   opts.epoch.apply_threads =
       static_cast<unsigned>(cli.get_uint("apply-threads", 1));
   opts.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
+  opts.replicas = static_cast<unsigned>(cli.get_uint("replicas", 1));
+  opts.reshard.split_hot = cli.get_bool("split-hot", false);
+  opts.reshard.hot_factor = cli.get_double("hot-factor", 2.0);
+  opts.reshard.detect_every =
+      static_cast<double>(cli.get_uint("detect-every-us", 1000)) * 1e-6;
+  opts.reshard.max_migrations =
+      static_cast<unsigned>(cli.get_uint("max-migrations", 4));
+  opts.reshard.min_window_queries = cli.get_uint("min-window", 256);
   if (const std::string spec = cli.get_string("faults", ""); !spec.empty())
     opts.faults = fault::FaultPlan::parse(spec);
   if (const std::string spec = cli.get_string("class-weights", "");

@@ -23,7 +23,31 @@
 
 namespace harmonia::serve {
 
+/// Hot-range splitting + live resharding knobs (sharded backends only,
+/// docs/sharding.md#live-resharding). Detection is windowed: every
+/// `detect_every` virtual seconds the per-shard routed-query window plus
+/// current queue depth is compared against the fleet mean; a shard
+/// hotter than `hot_factor` x the mean (with at least
+/// `min_window_queries` routed in the window) triggers a split — the hot
+/// shard's key range is cut at its median and one half migrates to the
+/// colder adjacent neighbor through the staged-image machinery.
+struct ReshardConfig {
+  bool split_hot = false;
+  double detect_every = 1e-3;
+  double hot_factor = 2.0;
+  /// Migrations allowed per run (0 disables even with split_hot set).
+  unsigned max_migrations = 4;
+  /// Minimum routed queries in a detection window before a shard may be
+  /// called hot — keeps idle-start windows from triggering on noise.
+  std::uint64_t min_window_queries = 256;
+};
+
 struct ServeOptions {
+  /// Replica group size K: every shard's committed image is served by K
+  /// interchangeable device replicas (docs/sharding.md#replica-groups).
+  /// 1 = unreplicated, bit-identical to the pre-replica behaviour.
+  unsigned replicas = 1;
+  ReshardConfig reshard;
   /// Per-device scheduler configuration (every shard gets its own lanes
   /// with this capacity, so aggregate admission scales with shards).
   BatchConfig batch;

@@ -32,19 +32,33 @@ ShardPlan ShardPlan::sample_balanced(std::span<const Key> sorted_keys,
   std::vector<Key> lo;
   lo.reserve(num_shards);
   lo.push_back(0);
+  std::size_t begin = 0;  // first sample not yet owned by an earlier shard
   for (unsigned s = 1; s < num_shards; ++s) {
-    const std::size_t q =
-        static_cast<std::size_t>(s) * sorted_keys.size() / num_shards;
-    Key cut = sorted_keys[q];
-    // Strictly increasing bounds keep every shard's range non-empty even
-    // when quantiles collide (tiny or highly duplicated samples).
-    if (cut <= lo.back()) {
+    // Only samples strictly above the last cut can separate the remaining
+    // shards. Skipping a duplicate run here (instead of bumping the cut
+    // by +1 per collision) is what stops a cascade under heavily
+    // duplicated samples from handing later shards ranges no sample key
+    // occupies.
+    begin = static_cast<std::size_t>(
+        std::upper_bound(sorted_keys.begin() +
+                             static_cast<std::ptrdiff_t>(begin),
+                         sorted_keys.end(), lo.back()) -
+        sorted_keys.begin());
+    const unsigned shards_left = num_shards - s + 1;  // incl. the one this cut opens
+    if (begin < sorted_keys.size()) {
+      // Rebalance: quantile over the residual samples, so each remaining
+      // shard still receives an even share of the keys that are left.
+      const std::size_t q = begin + (sorted_keys.size() - begin) / shards_left;
+      lo.push_back(sorted_keys[std::min(q, sorted_keys.size() - 1)]);
+    } else {
+      // Samples exhausted: spread the remaining cuts evenly over the
+      // residual key space instead of packing width-1 shards at the top.
       HARMONIA_CHECK_MSG(lo.back() < kKeyMax,
                          "cannot place " << num_shards << " cuts above key "
                                          << lo.back());
-      cut = lo.back() + 1;
+      const Key width = std::max<Key>((kKeyMax - lo.back()) / shards_left, 1);
+      lo.push_back(lo.back() + width);
     }
-    lo.push_back(cut);
   }
   return ShardPlan(std::move(lo));
 }

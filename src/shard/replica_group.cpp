@@ -1,0 +1,86 @@
+#include "shard/replica_group.hpp"
+
+#include <limits>
+
+#include "common/expect.hpp"
+
+namespace harmonia::shard {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ReplicaGroup::ReplicaGroup(unsigned k)
+    : healthy_(k, 1), lost_epoch_(k, 0) {
+  HARMONIA_CHECK_MSG(k >= 1, "a replica group needs at least one member");
+}
+
+unsigned ReplicaGroup::healthy_count() const {
+  unsigned n = 0;
+  for (const char h : healthy_) n += h ? 1u : 0u;
+  return n;
+}
+
+bool ReplicaGroup::is_healthy(unsigned r) const {
+  HARMONIA_CHECK(r < size());
+  return healthy_[r] != 0;
+}
+
+std::uint64_t ReplicaGroup::lost_epoch(unsigned r) const {
+  HARMONIA_CHECK(r < size());
+  return lost_epoch_[r];
+}
+
+void ReplicaGroup::lose(unsigned r, std::uint64_t epoch) {
+  HARMONIA_CHECK(r < size());
+  HARMONIA_CHECK_MSG(healthy_[r] != 0, "replica " << r << " is already lost");
+  healthy_[r] = 0;
+  lost_epoch_[r] = epoch;
+}
+
+void ReplicaGroup::rejoin(unsigned r) {
+  HARMONIA_CHECK(r < size());
+  HARMONIA_CHECK_MSG(healthy_[r] == 0, "replica " << r << " is not lost");
+  healthy_[r] = 1;
+  lost_epoch_[r] = 0;
+}
+
+unsigned ReplicaGroup::pick(std::span<const double> free) {
+  const unsigned k = size();
+  HARMONIA_CHECK(free.size() == k);
+  unsigned best = k;
+  double best_free = kInf;
+  // Rotation order from the cursor; strict `<` keeps the first-found
+  // member of a tie, so equally-free replicas alternate as the cursor
+  // advances past each pick.
+  for (unsigned i = 0; i < k; ++i) {
+    const unsigned r = (cursor_ + i) % k;
+    if (!healthy_[r]) continue;
+    if (free[r] < best_free) {
+      best = r;
+      best_free = free[r];
+    }
+  }
+  HARMONIA_CHECK_MSG(best < k, "dispatch against a group with no healthy "
+                               "replica (the caller must fence first)");
+  cursor_ = (best + 1) % k;
+  return best;
+}
+
+double ReplicaGroup::min_free(std::span<const double> free) const {
+  HARMONIA_CHECK(free.size() == size());
+  double out = kInf;
+  for (unsigned r = 0; r < size(); ++r)
+    if (healthy_[r] && free[r] < out) out = free[r];
+  return out;
+}
+
+double ReplicaGroup::max_free(std::span<const double> free) const {
+  HARMONIA_CHECK(free.size() == size());
+  double out = 0.0;
+  for (unsigned r = 0; r < size(); ++r)
+    if (healthy_[r] && free[r] > out) out = free[r];
+  return out;
+}
+
+}  // namespace harmonia::shard

@@ -1,0 +1,64 @@
+// ReplicaGroup — K interchangeable device replicas serving one shard.
+//
+// Every member of a group holds the same committed image (staged epoch
+// uploads ship to all healthy members concurrently), so any healthy
+// replica can serve any batch routed at the shard. The group tracks
+// which slots are healthy, which committed epoch a lost slot last
+// applied (the catch-up cursor for log-tail shipping on rejoin, see
+// docs/sharding.md#replica-groups), and a round-robin cursor used to
+// break ties between equally-free replicas deterministically.
+//
+// The group does NOT own device timelines: the serving layer keeps one
+// free-instant per replica (flattened shard-major) and passes the
+// group's slice to pick()/min_free()/max_free(). Keeping the timing
+// state outside makes the group trivially copyable state with no clock
+// coupling — and keeps the K == 1 path bit-identical to the
+// pre-replica single-timeline behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace harmonia::shard {
+
+class ReplicaGroup {
+ public:
+  explicit ReplicaGroup(unsigned k);
+
+  unsigned size() const { return static_cast<unsigned>(healthy_.size()); }
+  unsigned healthy_count() const;
+  bool is_healthy(unsigned r) const;
+
+  /// Committed epoch the slot had applied when it was lost (0 if it was
+  /// never lost). Meaningful only while the slot is down.
+  std::uint64_t lost_epoch(unsigned r) const;
+
+  /// Marks slot `r` lost at committed epoch `epoch` (the rejoin replays
+  /// the log tail with epochs > `epoch`).
+  void lose(unsigned r, std::uint64_t epoch);
+
+  /// Marks slot `r` healthy again (after catch-up or a full re-image).
+  void rejoin(unsigned r);
+
+  /// Straggler-aware round-robin dispatch pick: the earliest-free
+  /// healthy replica, with ties broken in rotation order from the
+  /// cursor (which then advances past the pick — equally-free replicas
+  /// alternate). `free` is the group's slice of per-replica device
+  /// free-instants. Throws when no replica is healthy.
+  unsigned pick(std::span<const double> free);
+
+  /// Earliest/latest free instant over the healthy members: min_free is
+  /// the soonest the group can take a batch (+inf when none healthy),
+  /// max_free the instant the whole group is idle — the group-wide swap
+  /// fence (0.0 when none healthy: a dead group holds nothing up).
+  double min_free(std::span<const double> free) const;
+  double max_free(std::span<const double> free) const;
+
+ private:
+  std::vector<char> healthy_;
+  std::vector<std::uint64_t> lost_epoch_;
+  unsigned cursor_ = 0;
+};
+
+}  // namespace harmonia::shard

@@ -55,6 +55,24 @@ void ShardedIndex::install_shard(unsigned s, HarmoniaTree tree) {
                                                      options_.index);
 }
 
+void ShardedIndex::set_plan(ShardPlan plan) {
+  HARMONIA_CHECK_MSG(plan.num_shards() == plan_.num_shards(),
+                     "live resharding moves boundaries between existing "
+                     "shards; it cannot change the shard count ("
+                         << plan_.num_shards() << " -> " << plan.num_shards()
+                         << ")");
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    const HarmoniaIndex* idx = shards_[s].index.get();
+    if (idx == nullptr) continue;
+    HARMONIA_CHECK_MSG(
+        idx->tree().range(plan.lo(s), plan.hi(s)).size() ==
+            idx->tree().num_keys(),
+        "new plan leaves shard " << s << " holding keys outside its range "
+        "(the migration must re-image both sides before the flip)");
+  }
+  plan_ = std::move(plan);
+}
+
 HarmoniaIndex* ShardedIndex::shard(unsigned s) {
   HARMONIA_CHECK(s < shards_.size());
   return shards_[s].index.get();

@@ -68,6 +68,13 @@ class ShardedIndex {
   /// key of `tree` must fall inside the shard's planned range.
   void install_shard(unsigned s, HarmoniaTree tree);
 
+  /// Atomically adopts a new partition plan (live resharding: the caller
+  /// has already re-imaged the shards whose ranges moved through the
+  /// staged-update machinery). Same shard count; every shard's keys must
+  /// all fall inside its NEW range — the same containment tripwire as
+  /// install_shard, so a half-migrated flip cannot slip through.
+  void set_plan(ShardPlan plan);
+
   /// The shard's index, or nullptr while its range holds no keys.
   HarmoniaIndex* shard(unsigned s);
   const HarmoniaIndex* shard(unsigned s) const;

@@ -6,6 +6,7 @@
 
 #include "common/expect.hpp"
 #include "fault/checksum.hpp"
+#include "persist/update_log.hpp"
 
 namespace harmonia::shard {
 
@@ -39,16 +40,24 @@ void accumulate(UpdateStats& agg, const UpdateStats& st) {
 ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& config)
     : index_(index),
       config_(config),
-      injector_(config.faults, config.mitigation, index.num_shards()),
+      injector_(config.faults, config.mitigation, index.num_shards(),
+                config.replicas),
       admission_(config.qos),
       sched_(index.num_shards()),
-      device_free_(index.num_shards(), 0.0),
+      replicas_(config.replicas),
+      replica_free_(std::size_t{index.num_shards()} * config.replicas, 0.0),
+      groups_(index.num_shards(), ReplicaGroup(config.replicas)),
+      rejoin_at_(std::size_t{index.num_shards()} * config.replicas, kInf),
+      lost_plan_(std::size_t{index.num_shards()} * config.replicas, 0),
+      fence_replica_(index.num_shards(), 0),
+      epoch_ops_(index.num_shards()),
       fenced_(index.num_shards(), 0),
       fence_start_(index.num_shards(), 0.0),
       restore_at_(index.num_shards(), kInf),
       cpu_free_(index.num_shards(), 0.0),
       shard_epoch_(index.num_shards(), 0),
-      fence_depth_(index.num_shards(), 0) {
+      fence_depth_(index.num_shards(), 0),
+      window_routed_(index.num_shards(), 0) {
   config_.validate(index_.num_shards());
   if (config_.durability != nullptr) {
     HARMONIA_CHECK(config_.durability->num_shards() == index_.num_shards());
@@ -112,6 +121,8 @@ void ShardedServer::begin_run(ServerReport& report) {
   report.shard_queries.assign(index_.num_shards(), 0);
   report.shard_admitted.assign(index_.num_shards(), 0);
   report.shard_dropped.assign(index_.num_shards(), 0);
+  report.replica_batches.assign(std::size_t{index_.num_shards()} * replicas_, 0);
+  report.plan_version = plan_version_;
 }
 
 void ShardedServer::drop(const Request& r, unsigned shard, RequestSource& source,
@@ -150,6 +161,10 @@ bool ShardedServer::straddles(const Request& r) const {
 
 void ShardedServer::submit(const Request& r, RequestSource& source,
                            ServerReport& report) {
+  // Hot-range detection rides the arrival clock (queries only — updates
+  // never reach this hook), so the cadence needs no extra event source.
+  maybe_start_migration(r.arrival);
+
   // Per-tenant token buckets gate everything shard routing would see: a
   // tenant pushing past its provisioned rate is answered dropped before
   // it can displace anyone. Booked against the owner/first shard.
@@ -174,6 +189,18 @@ void ShardedServer::submit(const Request& r, RequestSource& source,
       config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
                                obs::TraceRecorder::kNoShard,
                                "parked: shards mid-swap");
+    parked_.push_back(r);
+    return;
+  }
+
+  // A migration ready to flip drains its pair the same way: requests
+  // touching the donor/receiver span park until the plan commits (their
+  // routing is about to change), everything else admits normally.
+  if (migration_swap_pending(r.arrival) && touches_migration(r)) {
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->stamp(r.id, obs::Stage::kQueueEnter, r.arrival,
+                               obs::TraceRecorder::kNoShard,
+                               "parked: plan flip pending");
     parked_.push_back(r);
     return;
   }
@@ -224,6 +251,12 @@ void ShardedServer::admit_query(const Request& r, double now,
     s1 = index_.plan().shard_of(q.hi);
   } else if (q.kind == RequestKind::kScan) {
     s1 = index_.scan_end_shard(q.key, q.scan_n);
+  }
+
+  // Hotness window: every shard the query's span touches is load it
+  // routes there (parked requests count once, at re-admission).
+  if (config_.reshard.split_hot) {
+    for (unsigned s = s0; s <= s1; ++s) ++window_routed_[s];
   }
 
   if (s0 == s1) {
@@ -402,12 +435,14 @@ void ShardedServer::finish(unsigned s, Response resp, RequestSource& source,
   deliver(std::move(merged), source, report);
 }
 
-void ShardedServer::handle_dispatch(unsigned s, BatchScheduler::Dispatch d,
+void ShardedServer::handle_dispatch(unsigned s, unsigned r,
+                                    BatchScheduler::Dispatch d,
                                     RequestSource& source,
                                     ServerReport& report) {
-  device_free_[s] = d.finish;
+  rfree(s, r) = d.finish;
   ++report.batches;
   ++report.shard_batches[s];
+  ++report.replica_batches[slot(s, r)];
   report.shard_queries[s] += d.batch_size;
   report.batch_size.add(static_cast<double>(d.batch_size));
   report.busy_seconds += d.service_seconds();
@@ -428,7 +463,7 @@ double ShardedServer::next_batch_time(double now) const {
     if (sched_[s]->empty()) continue;
     const double trigger =
         sched_[s]->size_ready() ? now : sched_[s]->next_deadline();
-    t_batch = std::min(t_batch, std::max(trigger, device_free_[s]));
+    t_batch = std::min(t_batch, std::max(trigger, shard_min_free(s)));
   }
   return t_batch;
 }
@@ -442,21 +477,25 @@ void ShardedServer::dispatch_ready_batch(double now, RequestSource& source,
     if (sched_[s]->empty()) continue;
     const double trigger =
         sched_[s]->size_ready() ? now : sched_[s]->next_deadline();
-    const double t = std::max(trigger, device_free_[s]);
+    const double t = std::max(trigger, shard_min_free(s));
     if (t < bt) {
       bt = t;
       best = s;
     }
   }
   HARMONIA_CHECK(bt < kInf);
-  handle_dispatch(best,
-                  sched_[best]->dispatch_ready(now, device_free_[best],
+  const unsigned r = groups_[best].pick(group_span(best));
+  handle_dispatch(best, r,
+                  sched_[best]->dispatch_ready(now, rfree(best, r),
                                                shard_epoch_[best]),
                   source, report);
 }
 
 double ShardedServer::next_epoch_time(double now) const {
   if (pending_updates_.empty()) return kNever;
+  // A migration owns the staging machinery (and the plan is about to
+  // move under the op scatter): updates buffer until the flip.
+  if (migration_.has_value()) return kNever;
   // One staging buffer: in the overlapped modes the next epoch cannot
   // start to build (or patch) until every shard has swapped the
   // in-flight one.
@@ -482,16 +521,18 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   // admitted before the trigger is served by pre-epoch trees.
   for (unsigned s = 0; s < sched_.size(); ++s) {
     while (!sched_[s]->empty()) {
+      const unsigned r = groups_[s].pick(group_span(s));
       handle_dispatch(
-          s, sched_[s]->dispatch_ready(at, device_free_[s], shard_epoch_[s]),
+          s, r, sched_[s]->dispatch_ready(at, rfree(s, r), shard_epoch_[s]),
           source, report);
     }
   }
 
-  // Barrier: the epoch starts when the slowest device drains.
+  // Barrier: the epoch starts when the slowest device drains (every
+  // replica slot — a lost slot's stale timeline is harmlessly past).
   double start = at;
-  for (const double f : device_free_) start = std::max(start, f);
-  for (const double f : device_free_)
+  for (const double f : replica_free_) start = std::max(start, f);
+  for (const double f : replica_free_)
     report.barrier_wait_seconds += start - std::max(at, f);
   if (config_.obs.trace != nullptr) {
     config_.obs.trace->annotate(
@@ -567,6 +608,14 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   ++report.epochs;
   if (epochs_total_ != nullptr) epochs_total_->inc();
   for (unsigned& v : shard_epoch_) v = epochs_;
+  // Catch-up ledger: a lost replica rejoining later replays exactly the
+  // per-shard op counts recorded here (mirrors the WAL's granularity).
+  if (replicas_ > 1) {
+    std::vector<std::uint64_t> cnt(index_.num_shards(), 0);
+    for (const auto& op : ops) ++cnt[index_.plan().shard_of(op.key)];
+    for (unsigned s = 0; s < index_.num_shards(); ++s)
+      if (cnt[s] > 0) epoch_ops_[s].emplace_back(epochs_, cnt[s]);
+  }
   report.updates_applied += stats.total_ops();
   report.updates_failed += stats.failed;
   report.epoch_build_seconds += apply_seconds;
@@ -578,12 +627,13 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
   report.epoch_compaction_upload_seconds += resync_seconds;
   // Every device is held through the epoch: admission reopens on all
   // shards at the same instant (the atomicity the stress tests pin).
+  // Replicas stall alongside — each holds a full image copy.
   const double stall =
-      (finish_t - start) * static_cast<double>(device_free_.size());
+      (finish_t - start) * static_cast<double>(replica_free_.size());
   report.epoch_stall_seconds += stall;
   if (stall_hist_ != nullptr) stall_hist_->observe(stall);
   report.busy_seconds += stall;
-  for (double& f : device_free_) f = finish_t;
+  for (double& f : replica_free_) f = finish_t;
 
   // Snapshot points: a quiesce epoch rebuilt every touched shard's full
   // image, so in delta mode (where these are the rare compactions) each
@@ -690,6 +740,7 @@ void ShardedServer::begin_overlap_epoch(double now, ServerReport& report) {
     if (per_shard[s].empty()) continue;
     ShardStage& st = ep.shards[s];
     st.staged = true;
+    st.ops = static_cast<std::uint64_t>(per_shard[s].size());
     if (incremental && !fenced_[s]) {
       const auto pr = index_.shard(s)->patch_update(per_shard[s]);
       if (!pr.exhausted) {
@@ -751,11 +802,14 @@ void ShardedServer::begin_overlap_epoch(double now, ServerReport& report) {
 double ShardedServer::swap_time_for(unsigned s) const {
   const ShardStage& st = inflight_->shards[s];
   // A fenced (lost) shard is not serving: its host-side swap needs no
-  // batch boundary. A live shard swaps between batches.
-  return fenced_[s] ? st.ready : std::max(st.ready, device_free_[s]);
+  // batch boundary. A live shard swaps when its whole replica group is
+  // between batches (the staged image ships to every member; a lost
+  // member never holds the swap — catch-up covers it on rejoin).
+  return fenced_[s] ? st.ready : std::max(st.ready, group_free(s));
 }
 
 double ShardedServer::next_swap_time() const {
+  if (migration_.has_value()) return migration_swap_time();
   if (!inflight_.has_value()) return kNever;
   double t = kNever;
   for (unsigned s = 0; s < inflight_->shards.size(); ++s) {
@@ -768,6 +822,12 @@ double ShardedServer::next_swap_time() const {
 
 void ShardedServer::epoch_commit(double now, RequestSource& source,
                                  ServerReport& report) {
+  // A due migration flip arrives through the same swap hook (migrations
+  // and staged epochs are mutually exclusive, so no ambiguity).
+  if (migration_.has_value()) {
+    commit_migration(now, source, report);
+    return;
+  }
   HARMONIA_CHECK(inflight_.has_value());
   // The due shard: earliest swap time among unswapped, unfenced shards
   // (ties break to the lowest id — deterministic stagger order).
@@ -794,6 +854,8 @@ void ShardedServer::epoch_commit(double now, RequestSource& source,
   }
   st.swapped = true;
   shard_epoch_[best] = inflight_->ordinal;
+  if (replicas_ > 1 && st.ops > 0)
+    epoch_ops_[best].emplace_back(inflight_->ordinal, st.ops);
   if (!durability_.empty() && st.staged) {
     // Snapshot point after this shard's swap. A delta-mode compaction
     // forces one (the shard's image was just rebuilt — the natural
@@ -872,16 +934,15 @@ void ShardedServer::finish_overlap_epoch(double now, RequestSource& source,
   for (const Request& r : parked) admit_query(r, now, source, report);
 }
 
-void ShardedServer::fence_shard(double now, RequestSource& source,
+void ShardedServer::fence_shard(unsigned s, unsigned replica, double now,
+                                double repair, RequestSource& source,
                                 ServerReport& report) {
-  const auto ev = injector_.take_shard_lost(now);
-  HARMONIA_CHECK(ev.has_value());
-  const unsigned s = ev->shard;
-  HARMONIA_CHECK_MSG(!fenced_[s],
-                     "shard " << s << " lost twice without a restore between");
   fenced_[s] = 1;
   fence_start_[s] = now;
-  restore_at_[s] = now + ev->duration;
+  restore_at_[s] = now + repair;
+  groups_[s].lose(replica, shard_epoch_[s]);
+  lost_plan_[slot(s, replica)] = plan_version_;
+  fence_replica_[s] = replica;
   cpu_free_[s] = std::max(cpu_free_[s], now);
   // The device's in-flight admission queue dies with it. The queued
   // requests are not lost, though: re-route them through the degraded
@@ -901,7 +962,54 @@ double ShardedServer::next_fault_time() const {
 
 void ShardedServer::handle_fault(double now, RequestSource& source,
                                  ServerReport& report) {
-  fence_shard(now, source, report);
+  const auto ev = injector_.take_shard_lost(now);
+  HARMONIA_CHECK(ev.has_value());
+  const unsigned s = ev->shard;
+  const unsigned r = ev->replica;
+  HARMONIA_CHECK_MSG(!fenced_[s],
+                     "shard " << s << " lost twice without a restore between");
+  ReplicaGroup& g = groups_[s];
+  fault::FaultReport& rep = injector_.report();
+
+  // Failover: survivors keep serving the whole range from the device
+  // path — no fence, no degraded queries. The tallies are outcome-based
+  // (shards_lost counts whole-shard fences, replicas_lost the losses a
+  // group absorbed), so a `lose` absorbed by K > 1 reclassifies.
+  if (g.healthy_count() > 1 || !g.is_healthy(r)) {
+    if (ev->kind == fault::FaultKind::kShardLost) {
+      HARMONIA_CHECK(rep.shards_lost > 0);
+      --rep.shards_lost;
+      ++rep.replicas_lost;
+    }
+    if (!g.is_healthy(r)) {
+      // The slot is already down: the new hit extends its outage.
+      rejoin_at_[slot(s, r)] =
+          std::max(rejoin_at_[slot(s, r)], now + ev->duration);
+      if (config_.obs.trace != nullptr)
+        config_.obs.trace->annotate(
+            now, s, "replica outage extended slot=" + std::to_string(r));
+      return;
+    }
+    g.lose(r, shard_epoch_[s]);
+    lost_plan_[slot(s, r)] = plan_version_;
+    rejoin_at_[slot(s, r)] = now + ev->duration;
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->annotate(
+          now, s,
+          "replica failover slot=" + std::to_string(r) +
+              " survivors=" + std::to_string(g.healthy_count()));
+    return;
+  }
+
+  // Last healthy member: the whole-shard fence + degraded serving (the
+  // only path at K = 1). A replica-lost event that lands here is in
+  // outcome a shard loss — reclassify the other way.
+  if (ev->kind == fault::FaultKind::kReplicaLost) {
+    HARMONIA_CHECK(rep.replicas_lost > 0);
+    --rep.replicas_lost;
+    ++rep.shards_lost;
+  }
+  fence_shard(s, r, now, ev->duration, source, report);
 }
 
 void ShardedServer::restore_shard(double now, ServerReport& report) {
@@ -923,7 +1031,9 @@ void ShardedServer::restore_shard(double now, ServerReport& report) {
   const double reimage = injector_.transfer_factor(s, now) *
                          image_resync_seconds(idx.tree(), config_.link);
   rep.reimage_seconds += reimage;
-  device_free_[s] = std::max(device_free_[s], now + reimage);
+  groups_[s].rejoin(fence_replica_[s]);
+  double& f = rfree(s, fence_replica_[s]);
+  f = std::max(f, now + reimage);
   report.busy_seconds += reimage;
 
   fenced_[s] = 0;
@@ -940,11 +1050,94 @@ void ShardedServer::restore_shard(double now, ServerReport& report) {
 double ShardedServer::next_restore_time() const {
   double t = kInf;
   for (const double r : restore_at_) t = std::min(t, r);
+  for (const double r : rejoin_at_) t = std::min(t, r);
   return t;
 }
 
 void ShardedServer::handle_restore(double now, ServerReport& report) {
-  restore_shard(now, report);
+  double tr = kInf;
+  for (const double t : restore_at_) tr = std::min(tr, t);
+  double tj = kInf;
+  for (const double t : rejoin_at_) tj = std::min(tj, t);
+  // Fence restores win ties: a rejoin deferred behind its shard's fence
+  // re-arms at the restore instant and must run second.
+  if (tr <= tj)
+    restore_shard(now, report);
+  else
+    rejoin_replica(now, report);
+}
+
+void ShardedServer::rejoin_replica(double now, ServerReport& report) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < rejoin_at_.size(); ++i)
+    if (rejoin_at_[i] < rejoin_at_[best]) best = i;
+  HARMONIA_CHECK(rejoin_at_[best] < kInf);
+  const unsigned s = static_cast<unsigned>(best / replicas_);
+  const unsigned r = static_cast<unsigned>(best % replicas_);
+  ReplicaGroup& g = groups_[s];
+  HARMONIA_CHECK(!g.is_healthy(r));
+  if (fenced_[s]) {
+    // A fenced shard's earlier casualties cannot rejoin a group whose
+    // range is serving degraded: defer to the shard's own restore (the
+    // tie-break above runs the restore first).
+    rejoin_at_[best] = restore_at_[s];
+    return;
+  }
+  rejoin_at_[best] = kInf;
+
+  fault::FaultReport& rep = injector_.report();
+  std::uint64_t ops = 0;
+  std::uint64_t batches = 0;
+  double catchup = 0.0;
+  const bool reshaped = lost_plan_[best] != plan_version_;
+  if (reshaped) {
+    // The plan moved while the slot was down; the boundary migration
+    // never reaches the update log, so log-shipping cannot converge —
+    // pull a full image instead.
+    ++rep.reimages;
+    catchup = injector_.transfer_factor(s, now) *
+              image_resync_seconds(index_.shard(s)->tree(), config_.link);
+  } else {
+    // Log-shipped catch-up: replay the group's update-log tail (epochs
+    // after the one this slot last applied). With a durability domain
+    // the tail comes off the real on-disk log; otherwise the in-memory
+    // ledger stands in with the same per-epoch op counts.
+    const std::uint64_t after = g.lost_epoch(r);
+    if (!durability_.empty()) {
+      const persist::LogReplay tail = durability_[s]->tail_since(after);
+      batches = tail.batches.size();
+      ops = tail.ops;
+    } else {
+      for (const auto& [epoch, count] : epoch_ops_[s]) {
+        if (epoch > after) {
+          ++batches;
+          ops += count;
+        }
+      }
+    }
+    // Ship cost: framed log bytes over the shard's link, then the
+    // replica applies the ops at the epoch updater's per-op rate.
+    const std::uint64_t bytes = batches * persist::UpdateLog::kRecordFixedBytes +
+                                ops * persist::UpdateLog::kOpBytes;
+    catchup = static_cast<double>(ops) * config_.epoch.seconds_per_op;
+    if (ops > 0) catchup += config_.link.seconds(bytes);
+  }
+  g.rejoin(r);
+  rfree(s, r) = now + catchup;
+  ++rep.replicas_rejoined;
+  rep.catchup_ops += ops;
+  rep.catchup_seconds += catchup;
+  report.busy_seconds += catchup;
+  if (config_.obs.active()) {
+    if (config_.obs.metrics != nullptr)
+      config_.obs.metrics->counter("fault_replicas_rejoined_total").inc();
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->annotate(
+          now, s,
+          "replica rejoined slot=" + std::to_string(r) +
+              (reshaped ? " via re-image (plan moved)"
+                        : " catchup_ops=" + std::to_string(ops)));
+  }
 }
 
 serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
@@ -998,23 +1191,251 @@ serve::Response ShardedServer::degraded_serve(unsigned s, const Request& r,
   return resp;
 }
 
+void ShardedServer::maybe_start_migration(double now) {
+  if (!config_.reshard.split_hot) return;
+  if (now < next_detect_) return;
+  next_detect_ = now + config_.reshard.detect_every;
+
+  // Sample and reset the window on every cadence tick (even when a
+  // trigger is impossible right now, so hotness never accumulates
+  // stale history across a migration).
+  const unsigned n = index_.num_shards();
+  std::vector<std::uint64_t> window(n);
+  for (unsigned s = 0; s < n; ++s)
+    window[s] = window_routed_[s] + sched_[s]->depth();
+  std::fill(window_routed_.begin(), window_routed_.end(), 0);
+
+  if (migration_.has_value() || inflight_.has_value()) return;
+  if (migrations_done_ >= config_.reshard.max_migrations) return;
+
+  unsigned h = 0;
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < n; ++s) {
+    total += window[s];
+    if (window[s] > window[h]) h = s;
+  }
+  if (window[h] < config_.reshard.min_window_queries) return;
+  const double mean = static_cast<double>(total) / static_cast<double>(n);
+  if (static_cast<double>(window[h]) <= config_.reshard.hot_factor * mean)
+    return;
+  // The colder adjacent neighbor takes the ceded half (boundaries only
+  // move between adjacent shards — ranges stay contiguous).
+  const unsigned recv = h == 0         ? 1u
+                        : h == n - 1   ? n - 2
+                        : window[h - 1] <= window[h + 1] ? h - 1
+                                                         : h + 1;
+  if (fenced_[h] || fenced_[recv]) return;
+  // Both groups must be whole: a staged commit installed while a member
+  // is down would strand that member on the pre-split image with no log
+  // record to replay (the rejoin would full-re-image instead — legal,
+  // but starting the split while degraded is not worth it).
+  if (groups_[h].healthy_count() < replicas_ ||
+      groups_[recv].healthy_count() < replicas_)
+    return;
+  start_migration(h, recv, now);
+}
+
+void ShardedServer::start_migration(unsigned donor, unsigned receiver,
+                                    double now) {
+  HarmoniaIndex& didx = *index_.shard(donor);
+  HarmoniaIndex& ridx = *index_.shard(receiver);
+  // Delta-mode overlays complicate the moved-key set (overlay entries
+  // in the ceded range would survive in the donor's rebuilt image):
+  // defer the split until the overlays compact.
+  if (didx.overlay_live_count() + didx.overlay_tombstone_count() +
+          ridx.overlay_live_count() + ridx.overlay_tombstone_count() >
+      0)
+    return;
+  const std::uint64_t keys = didx.tree().num_keys();
+  if (keys < 2) return;
+
+  InflightMigration m;
+  m.donor = donor;
+  m.receiver = receiver;
+  m.trigger = now;
+
+  // Cut the hot range at its median key and hand the half adjacent to
+  // the receiver across the boundary.
+  const auto entries =
+      index_.range_host(index_.plan().lo(donor), index_.plan().hi(donor));
+  HARMONIA_CHECK(entries.size() == keys);
+  const std::size_t mid = entries.size() / 2;
+  const Key split_key = entries[mid].key;
+  const std::span<const Key> bounds = index_.plan().lower_bounds();
+  m.new_lo.assign(bounds.begin(), bounds.end());
+  std::span<const btree::Entry> moved;
+  if (receiver > donor) {
+    moved = std::span<const btree::Entry>(entries).subspan(mid);
+    m.new_lo[receiver] = split_key;
+  } else {
+    moved = std::span<const btree::Entry>(entries).subspan(0, mid);
+    m.new_lo[donor] = split_key;
+  }
+  m.moved_keys = moved.size();
+
+  // Stage both post-split images through the same double-buffered
+  // machinery as overlap epochs: the old plan keeps serving off the
+  // committed images until the flip. Migration ops are bookkeeping, not
+  // client updates — their stats never reach updates_applied.
+  std::vector<queries::UpdateOp> del;
+  std::vector<queries::UpdateOp> ins;
+  del.reserve(moved.size());
+  ins.reserve(moved.size());
+  for (const btree::Entry& e : moved) {
+    del.push_back({queries::OpKind::kDelete, e.key, 0});
+    ins.push_back({queries::OpKind::kInsert, e.key, e.value});
+  }
+  const auto stage_side = [&](HarmoniaIndex& idx,
+                              std::span<const queries::UpdateOp> ops,
+                              ShardStage& st) {
+    idx.discard_patch();
+    st.staged = true;
+    st.update = idx.stage_update(ops, config_.epoch.apply_threads);
+    m.build_seconds +=
+        static_cast<double>(ops.size()) * config_.epoch.seconds_per_op;
+  };
+  stage_side(didx, del, m.donor_stage);
+  stage_side(ridx, ins, m.receiver_stage);
+  m.build_done = now + m.build_seconds;
+
+  // The two fresh images upload concurrently over their own links.
+  const auto upload_side = [&](unsigned s, ShardStage& st) {
+    double up = image_resync_seconds(st.update.tree(), config_.link);
+    if (injector_.active()) {
+      up *= injector_.transfer_factor(s, m.build_done + up);
+      up += injector_.audit_staged(s, up, m.build_done + up);
+    }
+    st.upload_seconds = up;
+    st.ready = m.build_done + up;
+  };
+  upload_side(donor, m.donor_stage);
+  upload_side(receiver, m.receiver_stage);
+
+  if (config_.obs.trace != nullptr)
+    config_.obs.trace->annotate(
+        now, donor,
+        "reshard start: hot shard cedes " + std::to_string(m.moved_keys) +
+            " keys to shard " + std::to_string(receiver) + " at key " +
+            std::to_string(split_key));
+  migration_ = std::move(m);
+}
+
+bool ShardedServer::migration_swap_pending(double now) const {
+  return migration_.has_value() && migration_->donor_stage.ready <= now &&
+         migration_->receiver_stage.ready <= now;
+}
+
+bool ShardedServer::touches_migration(const serve::Request& r) const {
+  const unsigned a = std::min(migration_->donor, migration_->receiver);
+  const unsigned b = std::max(migration_->donor, migration_->receiver);
+  unsigned s0 = index_.plan().shard_of(r.key);
+  unsigned s1 = s0;
+  if (r.kind == RequestKind::kRange)
+    s1 = index_.plan().shard_of(r.hi);
+  else if (r.kind == RequestKind::kScan)
+    s1 = index_.scan_end_shard(r.key, clamped_scan_n(r));
+  return s0 <= b && s1 >= a;
+}
+
+double ShardedServer::migration_swap_time() const {
+  if (!migration_.has_value()) return kNever;
+  const unsigned d = migration_->donor;
+  const unsigned v = migration_->receiver;
+  // The flip needs both shards fully drained: empty queues, no fan-out
+  // pieces pinning a snapshot, groups idle between batches. New work
+  // touching the pair parks once the staged sides are ready, so the
+  // drain converges.
+  if (!sched_[d]->empty() || !sched_[v]->empty()) return kNever;
+  if (fence_depth_[d] > 0 || fence_depth_[v] > 0) return kNever;
+  double t = std::max(migration_->donor_stage.ready,
+                      migration_->receiver_stage.ready);
+  t = std::max(t, group_free(d));
+  t = std::max(t, group_free(v));
+  return t;
+}
+
+void ShardedServer::commit_migration(double now, RequestSource& source,
+                                     ServerReport& report) {
+  HARMONIA_CHECK(migration_.has_value());
+  InflightMigration m = std::move(*migration_);
+  migration_.reset();
+  HARMONIA_CHECK(sched_[m.donor]->empty() && sched_[m.receiver]->empty());
+  HARMONIA_CHECK(fence_depth_[m.donor] == 0 && fence_depth_[m.receiver] == 0);
+
+  // The atomic flip: both post-split images install and the plan moves
+  // in one event — no instant exists where routing and images disagree.
+  index_.shard(m.donor)->commit_staged(std::move(m.donor_stage.update));
+  index_.shard(m.receiver)->commit_staged(std::move(m.receiver_stage.update));
+  index_.set_plan(ShardPlan::from_bounds(m.new_lo));
+  ++plan_version_;
+  ++migrations_done_;
+
+  ++report.migrations;
+  report.migrated_keys += m.moved_keys;
+  report.migration_build_seconds += m.build_seconds;
+  report.migration_upload_seconds +=
+      std::max(m.donor_stage.upload_seconds, m.receiver_stage.upload_seconds);
+  report.plan_version = plan_version_;
+
+  // The moved keys now live in the receiver's durability domain: force a
+  // snapshot of both sides so a crash after the flip recovers the new
+  // placement instead of replaying ops against the old one.
+  if (!durability_.empty()) {
+    durability_[m.donor]->maybe_snapshot(epochs_, *index_.shard(m.donor),
+                                         /*force=*/true, now);
+    durability_[m.receiver]->maybe_snapshot(epochs_, *index_.shard(m.receiver),
+                                            /*force=*/true, now);
+  }
+
+  if (config_.obs.active()) {
+    if (config_.obs.metrics != nullptr) {
+      config_.obs.metrics->counter("reshard_migrations_total").inc();
+      config_.obs.metrics->gauge("shard_plan_version")
+          .set(static_cast<double>(plan_version_));
+    }
+    if (config_.obs.trace != nullptr)
+      config_.obs.trace->annotate(
+          now, m.donor,
+          "reshard commit: moved " + std::to_string(m.moved_keys) +
+              " keys to shard " + std::to_string(m.receiver) +
+              " plan_version=" + std::to_string(plan_version_));
+  }
+
+  // Routing is consistent again: re-admit the parked requests under the
+  // new plan (original arrivals kept, so their deadlines stay urgent).
+  std::vector<Request> parked = std::move(parked_);
+  parked_.clear();
+  for (const Request& r : parked) admit_query(r, now, source, report);
+}
+
 void ShardedServer::final_drain(double now, RequestSource& source,
                                 ServerReport& report) {
-  // Pending restores complete first (lose events not yet fired are inert
-  // past stream end).
+  // Pending restores and replica rejoins complete first (lose events not
+  // yet fired are inert past stream end).
   while (next_restore_time() < kInf) {
     now = std::max(now, next_restore_time());
-    restore_shard(now, report);
+    handle_restore(now, report);
   }
   while (true) {
     for (unsigned s = 0; s < sched_.size(); ++s) {
       while (!sched_[s]->empty()) {
-        handle_dispatch(s,
-                        sched_[s]->dispatch_ready(std::max(now, device_free_[s]),
-                                                  device_free_[s],
+        const unsigned r = groups_[s].pick(group_span(s));
+        handle_dispatch(s, r,
+                        sched_[s]->dispatch_ready(std::max(now, rfree(s, r)),
+                                                  rfree(s, r),
                                                   shard_epoch_[s]),
                         source, report);
       }
+    }
+    if (migration_.has_value()) {
+      // Queues drained and fences clear: the flip is unconditionally due
+      // (its swap time is finite now). The re-admitted parked requests
+      // refill the schedulers — hence the outer loop.
+      const double t = migration_swap_time();
+      HARMONIA_CHECK(t < kNever);
+      now = std::max(now, t);
+      commit_migration(now, source, report);
+      continue;
     }
     if (inflight_.has_value()) {
       // Queues are drained, so every fence is clear: take the remaining
@@ -1036,7 +1457,9 @@ void ShardedServer::final_drain(double now, RequestSource& source,
 void ShardedServer::finish_run(ServerReport& report) {
   HARMONIA_CHECK(merges_.empty());  // every fan-out reassembled
   HARMONIA_CHECK(!inflight_.has_value());
+  HARMONIA_CHECK(!migration_.has_value());
   HARMONIA_CHECK(parked_.empty());
+  report.plan_version = plan_version_;
   report.faults = injector_.report();
   for (persist::ShardDurability* d : durability_) {
     report.log_batches += d->log_batches();

@@ -37,6 +37,27 @@
 // Every query therefore observes a whole number of epochs on every shard
 // it touches — there are no torn cross-shard states, which is what the
 // stress tests pin.
+//
+// Replica groups (config.replicas = K > 1): every shard's committed
+// image is served by K interchangeable device replicas. Scatter/gather
+// picks the earliest-free healthy replica per sub-batch (round-robin on
+// ties, so equally-loaded replicas alternate deterministically), epoch
+// swaps wait for the whole group to go idle (the group-wide version
+// fence), and a lost replica fails over to the survivors — zero
+// CPU-oracle degraded queries while any member is healthy. The rejoining
+// replica catches up by replaying the group's update-log tail (epochs
+// after the one it last applied); only losing the LAST member falls back
+// to the K = 1 fence + degraded path. K = 1 is bit-identical to the
+// pre-replica behaviour.
+//
+// Hot-range splitting (config.reshard.split_hot): per-shard routed-query
+// windows are sampled on a virtual-time cadence; a shard running hotter
+// than hot_factor x the fleet mean triggers a live migration — the hot
+// range is cut at its median key, both post-split images build through
+// the same double-buffered staging as overlap epochs while the old plan
+// keeps serving, and the epoch-versioned ShardPlan flips at a swap
+// boundary with in-flight fan-outs parked on the fence (plan_version
+// bumps once per committed migration).
 #pragma once
 
 #include <cstdint>
@@ -50,6 +71,7 @@
 #include "serve/backend.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/options.hpp"
+#include "shard/replica_group.hpp"
 #include "shard/sharded_index.hpp"
 
 namespace harmonia::shard {
@@ -114,6 +136,9 @@ class ShardedServer : public serve::Backend {
     double upload_seconds = 0.0;
     /// Device bytes the patch commit will move (patched shards only).
     std::uint64_t patch_bytes = 0;
+    /// Client ops this shard absorbed in the epoch (the catch-up ledger
+    /// entry a lost replica will need; 0 for migration stages).
+    std::uint64_t ops = 0;
     HarmoniaIndex::StagedUpdate update;
   };
 
@@ -133,6 +158,26 @@ class ShardedServer : public serve::Backend {
     unsigned remaining = 0;  // shards not yet swapped
   };
 
+  /// One live migration between a hot donor and its adjacent receiver:
+  /// both post-split images stage through the double-buffered machinery
+  /// while the old plan keeps serving, then the plan flips at a swap
+  /// boundary (docs/sharding.md#live-resharding). Mutually exclusive
+  /// with a staged epoch — updates buffer while a migration is in
+  /// flight and trigger right after the flip.
+  struct InflightMigration {
+    unsigned donor = 0;
+    unsigned receiver = 0;
+    double trigger = 0.0;
+    double build_seconds = 0.0;
+    double build_done = 0.0;
+    std::uint64_t moved_keys = 0;
+    /// The post-flip partition (ShardPlan has no default ctor, so the
+    /// bounds travel raw and from_bounds runs at commit).
+    std::vector<Key> new_lo;
+    ShardStage donor_stage;
+    ShardStage receiver_stage;
+  };
+
   void admit_query(const serve::Request& r, double now,
                    serve::RequestSource& source, serve::ServerReport& report);
   void drop(const serve::Request& r, unsigned shard, serve::RequestSource& source,
@@ -148,7 +193,7 @@ class ShardedServer : public serve::Backend {
   /// True when the request's span/coverage crosses a shard boundary (the
   /// parking predicate for mixed-version windows).
   bool straddles(const serve::Request& r) const;
-  void handle_dispatch(unsigned s, serve::BatchScheduler::Dispatch d,
+  void handle_dispatch(unsigned s, unsigned r, serve::BatchScheduler::Dispatch d,
                        serve::RequestSource& source, serve::ServerReport& report);
   /// Routes one finished response: sub-responses park in their merge
   /// slot until the fan-out completes; whole responses go to the report.
@@ -193,18 +238,62 @@ class ShardedServer : public serve::Backend {
     return false;
   }
 
-  /// Shard-lost handling: fence the shard (its queued work re-routes to
-  /// the CPU oracle), serve its key range degraded while the replacement
-  /// device re-images, then rejoin it at restore time.
-  void fence_shard(double now, serve::RequestSource& source,
-                   serve::ServerReport& report);
+  /// Whole-shard fencing (the last healthy replica died): queued work
+  /// re-routes to the CPU oracle, the key range serves degraded while
+  /// the replacement device re-images, the shard rejoins at restore
+  /// time. With K > 1, handle_fault absorbs losses by failover and only
+  /// falls through to this when no member survives.
+  void fence_shard(unsigned s, unsigned replica, double now, double repair,
+                   serve::RequestSource& source, serve::ServerReport& report);
   void restore_shard(double now, serve::ServerReport& report);
+  /// Brings the earliest due lost replica back: it catches up by
+  /// replaying the group's update-log tail (epochs after the one it last
+  /// applied), or by a full re-image when the plan changed since it was
+  /// lost — a migration's boundary move never reaches the update log.
+  void rejoin_replica(double now, serve::ServerReport& report);
+
+  /// Hot-range detection on the virtual-time cadence; arms migration_
+  /// when a shard runs hotter than hot_factor x the fleet-mean window.
+  void maybe_start_migration(double now);
+  void start_migration(unsigned donor, unsigned receiver, double now);
+  /// Instant the armed migration can flip the plan: both staged sides
+  /// ready AND both shards fully drained (queues empty, fences clear,
+  /// groups idle); kNever until then.
+  double migration_swap_time() const;
+  /// True once both staged sides are uploadable at `now`: new arrivals
+  /// touching the donor/receiver span park so the drain converges.
+  bool migration_swap_pending(double now) const;
+  /// True when the request's current-plan span intersects the migrating
+  /// pair (the parking predicate while a flip is pending).
+  bool touches_migration(const serve::Request& r) const;
+  void commit_migration(double now, serve::RequestSource& source,
+                        serve::ServerReport& report);
   /// Serves one request of a fenced shard's range from the host tree on
   /// the shard's CPU timeline; sheds (dropped response) once the CPU
   /// backlog exceeds the degraded policy's max_backlog.
   serve::Response degraded_serve(unsigned s, const serve::Request& r, double now);
 
   std::size_t total_depth() const;
+
+  /// Flattened replica-timeline accessors (slot(s, r) = s * K + r).
+  std::size_t slot(unsigned s, unsigned r) const {
+    return std::size_t{s} * replicas_ + r;
+  }
+  double& rfree(unsigned s, unsigned r) { return replica_free_[slot(s, r)]; }
+  double rfree(unsigned s, unsigned r) const {
+    return replica_free_[slot(s, r)];
+  }
+  std::span<const double> group_span(unsigned s) const {
+    return std::span<const double>(replica_free_).subspan(slot(s, 0), replicas_);
+  }
+  /// Earliest a healthy member of shard `s`'s group frees (the dispatch
+  /// gate) / instant the whole group is idle (the swap fence).
+  double shard_min_free(unsigned s) const {
+    return groups_[s].min_free(group_span(s));
+  }
+  double group_free(unsigned s) const {
+    return groups_[s].max_free(group_span(s));
+  }
 
   /// Per-class cached metric handles (null when unobserved).
   struct ClassMetrics {
@@ -227,7 +316,25 @@ class ShardedServer : public serve::Backend {
   qos::AdmissionController admission_;
   /// One scheduler per shard.
   std::vector<std::unique_ptr<serve::BatchScheduler>> sched_;
-  std::vector<double> device_free_;
+  /// Replica group size K (config.replicas; 1 = unreplicated).
+  unsigned replicas_ = 1;
+  /// Per-replica device timelines, flattened shard-major: slot(s, r) =
+  /// s * K + r. At K = 1 this is the old per-shard device_free_.
+  std::vector<double> replica_free_;
+  /// Health + catch-up cursor per shard's group.
+  std::vector<ReplicaGroup> groups_;
+  /// Flattened per-slot rejoin instants for losses absorbed by failover
+  /// (kInf = slot healthy or fenced-path, which uses restore_at_).
+  std::vector<double> rejoin_at_;
+  /// Plan version at the instant each slot was lost: a rejoin whose
+  /// shard plan moved since must full-re-image instead of log catch-up.
+  std::vector<unsigned> lost_plan_;
+  /// The slot the whole-shard fence took down (restore rejoins it).
+  std::vector<unsigned> fence_replica_;
+  /// Per-shard (epoch, client-op count) ledger, appended at each commit
+  /// when K > 1: the in-memory stand-in for the update-log tail when no
+  /// durability domain is wired (same per-epoch granularity as the WAL).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> epoch_ops_;
   /// Per-shard fencing state: fenced shards serve degraded from the CPU
   /// oracle until restore_at_; cpu_free_ is the degraded-path timeline.
   std::vector<char> fenced_;
@@ -250,6 +357,16 @@ class ShardedServer : public serve::Backend {
   /// re-admit (original arrival kept) right after the last swap.
   std::vector<serve::Request> parked_;
   std::optional<InflightEpoch> inflight_;
+  std::optional<InflightMigration> migration_;
+  /// Bumps once per committed migration; starts (and stays, without
+  /// split_hot) at 1 — the report invariant plan_version == 1 +
+  /// migrations pins it.
+  unsigned plan_version_ = 1;
+  unsigned migrations_done_ = 0;
+  /// Hot-range detection state: next cadence instant and the per-shard
+  /// routed-query window since the last sample.
+  double next_detect_ = 0.0;
+  std::vector<std::uint64_t> window_routed_;
   std::uint64_t next_sub_id_ = kSubIdBase;
   /// Sub-request id -> parent request id.
   std::map<std::uint64_t, std::uint64_t> parent_of_;

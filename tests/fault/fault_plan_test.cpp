@@ -70,8 +70,8 @@ TEST(FaultPlan, RejectsBadSpecs) {
 
 TEST(FaultPlan, ValidateRequiresSortedSchedule) {
   FaultPlan plan;
-  plan.events.push_back({FaultKind::kDispatchFailure, 2.0, 0, 0.0, 1.0, 1, 1});
-  plan.events.push_back({FaultKind::kDispatchFailure, 1.0, 0, 0.0, 1.0, 1, 1});
+  plan.events.push_back({FaultKind::kDispatchFailure, 2.0, 0, 0, 0.0, 1.0, 1, 1});
+  plan.events.push_back({FaultKind::kDispatchFailure, 1.0, 0, 0, 0.0, 1.0, 1, 1});
   EXPECT_THROW(plan.validate(), ContractViolation);
 }
 
@@ -135,28 +135,28 @@ TEST(FaultPlan, ValidateNamesEventIndexAndField) {
   };
 
   FaultPlan bad_factor;
-  bad_factor.events.push_back({FaultKind::kTransferSlowdown, 0.0, 0, 1e-3, 1.0, 1, 1});
-  bad_factor.events.push_back({FaultKind::kTransferSlowdown, 1.0, 0, 1e-3, 0.5, 1, 1});
+  bad_factor.events.push_back({FaultKind::kTransferSlowdown, 0.0, 0, 0, 1e-3, 1.0, 1, 1});
+  bad_factor.events.push_back({FaultKind::kTransferSlowdown, 1.0, 0, 0, 1e-3, 0.5, 1, 1});
   std::string msg = message_of(bad_factor);
   EXPECT_NE(msg.find("#1"), std::string::npos) << msg;
   EXPECT_NE(msg.find("'factor'"), std::string::npos) << msg;
 
   FaultPlan bad_count;
-  bad_count.events.push_back({FaultKind::kDispatchFailure, 0.0, 0, 0.0, 1.0, 0, 1});
+  bad_count.events.push_back({FaultKind::kDispatchFailure, 0.0, 0, 0, 0.0, 1.0, 0, 1});
   msg = message_of(bad_count);
   EXPECT_NE(msg.find("#0"), std::string::npos) << msg;
   EXPECT_NE(msg.find("'count'"), std::string::npos) << msg;
 
   FaultPlan bad_at;
-  bad_at.events.push_back({FaultKind::kResyncCorruption, -2.0, 0, 0.0, 1.0, 1, 4});
+  bad_at.events.push_back({FaultKind::kResyncCorruption, -2.0, 0, 0, 0.0, 1.0, 1, 4});
   msg = message_of(bad_at);
   EXPECT_NE(msg.find("#0"), std::string::npos) << msg;
   EXPECT_NE(msg.find("'at'"), std::string::npos) << msg;
   EXPECT_NE(msg.find("corrupt"), std::string::npos) << msg;
 
   FaultPlan unsorted;
-  unsorted.events.push_back({FaultKind::kDispatchFailure, 2.0, 0, 0.0, 1.0, 1, 1});
-  unsorted.events.push_back({FaultKind::kShardLost, 1.0, 0, 1e-3, 1.0, 1, 1});
+  unsorted.events.push_back({FaultKind::kDispatchFailure, 2.0, 0, 0, 0.0, 1.0, 1, 1});
+  unsorted.events.push_back({FaultKind::kShardLost, 1.0, 0, 0, 1e-3, 1.0, 1, 1});
   msg = message_of(unsorted);
   EXPECT_NE(msg.find("#1"), std::string::npos) << msg;
   EXPECT_NE(msg.find("sorted"), std::string::npos) << msg;
@@ -179,6 +179,24 @@ TEST(FaultPlan, RestartParsesAndRoundTrips) {
   EXPECT_EQ(clean.events[0].bytes, 0u);
   EXPECT_DOUBLE_EQ(clean.events[0].duration, 0.0);
   clean.validate();
+}
+
+TEST(FaultPlan, ReplicaLostParsesAndRoundTrips) {
+  const auto plan =
+      FaultPlan::parse("replica-lost@0.002:shard=1,replica=2,repair=0.0004");
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kReplicaLost);
+  EXPECT_DOUBLE_EQ(plan.events[0].at, 0.002);
+  EXPECT_EQ(plan.events[0].shard, 1u);
+  EXPECT_EQ(plan.events[0].replica, 2u);
+  EXPECT_DOUBLE_EQ(plan.events[0].duration, 0.0004);  // repair aliases duration
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+  EXPECT_EQ(reparsed.events[0].replica, plan.events[0].replica);
+
+  // repair is mandatory: a replica that never rejoins is a config error.
+  EXPECT_THROW(FaultPlan::parse("replica-lost@0.002:shard=1,replica=0"),
+               ContractViolation);
 }
 
 TEST(FaultPlan, RandomCanEmitRestarts) {

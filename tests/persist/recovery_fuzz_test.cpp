@@ -226,6 +226,17 @@ void run_one(const Scenario& sc, std::uint64_t seed, double crash,
     // A torn manifest only costs the manifest (directory-scan fallback).
   }
   SnapshotStore store(cfg.shard_dir(0));
+  // Prune coverage: whatever instant the crash hit — including between a
+  // snapshot's manifest rewrite and its prune deletions — a manifest that
+  // parses may only name images still on disk. (prune writes the
+  // survivor manifest before deleting, so no crash point can violate
+  // this.)
+  if (const auto m = Manifest::parse_file(store.manifest_path())) {
+    for (const std::uint64_t e : m->snapshots) {
+      ASSERT_TRUE(std::filesystem::exists(store.path_for(e)))
+          << "manifest pins pruned epoch " << e;
+    }
+  }
   if (tear_image && !m_retained.empty()) {
     // Crash during a background image write: the newest image is torn.
     const std::uint64_t victim = m_retained.front();

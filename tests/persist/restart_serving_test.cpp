@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -177,6 +178,76 @@ TEST_F(RestartServingTest, ShardedShardsRecoverIndependently) {
     slowest = std::max(slowest, rec.modeled_seconds);
   EXPECT_DOUBLE_EQ(cycle.recovery_seconds, slowest);
   EXPECT_GE(cycle.first_reply, cycle.resume_time);
+}
+
+// The nastiest crash instant: exactly the epoch-swap boundary. In
+// quiesce mode the swap fires the moment the max_buffered-th update
+// arrives, so a restart scheduled at precisely that arrival races the
+// swap at the same virtual instant (faults cut ahead of same-instant
+// work). Conservation must still hold, recovery must replay a
+// consistent prefix, and the recovered generation must reply in finite
+// time — no request double-counted, lost, or stuck behind a half-swap.
+TEST_F(RestartServingTest, RestartExactlyOnEpochSwapBoundary) {
+  const auto topo = small_topo();
+  auto opts = serving_options(dir_.string());
+  const auto stream = update_heavy_stream(topo);
+
+  // The swap instant, read straight off the stream: the arrival that
+  // fills the epoch buffer to max_buffered is when the quiesce epoch
+  // applies (serve::Server::next_epoch_time returns `now` once
+  // size_ready). No probe run needed — arrivals are deterministic.
+  std::size_t updates = 0;
+  double swap_at = -1.0;
+  for (const auto& r : stream) {
+    if (r.kind != serve::RequestKind::kUpdate) continue;
+    if (++updates == opts.epoch.max_buffered) {
+      swap_at = r.arrival;
+      break;
+    }
+  }
+  ASSERT_GT(swap_at, 0.0) << "stream too short to fill an epoch";
+
+  char spec[96];
+  std::snprintf(spec, sizeof spec, "restart@%.17g:down=0.001,torn=32", swap_at);
+  opts.faults = fault::FaultPlan::parse(spec);
+  ASSERT_DOUBLE_EQ(opts.faults.events[0].at, swap_at);
+
+  const RestartReport report = run_with_restarts(topo, opts, stream);
+  ASSERT_EQ(report.segments.size(), 2u);
+  ASSERT_EQ(report.cycles.size(), 1u);
+  const RestartCycle& cycle = report.cycles[0];
+  EXPECT_DOUBLE_EQ(cycle.crash_time, swap_at);
+
+  // Finite TTFR: the recovered generation actually replied.
+  ASSERT_TRUE(std::isfinite(cycle.first_reply));
+  EXPECT_GE(cycle.first_reply, cycle.resume_time);
+  EXPECT_GT(cycle.ttfr_seconds(), 0.0);
+
+  // Conservation across the boundary crash: every arrival lands in
+  // exactly one generation, and each generation accounts for its own.
+  std::uint64_t arrivals = 0;
+  for (const auto& seg : report.segments) {
+    EXPECT_EQ(seg.arrivals, seg.admitted + seg.dropped);
+    EXPECT_EQ(seg.responses.size(), seg.arrivals);
+    arrivals += seg.arrivals;
+  }
+  EXPECT_EQ(arrivals, stream.size());
+
+  // Recovery saw a consistent prefix: snapshot and/or log replay, never
+  // a torn half-epoch (the recovery layer would throw on one).
+  const persist::RecoveryReport& rec = cycle.recoveries[0];
+  EXPECT_TRUE(rec.from_snapshot || rec.batches_replayed > 0 || rec.rebuilt);
+
+  // Boundary crashes replay deterministically too.
+  auto opts_b = serving_options((dir_ / "replay").string());
+  opts_b.faults = fault::FaultPlan::parse(spec);
+  const RestartReport again = run_with_restarts(topo, opts_b, stream);
+  ASSERT_EQ(again.segments.size(), report.segments.size());
+  for (std::size_t i = 0; i < report.segments.size(); ++i) {
+    EXPECT_EQ(again.segments[i].completed, report.segments[i].completed);
+    EXPECT_EQ(again.segments[i].epochs, report.segments[i].epochs);
+  }
+  EXPECT_DOUBLE_EQ(again.cycles[0].ttfr_seconds(), cycle.ttfr_seconds());
 }
 
 TEST_F(RestartServingTest, ReplayIsBitIdentical) {

@@ -195,6 +195,65 @@ TEST_F(SnapshotStoreTest, PruneKeepsNewestByDirectoryScan) {
   EXPECT_FALSE(std::filesystem::exists(store.path_for(5)));
 }
 
+TEST_F(SnapshotStoreTest, PruneRewritesManifestBeforeDeleting) {
+  // Regression: prune used to delete image files and leave the manifest
+  // naming them — a crash between the two left recovery preferring a
+  // manifest that pins deleted snapshots. Pruning must first shrink the
+  // manifest to the survivors.
+  SnapshotStore store(dir_);
+  for (std::uint64_t e = 1; e <= 5; ++e) store.write(e, sample_tree(40, e), {});
+  store.write_manifest(3, {5, 4, 3, 2, 1});
+  store.prune(2);
+  const auto m = Manifest::parse_file(store.manifest_path());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->shard, 3u);  // prune preserves the manifest's shard id
+  EXPECT_EQ(m->snapshots, (std::vector<std::uint64_t>{5, 4}));
+  // Every epoch the manifest names still exists on disk.
+  for (const std::uint64_t e : m->snapshots) {
+    EXPECT_TRUE(std::filesystem::exists(store.path_for(e))) << "epoch " << e;
+  }
+  // A prune that deletes nothing leaves the manifest untouched.
+  const std::string before = read_file(store.manifest_path());
+  store.prune(2);
+  EXPECT_EQ(read_file(store.manifest_path()), before);
+}
+
+TEST_F(SnapshotStoreTest, CrashMidPruneNeverPinsDeletedSnapshot) {
+  // Walk every intermediate on-disk state of prune(keep=2)'s write
+  // sequence — manifest rewrite, then one deletion at a time — and
+  // require recovery (load_newest) to land on the newest surviving
+  // image at each point. This is exactly the set of states a crash at
+  // any instant mid-prune can leave behind.
+  for (int steps = 0; steps <= 4; ++steps) {
+    SCOPED_TRACE(::testing::Message() << "crash after step " << steps);
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    SnapshotStore store(dir_);
+    for (std::uint64_t e = 1; e <= 5; ++e)
+      store.write(e, sample_tree(40 + e, e), {});
+    store.write_manifest(0, {5, 4, 3, 2, 1});
+
+    // Replay prune's sequence, stopping after `steps` mutations.
+    int done = 0;
+    if (done++ < steps) store.write_manifest(0, {5, 4});
+    for (const std::uint64_t victim : {3u, 2u, 1u}) {
+      if (done++ < steps) std::filesystem::remove(store.path_for(victim));
+    }
+
+    const auto m = Manifest::parse_file(store.manifest_path());
+    ASSERT_TRUE(m.has_value());
+    for (const std::uint64_t e : m->snapshots) {
+      EXPECT_TRUE(std::filesystem::exists(store.path_for(e)))
+          << "manifest pins deleted epoch " << e;
+    }
+    const auto loaded = store.load_newest();
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->epoch, 5u);
+    EXPECT_EQ(loaded->discarded, 0u);
+    EXPECT_FALSE(loaded->manifest_fallback);
+  }
+}
+
 TEST_F(SnapshotStoreTest, ForeignFilesAreIgnored) {
   SnapshotStore store(dir_);
   store.write(3, sample_tree(40, 1), {});

@@ -51,6 +51,33 @@ TEST(TokenBucket, StartAnchorShiftsTheClock) {
   EXPECT_TRUE(b.try_take(6.0));
 }
 
+TEST(TokenBucket, PreviewAgreesWithTakeAtTheBoundary) {
+  // Regression: try_take accepted with an epsilon that the balance
+  // preview lacked, so an admission preview at the exact refill boundary
+  // could say "no" while the take a call later said "yes". can_take and
+  // try_take now share one kEpsilon; sweep instants straddling the
+  // boundary (including ones where refill rounding leaves the balance a
+  // few ulps shy of a whole token) and require exact agreement.
+  const double rate = 3.0, burst = 2.0;
+  for (const double dt :
+       {0.1, 1.0 / 3.0, 0.333333333333333, 0.3333333333333335, 0.5, 2.0 / 3.0,
+        0.9999999999999999 / 3.0, 1.0000000000000002 / 3.0}) {
+    TokenBucket b(rate, burst);
+    ASSERT_TRUE(b.try_take(0.0, burst));  // drain at t=0
+    const bool preview = b.can_take(dt, 1.0);
+    const bool taken = b.try_take(dt, 1.0);
+    EXPECT_EQ(preview, taken) << "dt " << dt;
+    // And the preview after the take reflects the consumed balance
+    // (skip instants that refilled two whole tokens).
+    if (taken && dt < 0.6) EXPECT_FALSE(b.can_take(dt, 1.0)) << "dt " << dt;
+  }
+  // Exactly at the boundary the epsilon admits the take both ways.
+  TokenBucket b(rate, burst);
+  ASSERT_TRUE(b.try_take(0.0, burst));
+  EXPECT_TRUE(b.can_take(1.0 / 3.0, 1.0));
+  EXPECT_TRUE(b.try_take(1.0 / 3.0, 1.0));
+}
+
 TEST(TokenBucket, DeterministicReplay) {
   const double times[] = {0.0, 0.001, 0.0015, 0.002, 0.01, 0.0100001, 0.5};
   auto run = [&] {

@@ -1,0 +1,363 @@
+// Replica groups through the sharded serving path: losing one replica of
+// a K-way group must keep the shard serving from the survivors with zero
+// CPU-oracle degraded queries, the rejoining replica must catch up from
+// the group's update-log tail, a loss on the *last* healthy replica must
+// fall back to the whole-shard fence, and every replicated run must stay
+// oracle-exact and deterministic. Extends tests/fault/fault_shard_test.cpp.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "queries/workload.hpp"
+#include "serve/workload.hpp"
+#include "shard/sharded_server.hpp"
+
+namespace harmonia::shard {
+namespace {
+
+gpusim::DeviceSpec test_spec() {
+  auto spec = gpusim::titan_v();
+  spec.num_sms = 8;
+  spec.global_mem_bytes = 256 << 20;
+  return spec;
+}
+
+ShardedOptions test_options(unsigned fanout) {
+  ShardedOptions options;
+  options.index.fanout = fanout;
+  options.device = test_spec();
+  options.device_global_bytes = 256 << 20;
+  return options;
+}
+
+struct ShardedFixture {
+  explicit ShardedFixture(unsigned shards, std::uint64_t tree_keys = 1 << 12,
+                          unsigned fanout = 16)
+      : keys(queries::make_tree_keys(tree_keys, 1)),
+        index([&] {
+          std::vector<btree::Entry> entries;
+          for (Key k : keys) entries.push_back({k, btree::value_for_key(k)});
+          return ShardedIndex(entries, ShardPlan::sample_balanced(keys, shards),
+                              test_options(fanout));
+        }()) {}
+
+  std::vector<Key> keys;
+  ShardedIndex index;
+};
+
+void apply_to_oracle(std::map<Key, Value>& oracle, const serve::Request& r) {
+  switch (r.op) {
+    case queries::OpKind::kUpdate:
+      if (auto it = oracle.find(r.key); it != oracle.end()) it->second = r.value;
+      break;
+    case queries::OpKind::kInsert:
+      oracle[r.key] = r.value;
+      break;
+    case queries::OpKind::kDelete:
+      oracle.erase(r.key);
+      break;
+  }
+}
+
+std::vector<std::map<Key, Value>> make_snapshots(
+    const std::vector<Key>& keys, const std::vector<serve::Request>& stream,
+    std::size_t max_buffered) {
+  std::vector<std::map<Key, Value>> snapshots;
+  std::map<Key, Value> oracle;
+  for (Key k : keys) oracle[k] = btree::value_for_key(k);
+  snapshots.push_back(oracle);
+  std::size_t buffered = 0;
+  for (const serve::Request& r : stream) {
+    if (r.kind != serve::RequestKind::kUpdate) continue;
+    apply_to_oracle(oracle, r);
+    if (++buffered == max_buffered) {
+      snapshots.push_back(oracle);
+      buffered = 0;
+    }
+  }
+  if (buffered > 0) snapshots.push_back(oracle);
+  return snapshots;
+}
+
+void check_answered_against_oracle(
+    const ShardedServerReport& rep, const std::vector<serve::Request>& stream,
+    const std::vector<std::map<Key, Value>>& snapshots,
+    std::size_t max_range_results) {
+  ASSERT_EQ(rep.responses.size(), stream.size());
+  for (const auto& resp : rep.responses) {
+    if (resp.dropped) continue;
+    ASSERT_LT(resp.epoch, snapshots.size());
+    const auto& oracle = snapshots[resp.epoch];
+    const serve::Request& req = stream[resp.id];
+    switch (resp.kind) {
+      case serve::RequestKind::kPoint: {
+        const auto it = oracle.find(req.key);
+        const Value want = it != oracle.end() ? it->second : kNotFound;
+        ASSERT_EQ(resp.value, want)
+            << "request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case serve::RequestKind::kRange: {
+        std::vector<Value> want;
+        for (auto it = oracle.lower_bound(req.key);
+             it != oracle.end() && it->first <= req.hi &&
+             want.size() < max_range_results;
+             ++it) {
+          want.push_back(it->second);
+        }
+        ASSERT_EQ(resp.range_values, want)
+            << "range request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case serve::RequestKind::kScan: {
+        std::size_t limit = req.scan_n ? req.scan_n : 1;
+        if (limit > max_range_results) limit = max_range_results;
+        std::vector<Value> want;
+        for (auto it = oracle.lower_bound(req.key);
+             it != oracle.end() && want.size() < limit; ++it) {
+          want.push_back(it->second);
+        }
+        ASSERT_EQ(resp.range_values, want)
+            << "scan request " << resp.id << " epoch " << resp.epoch;
+        break;
+      }
+      case serve::RequestKind::kUpdate:
+        EXPECT_GE(resp.completion, resp.arrival);
+        break;
+    }
+  }
+}
+
+ShardedServerConfig replicated_config(unsigned replicas) {
+  ShardedServerConfig cfg;
+  cfg.batch.max_batch = 128;
+  cfg.batch.max_wait = 80e-6;
+  cfg.batch.queue_capacity = 1 << 14;
+  cfg.batch.max_range_results = 16;
+  cfg.epoch.max_buffered = 300;
+  cfg.replicas = replicas;
+  return cfg;
+}
+
+// The headline contract: one replica of a K=3 group dies mid-stream and
+// the shard keeps serving from the survivors — no fence, no CPU-oracle
+// degraded queries, no fault shedding — then the replica rejoins by
+// replaying the group's update-log tail.
+TEST(ReplicaFailover, LostReplicaServesFromSurvivorsZeroDegraded) {
+  ShardedFixture f(4);
+
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 6000;
+  spec.update_fraction = 0.20;
+  spec.range_fraction = 0.10;
+  spec.range_span = 64;
+  spec.seed = 13;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  auto cfg = replicated_config(3);
+  cfg.faults =
+      fault::FaultPlan::parse("replica-lost@0.0004:shard=1,replica=0,repair=0.0006");
+
+  const auto snapshots = make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  // The loss was absorbed inside the group: outcome tallies say replica,
+  // never whole-shard, and the degraded CPU path never fired.
+  EXPECT_EQ(rep.faults.replicas_lost, 1u);
+  EXPECT_EQ(rep.faults.replicas_rejoined, 1u);
+  EXPECT_EQ(rep.faults.shards_lost, 0u);
+  EXPECT_EQ(rep.faults.degraded_points, 0u);
+  EXPECT_EQ(rep.faults.degraded_ranges, 0u);
+  EXPECT_EQ(rep.faults.degraded_shed, 0u);
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_EQ(rep.faults.fenced_seconds, 0.0);
+
+  // Per-replica dispatch accounting holds: each shard's K slots sum to
+  // its batch count, and the whole grid sums to the global total.
+  ASSERT_EQ(rep.replica_batches.size(), std::size_t{4} * 3);
+  std::uint64_t grid = 0;
+  for (unsigned s = 0; s < 4; ++s) {
+    std::uint64_t group = 0;
+    for (unsigned r = 0; r < 3; ++r) group += rep.replica_batches[s * 3 + r];
+    EXPECT_EQ(group, rep.shard_batches[s]) << "shard " << s;
+    grid += group;
+  }
+  EXPECT_EQ(grid, rep.batches);
+
+  check_answered_against_oracle(rep, stream, snapshots,
+                                cfg.batch.max_range_results);
+}
+
+// A whole-shard `lose` event aimed at a replicated group is absorbed the
+// same way: one slot goes down, the survivors serve, and the outcome
+// tally reclassifies the loss from shard to replica.
+TEST(ReplicaFailover, WholeShardLoseAbsorbedByGroup) {
+  ShardedFixture f(4);
+
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 5000;
+  spec.update_fraction = 0.15;
+  spec.seed = 29;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  auto cfg = replicated_config(2);
+  cfg.faults = fault::FaultPlan::parse("lose@0.0004:shard=2,repair=0.0005");
+
+  const auto snapshots = make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  EXPECT_EQ(rep.faults.shards_lost, 0u);
+  EXPECT_EQ(rep.faults.replicas_lost, 1u);
+  EXPECT_EQ(rep.faults.replicas_rejoined, 1u);
+  EXPECT_EQ(rep.faults.degraded_points, 0u);
+  EXPECT_EQ(rep.shed, 0u);
+  check_answered_against_oracle(rep, stream, snapshots,
+                                cfg.batch.max_range_results);
+}
+
+// Losing the *last* healthy replica is a whole-shard outage: the second
+// replica-lost event lands while the first slot is still down, so the
+// shard fences and serves degraded until the timed restore — and the
+// outcome tallies say one absorbed replica loss plus one shard loss.
+TEST(ReplicaFailover, LastHealthyReplicaLossFencesShard) {
+  ShardedFixture f(4);
+
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 6000;
+  spec.update_fraction = 0.15;
+  spec.seed = 31;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  auto cfg = replicated_config(2);
+  cfg.faults = fault::FaultPlan::parse(
+      "replica-lost@0.0003:shard=1,replica=0,repair=0.0009;"
+      "replica-lost@0.0005:shard=1,replica=1,repair=0.0004");
+
+  const auto snapshots = make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  EXPECT_EQ(rep.faults.replicas_lost, 1u);
+  EXPECT_EQ(rep.faults.shards_lost, 1u);
+  EXPECT_EQ(rep.faults.shards_restored, 1u);
+  EXPECT_GT(rep.faults.degraded_points, 0u);
+  EXPECT_GT(rep.faults.fenced_seconds, 0.0);
+  check_answered_against_oracle(rep, stream, snapshots,
+                                cfg.batch.max_range_results);
+}
+
+// Log-shipped catch-up: epochs swap while one replica is down, so the
+// rejoin must replay those epochs' ops (catchup_ops > 0) and book the
+// modeled replay + transfer time before the slot serves again.
+TEST(ReplicaFailover, RejoinReplaysUpdateLogTail) {
+  ShardedFixture f(2);
+
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 12000;
+  spec.update_fraction = 0.30;
+  spec.seed = 37;
+  const auto stream = serve::make_open_loop(f.keys, spec);
+
+  auto cfg = replicated_config(3);
+  cfg.epoch.max_buffered = 200;  // several epochs inside the outage window
+  cfg.faults =
+      fault::FaultPlan::parse("replica-lost@0.0003:shard=0,replica=1,repair=0.002");
+
+  const auto snapshots = make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
+  ShardedServer server(f.index, cfg);
+  const auto rep = server.run(stream);
+
+  EXPECT_EQ(rep.faults.replicas_lost, 1u);
+  EXPECT_EQ(rep.faults.replicas_rejoined, 1u);
+  EXPECT_GT(rep.faults.catchup_ops, 0u);
+  EXPECT_GT(rep.faults.catchup_seconds, 0.0);
+  EXPECT_EQ(rep.faults.degraded_points, 0u);
+  check_answered_against_oracle(rep, stream, snapshots,
+                                cfg.batch.max_range_results);
+}
+
+// Replication is invisible to results: a fault-free K=3 run answers every
+// request with exactly the same values as the unreplicated K=1 run over
+// the same stream (extra replicas only add dispatch slots, never change
+// what any query sees).
+TEST(ReplicaFailover, ReplicationDoesNotChangeAnswers) {
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 5000;
+  spec.update_fraction = 0.20;
+  spec.range_fraction = 0.05;
+  spec.seed = 41;
+
+  auto run_with = [&](unsigned replicas) {
+    ShardedFixture f(4);
+    const auto stream = serve::make_open_loop(f.keys, spec);
+    ShardedServer server(f.index, replicated_config(replicas));
+    return server.run(stream);
+  };
+
+  const auto base = run_with(1);
+  const auto replicated = run_with(3);
+
+  // Extra replicas can reorder completions (overlapping sub-batches), so
+  // match responses by request id, not emission order.
+  ASSERT_EQ(base.responses.size(), replicated.responses.size());
+  std::map<std::uint64_t, const serve::Response*> by_id;
+  for (const auto& r : replicated.responses) by_id[r.id] = &r;
+  for (const auto& a : base.responses) {
+    const auto it = by_id.find(a.id);
+    ASSERT_NE(it, by_id.end());
+    const auto& b = *it->second;
+    EXPECT_EQ(a.value, b.value) << "request " << a.id;
+    EXPECT_EQ(a.range_values, b.range_values) << "request " << a.id;
+    EXPECT_EQ(a.dropped, b.dropped) << "request " << a.id;
+  }
+  EXPECT_EQ(base.completed, replicated.completed);
+}
+
+// Determinism gate: the same replicated run with the same fault plan
+// replays to identical responses and identical fault tallies.
+TEST(ReplicaFailover, ReplicatedFailoverReplaysDeterministically) {
+  serve::OpenLoopSpec spec;
+  spec.arrivals_per_second = 4e6;
+  spec.count = 6000;
+  spec.update_fraction = 0.20;
+  spec.seed = 43;
+
+  auto run_once = [&] {
+    ShardedFixture f(4);
+    const auto stream = serve::make_open_loop(f.keys, spec);
+    auto cfg = replicated_config(3);
+    cfg.faults = fault::FaultPlan::parse(
+        "replica-lost@0.0004:shard=1,replica=2,repair=0.0006;"
+        "slow@0.0002:shard=3,factor=4,duration=0.0003");
+    ShardedServer server(f.index, cfg);
+    return server.run(stream);
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_EQ(a.responses[i].value, b.responses[i].value);
+    EXPECT_DOUBLE_EQ(a.responses[i].completion, b.responses[i].completion);
+  }
+  EXPECT_EQ(a.faults.replicas_lost, b.faults.replicas_lost);
+  EXPECT_EQ(a.faults.replicas_rejoined, b.faults.replicas_rejoined);
+  EXPECT_EQ(a.faults.catchup_ops, b.faults.catchup_ops);
+  EXPECT_DOUBLE_EQ(a.faults.catchup_seconds, b.faults.catchup_seconds);
+  EXPECT_EQ(a.replica_batches, b.replica_batches);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+}  // namespace
+}  // namespace harmonia::shard

@@ -164,6 +164,40 @@ TEST(ShardPlan, DegenerateSamplesStillPartition) {
   check_partition_invariants(ShardPlan::sample_balanced({}, 3), 5);
 }
 
+TEST(ShardPlan, DuplicatedSamplesRebalanceInsteadOfCascading) {
+  // Regression: a heavy duplicate run used to collide every later
+  // quantile cut, and the +1-per-collision bump cascaded into width-1
+  // shards ([8,8], [9,9], ...) owning ranges with no sample keys at all.
+  // The rebalanced planner must split the residual samples evenly.
+  std::vector<Key> keys(900, 7);  // 90% of the sample is one key
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) keys.push_back(1000 + (rng.next() >> 16));
+  std::sort(keys.begin(), keys.end());
+
+  const auto plan = ShardPlan::sample_balanced(keys, 8);
+  check_partition_invariants(plan, 6);
+  std::vector<std::uint64_t> count(plan.num_shards(), 0);
+  for (Key k : keys) ++count[plan.shard_of(k)];
+  // The first quantile cut lands on the duplicate itself, so one shard
+  // owns the whole run; every shard after it must own a fair share of
+  // the 100 residual samples — in particular, none may be empty.
+  const unsigned dup_shard = plan.shard_of(7);
+  for (unsigned s = dup_shard + 1; s < plan.num_shards(); ++s) {
+    EXPECT_GE(count[s], 5u) << "shard " << s << " starved of sample keys";
+    EXPECT_LE(count[s], 30u) << "shard " << s << " over-packed";
+  }
+
+  // All-duplicates: the residual key space is split evenly, not packed
+  // into width-1 slices right above the duplicate.
+  const std::vector<Key> dup(64, 42);
+  const auto plan2 = ShardPlan::sample_balanced(dup, 4);
+  check_partition_invariants(plan2, 9);
+  for (unsigned s = 2; s < plan2.num_shards(); ++s) {
+    EXPECT_GT(plan2.hi(s) - plan2.lo(s), kKeyMax / 16)
+        << "shard " << s << " squeezed into a near-empty slice";
+  }
+}
+
 TEST(ShardPlan, FromBoundsRejectsNonPartitions) {
   EXPECT_THROW(ShardPlan::from_bounds({}), ContractViolation);
   EXPECT_THROW(ShardPlan::from_bounds({1, 10}), ContractViolation);  // gap at 0

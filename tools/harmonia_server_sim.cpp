@@ -198,12 +198,26 @@ void print_report(const serve::ServerReport& rep) {
                   lat.empty() ? 0.0 : lat.percentile(99) * 1e6);
     }
   }
-  // Sharded topology: the per-shard section of the same report.
+  // Sharded topology: the per-shard section of the same report. With
+  // replica groups (K > 1) each shard line also breaks its batches down
+  // by replica slot.
+  const std::size_t replicas = rep.shard_batches.empty()
+                                   ? 0
+                                   : rep.replica_batches.size() / rep.shard_batches.size();
   for (std::size_t s = 0; s < rep.shard_batches.size(); ++s) {
-    std::printf("shard %-2llu        : %llu batches, %llu queries\n",
+    std::printf("shard %-2llu        : %llu batches, %llu queries",
                 static_cast<unsigned long long>(s),
                 static_cast<unsigned long long>(rep.shard_batches[s]),
                 static_cast<unsigned long long>(rep.shard_queries[s]));
+    if (replicas > 1) {
+      std::printf(" [");
+      for (std::size_t r = 0; r < replicas; ++r) {
+        std::printf("%s%llu", r == 0 ? "" : " ",
+                    static_cast<unsigned long long>(rep.replica_batches[s * replicas + r]));
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
   }
   if (!rep.shard_batches.empty()) {
     std::printf("range fan-outs  : %llu ranges, %llu scans split across shards\n",
@@ -211,6 +225,14 @@ void print_report(const serve::ServerReport& rep) {
                 static_cast<unsigned long long>(rep.split_scans));
     std::printf("barrier wait    : %.3f ms device idle at epoch barriers\n",
                 rep.barrier_wait_seconds * 1e3);
+    if (rep.migrations > 0) {
+      std::printf("resharding      : %llu migrations, %llu keys moved, plan v%u "
+                  "(build %.3f ms, upload %.3f ms)\n",
+                  static_cast<unsigned long long>(rep.migrations),
+                  static_cast<unsigned long long>(rep.migrated_keys),
+                  rep.plan_version, rep.migration_build_seconds * 1e3,
+                  rep.migration_upload_seconds * 1e3);
+    }
   }
   if (rep.faults != fault::FaultReport{}) {
     const fault::FaultReport& f = rep.faults;
@@ -235,6 +257,14 @@ void print_report(const serve::ServerReport& rep) {
     std::printf("queries shed    : %llu (fenced %.3f ms, backoff %.3f ms)\n",
                 static_cast<unsigned long long>(rep.shed), f.fenced_seconds * 1e3,
                 f.backoff_seconds * 1e3);
+    if (f.replicas_lost + f.replicas_rejoined > 0) {
+      std::printf("replica groups  : %llu lost (absorbed), %llu rejoined | "
+                  "catch-up %llu ops, %.3f ms\n",
+                  static_cast<unsigned long long>(f.replicas_lost),
+                  static_cast<unsigned long long>(f.replicas_rejoined),
+                  static_cast<unsigned long long>(f.catchup_ops),
+                  f.catchup_seconds * 1e3);
+    }
   }
 }
 
