@@ -1,10 +1,19 @@
-# Pins the CSV schema of ext_reshard_sweep: downstream scripts (and the
+# Pins the CSV schema of a bench harness: downstream scripts (and the
 # EXPERIMENTS.md tables) parse these columns by name, so a header change
-# must be a deliberate, test-visible act.
+# must be a deliberate, test-visible act. One parameterized script
+# serves every harness — the expected header lives at the add_test call
+# site next to the run that produces the file.
 #
-# Usage: cmake -DCSV=<path> -P check_reshard_csv.cmake
+# Usage: cmake -DCSV=<path> -DEXPECTED=<header line> [-DNAME=<label>]
+#              -P check_csv_schema.cmake
 if(NOT DEFINED CSV)
   message(FATAL_ERROR "pass -DCSV=<path to csv>")
+endif()
+if(NOT DEFINED EXPECTED)
+  message(FATAL_ERROR "pass -DEXPECTED=<expected header line>")
+endif()
+if(NOT DEFINED NAME)
+  set(NAME "csv")
 endif()
 if(NOT EXISTS "${CSV}")
   message(FATAL_ERROR "csv not written: ${CSV}")
@@ -17,9 +26,8 @@ if(num_lines LESS 2)
 endif()
 
 list(GET lines 0 header)
-set(expected "scenario,K,migrations,plan ver,moved keys,p50 (us),p99 (us),degraded,shed,repl lost,rejoined,catchup ops,achieved (Mq/s)")
-if(NOT header STREQUAL expected)
-  message(FATAL_ERROR "csv schema changed:\n  expected: ${expected}\n  got:      ${header}")
+if(NOT header STREQUAL EXPECTED)
+  message(FATAL_ERROR "csv schema changed:\n  expected: ${EXPECTED}\n  got:      ${header}")
 endif()
 
 # Every data row has exactly as many fields as the header.
@@ -34,4 +42,4 @@ foreach(i RANGE 1 ${last})
     message(FATAL_ERROR "row ${i} has ${row_cols} fields, header has ${num_cols}: ${row}")
   endif()
 endforeach()
-message(STATUS "reshard csv schema ok: ${num_lines} lines, ${num_cols} columns")
+message(STATUS "${NAME} csv schema ok: ${num_lines} lines, ${num_cols} columns")

@@ -47,32 +47,40 @@ bool Cli::parse(int argc, const char* const* argv) {
   return true;
 }
 
-bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+bool Cli::has(const std::string& name) const {
+  queried_.insert(name);
+  return values_.count(name) != 0;
+}
 
 std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::stoll(it->second);
 }
 
 std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::stoull(it->second);
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   return std::stod(it->second);
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {
+  queried_.insert(name);
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   const std::string& v = it->second;
@@ -95,6 +103,13 @@ std::string Cli::get_choice(const std::string& name,
   HARMONIA_CHECK_MSG(false, "bad --" << name << ": '" << v << "' (expected "
                                      << choices << ")");
   return v;  // unreachable
+}
+
+std::vector<std::string> Cli::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(decls_.size());
+  for (const auto& [name, decl] : decls_) names.push_back(name);
+  return names;
 }
 
 void Cli::print_usage(const std::string& prog) const {

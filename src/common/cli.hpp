@@ -8,6 +8,7 @@
 #include <initializer_list>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@ class Cli {
 
   void print_usage(const std::string& prog) const;
 
+  /// Every declared flag name, sorted. Pairs with `queried()` so tests
+  /// can prove a from_cli() round trip consumes every flag add_flags()
+  /// registered (a flag that parses but is never read is dead config).
+  std::vector<std::string> flag_names() const;
+  /// Flag names read through any get_* accessor so far.
+  const std::set<std::string>& queried() const { return queried_; }
+
  private:
   struct Decl {
     std::string help;
@@ -44,6 +52,8 @@ class Cli {
   };
   std::map<std::string, Decl> decls_;
   std::map<std::string, std::string> values_;
+  /// Consumption ledger: get_* is conceptually const, so mutable.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace harmonia

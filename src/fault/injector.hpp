@@ -68,7 +68,7 @@ struct MitigationConfig {
 };
 
 /// Typed counters of everything injected, detected, and mitigated.
-/// Surfaced through ServerReport/ShardedServerReport and dumped as a
+/// Surfaced through serve::ServerReport and dumped as a
 /// deterministic CSV row (the CI replay gate diffs these bytes).
 struct FaultReport {
   // Injected.

@@ -71,6 +71,30 @@ HarmoniaIndex::QueryResult HarmoniaIndex::search(std::span<const Key> batch,
   return result;
 }
 
+HarmoniaIndex::RecommendedKnobs HarmoniaIndex::recommend_query_knobs(
+    unsigned sample_size) const {
+  RecommendedKnobs rec;
+  if (sample_size == 0) return rec;
+  // Deterministic strided sample of the live key region (pad slots are
+  // the bulk-load gaps — skip them; they are not real keys).
+  const std::span<const Key> keys = tree().key_region();
+  std::vector<Key> sample;
+  sample.reserve(sample_size);
+  const std::size_t stride = std::max<std::size_t>(1, keys.size() / sample_size);
+  for (std::size_t i = 0; i < keys.size() && sample.size() < sample_size;
+       i += stride) {
+    if (keys[i] != kPadKey) sample.push_back(keys[i]);
+  }
+  if (sample.empty()) return rec;
+  rec.group_size =
+      choose_group_size(tree(), std::span<const Key>(sample), device_.spec())
+          .group_size;
+  rec.sort_bits = psa_prepare(std::span<const Key>(sample), tree().num_keys(),
+                              device_.spec(), PsaMode::kPartial, 0)
+                      .sorted_bits;
+  return rec;
+}
+
 HarmoniaIndex::RangeResult HarmoniaIndex::range_device(std::span<const Key> los,
                                                        std::span<const Key> his,
                                                        unsigned max_results) {

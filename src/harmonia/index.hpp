@@ -95,6 +95,17 @@ class HarmoniaIndex {
   /// Query phase: batched point lookups on the (simulated) GPU.
   QueryResult search(std::span<const Key> batch, const QueryOptions& qopts = QueryOptions{});
 
+  /// What a static re-profile of the *current* tree would pick: the NTG
+  /// group size (Eq. 4 over a strided key sample) and the Equation-2 PSA
+  /// sort-bit count. The serving layer re-runs this at epoch-swap
+  /// boundaries so an online tuner can re-seed its image/PSA knobs after
+  /// the tree shape changes. Deterministic for a given tree.
+  struct RecommendedKnobs {
+    unsigned group_size = 0;
+    unsigned sort_bits = 0;
+  };
+  RecommendedKnobs recommend_query_knobs(unsigned sample_size = 1000) const;
+
   /// Host-side point lookup / range scan (used by tests and examples).
   /// Overlay-aware: patched keys and tombstones are merged over the base
   /// tree, mirroring what the device kernels serve after commit_patch.

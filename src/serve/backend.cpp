@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "common/expect.hpp"
+#include "serve/options.hpp"
 
 namespace harmonia::serve {
 
@@ -148,6 +150,63 @@ void ServerReport::check_invariants() const {
                          << " != 1 + migrations=" << migrations);
 }
 
+void Backend::init_tuning(const ServeOptions& config) {
+  tuner_ = config.tuner;
+  tunables_ = Tunables::from(config);
+  tune_obs_ = config.obs;
+  if (tune_obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *tune_obs_.metrics;
+    tune_applied_ = &m.counter("serve_tune_applied_total");
+    tune_vetoed_ = &m.counter("serve_tune_vetoed_total");
+    tune_rolled_back_ = &m.counter("serve_tune_rolled_back_total");
+  }
+}
+
+void Backend::note_tune(TuneAction action, const std::string& note, double now) {
+  if (action == TuneAction::kNone) return;
+  obs::Counter* c = action == TuneAction::kApply    ? tune_applied_
+                    : action == TuneAction::kVeto ? tune_vetoed_
+                                                  : tune_rolled_back_;
+  if (c != nullptr) c->inc();
+  if (tune_obs_.trace != nullptr) {
+    tune_obs_.trace->annotate(now, obs::TraceRecorder::kNoShard,
+                              std::string{"tune "} + to_string(action) +
+                                  (note.empty() ? "" : " ") + note);
+  }
+}
+
+void Backend::apply_tunables(const Tunables& t, double now) {
+  // The subclass hook validates against its construction-time config and
+  // throws before mutating anything; adoption happens only on success.
+  install_tunables(t, now);
+  tunables_ = t;
+}
+
+void Backend::run_tune_tick(double now) {
+  TuneDecision d = tuner_->tick(now, tunables_);
+  switch (d.action) {
+    case TuneAction::kNone:
+      return;
+    case TuneAction::kVeto:
+      note_tune(TuneAction::kVeto, d.note, now);
+      return;
+    case TuneAction::kApply:
+    case TuneAction::kRollback:
+      try {
+        apply_tunables(d.target, now);
+      } catch (const ContractViolation&) {
+        // Guard rail: a proposal the runtime can't honor (e.g. a batch
+        // size above the construction-time queue capacity) must not take
+        // the server down — it becomes a veto the controller observes as
+        // a move with no effect.
+        note_tune(TuneAction::kVeto, d.note + " (rejected)", now);
+        return;
+      }
+      note_tune(d.action, d.note, now);
+      return;
+  }
+}
+
 ServerReport Backend::run(RequestSource& source) {
   ServerReport report;
   begin_run(report);
@@ -191,6 +250,16 @@ ServerReport Backend::run(RequestSource& source) {
     if (t_restore <= t_work) {
       now = std::max(now, t_restore);
       handle_restore(now, report);
+      continue;
+    }
+
+    // Controller ticks run strictly between work events (same-instant
+    // work wins, so a decision lands at a batch-formation boundary) and
+    // never once the stream has drained — an idle backend has nothing to
+    // tune, and the loop above must reach final_drain.
+    if (tuner_ != nullptr && tuner_->next_tick() < t_work) {
+      now = std::max(now, tuner_->next_tick());
+      run_tune_tick(now);
       continue;
     }
 

@@ -17,14 +17,17 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include <array>
 
 #include "common/stats.hpp"
 #include "fault/injector.hpp"
+#include "obs/observer.hpp"
 #include "qos/priority.hpp"
 #include "serve/request.hpp"
+#include "serve/tunables.hpp"
 #include "serve/workload.hpp"
 
 namespace harmonia::serve {
@@ -201,6 +204,28 @@ class Backend {
 
   virtual unsigned num_shards() const = 0;
 
+  /// The currently adopted runtime snapshot (docs/serving.md#autotuner).
+  /// Inside a staged-epoch window this is the *target*: the image/PSA
+  /// knobs may still be latched — effective_query_knobs() reports what
+  /// the dispatch path is actually using.
+  const Tunables& tunables() const { return tunables_; }
+
+  /// Validates `t` against the construction-time options and adopts it.
+  /// Scheduler knobs (max_batch/max_wait) take effect at the next batch
+  /// formation, apply_threads at the next epoch trigger; the image/PSA
+  /// knobs (group_size/sort_bits) install immediately when every shard
+  /// serves one committed image, otherwise they latch and land at the
+  /// epoch-swap boundary (the last shard's swap). Throws
+  /// ContractViolation (nothing adopted) on an invalid snapshot.
+  void apply_tunables(const Tunables& t, double now);
+
+  /// The (group_size, sort_bits) pair dispatches are using right now —
+  /// equals tunables()'s pair except while a snapshot is latched for a
+  /// swap boundary. The swap stress tests pin that window.
+  virtual std::pair<unsigned, unsigned> effective_query_knobs() const {
+    return {tunables_.group_size, tunables_.sort_bits};
+  }
+
  protected:
   static constexpr double kNever = std::numeric_limits<double>::infinity();
 
@@ -249,6 +274,35 @@ class Backend {
   /// After the loop: attach the fault report, export end-of-run gauges,
   /// assert internal state fully drained.
   virtual void finish_run(ServerReport& report) = 0;
+
+  /// Wires the runtime-tunables surface from the (already validated)
+  /// options: the initial snapshot, the optional controller, and the
+  /// serve_tune_*_total counters. Subclass ctors call this once.
+  void init_tuning(const ServeOptions& config);
+
+  /// Subclass hook behind apply_tunables: validate `t` against the
+  /// construction-time config (throw before touching anything), then
+  /// install each knob at its safe point — scheduler knobs now,
+  /// image/PSA knobs now or latched until the next swap boundary.
+  virtual void install_tunables(const Tunables& /*t*/, double /*now*/) {}
+
+  /// Books one controller decision: bumps the matching counter and
+  /// annotates the trace ("tune <action> <note>"). kNone is silent.
+  void note_tune(TuneAction action, const std::string& note, double now);
+
+  /// The wired controller (null without one) — subclasses feed it
+  /// re-profile observations at swap boundaries.
+  TuneController* tuner() const { return tuner_; }
+
+ private:
+  void run_tune_tick(double now);
+
+  TuneController* tuner_ = nullptr;
+  Tunables tunables_;
+  obs::Observer tune_obs_;
+  obs::Counter* tune_applied_ = nullptr;
+  obs::Counter* tune_vetoed_ = nullptr;
+  obs::Counter* tune_rolled_back_ = nullptr;
 };
 
 }  // namespace harmonia::serve

@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "common/expect.hpp"
 #include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
@@ -139,6 +140,31 @@ class BatchScheduler {
   /// Drains every lane (fencing a lost shard re-routes its queued work).
   /// Returned in arrival order; admission counters are unchanged.
   std::vector<Request> evict_all();
+
+  /// Runtime batch knobs (serve/tunables.hpp): the backend installs them
+  /// between dispatches, so no formed batch changes shape mid-flight.
+  /// Queued requests simply see the new triggers; the lanes' admission
+  /// capacity is construction-time and never moves (max_batch must stay
+  /// within it — the Tunables validation enforces that upstream).
+  void set_batch_knobs(std::size_t max_batch, double max_wait) {
+    HARMONIA_CHECK(max_batch > 0 && max_batch <= config_.queue_capacity);
+    HARMONIA_CHECK(max_wait > 0.0);
+    config_.max_batch = max_batch;
+    config_.max_wait = max_wait;
+  }
+  /// Runtime image/PSA knobs for dispatched batches. Callers install
+  /// these only at an epoch-swap boundary (serve/tunables.hpp) — the
+  /// scheduler itself just forwards them to every later dispatch.
+  void set_query_knobs(unsigned group_size, unsigned sort_bits) {
+    config_.pipeline.query_options.group_size = group_size;
+    config_.pipeline.query_options.psa_override_bits = sort_bits;
+  }
+  unsigned group_size() const {
+    return config_.pipeline.query_options.group_size;
+  }
+  unsigned sort_bits() const {
+    return config_.pipeline.query_options.psa_override_bits;
+  }
 
   /// Attaches metrics + lifecycle tracing as shard `shard` (0 for a
   /// single-device server). Counter/histogram handles resolve once here

@@ -34,6 +34,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/expect.hpp"
 #include "fault/injector.hpp"
 #include "harmonia/index.hpp"
 #include "harmonia/pipeline.hpp"
@@ -160,6 +161,15 @@ class EpochUpdater {
     injector_ = injector;
     shard_ = shard;
   }
+
+  /// Runtime apply-threads knob (serve/tunables.hpp). Safe at any event
+  /// boundary: an in-flight staged epoch computed its build time at
+  /// stage(), so the change affects only epochs triggered afterwards.
+  void set_apply_threads(unsigned threads) {
+    HARMONIA_CHECK(threads > 0);
+    config_.apply_threads = threads;
+  }
+  unsigned apply_threads() const { return config_.apply_threads; }
 
   /// Attaches the write-ahead durability sink: each epoch's batch is
   /// appended to `shard`'s update log at the trigger instant, *before*

@@ -102,6 +102,11 @@ void ServeOptions::validate(unsigned num_shards) const {
 
   qos.validate();
 
+  // The runtime-tunable knobs start from their configured values; the
+  // initial snapshot must already pass the same bounds apply_tunables
+  // enforces online (group-size/sort-bits ranges, batch within queue).
+  Tunables::from(*this).validate(*this);
+
   HARMONIA_CHECK_MSG(!persist.recover || persist.enabled(),
                      "persist.recover needs persist.dir (--snapshot-dir) set");
   HARMONIA_CHECK_MSG(persist.retain >= 1, "persist.retain must be >= 1");
@@ -137,8 +142,8 @@ void ServeOptions::validate(unsigned num_shards) const {
 }
 
 void ServeOptions::add_flags(Cli& cli) {
-  cli.flag("max-batch", "batch size trigger", "4096")
-      .flag("max-wait-us", "batch deadline (us)", "100")
+  cli.flag("max-batch", "batch size trigger", "2048")
+      .flag("max-wait-us", "batch deadline (us)", "200")
       .flag("queue-cap", "admission queue capacity per lane", "16384")
       .flag("epoch-updates", "updates buffered per epoch", "4096")
       .flag("epoch-mode", "epoch pipeline: quiesce (stall-the-world), "
@@ -148,6 +153,10 @@ void ServeOptions::add_flags(Cli& cli) {
       .flag("overlay-cap", "delta-mode device overlay bound in entries "
                            "(per shard)", "1024")
       .flag("apply-threads", "CPU workers for the Algorithm-1 batch apply", "1")
+      .flag("group-size", "NTG thread-group size for dispatched batches "
+                          "(power of two <= warp; 0 = fanout default)", "0")
+      .flag("sort-bits", "PSA sort-bit count for dispatched batches "
+                         "(0 = Equation 2)", "0")
       .flag("pcie", "link bandwidth in GB/s", "12.0")
       .flag("replicas", "replica group size K per shard (1 = unreplicated)",
             "1")
@@ -181,9 +190,13 @@ void ServeOptions::add_flags(Cli& cli) {
 
 ServeOptions ServeOptions::from_cli(const Cli& cli) {
   ServeOptions opts;
-  opts.batch.max_batch = cli.get_uint("max-batch", 4096);
-  opts.batch.max_wait =
-      static_cast<double>(cli.get_uint("max-wait-us", 100)) * 1e-6;
+  opts.batch.max_batch = cli.get_uint("max-batch", 2048);
+  // Override only when set: scaling the default through us->seconds
+  // arithmetic would drift a ulp off the struct default, breaking the
+  // defaults-survive-the-round-trip property.
+  if (cli.has("max-wait-us"))
+    opts.batch.max_wait =
+        static_cast<double>(cli.get_uint("max-wait-us", 200)) * 1e-6;
   opts.batch.queue_capacity = cli.get_uint("queue-cap", 16384);
   opts.epoch.max_buffered = cli.get_uint("epoch-updates", 4096);
   const std::string mode =
@@ -194,6 +207,10 @@ ServeOptions ServeOptions::from_cli(const Cli& cli) {
   opts.epoch.overlay_capacity = cli.get_uint("overlay-cap", 1024);
   opts.epoch.apply_threads =
       static_cast<unsigned>(cli.get_uint("apply-threads", 1));
+  opts.batch.pipeline.query_options.group_size =
+      static_cast<unsigned>(cli.get_uint("group-size", 0));
+  opts.batch.pipeline.query_options.psa_override_bits =
+      static_cast<unsigned>(cli.get_uint("sort-bits", 0));
   opts.link.gigabytes_per_second = cli.get_double("pcie", 12.0);
   opts.replicas = static_cast<unsigned>(cli.get_uint("replicas", 1));
   opts.reshard.split_hot = cli.get_bool("split-hot", false);

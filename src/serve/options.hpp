@@ -8,8 +8,10 @@
 // and one CLI entry point (add_flags/from_cli, built on common/cli) that
 // every tool and bench shares instead of re-parsing flags by hand.
 //
-// `serve::ServerConfig` and `shard::ShardedServerConfig` are aliases of
-// this type — see the migration note in docs/serving.md.
+// ServeOptions holds the construction-time half of the surface; the
+// runtime-adjustable knobs additionally travel as a serve::Tunables
+// snapshot (serve/tunables.hpp) that Backend exposes via
+// tunables()/apply_tunables() — see docs/serving.md#autotuner.
 #pragma once
 
 #include "common/cli.hpp"
@@ -20,6 +22,7 @@
 #include "qos/admission.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/epoch_updater.hpp"
+#include "serve/tunables.hpp"
 
 namespace harmonia::serve {
 
@@ -75,12 +78,27 @@ struct ServeOptions {
   /// test). Non-owning; null = no durable writes even when persist.dir
   /// is set (the backend only ever writes through this pointer).
   persist::DurabilityDomain* durability = nullptr;
+  /// Closed-loop tuning controller (docs/serving.md#autotuner): the
+  /// backend ticks it on the virtual clock and installs its decisions at
+  /// the knobs' safe points. Non-owning (the tool or test owns the
+  /// tune::Autotuner); null = all knobs stay at their configured values.
+  TuneController* tuner = nullptr;
 
   /// Rejects inconsistent combinations with ContractViolation before any
-  /// serving state is built: queue capacity below the batch trigger,
-  /// empty epoch thresholds, non-positive link bandwidth, a mitigation
-  /// with no retry budget, and fault events that do not fit the topology
-  /// (shard-lost needs >1 shard; every event's shard must exist).
+  /// serving state is built: queue capacity below the batch trigger;
+  /// empty epoch thresholds, non-positive apply threads, negative
+  /// modeled op costs, a delta mode without overlay capacity;
+  /// non-positive link bandwidth or negative latency; a mitigation with
+  /// no retry budget, negative backoffs, or degraded costs; a replica
+  /// group outside [1, 8] or without the sharded path to ride; hot-range
+  /// splitting with a non-positive cadence, a hot factor <= 1, or fewer
+  /// than 2 shards; the QoS policy's own validate(); persistence
+  /// recovery without a snapshot directory or zero retention; the
+  /// initial tunables snapshot (group size / sort bits bounds); and
+  /// fault events that do not fit the topology (every event's shard must
+  /// exist, shard-lost needs a sharded or replicated topology,
+  /// replica-lost needs a group, process-restart never reaches a
+  /// backend).
   void validate(unsigned num_shards = 1) const;
 
   /// Declares the serving flags (batching, epochs, link, faults) on a

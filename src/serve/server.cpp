@@ -8,7 +8,7 @@
 
 namespace harmonia::serve {
 
-Server::Server(HarmoniaIndex& index, const ServerConfig& config)
+Server::Server(HarmoniaIndex& index, const ServeOptions& config)
     : index_(index),
       config_(config),
       scheduler_(index, config.link, config.batch, config.qos),
@@ -16,6 +16,7 @@ Server::Server(HarmoniaIndex& index, const ServerConfig& config)
       injector_(config.faults, config.mitigation, 1),
       admission_(config.qos) {
   config_.validate(1);
+  init_tuning(config_);
   if (injector_.active()) {
     scheduler_.set_fault_context(&injector_, 0);
     updater_.set_fault_context(&injector_, 0);
@@ -128,6 +129,7 @@ void Server::run_epoch(double at, RequestSource& source, ServerReport& report) {
   device_free_ = e.finish;
   report.busy_seconds += e.finish - e.start;
   account_epoch(e, source, report);
+  at_swap_boundary(e.finish);  // a quiesce epoch is its own swap boundary
 }
 
 double Server::next_batch_time(double now) const {
@@ -232,6 +234,42 @@ void Server::epoch_commit(double now, RequestSource& source,
   // The swap itself is a pointer flip on the device: no device time
   // beyond the instant — that is the whole point of the double buffer.
   account_epoch(updater_.commit(now), source, report);
+  at_swap_boundary(now);
+}
+
+std::pair<unsigned, unsigned> Server::effective_query_knobs() const {
+  return {scheduler_.group_size(), scheduler_.sort_bits()};
+}
+
+void Server::install_query_knobs(const Tunables& t) {
+  scheduler_.set_query_knobs(t.group_size, t.sort_bits);
+}
+
+void Server::install_tunables(const Tunables& t, double now) {
+  t.validate(config_);
+  scheduler_.set_batch_knobs(t.max_batch, t.max_wait);
+  updater_.set_apply_threads(t.apply_threads);
+  if (updater_.inflight()) {
+    // Swap-boundary contract: the in-flight epoch's queries must keep
+    // dispatching with the knobs they were admitted under; the image
+    // knobs land with its commit.
+    pending_query_ = t;
+  } else {
+    pending_query_.reset();
+    install_query_knobs(t);
+  }
+  (void)now;
+}
+
+void Server::at_swap_boundary(double now) {
+  if (pending_query_.has_value()) {
+    install_query_knobs(*pending_query_);
+    pending_query_.reset();
+  }
+  if (tuner() != nullptr) {
+    const auto rec = index_.recommend_query_knobs();
+    tuner()->observe_profile(now, rec.group_size, rec.sort_bits);
+  }
 }
 
 void Server::final_drain(double now, RequestSource& source,

@@ -13,6 +13,8 @@
 // and each response records which epoch count it observed.
 #pragma once
 
+#include <optional>
+
 #include "harmonia/index.hpp"
 #include "qos/admission.hpp"
 #include "serve/backend.hpp"
@@ -22,14 +24,16 @@
 
 namespace harmonia::serve {
 
-/// Historical name for the unified option struct (docs/serving.md).
-using ServerConfig = ServeOptions;
-
 class Server : public Backend {
  public:
-  Server(HarmoniaIndex& index, const ServerConfig& config);
+  Server(HarmoniaIndex& index, const ServeOptions& config);
 
   unsigned num_shards() const override { return 1; }
+
+  /// The image/PSA knobs dispatches are using right now: the scheduler's
+  /// live values, which lag tunables() while a snapshot is latched for
+  /// the in-flight epoch's swap boundary.
+  std::pair<unsigned, unsigned> effective_query_knobs() const override;
 
  protected:
   double next_batch_time(double now) const override;
@@ -47,6 +51,7 @@ class Server : public Backend {
   void final_drain(double now, RequestSource& source,
                    ServerReport& report) override;
   void finish_run(ServerReport& report) override;
+  void install_tunables(const Tunables& t, double now) override;
 
  private:
   void handle_dispatch(BatchScheduler::Dispatch d, RequestSource& source,
@@ -61,6 +66,13 @@ class Server : public Backend {
   /// Books one finished epoch (either mode) into the report.
   void account_epoch(const EpochUpdater::EpochResult& e, RequestSource& source,
                      ServerReport& report);
+  /// Pushes a snapshot's image/PSA knobs into the dispatch path — called
+  /// only at safe points (no staged epoch in flight, or its commit).
+  void install_query_knobs(const Tunables& t);
+  /// Swap-boundary bookkeeping shared by epoch_commit and final_drain:
+  /// installs a latched snapshot and feeds the controller the freshly
+  /// re-profiled GS / Eq.2 bits of the just-committed image.
+  void at_swap_boundary(double now);
 
   /// Per-class cached metric handles (null when unobserved).
   struct ClassMetrics {
@@ -82,6 +94,9 @@ class Server : public Backend {
   persist::ShardDurability* durability_ = nullptr;
   std::array<ClassMetrics, qos::kNumClasses> class_metrics_{};
   double device_free_ = 0.0;
+  /// Image/PSA knobs latched while a staged epoch is in flight; they
+  /// install at its swap boundary (apply_tunables contract).
+  std::optional<Tunables> pending_query_;
 };
 
 }  // namespace harmonia::serve

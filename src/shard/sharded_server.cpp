@@ -37,7 +37,8 @@ void accumulate(UpdateStats& agg, const UpdateStats& st) {
 }
 }  // namespace
 
-ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& config)
+ShardedServer::ShardedServer(ShardedIndex& index,
+                             const serve::ServeOptions& config)
     : index_(index),
       config_(config),
       injector_(config.faults, config.mitigation, index.num_shards(),
@@ -59,6 +60,7 @@ ShardedServer::ShardedServer(ShardedIndex& index, const ShardedServerConfig& con
       fence_depth_(index.num_shards(), 0),
       window_routed_(index.num_shards(), 0) {
   config_.validate(index_.num_shards());
+  init_tuning(config_);
   if (config_.durability != nullptr) {
     HARMONIA_CHECK(config_.durability->num_shards() == index_.num_shards());
     durability_.resize(index_.num_shards());
@@ -665,6 +667,7 @@ void ShardedServer::run_epoch(double at, RequestSource& source,
     report.responses.push_back(std::move(resp));
   }
   pending_updates_.clear();
+  at_fleet_swap_boundary(finish_t);  // a quiesce epoch is a fleet boundary
 }
 
 void ShardedServer::stage_with_fold(unsigned s,
@@ -926,9 +929,11 @@ void ShardedServer::finish_overlap_epoch(double now, RequestSource& source,
     report.responses.push_back(std::move(resp));
   }
 
-  // Versions are uniform again: re-admit the straddlers that arrived
-  // mid-window (original arrival kept, so their deadlines are already
-  // urgent).
+  // Versions are uniform again: install any latched tunables snapshot
+  // before new work is admitted, then re-admit the straddlers that
+  // arrived mid-window (original arrival kept, so their deadlines are
+  // already urgent).
+  at_fleet_swap_boundary(now);
   std::vector<Request> parked = std::move(parked_);
   parked_.clear();
   for (const Request& r : parked) admit_query(r, now, source, report);
@@ -1401,8 +1406,10 @@ void ShardedServer::commit_migration(double now, RequestSource& source,
               " plan_version=" + std::to_string(plan_version_));
   }
 
-  // Routing is consistent again: re-admit the parked requests under the
-  // new plan (original arrivals kept, so their deadlines stay urgent).
+  // Routing is consistent again: install any latched tunables snapshot,
+  // then re-admit the parked requests under the new plan (original
+  // arrivals kept, so their deadlines stay urgent).
+  at_fleet_swap_boundary(now);
   std::vector<Request> parked = std::move(parked_);
   parked_.clear();
   for (const Request& r : parked) admit_query(r, now, source, report);
@@ -1452,6 +1459,47 @@ void ShardedServer::final_drain(double now, RequestSource& source,
   // Leftover updates at stream end: nothing is left to overlap with, so
   // both modes close out with a quiesce-style final epoch.
   if (!pending_updates_.empty()) run_epoch(now, source, report);
+}
+
+std::pair<unsigned, unsigned> ShardedServer::effective_query_knobs() const {
+  return {sched_[0]->group_size(), sched_[0]->sort_bits()};
+}
+
+void ShardedServer::install_query_knobs(const serve::Tunables& t) {
+  for (auto& sched : sched_) sched->set_query_knobs(t.group_size, t.sort_bits);
+}
+
+void ShardedServer::install_tunables(const serve::Tunables& t, double now) {
+  t.validate(config_);
+  // Scheduler knobs install between dispatches on every shard — each
+  // shard's formed batches are immutable, so this is always safe.
+  for (auto& sched : sched_) sched->set_batch_knobs(t.max_batch, t.max_wait);
+  // The sharded epoch paths read config_.epoch.apply_threads directly;
+  // in-flight staged builds already computed their cost, so the change
+  // affects only epochs triggered afterwards.
+  config_.epoch.apply_threads = t.apply_threads;
+  if (inflight_.has_value() || migration_.has_value()) {
+    // Fenced latch: shards swap staggered inside an epoch (and a
+    // migration rebuilds two shards), so installing image/PSA knobs now
+    // would let replicas and straddling fan-outs observe mixed values.
+    // They land at the fleet-wide boundary instead.
+    pending_query_ = t;
+  } else {
+    pending_query_.reset();
+    install_query_knobs(t);
+  }
+  (void)now;
+}
+
+void ShardedServer::at_fleet_swap_boundary(double now) {
+  if (pending_query_.has_value()) {
+    install_query_knobs(*pending_query_);
+    pending_query_.reset();
+  }
+  if (tuner() != nullptr && index_.shard(0) != nullptr) {
+    const auto rec = index_.shard(0)->recommend_query_knobs();
+    tuner()->observe_profile(now, rec.group_size, rec.sort_bits);
+  }
 }
 
 void ShardedServer::finish_run(ServerReport& report) {

@@ -76,21 +76,21 @@
 
 namespace harmonia::shard {
 
-/// Historical names for the unified option/report types (docs/serving.md):
-/// the sharded stack shares serve::ServeOptions (batch/epoch configs are
-/// per shard) and the unified serve::ServerReport, whose shard_* vectors
-/// it fills.
-using ShardedServerConfig = serve::ServeOptions;
-using ShardedServerReport = serve::ServerReport;
-
 class ShardedServer : public serve::Backend {
  public:
   /// Every shard of `index` must hold keys (plan the partition from the
   /// served keys, e.g. ShardPlan::sample_balanced) so each shard has a
-  /// live device and scheduler for the whole run.
-  ShardedServer(ShardedIndex& index, const ShardedServerConfig& config);
+  /// live device and scheduler for the whole run. The sharded stack
+  /// shares serve::ServeOptions (batch/epoch configs are per shard) and
+  /// the unified serve::ServerReport, whose shard_* vectors it fills.
+  ShardedServer(ShardedIndex& index, const serve::ServeOptions& config);
 
   unsigned num_shards() const override { return index_.num_shards(); }
+
+  /// The image/PSA knobs dispatches are using right now. Tunables install
+  /// fleet-wide at fenced boundaries, so every shard's scheduler holds
+  /// the same values — shard 0 speaks for the fleet.
+  std::pair<unsigned, unsigned> effective_query_knobs() const override;
 
  protected:
   void begin_run(serve::ServerReport& report) override;
@@ -114,6 +114,7 @@ class ShardedServer : public serve::Backend {
   void final_drain(double now, serve::RequestSource& source,
                    serve::ServerReport& report) override;
   void finish_run(serve::ServerReport& report) override;
+  void install_tunables(const serve::Tunables& t, double now) override;
 
  private:
   /// Sub-request ids live above this bit so they can never collide with
@@ -275,6 +276,15 @@ class ShardedServer : public serve::Backend {
 
   std::size_t total_depth() const;
 
+  /// Pushes a snapshot's image/PSA knobs into every shard's dispatch
+  /// path — called only when no staged epoch or migration is in flight
+  /// (so replicas and straddling fan-outs never observe mixed values).
+  void install_query_knobs(const serve::Tunables& t);
+  /// Fleet-wide swap boundary (the last per-shard swap of a staged epoch,
+  /// or a committed migration/quiesce epoch): installs a latched snapshot
+  /// and feeds the controller shard 0's re-profiled knobs.
+  void at_fleet_swap_boundary(double now);
+
   /// Flattened replica-timeline accessors (slot(s, r) = s * K + r).
   std::size_t slot(unsigned s, unsigned r) const {
     return std::size_t{s} * replicas_ + r;
@@ -358,6 +368,10 @@ class ShardedServer : public serve::Backend {
   std::vector<serve::Request> parked_;
   std::optional<InflightEpoch> inflight_;
   std::optional<InflightMigration> migration_;
+  /// Image/PSA knobs latched while a staged epoch or migration is in
+  /// flight; they install fleet-wide at its last swap (apply_tunables
+  /// contract, fenced so shards never dispatch with mixed values).
+  std::optional<serve::Tunables> pending_query_;
   /// Bumps once per committed migration; starts (and stays, without
   /// split_hot) at 1 — the report invariant plan_version == 1 +
   /// migrations pins it.

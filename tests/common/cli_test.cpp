@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace harmonia {
 namespace {
 
@@ -70,6 +72,29 @@ TEST(Cli, BadBoolThrows) {
   const char* argv[] = {"prog", "--full=maybe"};
   ASSERT_TRUE(cli.parse(2, argv));
   EXPECT_THROW(cli.get_bool("full", false), std::invalid_argument);
+}
+
+TEST(Cli, FlagNamesListsEveryDeclaration) {
+  auto cli = make_cli();
+  const auto names = cli.flag_names();
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "tree-size"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fill"), names.end());
+}
+
+TEST(Cli, QueriedTracksConsumedFlags) {
+  auto cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_TRUE(cli.queried().empty());
+  (void)cli.get_uint("tree-size", 0);
+  (void)cli.get_bool("full", false);
+  EXPECT_EQ(cli.queried().size(), 2u);
+  EXPECT_TRUE(cli.queried().count("tree-size"));
+  EXPECT_TRUE(cli.queried().count("full"));
+  EXPECT_FALSE(cli.queried().count("dist"));
+  (void)cli.has("dist");  // presence checks count as consumption too
+  EXPECT_TRUE(cli.queried().count("dist"));
 }
 
 }  // namespace

@@ -45,8 +45,8 @@ std::vector<Request> query_stream(const ServerFixture& f, std::uint64_t count,
   return make_open_loop(f.keys, spec);
 }
 
-ServerConfig base_config() {
-  ServerConfig cfg;
+ServeOptions base_config() {
+  ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 80e-6;
   cfg.batch.queue_capacity = 8192;
@@ -70,7 +70,7 @@ TEST(FaultServer, ArmedButIdlePlanIsBitIdentical) {
   auto run_with = [](const std::string& spec) {
     ServerFixture f;
     const auto stream = query_stream(f, 3000, 42);
-    ServerConfig cfg = base_config();
+    ServeOptions cfg = base_config();
     if (!spec.empty()) cfg.faults = fault::FaultPlan::parse(spec);
     Server server(f.index, cfg);
     return server.run(stream);
@@ -97,7 +97,7 @@ TEST(FaultServer, SlowdownStretchesTheClockNotTheAnswers) {
   auto run_with = [](const std::string& spec) {
     ServerFixture f;
     const auto stream = query_stream(f, 3000, 42);
-    ServerConfig cfg = base_config();
+    ServeOptions cfg = base_config();
     if (!spec.empty()) cfg.faults = fault::FaultPlan::parse(spec);
     Server server(f.index, cfg);
     auto rep = server.run(stream);
@@ -118,7 +118,7 @@ TEST(FaultServer, SlowdownStretchesTheClockNotTheAnswers) {
 TEST(FaultServer, TransientFailuresAreRetriedWithinBudget) {
   ServerFixture f;
   const auto stream = query_stream(f, 2000, 7);
-  ServerConfig cfg = base_config();
+  ServeOptions cfg = base_config();
   cfg.faults = fault::FaultPlan::parse("fail@0:shard=0,count=2");
   Server server(f.index, cfg);
   const auto rep = server.run(stream);
@@ -135,7 +135,7 @@ TEST(FaultServer, TransientFailuresAreRetriedWithinBudget) {
 TEST(FaultServer, ExhaustedRetryBudgetShedsTheBatchVisibly) {
   ServerFixture f;
   const auto stream = query_stream(f, 2000, 7);
-  ServerConfig cfg = base_config();
+  ServeOptions cfg = base_config();
   // More consecutive failures than any retry budget: some batch dies.
   cfg.faults = fault::FaultPlan::parse("fail@0:shard=0,count=64");
   cfg.mitigation.retry.max_attempts = 3;
@@ -166,7 +166,7 @@ TEST(FaultServer, ResyncCorruptionIsDetectedAndRepaired) {
   spec.seed = 9;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg = base_config();
+  ServeOptions cfg = base_config();
   cfg.epoch.max_buffered = 300;
   cfg.faults = fault::FaultPlan::parse("corrupt@0:shard=0,bytes=16");
 
@@ -223,7 +223,7 @@ TEST(FaultServer, ResyncCorruptionIsDetectedAndRepaired) {
 
 TEST(FaultServer, RejectsShardLostOnSingleDevice) {
   ServerFixture f;
-  ServerConfig cfg = base_config();
+  ServeOptions cfg = base_config();
   cfg.faults = fault::FaultPlan::parse("lose@0:shard=0,repair=0.001");
   EXPECT_THROW(Server(f.index, cfg), ContractViolation);
 }

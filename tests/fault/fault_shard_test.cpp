@@ -86,7 +86,7 @@ std::vector<std::map<Key, Value>> make_snapshots(
 /// degraded CPU path — must match a whole-epoch snapshot exactly. A
 /// single corrupted or torn answer fails here.
 void check_answered_against_oracle(
-    const ShardedServerReport& rep, const std::vector<serve::Request>& stream,
+    const serve::ServerReport& rep, const std::vector<serve::Request>& stream,
     const std::vector<std::map<Key, Value>>& snapshots,
     std::size_t max_range_results) {
   ASSERT_EQ(rep.responses.size(), stream.size());
@@ -149,7 +149,7 @@ TEST(FaultShard, LostShardServesDegradedThenRestores) {
   spec.seed = 13;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 80e-6;
   cfg.batch.queue_capacity = 1 << 14;
@@ -263,7 +263,7 @@ TEST(FaultShard, SeededRandomPlanReplaysByteIdentically) {
     spec.seed = 21;
     const auto stream = serve::make_open_loop(f.keys, spec);
 
-    ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.epoch.max_buffered = 250;

@@ -71,8 +71,8 @@ std::vector<serve::Request> test_stream(const std::vector<Key>& keys,
   return serve::make_open_loop(keys, spec);
 }
 
-serve::ServerConfig server_config() {
-  serve::ServerConfig cfg;
+serve::ServeOptions server_config() {
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 80e-6;
   cfg.batch.queue_capacity = 512;  // small enough to exercise rejections
@@ -112,7 +112,7 @@ void expect_same_responses(const serve::ServerReport& a,
 TEST(Observability, ObserverDoesNotPerturbSingleDeviceRun) {
   auto run = [](bool observed) {
     SingleFixture f;
-    serve::ServerConfig cfg = server_config();
+    serve::ServeOptions cfg = server_config();
     cfg.faults = fault::FaultPlan::random(
         [] {
           fault::FaultPlan::RandomSpec r;
@@ -139,7 +139,7 @@ TEST(Observability, ObserverDoesNotPerturbSingleDeviceRun) {
 TEST(Observability, ObserverDoesNotPerturbShardedRun) {
   auto run = [](bool observed) {
     ShardedFixture f(4);
-    shard::ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.batch.queue_capacity = 512;
@@ -159,7 +159,7 @@ TEST(Observability, ObserverDoesNotPerturbShardedRun) {
 // identity the report builders assert internally.
 TEST(Observability, MetricsAgreeWithReport) {
   ShardedFixture f(4);
-  shard::ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 80e-6;
   cfg.batch.queue_capacity = 256;  // force some rejections
@@ -189,7 +189,7 @@ TEST(Observability, MetricsAgreeWithReport) {
 
   // Per-shard scheduler admissions sum to the schedulers' view of the
   // stream (every sub-request, unlike report.shard_admitted — see the
-  // ShardedServerReport field comment for why these two differ).
+  // serve::ServerReport field comment for why these two differ).
   std::uint64_t sched_admitted = 0;
   std::uint64_t sched_batches = 0;
   for (unsigned s = 0; s < 4; ++s) {
@@ -222,7 +222,7 @@ TEST(Observability, InvariantsHoldOverRandomFaultPlans) {
     for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
       SCOPED_TRACE(testing::Message() << shards << " shard(s), seed " << seed);
       ShardedFixture f(shards);
-      shard::ShardedServerConfig cfg;
+      serve::ServeOptions cfg;
       cfg.batch.max_batch = 128;
       cfg.batch.max_wait = 80e-6;
       cfg.batch.queue_capacity = 256;
@@ -243,7 +243,7 @@ TEST(Observability, InvariantsHoldOverRandomFaultPlans) {
   for (const std::uint64_t seed : {11u, 12u}) {
     SCOPED_TRACE(testing::Message() << "single device, seed " << seed);
     SingleFixture f;
-    serve::ServerConfig cfg = server_config();
+    serve::ServeOptions cfg = server_config();
     cfg.faults = random_plan(1, seed);
     serve::Server server(f.index, cfg);
     const auto report = server.run(test_stream(f.keys, seed));
@@ -277,7 +277,7 @@ TEST(Observability, ViolatedInvariantThrowsWithDiagnostic) {
 }
 
 TEST(Observability, ShardedInvariantCatchesBrokenPerShardSums) {
-  shard::ShardedServerReport report;
+  serve::ServerReport report;
   report.arrivals = 4;
   report.admitted = 4;
   report.completed = 4;
@@ -306,7 +306,7 @@ TEST(Observability, ShardedInvariantCatchesBrokenPerShardSums) {
 TEST(Observability, SameSeedRunsDumpByteIdenticalObservations) {
   auto dump_once = [] {
     ShardedFixture f(4);
-    shard::ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.batch.queue_capacity = 512;
@@ -335,7 +335,7 @@ TEST(Observability, SameSeedRunsDumpByteIdenticalObservations) {
 // every involved shard plus one gather-merge stamp.
 TEST(Observability, TraceCapturesFaultsAndFanOut) {
   ShardedFixture f(4);
-  shard::ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 80e-6;
   cfg.epoch.max_buffered = 250;

@@ -92,7 +92,7 @@ TEST(QosServing, TokenBucketThrottlesPerTenant) {
   spec.seed = 3;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.queue_capacity = 8192;
   cfg.qos = three_class_qos();
@@ -116,7 +116,7 @@ TEST(QosServing, TokenBucketThrottlesPerTenant) {
   expect_class_ledger_reconciles(rep);
 
   // The same stream without throttling admits everything.
-  ServerConfig open = cfg;
+  ServeOptions open = cfg;
   open.qos.tenant_rate = 0.0;
   ServerFixture f2;
   Server server2(f2.index, open);
@@ -139,7 +139,7 @@ TEST(QosServing, OverloadShedsLowestClassFirst) {
   spec.seed = 11;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 512;  // small budget: evictions must happen
@@ -173,7 +173,7 @@ TEST(QosServing, WeightedFairFavoursGoldUnderSaturation) {
   spec.seed = 17;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 4096;
@@ -205,7 +205,7 @@ TEST(QosServing, DisabledQosStillKeepsClassLedger) {
   spec.seed = 23;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.queue_capacity = 8192;
   cfg.epoch.max_buffered = 200;
@@ -231,7 +231,7 @@ TEST(QosServing, DeterministicReplayWithQosOn) {
 
   auto run_once = [&] {
     ServerFixture f;
-    ServerConfig cfg;
+    ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.queue_capacity = 512;
     cfg.qos = three_class_qos();

@@ -133,8 +133,8 @@ void check_against_snapshots(const std::vector<Request>& stream,
   }
 }
 
-ServerConfig delta_config(std::uint64_t max_buffered, std::size_t overlay_cap) {
-  ServerConfig cfg;
+ServeOptions delta_config(std::uint64_t max_buffered, std::size_t overlay_cap) {
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 1 << 15;  // no drops: every request oracle-checked
@@ -170,7 +170,7 @@ TEST(DeltaServingFuzz, DifferentialOracleAcrossThousandEpochBoundaries) {
   spec.seed = 1337;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg = delta_config(/*max_buffered=*/6, /*overlay_cap=*/24);
+  ServeOptions cfg = delta_config(/*max_buffered=*/6, /*overlay_cap=*/24);
   // Epoch commits land on batch boundaries, so boundary density bounds
   // the epoch rate: small batches, a free modeled apply, and a fast
   // link pack >= 1000 epochs into the stream (as in the swap stress).
@@ -223,7 +223,7 @@ TEST(DeltaServingFuzz, DeterministicReplay) {
   auto run_once = [&](ServerReport& out) {
     ServerFixture f;
     const auto stream = make_open_loop(f.keys, spec);
-    const ServerConfig cfg = delta_config(/*max_buffered=*/16, /*overlay_cap=*/32);
+    const ServeOptions cfg = delta_config(/*max_buffered=*/16, /*overlay_cap=*/32);
     Server server(f.index, cfg);
     out = server.run(stream);
   };
@@ -264,7 +264,7 @@ TEST(DeltaServingFuzz, PatchUploadsUndercutFullImageUploads) {
     // (the same reason E13's crossover gate runs at --size=19).
     ServerFixture f(1 << 16);
     const auto stream = make_open_loop(f.keys, spec);
-    ServerConfig cfg = delta_config(/*max_buffered=*/64, /*overlay_cap=*/1024);
+    ServeOptions cfg = delta_config(/*max_buffered=*/64, /*overlay_cap=*/1024);
     cfg.epoch.mode = mode;
     Server server(f.index, cfg);
     return server.run(stream);

@@ -103,7 +103,7 @@ TEST(EpochPipeline, OverlapDifferentialOracleAcrossEpochs) {
   spec.seed = 42;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 8192;  // no drops: every request needs an oracle check
@@ -196,7 +196,7 @@ TEST(EpochPipeline, ReportAttributesStallAndSwapPerMode) {
   auto run_mode = [&](EpochMode mode) {
     ServerFixture f;
     const auto stream = make_open_loop(f.keys, spec);
-    ServerConfig cfg;
+    ServeOptions cfg;
     cfg.batch.max_batch = 256;
     cfg.epoch.max_buffered = 200;
     cfg.epoch.mode = mode;
@@ -243,7 +243,7 @@ TEST(EpochPipeline, ZeroUpdateStreamIdenticalAcrossModes) {
   auto run_mode = [&](EpochMode mode) {
     ServerFixture f;
     const auto stream = make_open_loop(f.keys, spec);
-    ServerConfig cfg;
+    ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.epoch.mode = mode;
     Server server(f.index, cfg);
@@ -283,7 +283,7 @@ TEST(EpochPipeline, ThousandsOfBackToBackSwapsStayMonotonic) {
   spec.seed = 23;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.queue_capacity = 1 << 16;
   cfg.epoch.max_buffered = 8;  // a swap every few batches
@@ -333,7 +333,7 @@ TEST(EpochPipeline, ThousandsOfBackToBackSwapsStayMonotonic) {
     if (r.kind == RequestKind::kUpdate) apply_to_oracle(oracle, r);
   }
   ServerFixture f1;
-  ServerConfig cfg1 = cfg;
+  ServeOptions cfg1 = cfg;
   cfg1.epoch.apply_threads = 1;
   Server serial(f1.index, cfg1);
   const auto rep1 = serial.run(stream);
@@ -357,7 +357,7 @@ TEST(EpochPipeline, DeterministicReplayWithThreadedApply) {
   auto run_once = [&] {
     ServerFixture f;
     const auto stream = make_open_loop(f.keys, spec);
-    ServerConfig cfg;
+    ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.epoch.max_buffered = 100;

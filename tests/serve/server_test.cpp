@@ -63,7 +63,7 @@ TEST(Server, DifferentialOracleAcrossEpochs) {
   spec.seed = 42;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 8192;  // no drops: every request needs an oracle check
@@ -169,7 +169,7 @@ TEST(Server, DeadlineBoundsTailQueueingDelay) {
     spec.seed = 7;
     const auto stream = make_open_loop(f.keys, spec);
 
-    ServerConfig cfg;
+    ServeOptions cfg;
     cfg.batch.max_batch = 4096;  // size trigger out of the way
     cfg.batch.max_wait = max_wait;
     Server server(f.index, cfg);
@@ -200,7 +200,7 @@ TEST(Server, OverloadShedsLoadInsteadOfGrowingQueue) {
   spec.seed = 11;
   const auto stream = make_open_loop(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 50e-6;
   cfg.batch.queue_capacity = 1024;
@@ -236,7 +236,7 @@ TEST(Server, ClosedLoopNeverOverflowsClientPopulation) {
   spec.seed = 3;
   ClosedLoopSource source(f.keys, spec);
 
-  ServerConfig cfg;
+  ServeOptions cfg;
   cfg.batch.max_batch = 64;
   cfg.batch.max_wait = 30e-6;
   Server server(f.index, cfg);
@@ -263,7 +263,7 @@ TEST(Server, DeterministicReplay) {
   auto run_once = [&] {
     ServerFixture f;
     const auto stream = make_open_loop(f.keys, spec);
-    ServerConfig cfg;
+    ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.epoch.max_buffered = 100;

@@ -74,7 +74,7 @@ void apply_to_oracle(std::map<Key, Value>& oracle, const serve::Request& r) {
 /// epoch order (arrival order within a group).
 std::vector<std::map<Key, Value>> snapshots_from_responses(
     const std::vector<Key>& keys, const std::vector<serve::Request>& stream,
-    const ShardedServerReport& rep) {
+    const serve::ServerReport& rep) {
   std::vector<unsigned> epoch_of(stream.size(), 0);
   for (const serve::Response& resp : rep.responses) {
     if (resp.kind == serve::RequestKind::kUpdate) epoch_of[resp.id] = resp.epoch;
@@ -95,7 +95,7 @@ std::vector<std::map<Key, Value>> snapshots_from_responses(
 
 /// Checks every response against the snapshot for the epoch it reports.
 void check_against_snapshots(
-    const std::vector<serve::Request>& stream, const ShardedServerReport& rep,
+    const std::vector<serve::Request>& stream, const serve::ServerReport& rep,
     const std::vector<std::map<Key, Value>>& snapshots,
     std::size_t max_range_results) {
   for (const auto& resp : rep.responses) {
@@ -142,9 +142,9 @@ void check_against_snapshots(
   }
 }
 
-ShardedServerConfig delta_config(std::uint64_t max_buffered,
+serve::ServeOptions delta_config(std::uint64_t max_buffered,
                                  std::size_t overlay_cap) {
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 1 << 15;  // no drops: every request oracle-checked
@@ -178,7 +178,7 @@ TEST(DeltaShardFuzz, DifferentialOracleAcrossThousandShardBoundaries) {
   spec.seed = 4242;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg =
+  serve::ServeOptions cfg =
       delta_config(/*max_buffered=*/12, /*overlay_cap=*/24);
   // Per-shard commits land on batch boundaries behind the fence, so
   // boundary density bounds the epoch rate: small batches, a free
@@ -241,7 +241,7 @@ TEST(DeltaShardFuzz, DeterministicReplay) {
   auto run_once = [&] {
     ShardedFixture f(3);
     const auto stream = serve::make_open_loop(f.keys, spec);
-    const ShardedServerConfig cfg =
+    const serve::ServeOptions cfg =
         delta_config(/*max_buffered=*/64, /*overlay_cap=*/32);
     ShardedServer server(f.index, cfg);
     return server.run(stream);

@@ -82,7 +82,7 @@ std::vector<std::map<Key, Value>> make_snapshots(
 }
 
 void check_answered_against_oracle(
-    const ShardedServerReport& rep, const std::vector<serve::Request>& stream,
+    const serve::ServerReport& rep, const std::vector<serve::Request>& stream,
     const std::vector<std::map<Key, Value>>& snapshots,
     std::size_t max_range_results) {
   ASSERT_EQ(rep.responses.size(), stream.size());
@@ -130,8 +130,8 @@ void check_answered_against_oracle(
   }
 }
 
-ShardedServerConfig reshard_config() {
-  ShardedServerConfig cfg;
+serve::ServeOptions reshard_config() {
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 80e-6;
   cfg.batch.queue_capacity = 1 << 14;

@@ -170,7 +170,7 @@ void apply_to_oracle(std::map<Key, Value>& oracle, const serve::Request& r) {
 
 std::vector<std::map<Key, Value>> snapshots_from_responses(
     const std::vector<Key>& keys, const std::vector<serve::Request>& stream,
-    const ShardedServerReport& rep) {
+    const serve::ServerReport& rep) {
   std::vector<unsigned> epoch_of(stream.size(), 0);
   for (const serve::Response& resp : rep.responses) {
     if (resp.kind == serve::RequestKind::kUpdate) epoch_of[resp.id] = resp.epoch;
@@ -218,7 +218,7 @@ TEST(ShardScan, OnlineScansMatchSnapshotOracleAcrossOverlapSwaps) {
   spec.seed = 42;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 8192;  // no drops: every scan oracle-checked
@@ -279,7 +279,7 @@ TEST(ShardScan, QuiesceScansClampToMaxRangeResults) {
   spec.seed = 9;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.queue_capacity = 8192;
   cfg.batch.max_range_results = 48;

@@ -92,8 +92,8 @@ std::vector<std::map<Key, Value>> make_snapshots(
 /// requires a void function).
 void run_and_check_oracle(ShardedFixture& f,
                           const std::vector<serve::Request>& stream,
-                          const ShardedServerConfig& cfg,
-                          ShardedServerReport* out) {
+                          const serve::ServeOptions& cfg,
+                          serve::ServerReport* out) {
   const auto snapshots = make_snapshots(f.keys, stream, cfg.epoch.max_buffered);
 
   ShardedServer server(f.index, cfg);
@@ -170,7 +170,7 @@ TEST(ShardedServer, DifferentialOracleAcrossEpochs) {
   spec.seed = 42;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 8192;  // no drops: every request oracle-checked
@@ -178,7 +178,7 @@ TEST(ShardedServer, DifferentialOracleAcrossEpochs) {
   cfg.epoch.max_buffered = 400;
   cfg.epoch.apply_threads = 2;
 
-  ShardedServerReport rep;
+  serve::ServerReport rep;
   run_and_check_oracle(f, stream, cfg, &rep);
   EXPECT_GE(rep.epochs, 3u);
   EXPECT_GT(rep.split_ranges, 0u);  // boundary-straddling fan-outs happened
@@ -208,7 +208,7 @@ TEST(ShardedServer, EpochBarrierKeepsFanOutsAtomic) {
     spec.seed = 9;
     const auto stream = serve::make_open_loop(f.keys, spec);
 
-    ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.batch.queue_capacity = 1 << 14;
@@ -216,7 +216,7 @@ TEST(ShardedServer, EpochBarrierKeepsFanOutsAtomic) {
     cfg.epoch.max_buffered = 150;  // many epochs
     cfg.epoch.apply_threads = 3;
 
-    ShardedServerReport rep;
+    serve::ServerReport rep;
     run_and_check_oracle(f, stream, cfg, &rep);
     EXPECT_GE(rep.epochs, 8u);
     if (shards > 1) {
@@ -238,7 +238,7 @@ TEST(ShardedServer, OverloadShedsLoadInsteadOfGrowingQueues) {
   spec.seed = 11;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 50e-6;
   cfg.batch.queue_capacity = 512;
@@ -262,7 +262,7 @@ TEST(ShardedServer, ClosedLoopNeverOverflowsClientPopulation) {
   spec.seed = 3;
   serve::ClosedLoopSource source(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 64;
   cfg.batch.max_wait = 30e-6;
   ShardedServer server(f.index, cfg);
@@ -289,7 +289,7 @@ TEST(ShardedServer, DeterministicReplay) {
   auto run_once = [&] {
     ShardedFixture f(4);
     const auto stream = serve::make_open_loop(f.keys, spec);
-    ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.epoch.max_buffered = 100;
@@ -329,7 +329,7 @@ TEST(ShardedServer, PerShardCountersSumOnceToStreamTotals) {
   spec.seed = 17;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 50e-6;
   cfg.batch.queue_capacity = 512;
@@ -380,7 +380,7 @@ TEST(ShardedServer, LostShardDuringEpochsKeepsBarrierAtomic) {
     spec.seed = seed;
     const auto stream = serve::make_open_loop(f.keys, spec);
 
-    ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.max_wait = 80e-6;
     cfg.batch.queue_capacity = 1 << 14;
@@ -466,7 +466,7 @@ TEST(ShardedServer, RejectsEmptyShards) {
   // hold nothing.
   ShardedIndex index(entries, ShardPlan::equal_width(4), test_options(16));
   ASSERT_EQ(index.shard(3), nullptr);
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   EXPECT_THROW(ShardedServer(index, cfg), ContractViolation);
 }
 

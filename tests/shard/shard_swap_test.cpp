@@ -75,7 +75,7 @@ void apply_to_oracle(std::map<Key, Value>& oracle, const serve::Request& r) {
 /// epoch order (arrival order within a group).
 std::vector<std::map<Key, Value>> snapshots_from_responses(
     const std::vector<Key>& keys, const std::vector<serve::Request>& stream,
-    const ShardedServerReport& rep) {
+    const serve::ServerReport& rep) {
   std::vector<unsigned> epoch_of(stream.size(), 0);
   for (const serve::Response& resp : rep.responses) {
     if (resp.kind == serve::RequestKind::kUpdate) epoch_of[resp.id] = resp.epoch;
@@ -103,7 +103,7 @@ std::vector<std::map<Key, Value>> snapshots_from_responses(
 /// by the merge's same-epoch assertion and the snapshot oracles.
 void check_epochs_monotonic_per_shard(
     const ShardPlan& plan, const std::vector<serve::Request>& stream,
-    const ShardedServerReport& rep, unsigned num_shards) {
+    const serve::ServerReport& rep, unsigned num_shards) {
   struct Item {
     double t;
     unsigned epoch;
@@ -145,7 +145,7 @@ void check_epochs_monotonic_per_shard(
 /// match a snapshot if the fence really kept its shards on one version
 /// (the merge's internal same-epoch assertion is the second tripwire).
 void check_against_snapshots(
-    const std::vector<serve::Request>& stream, const ShardedServerReport& rep,
+    const std::vector<serve::Request>& stream, const serve::ServerReport& rep,
     const std::vector<std::map<Key, Value>>& snapshots,
     std::size_t max_range_results) {
   for (const auto& resp : rep.responses) {
@@ -206,7 +206,7 @@ TEST(ShardSwap, StaggeredSwapsNeverMixSnapshots) {
   spec.seed = 42;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.max_wait = 100e-6;
   cfg.batch.queue_capacity = 8192;  // no drops: every request oracle-checked
@@ -263,7 +263,7 @@ TEST(ShardSwap, EpochVersionsMonotonicInCompletionOrder) {
   spec.seed = 7;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.queue_capacity = 1 << 14;
   cfg.epoch.max_buffered = 100;
@@ -296,7 +296,7 @@ TEST(ShardSwap, HighFrequencySwapFenceStress) {
   spec.seed = 11;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 128;
   cfg.batch.max_wait = 60e-6;
   cfg.batch.queue_capacity = 1 << 15;
@@ -342,7 +342,7 @@ TEST(ShardSwap, PreSwapAuditCatchesStagedCorruption) {
   spec.seed = 13;
   const auto stream = serve::make_open_loop(f.keys, spec);
 
-  ShardedServerConfig cfg;
+  serve::ServeOptions cfg;
   cfg.batch.max_batch = 256;
   cfg.batch.queue_capacity = 1 << 14;
   cfg.epoch.max_buffered = 200;
@@ -389,7 +389,7 @@ TEST(ShardSwap, DeterministicReplay) {
   auto run_once = [&] {
     ShardedFixture f(3);
     const auto stream = serve::make_open_loop(f.keys, spec);
-    ShardedServerConfig cfg;
+    serve::ServeOptions cfg;
     cfg.batch.max_batch = 128;
     cfg.batch.queue_capacity = 1 << 14;
     cfg.epoch.max_buffered = 80;

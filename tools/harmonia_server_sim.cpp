@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "serve/workload.hpp"
 #include "shard/backend_factory.hpp"
 #include "shard/restart_harness.hpp"
+#include "tune/autotuner.hpp"
 
 using namespace harmonia;
 
@@ -56,8 +58,11 @@ void add_server_flags(Cli& cli) {
       .flag("metrics", "print a Prometheus-style metrics dump to stdout", "false")
       .flag("metrics-out", "write the Prometheus-style metrics dump to this path", "")
       .flag("trace-out", "write the request-lifecycle trace to this path "
-                         "(CSV, or JSON when the path ends in .json)", "");
+                         "(CSV, or JSON when the path ends in .json)", "")
+      .flag("autotune", "enable the closed-loop online autotuner (src/tune/)",
+            "false");
   serve::ServeOptions::add_flags(cli);
+  tune::AutotunerConfig::add_flags(cli);
 }
 
 /// The tool-owned observability sinks (docs/observability.md). The serving
@@ -115,6 +120,35 @@ struct ObsSink {
     }
   }
 };
+
+/// Wires the closed-loop controller when --autotune asks for it: the
+/// tuner reads the run's metrics registry (forced on — the controller is
+/// a registry consumer), and the backend applies its decisions at safe
+/// points.
+std::optional<tune::Autotuner> maybe_autotune(const Cli& cli, ObsSink& sink,
+                                              serve::ServeOptions& cfg) {
+  std::optional<tune::Autotuner> tuner;
+  if (cli.get_bool("autotune", false)) {
+    cfg.obs.metrics = &sink.metrics;
+    tuner.emplace(tune::AutotunerConfig::from_cli(cli), sink.metrics);
+    cfg.tuner = &*tuner;
+  }
+  return tuner;
+}
+
+void print_tune_summary(const std::optional<tune::Autotuner>& tuner,
+                        const serve::Backend* backend) {
+  if (!tuner.has_value()) return;
+  std::printf("autotuner       : %llu moves tried, %llu rollbacks, "
+              "%llu vetoes\n",
+              static_cast<unsigned long long>(tuner->moves()),
+              static_cast<unsigned long long>(tuner->rollbacks()),
+              static_cast<unsigned long long>(tuner->vetoes()));
+  if (backend != nullptr) {
+    std::printf("final tunables  : %s\n",
+                serve::to_string(backend->tunables()).c_str());
+  }
+}
 
 shard::TopologySpec topology(const Cli& cli) {
   const std::uint64_t n = cli.get_uint("shards", 1);
@@ -364,6 +398,7 @@ int cmd_open(int argc, const char* const* argv) {
   ObsSink sink(cli);
   serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
   cfg.obs = sink.observer();
+  std::optional<tune::Autotuner> tuner = maybe_autotune(cli, sink, cfg);
 
   // A plan with restart events runs through the crash-restart harness:
   // a backend cannot restart itself (ServeOptions::validate rejects the
@@ -394,6 +429,7 @@ int cmd_open(int argc, const char* const* argv) {
                   static_cast<unsigned long long>(g));
       print_report(rr.segments[g]);
     }
+    print_tune_summary(tuner, nullptr);
     maybe_write_recovery_csv(cli, all);
     sink.dump();
     return 0;
@@ -408,6 +444,7 @@ int cmd_open(int argc, const char* const* argv) {
   const auto stream = serve::make_open_loop(stack.keys(), spec);
   const auto rep = stack.backend().run(stream);
   print_report(rep);
+  print_tune_summary(tuner, &stack.backend());
   maybe_write_fault_csv(cli, rep);
   sink.dump();
   return 0;
@@ -437,6 +474,7 @@ int cmd_closed(int argc, const char* const* argv) {
   ObsSink sink(cli);
   serve::ServeOptions cfg = serve::ServeOptions::from_cli(cli);
   cfg.obs = sink.observer();
+  std::optional<tune::Autotuner> tuner = maybe_autotune(cli, sink, cfg);
   shard::ServingStack stack(topo, cfg);
   if (!stack.recoveries().empty()) {
     print_recoveries(stack.recoveries());
@@ -446,6 +484,7 @@ int cmd_closed(int argc, const char* const* argv) {
   serve::ClosedLoopSource source(stack.keys(), spec);
   const auto rep = stack.backend().run(source);
   print_report(rep);
+  print_tune_summary(tuner, &stack.backend());
   maybe_write_fault_csv(cli, rep);
   sink.dump();
   return 0;
